@@ -1,0 +1,598 @@
+// One benchmark per paper figure (F1–F15) and per quantified claim
+// (Q1–Q7); see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// recorded results.  Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/biblio"
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/ddl"
+	"repro/internal/demo"
+	"repro/internal/figuregen"
+	"repro/internal/mdm"
+	"repro/internal/meta"
+	"repro/internal/midi"
+	"repro/internal/model"
+	"repro/internal/pianoroll"
+	"repro/internal/pscript"
+	"repro/internal/quel"
+	"repro/internal/relbase"
+	"repro/internal/sound"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func freshModel(b *testing.B) *model.Database {
+	b.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func freshMusic(b *testing.B) *cmn.Music {
+	b.Helper()
+	m, err := cmn.Open(freshModel(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func chordSchema(b *testing.B, db *model.Database) {
+	b.Helper()
+	if _, err := ddl.Exec(db, `
+define entity CHORD (name = integer)
+define entity NOTE (name = integer, pitch = integer)
+define ordering note_in_chord (NOTE) under CHORD
+`); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig1SharedMDM: figure 1 — four concurrent clients sharing one
+// music data manager.
+func BenchmarkFig1SharedMDM(b *testing.B) {
+	m, err := mdm.Open(mdm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				s := m.NewSession()
+				if c%2 == 0 {
+					s.Exec(`append to ANNOTATION (kind = "bench", text = "x")`) //nolint:errcheck
+				} else {
+					s.Query(`range of a is ANNOTATION retrieve (n = count(a.all))`) //nolint:errcheck
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkFig2ThematicLookup: figure 2 — identifier lookup in a
+// thematic index of 10⁴ entries.
+func BenchmarkFig2ThematicLookup(b *testing.B) {
+	db := freshModel(b)
+	ix, err := biblio.Open(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, _ := ix.NewCatalog("bench", "BN", "chronological")
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		ix.AddEntry(cat, biblio.Entry{Number: i, Title: fmt.Sprintf("Work %d", i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Lookup("BN", 1+i%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3PianoRoll: figure 3 — event-stream → roll translation.
+func BenchmarkFig3PianoRoll(b *testing.B) {
+	m := freshMusic(b)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := demo.FugueSequence(m, voice, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pianoroll.FromSequence(seq, 125_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4DarmsParse and ...Canonize: figure 4 — the encoding
+// pipeline.
+func BenchmarkFig4DarmsParse(b *testing.B) {
+	b.SetBytes(int64(len(darms.Figure4)))
+	for i := 0; i < b.N; i++ {
+		if _, err := darms.Parse(darms.Figure4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4DarmsCanonize(b *testing.B) {
+	items, err := darms.Parse(darms.Figure4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := darms.Canonize(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5IsJoin: figure 5 — the §5.6 is-operator join.
+func BenchmarkFig5IsJoin(b *testing.B) {
+	db := freshModel(b)
+	if _, err := ddl.Exec(db, `
+define entity PERSON (name = string)
+define entity COMPOSITION (title = string)
+define relationship COMPOSER (composer = PERSON, composition = COMPOSITION)`); err != nil {
+		b.Fatal(err)
+	}
+	const n = 200
+	people, _ := db.NewEntities("PERSON", n, func(i int) model.Attrs {
+		return model.Attrs{"name": value.Str(fmt.Sprintf("p%d", i))}
+	})
+	comps, _ := db.NewEntities("COMPOSITION", n, func(i int) model.Attrs {
+		return model.Attrs{"title": value.Str(fmt.Sprintf("w%d", i))}
+	})
+	for i := range people {
+		db.Relate("COMPOSER", map[string]value.Ref{"composer": people[i], "composition": comps[i]}, nil)
+	}
+	s := quel.NewSession(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(`retrieve (PERSON.name)
+  where COMPOSITION.title = "w7"
+  and COMPOSER.composition is COMPOSITION and COMPOSER.composer is PERSON`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6OrdinalAccess: figure 6 — "the third child of y" at
+// large fan-out.
+func BenchmarkFig6OrdinalAccess(b *testing.B) {
+	db := freshModel(b)
+	chordSchema(b, db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	const n = 10000
+	refs, _ := db.NewEntities("NOTE", n, func(int) model.Attrs { return nil })
+	for _, r := range refs {
+		db.InsertChild("note_in_chord", chord, r, model.Last())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ChildAt("note_in_chord", chord, i%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7HOGraph: figure 7 — schema-level HO graph construction.
+func BenchmarkFig7HOGraph(b *testing.B) {
+	m := freshMusic(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DB.HOGraph()
+	}
+}
+
+// BenchmarkFig8RecursiveTraversal: figure 8 — walking nested beam
+// groups.
+func BenchmarkFig8RecursiveTraversal(b *testing.B) {
+	db := freshModel(b)
+	if _, err := ddl.Exec(db, demo.BeamSchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	root, err := demo.BuildBeamFigure(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		db.Walk("beam_content", root, func(value.Ref, int) bool { count++; return true })
+		if count != 10 {
+			b.Fatal("walk miscount")
+		}
+	}
+}
+
+// BenchmarkFig9CatalogBootstrap: figure 9 — the self-describing catalog
+// over the full CMN schema.
+func BenchmarkFig9CatalogBootstrap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := freshMusic(b)
+		b.StartTimer()
+		if _, err := meta.Bootstrap(m.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10DrawStemCatalog and ...Hardcoded: figure 10 — the §6.2
+// drawing procedure, catalog-driven vs compiled-in (the indirection
+// ablation).
+func BenchmarkFig10DrawStemCatalog(b *testing.B) {
+	db := freshModel(b)
+	c, err := meta.Bootstrap(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ddl.Exec(db, `define entity STEM (xpos = integer, ypos = integer, length = integer, direction = integer)`); err != nil {
+		b.Fatal(err)
+	}
+	c.Refresh()
+	if _, err := c.DefineGraphDef("draw_stem", "STEM",
+		"newpath xpos ypos moveto 0 length direction mul rlineto stroke",
+		[]meta.ParamBinding{
+			{Attribute: "xpos", Setup: "/xpos exch def"},
+			{Attribute: "ypos", Setup: "/ypos exch def"},
+			{Attribute: "length", Setup: "/length exch def"},
+			{Attribute: "direction", Setup: "/direction exch def"},
+		}); err != nil {
+		b.Fatal(err)
+	}
+	stem, _ := db.NewEntity("STEM", model.Attrs{
+		"xpos": value.Int(4), "ypos": value.Int(10),
+		"length": value.Int(7), "direction": value.Int(-1),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figuregen.DrawViaCatalog(db, c, "STEM", stem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10DrawStemHardcoded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		canvas := pscript.NewCanvas()
+		in := pscript.New(canvas)
+		if err := in.Run("newpath 4 10 moveto 0 7 -1 mul rlineto stroke"); err != nil {
+			b.Fatal(err)
+		}
+		canvas.Rasterize(12, 12)
+	}
+}
+
+// BenchmarkFig11Inventory and BenchmarkFig12DynamicInheritance: figures
+// 11 and 12.
+func BenchmarkFig11Inventory(b *testing.B) {
+	m := freshMusic(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range cmn.Inventory() {
+			if _, ok := m.DB.EntityType(e.Name); !ok {
+				b.Fatal("missing entity")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12DynamicInheritance(b *testing.B) {
+	m := freshMusic(b)
+	score, voices, err := demo.RandomScore(m, 16, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	score.AddDynamic(cmn.Zero, "f")
+	voices[0].AddDynamic(cmn.Beats(8, 1), "p")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// PerformedNotes resolves every note's inherited dynamic.
+		if _, err := voices[0].PerformedNotes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13TemporalExtrapolation: figure 13 — score time →
+// performance time through a ramped tempo map.
+func BenchmarkFig13TemporalExtrapolation(b *testing.B) {
+	tm := cmn.NewTempoMap(96)
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(32, 1), BPM: 120, Ramp: true})
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(64, 1), BPM: 60})
+	notes := make([]cmn.PerformedNote, 1000)
+	for i := range notes {
+		notes[i] = cmn.PerformedNote{Pitch: 40 + i%40, Start: cmn.Beats(int64(i), 4),
+			Duration: cmn.Quarter, Velocity: 80}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		midi.FromPerformance(notes, tm, 0)
+	}
+}
+
+// BenchmarkFig14SyncAlignment: figure 14 — dividing measures into syncs.
+func BenchmarkFig14SyncAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := freshMusic(b)
+		score, voices, err := demo.RandomScore(m, 16, 2, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		movements, _ := score.Movements()
+		movements[0].ClearAlignment()
+		b.StartTimer()
+		if err := movements[0].Align(voices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15GroupAggregate: figure 15 — duration aggregation over
+// nested melodic groups.
+func BenchmarkFig15GroupAggregate(b *testing.B) {
+	m := freshMusic(b)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var groups []*cmn.Group
+	err = m.DB.Instances("GROUP", func(ref value.Ref, _ value.Tuple) bool {
+		g, err := m.GroupByRef(ref)
+		if err == nil {
+			groups = append(groups, g)
+		}
+		return true
+	})
+	if err != nil || len(groups) == 0 {
+		b.Fatal("no groups")
+	}
+	_ = voice
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := groups[i%len(groups)].Duration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ1SortedSelection: §5.2 — matching-key range scan vs heap
+// scan.
+func BenchmarkQ1SortedSelection(b *testing.B) {
+	db, _ := storage.Open(storage.Options{})
+	db.CreateRelation("N", value.NewSchema(value.Field{Name: "pitch", Kind: value.KindInt}))
+	db.CreateIndex("N", storage.IndexSpec{Name: "by_pitch", Columns: []string{"pitch"}})
+	db.Run(func(tx *storage.Tx) error {
+		for i := 0; i < 100000; i++ {
+			tx.Insert("N", value.Tuple{value.Int(int64(i % 128))})
+		}
+		return nil
+	})
+	lo := value.AppendKey(nil, value.Int(60))
+	hi := value.AppendKey(nil, value.Int(64))
+	b.Run("IndexRange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				return tx.IndexScan("N", "by_pitch", lo, hi, func(storage.RowID, value.Tuple) bool { return true })
+			})
+		}
+	})
+	b.Run("HeapScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				return tx.Scan("N", func(_ storage.RowID, t value.Tuple) bool { return true })
+			})
+		}
+	})
+}
+
+// BenchmarkQ2MiddleInsert: gap-ranked ordering vs relational
+// renumbering.
+func BenchmarkQ2MiddleInsert(b *testing.B) {
+	const base = 2000
+	b.Run("GapRanks", func(b *testing.B) {
+		db := freshModel(b)
+		chordSchema(b, db)
+		chord, _ := db.NewEntity("CHORD", nil)
+		refs, _ := db.NewEntities("NOTE", base+b.N, func(int) model.Attrs { return nil })
+		for i := 0; i < base; i++ {
+			db.InsertChild("note_in_chord", chord, refs[i], model.Last())
+		}
+		anchor := refs[base/2]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertChild("note_in_chord", chord, refs[base+i], model.Before(anchor)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Renumber", func(b *testing.B) {
+		sdb, _ := storage.Open(storage.Options{})
+		s, _ := relbase.Open(sdb)
+		chord, _ := s.NewChord(1)
+		for i := 0; i < base; i++ {
+			s.AppendNote(chord, int64(i), 60)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.InsertNoteAt(chord, base/2, int64(10000+i), 60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQ3OrderingOperators: the §5.6 operators vs relational
+// equivalents.
+func BenchmarkQ3OrderingOperators(b *testing.B) {
+	const n = 10000
+	db := freshModel(b)
+	chordSchema(b, db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	refs, _ := db.NewEntities("NOTE", n, func(i int) model.Attrs {
+		return model.Attrs{"name": value.Int(int64(i))}
+	})
+	for _, r := range refs {
+		db.InsertChild("note_in_chord", chord, r, model.Last())
+	}
+	sdb, _ := storage.Open(storage.Options{})
+	rb, _ := relbase.Open(sdb)
+	bchord, _ := rb.NewChord(1)
+	for i := 0; i < n; i++ {
+		rb.AppendNote(bchord, int64(i), 60)
+	}
+	b.Run("BeforeHO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.BeforeIn("note_in_chord", refs[i%n], refs[(i*7)%n])
+		}
+	})
+	b.Run("BeforeRelational", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rb.Before(bchord, int64(i%n), int64((i*7)%n))
+		}
+	})
+}
+
+// BenchmarkQ4SoundStorage: §4.1 — synthesis plus both codecs.
+func BenchmarkQ4SoundStorage(b *testing.B) {
+	m := freshMusic(b)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, _ := demo.FugueSequence(m, voice, 240)
+	buf, err := sound.Synthesize(seq, sound.Organ, 48000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf.Samples) * sound.BytesPerSample))
+	b.Run("Delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sound.EncodeDelta(buf)
+		}
+	})
+	b.Run("MuLaw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sound.EncodeMuLaw(buf)
+		}
+	})
+}
+
+// BenchmarkQ7TxnOverhead: WAL and fsync overheads per transaction.
+func BenchmarkQ7TxnOverhead(b *testing.B) {
+	schema := value.NewSchema(value.Field{Name: "v", Kind: value.KindInt})
+	run := func(b *testing.B, opts storage.Options) {
+		db, err := storage.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		db.CreateRelation("T", schema)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				_, err := tx.Insert("T", value.Tuple{value.Int(int64(i))})
+				return err
+			})
+		}
+	}
+	b.Run("NoWAL", func(b *testing.B) { run(b, storage.Options{}) })
+	b.Run("WAL", func(b *testing.B) { run(b, storage.Options{Dir: b.TempDir()}) })
+	b.Run("WALSync", func(b *testing.B) { run(b, storage.Options{Dir: b.TempDir(), SyncCommits: true}) })
+}
+
+// BenchmarkAblationBeforeRankVsWalk isolates DESIGN.md's design choice 1:
+// `a before b` answered by the gap-rank comparison (O(1)) versus walking
+// S-edges from a until b is found (the pure linked-list representation a
+// rank-free implementation would use).
+func BenchmarkAblationBeforeRankVsWalk(b *testing.B) {
+	const n = 10000
+	db := freshModel(b)
+	chordSchema(b, db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	refs, _ := db.NewEntities("NOTE", n, func(int) model.Attrs { return nil })
+	for _, r := range refs {
+		db.InsertChild("note_in_chord", chord, r, model.Last())
+	}
+	b.Run("RankCompare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ok, err := db.BeforeIn("note_in_chord", refs[100], refs[n-100])
+			if err != nil || !ok {
+				b.Fatal("rank compare failed")
+			}
+		}
+	})
+	b.Run("SiblingWalk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Walk S-edges from refs[100] looking for refs[n-100].
+			found := false
+			for cur, ok := refs[100], true; ok; cur, ok = db.NextSibling("note_in_chord", cur) {
+				if cur == refs[n-100] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("walk failed")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationQuelSargPushdown isolates the executor's sarg
+// pushdown: the same selective query with and without a pushable
+// predicate shape.
+func BenchmarkAblationQuelSargPushdown(b *testing.B) {
+	db := freshModel(b)
+	chordSchema(b, db)
+	const n = 5000
+	db.NewEntities("NOTE", n, func(i int) model.Attrs {
+		return model.Attrs{"name": value.Int(int64(i)), "pitch": value.Int(int64(i % 100))}
+	})
+	s := quel.NewSession(db)
+	b.Run("Pushable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// name = 50 is a var.attr = literal conjunct: pushed down.
+			if _, err := s.Exec(`range of x is NOTE retrieve (x.pitch) where x.name = 50`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NotPushable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// name - 50 = 0 is semantically identical but not a sarg.
+			if _, err := s.Exec(`range of x is NOTE retrieve (x.pitch) where x.name - 50 = 0`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

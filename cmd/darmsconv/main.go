@@ -1,0 +1,108 @@
+// Command darmsconv is the "canonizer" of §4.6: it reads user DARMS and
+// writes canonical DARMS, optionally reporting score statistics or the
+// piano roll of the encoded music.
+//
+// Usage:
+//
+//	darmsconv [-stats] [-roll] [-bpm N] [FILE]
+//
+// With no FILE, standard input is read.  -stats prints entity counts of
+// the score built from the encoding; -roll prints its piano roll.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/demo"
+	"repro/internal/midi"
+	"repro/internal/model"
+	"repro/internal/pianoroll"
+	"repro/internal/storage"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print score statistics")
+	roll := flag.Bool("roll", false, "print the piano roll")
+	bpm := flag.Float64("bpm", 120, "tempo for the piano roll")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+
+	items, err := darms.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+	canon, err := darms.Canonize(items)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(darms.Encode(canon))
+
+	if !*stats && !*roll {
+		return
+	}
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+	m, err := cmn.Open(db)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+		os.Exit(1)
+	}
+	score, err := darms.ToScore(m, items, "converted")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darmsconv: building score: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("notes: %d  measures: %d  groups: %d  syllables: %d  syncs: %d\n",
+			m.DB.Count("NOTE"), m.DB.Count("MEASURE"), m.DB.Count("GROUP"),
+			m.DB.Count("SYLLABLE"), m.DB.Count("SYNC"))
+		if d, err := score.Duration(); err == nil {
+			fmt.Printf("duration: %s beats\n", d)
+		}
+	}
+	if *roll {
+		voice, _, err := demo.SoloHandles(m, score)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+			os.Exit(1)
+		}
+		notes, err := voice.PerformedNotes()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+			os.Exit(1)
+		}
+		seq := midi.FromPerformance(notes, cmn.NewTempoMap(*bpm), 0)
+		r, err := pianoroll.FromSequence(seq, int64(60e6 / *bpm / 4)) // 16th columns
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darmsconv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render(true))
+	}
+}

@@ -1,0 +1,45 @@
+// Command figures regenerates the content of every figure in the paper
+// (figures 1–15) from the implemented system.
+//
+// Usage:
+//
+//	figures            # print all figures
+//	figures -fig 6     # print one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figuregen"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
+	flag.Parse()
+
+	gens := figuregen.All()
+	if *fig != 0 {
+		g, ok := gens[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-15)\n", *fig)
+			os.Exit(1)
+		}
+		out, err := g()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", *fig, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	for n := 1; n <= 15; n++ {
+		out, err := gens[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("================ Figure %d ================\n%s\n", n, out)
+	}
+}

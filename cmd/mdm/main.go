@@ -1,0 +1,117 @@
+// Command mdm is an interactive shell for the music data manager: a
+// client of figure 1 speaking the DDL of §5.4 and the extended QUEL of
+// §5.6.
+//
+// Usage:
+//
+//	mdm [-dir DIR] [-e STATEMENTS]
+//
+// With -e the statements are executed and the program exits; otherwise
+// an interactive prompt reads statements terminated by \g (go) on a
+// line of their own or by a blank line, in the INGRES tradition.
+// Meta-commands: \schema lists the schema, \figures N prints a paper
+// figure, \quit exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/figuregen"
+	"repro/internal/mdm"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty: in-memory)")
+	exec := flag.String("e", "", "execute statements and exit")
+	flag.Parse()
+
+	m, err := mdm.Open(mdm.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdm: %v\n", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+	session := m.NewSession()
+
+	if *exec != "" {
+		out, err := session.Exec(*exec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	fmt.Println("music data manager — define / retrieve / append / replace / delete")
+	fmt.Println(`end statements with a blank line; \schema, \figure N, \quit`)
+	sc := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("mdm> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\quit` || trimmed == `\q`:
+			return
+		case trimmed == `\schema`:
+			printSchema(m)
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, `\figure`):
+			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\figure`))
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 || n > 15 {
+				fmt.Println("usage: \\figure N  (1-15)")
+			} else if out, err := figuregen.All()[n](); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Print(out)
+			}
+			prompt()
+			continue
+		case trimmed == "" || trimmed == `\g`:
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if stmt != "" {
+				out, err := session.Exec(stmt)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+				} else if out != "" {
+					fmt.Println(out)
+				}
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+	}
+}
+
+func printSchema(m *mdm.MDM) {
+	fmt.Println("entity types:")
+	for _, name := range m.Model.EntityTypes() {
+		et, _ := m.Model.EntityType(name)
+		attrs := make([]string, len(et.Attrs))
+		for i, a := range et.Attrs {
+			attrs[i] = fmt.Sprintf("%s = %s", a.Name, a.Kind)
+		}
+		fmt.Printf("  %s (%s)\n", name, strings.Join(attrs, ", "))
+	}
+	fmt.Println("relationships:")
+	for _, name := range m.Model.RelationshipTypes() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("orderings:")
+	for _, name := range m.Model.Orderings() {
+		o, _ := m.Model.OrderingByName(name)
+		fmt.Printf("  %s (%s) under %s\n", name, strings.Join(o.Children, ", "), o.Parent)
+	}
+}

@@ -1,0 +1,28 @@
+// Command mdmbench runs the reproduction's experiment suite (DESIGN.md
+// Q1-Q7 and the figure-derived F-experiments) and prints the rows
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mdmbench [-quick]
+//
+// -quick runs reduced workload sizes (seconds instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	flag.Parse()
+	sz := experiments.Full()
+	if *quick {
+		sz = experiments.Quick()
+	}
+	rows := experiments.RunAllExtended(sz)
+	fmt.Print(experiments.Render(rows))
+}

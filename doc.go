@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "A Database Design for Musical
+// Information" (W. Bradley Rubenstein, Proc. ACM SIGMOD 1987): a music
+// data manager built on the entity-relationship model extended with
+// hierarchical ordering.
+//
+// The public surface lives under internal/ packages composed by
+// internal/mdm; the executables are cmd/mdm (interactive DDL/QUEL
+// shell), cmd/darmsconv (DARMS canonizer), cmd/figures (regenerates
+// every figure of the paper), and cmd/mdmbench (the experiment suite
+// recorded in EXPERIMENTS.md).  bench_test.go in this directory holds
+// one benchmark per paper figure and per quantified claim.
+package repro

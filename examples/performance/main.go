@@ -1,0 +1,92 @@
+// Performance: from score time to performance time to sound (§7.2 and
+// §4.1).  Imports the fugue subject, performs it under a tempo map with
+// a final ritardando, extrapolates MIDI events, serializes a Standard
+// MIDI File, synthesizes audio, and compares the two §4.1 compaction
+// families on the result.
+//
+//	go run ./examples/performance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/demo"
+	"repro/internal/mdm"
+	"repro/internal/midi"
+	"repro/internal/sound"
+)
+
+func main() {
+	m, err := mdm.Open(mdm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	items, err := darms.Parse(demo.FugueSubjectDARMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score, err := darms.ToScore(m.Music, items, "Fuge g-moll (subject)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	voice, _, err := demo.SoloHandles(m.Music, score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := voice.AddDynamic(cmn.Zero, "mf"); err != nil {
+		log.Fatal(err)
+	}
+	if err := voice.AddDynamic(cmn.Beats(6, 1), "p"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The conductor (§7.2): 96 BPM with a ritardando over the last two
+	// beats (96 → 60).
+	tm := cmn.NewTempoMap(96)
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(6, 1), BPM: 96, Ramp: true})
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(8, 1), BPM: 60})
+
+	notes, err := voice.PerformedNotes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("performed notes (score time → performance time):")
+	for _, pn := range notes {
+		start := tm.Seconds(pn.Start)
+		end := tm.Seconds(pn.Start.Add(pn.Duration))
+		fmt.Printf("  pitch %3d  vel %3d  beat %-4s → %6.3fs .. %6.3fs\n",
+			pn.Pitch, pn.Velocity, pn.Start, start, end)
+	}
+
+	seq := midi.FromPerformance(notes, tm, 0)
+	smf, err := midi.WriteSMF(seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStandard MIDI File: %d bytes, %d events, %.3f s\n",
+		len(smf), len(seq.Notes), float64(seq.DurationUs())/1e6)
+
+	// §4.1: synthesize and compact.
+	buf, err := sound.Synthesize(seq, sound.Organ, 48000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := int64(len(buf.Samples) * sound.BytesPerSample)
+	delta := sound.EncodeDelta(buf)
+	mulaw := sound.EncodeMuLaw(buf)
+	dec, _ := sound.DecodeMuLaw(mulaw)
+	snr, _ := sound.SNR(buf, dec)
+	fmt.Printf("\ndigitized sound: %.2f s at 48 kHz/16-bit = %d bytes (RMS %.3f)\n",
+		buf.Duration(), raw, buf.RMS())
+	fmt.Printf("  redundancy codec (lossless delta): %6d bytes (%.2fx)\n",
+		len(delta), sound.CompressionRatio(buf, delta))
+	fmt.Printf("  perceptual codec (mu-law 8-bit):   %6d bytes (%.2fx, SNR %.1f dB)\n",
+		len(mulaw), sound.CompressionRatio(buf, mulaw), snr)
+	fmt.Printf("\npaper's §4.1 arithmetic: 10 minutes at this rate = %d bytes (57.6 MB)\n",
+		sound.StorageBytes(600, sound.ProfessionalRate))
+}

@@ -1,0 +1,75 @@
+// Quickstart: define a schema with hierarchical ordering, load data, and
+// run the paper's §5.6 queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mdm"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+func main() {
+	// An in-memory music data manager.  Pass Dir for durability.
+	m, err := mdm.Open(mdm.Options{SkipCMN: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	s := m.NewSession()
+
+	// The schema of §5.4: notes ordered within chords.
+	if _, err := s.Exec(`
+define entity CHORD (name = integer)
+define entity NOTE (name = integer, pitch = integer)
+define ordering note_in_chord (NOTE) under CHORD
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a four-note chord through the typed model API.
+	db := m.Model
+	chord, err := db.NewEntity("CHORD", model.Attrs{"name": value.Int(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, pitch := range []int64{60, 64, 67, 72} { // C major
+		note, err := db.NewEntity("NOTE", model.Attrs{
+			"name": value.Int(int64(i + 1)), "pitch": value.Int(pitch),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.InsertChild("note_in_chord", chord, note, model.Last()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// "The third note in chord x" (§5.4).
+	third, err := db.ChildAt("note_in_chord", chord, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pitch, _ := db.Attr(third, "pitch")
+	fmt.Printf("the third note of the chord has pitch %s\n\n", pitch)
+
+	// The §5.6 queries, verbatim.
+	for _, q := range []string{
+		`range of n1, n2 is NOTE
+		 retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 3`,
+		`retrieve (n1.name) where n1 after n2 in note_in_chord and n2.name = 3`,
+		`range of c1 is CHORD
+		 retrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 1`,
+		`retrieve (c1.name) where n1 under c1 in note_in_chord and n1.name = 4`,
+	} {
+		out, err := s.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,153 @@
+// Typesetting: the music typesetter client of §2, driven by the
+// graphical-definition layer of §6.2.  Drawing functions for staff
+// lines, note heads, and stems are registered as GraphDef entities; the
+// client walks the score and executes them through the catalog
+// (GDefUse/GParmUse), rendering one system of the fugue subject to an
+// ASCII bitmap.
+//
+//	go run ./examples/typesetting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/darms"
+	"repro/internal/demo"
+	"repro/internal/mdm"
+	"repro/internal/meta"
+	"repro/internal/model"
+	"repro/internal/pscript"
+	"repro/internal/value"
+)
+
+func main() {
+	m, err := mdm.Open(mdm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	items, err := darms.Parse(demo.FugueSubjectDARMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := darms.ToScore(m.Music, items, "Fuge g-moll (subject)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Catalog.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Register graphical definitions for the entity types we draw.  The
+	// client may freely modify these: they are data (§6.2).
+	if _, err := m.Catalog.DefineGraphDef("draw_notehead", "NOTEHEAD",
+		"newpath xpos ypos 1.2 0 360 arc fill",
+		[]meta.ParamBinding{
+			{Attribute: "xpos", Setup: "/xpos exch def"},
+			{Attribute: "ypos", Setup: "/ypos exch def"},
+		}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Catalog.DefineGraphDef("draw_stem", "STEM",
+		"newpath xpos ypos moveto 0 length direction mul rlineto stroke",
+		[]meta.ParamBinding{
+			{Attribute: "xpos", Setup: "/xpos exch def"},
+			{Attribute: "ypos", Setup: "/ypos exch def"},
+			{Attribute: "length", Setup: "/length exch def"},
+			{Attribute: "direction", Setup: "/direction exch def"},
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Typeset: walk the voice, creating NOTEHEAD and STEM instances with
+	// positions computed from staff degrees, then draw every instance
+	// through the catalog onto one canvas.
+	scores, err := m.Music.Scores()
+	if err != nil || len(scores) == 0 {
+		log.Fatal("no score")
+	}
+	voice, _, err := demo.SoloHandles(m.Music, scores[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, err := voice.Content()
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := int64(4)
+	for _, item := range content {
+		if item.IsRest {
+			x += 6
+			continue
+		}
+		chord, err := m.Music.ChordByRef(item.Ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		notes, err := chord.Notes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range notes {
+			y := int64(n.Degree()) // staff-degree units
+			if _, err := m.Model.NewEntity("NOTEHEAD", model.Attrs{
+				"shape": value.Str("filled"), "xpos": value.Int(x), "ypos": value.Int(y),
+			}); err != nil {
+				log.Fatal(err)
+			}
+			dir := int64(chord.StemDirection())
+			if dir == 0 {
+				dir = 1
+			}
+			if _, err := m.Model.NewEntity("STEM", model.Attrs{
+				"xpos": value.Int(x + 1), "ypos": value.Int(y),
+				"length": value.Int(5), "direction": value.Int(dir),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		x += 6
+	}
+
+	canvas := pscript.NewCanvas()
+	in := pscript.New(canvas)
+	// Staff lines: degrees 0,2,4,6,8 across the page.
+	width := float64(x + 4)
+	for d := 0; d <= 8; d += 2 {
+		if err := in.Run(fmt.Sprintf("newpath 0 %d moveto %g %d lineto stroke", d, width, d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Draw every NOTEHEAD and STEM via the §6.2 procedure.
+	for _, typ := range []string{"NOTEHEAD", "STEM"} {
+		fn, params, err := m.Catalog.GraphDefFor(typ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = m.Model.Instances(typ, func(ref value.Ref, _ value.Tuple) bool {
+			for _, p := range params {
+				v, err := m.Model.Attr(ref, p.Attribute)
+				if err != nil {
+					log.Fatal(err)
+				}
+				in.Push(float64(v.AsInt()))
+				if err := in.Run(p.Setup); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := in.Run(fn); err != nil {
+				log.Fatal(err)
+			}
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("typeset %d noteheads and %d stems via the GraphDef catalog (%s):\n\n",
+		m.Model.Count("NOTEHEAD"), m.Model.Count("STEM"), canvas)
+	bm := canvas.Rasterize(int(width*1.6), 30)
+	fmt.Println(bm.ASCII())
+}

@@ -1,0 +1,122 @@
+// Versions: score version control, the extension the paper gestures at
+// through [Dan86] ("versions and multiple views") and [KaL82].  Imports
+// the fugue subject, commits it, edits the score (transposes the head,
+// adds a closing measure), commits again, then diffs and checks out both
+// versions.
+//
+//	go run ./examples/versions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/demo"
+	"repro/internal/mdm"
+	"repro/internal/value"
+	"repro/internal/version"
+)
+
+func main() {
+	m, err := mdm.Open(mdm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	vs, err := version.Open(m.Music)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	items, err := darms.Parse(demo.FugueSubjectDARMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score, err := darms.ToScore(m.Music, items, "Fuge g-moll (subject)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	voice, staff, err := demo.SoloHandles(m.Music, score)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seq1, err := vs.Commit(score, []*cmn.Voice{voice}, "initial import from DARMS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed version %d\n", seq1)
+
+	// Edit 1: raise the second note a step (D5 → E5, degree 6 → 7).
+	content, err := voice.Content()
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := m.Music.ChordByRef(content[1].Ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	notes, _ := second.Notes()
+	if err := m.Model.SetAttr(notes[0].Ref, "degree", value.Int(7)); err != nil {
+		log.Fatal(err)
+	}
+	// Edit 2: a closing measure with a held G4.
+	movements, _ := score.Movements()
+	if _, err := movements[0].AddMeasure(4, 4); err != nil {
+		log.Fatal(err)
+	}
+	closing, err := voice.AppendChord(cmn.Whole, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := closing.AddNote(2, cmn.AccNone)
+	n.OnStaff(staff)
+	movements[0].ClearAlignment()
+	if err := movements[0].Align([]*cmn.Voice{voice}); err != nil {
+		log.Fatal(err)
+	}
+	if err := voice.ResolvePitches(staff); err != nil {
+		log.Fatal(err)
+	}
+
+	seq2, err := vs.Commit(score, []*cmn.Voice{voice}, "raise answer tone; add final measure")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed version %d\n\n", seq2)
+
+	// History and diff.
+	hist, err := vs.History(score.Title())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("history:")
+	for _, h := range hist {
+		fmt.Printf("  v%d (parent v%d): %s\n", h.Seq, h.ParentSeq, h.Label)
+	}
+	s1, _ := vs.Load(score.Title(), seq1)
+	s2, _ := vs.Load(score.Title(), seq2)
+	fmt.Println("\ndiff v1 → v2:")
+	for _, c := range version.Diff(s1, s2) {
+		fmt.Printf("  [%s] %s\n", c.Kind, c.Desc)
+	}
+
+	// Check out both versions and compare their keys — the analysis
+	// client works on any checkout.
+	for _, seq := range []int64{seq1, seq2} {
+		_, voices, err := vs.Checkout(score.Title(), seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key, err := analysis.EstimateKey(voices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nn, _ := voices[0].PerformedNotes()
+		fmt.Printf("\ncheckout v%d: %d notes, estimated key %s (r=%.2f)", seq, len(nn), key, key.Score)
+	}
+	fmt.Println()
+}

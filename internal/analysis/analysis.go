@@ -1,0 +1,311 @@
+// Package analysis implements the music-analysis client of §2 of the
+// paper ("systems that perform various sorts of harmonic analysis, or
+// those that determine melodic structure").  It operates entirely
+// through the database: vertical slices come from the sync structure
+// (figure 14), melodic lines from voice orderings, and pitch material
+// from the resolved performance pitches.
+//
+// Provided analyses:
+//
+//   - vertical slices: the pitches sounding at every sync, including
+//     notes held over from earlier syncs;
+//   - chord identification: pitch-class-set template matching with root
+//     finding (major, minor, diminished, augmented, sevenths, sus);
+//   - key estimation: Krumhansl–Schmuckler profile correlation over
+//     duration-weighted pitch classes;
+//   - melodic search: interval-pattern occurrences within a voice
+//     (transposition-invariant, like the thematic-index incipit search).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cmn"
+)
+
+// Sounding is one vertical slice: the sync's position and every pitch
+// sounding there.
+type Sounding struct {
+	Measure int
+	Offset  cmn.RTime // within the measure
+	Onset   cmn.RTime // movement-relative
+	Pitches []int     // sorted MIDI pitches, duplicates removed
+}
+
+// VerticalSlices computes the sounding pitches at every sync of the
+// movement for the given voices.  A note sounds at a sync if its onset
+// is at or before the sync and it has not yet ended (ties merge via
+// PerformedNotes).
+func VerticalSlices(mv *cmn.Movement, voices []*cmn.Voice) ([]Sounding, error) {
+	type span struct {
+		start, end cmn.RTime
+		pitch      int
+	}
+	var spans []span
+	for _, v := range voices {
+		notes, err := v.PerformedNotes()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range notes {
+			spans = append(spans, span{start: n.Start, end: n.Start.Add(n.Duration), pitch: n.Pitch})
+		}
+	}
+	measures, err := mv.Measures()
+	if err != nil {
+		return nil, err
+	}
+	var out []Sounding
+	start := cmn.Zero
+	for _, me := range measures {
+		syncs, err := me.Syncs()
+		if err != nil {
+			return nil, err
+		}
+		for _, sy := range syncs {
+			onset := start.Add(sy.Offset())
+			s := Sounding{Measure: me.Number(), Offset: sy.Offset(), Onset: onset}
+			seen := map[int]bool{}
+			for _, sp := range spans {
+				if sp.start.Cmp(onset) <= 0 && onset.Less(sp.end) && !seen[sp.pitch] {
+					seen[sp.pitch] = true
+					s.Pitches = append(s.Pitches, sp.pitch)
+				}
+			}
+			sort.Ints(s.Pitches)
+			out = append(out, s)
+		}
+		start = start.Add(me.Duration())
+	}
+	return out, nil
+}
+
+// ChordName is an identified chord: root pitch class and quality.
+type ChordName struct {
+	Root    int // pitch class 0–11 (C=0)
+	Quality string
+}
+
+// String renders e.g. "G min" or "C maj7".
+func (c ChordName) String() string {
+	return fmt.Sprintf("%s %s", pcNames[c.Root], c.Quality)
+}
+
+var pcNames = [12]string{"C", "C#", "D", "Eb", "E", "F", "F#", "G", "Ab", "A", "Bb", "B"}
+
+// chordTemplates are interval sets above the root, most specific first.
+var chordTemplates = []struct {
+	name      string
+	intervals []int
+}{
+	{"maj7", []int{0, 4, 7, 11}},
+	{"dom7", []int{0, 4, 7, 10}},
+	{"min7", []int{0, 3, 7, 10}},
+	{"dim7", []int{0, 3, 6, 9}},
+	{"m7b5", []int{0, 3, 6, 10}},
+	{"maj", []int{0, 4, 7}},
+	{"min", []int{0, 3, 7}},
+	{"dim", []int{0, 3, 6}},
+	{"aug", []int{0, 4, 8}},
+	{"sus4", []int{0, 5, 7}},
+	{"sus2", []int{0, 2, 7}},
+	{"5", []int{0, 7}},
+}
+
+// IdentifyChord matches the pitch-class set of the given pitches against
+// the chord templates, trying each sounding pitch class as root.  It
+// returns false when no template matches exactly.
+func IdentifyChord(pitches []int) (ChordName, bool) {
+	if len(pitches) == 0 {
+		return ChordName{}, false
+	}
+	pcs := map[int]bool{}
+	for _, p := range pitches {
+		pcs[((p%12)+12)%12] = true
+	}
+	set := make([]int, 0, len(pcs))
+	for pc := range pcs {
+		set = append(set, pc)
+	}
+	sort.Ints(set)
+	for _, tpl := range chordTemplates {
+		if len(tpl.intervals) != len(set) {
+			continue
+		}
+		for _, root := range set {
+			if matchesTemplate(pcs, root, tpl.intervals) {
+				return ChordName{Root: root, Quality: tpl.name}, true
+			}
+		}
+	}
+	return ChordName{}, false
+}
+
+func matchesTemplate(pcs map[int]bool, root int, intervals []int) bool {
+	for _, iv := range intervals {
+		if !pcs[(root+iv)%12] {
+			return false
+		}
+	}
+	return true
+}
+
+// Krumhansl–Kessler key profiles.
+var (
+	majorProfile = [12]float64{6.35, 2.23, 3.48, 2.33, 4.38, 4.09, 2.52, 5.19, 2.39, 3.66, 2.29, 2.88}
+	minorProfile = [12]float64{6.33, 2.68, 3.52, 5.38, 2.60, 3.53, 2.54, 4.75, 3.98, 2.69, 3.34, 3.17}
+)
+
+// Key is an estimated key.
+type Key struct {
+	Tonic int // pitch class
+	Minor bool
+	Score float64 // correlation with the winning profile
+}
+
+// String renders e.g. "G minor".
+func (k Key) String() string {
+	mode := "major"
+	if k.Minor {
+		mode = "minor"
+	}
+	return fmt.Sprintf("%s %s", pcNames[k.Tonic], mode)
+}
+
+// EstimateKey runs the Krumhansl–Schmuckler algorithm over
+// duration-weighted pitch classes of the voices' performed notes.
+func EstimateKey(voices []*cmn.Voice) (Key, error) {
+	var weights [12]float64
+	total := 0.0
+	for _, v := range voices {
+		notes, err := v.PerformedNotes()
+		if err != nil {
+			return Key{}, err
+		}
+		for _, n := range notes {
+			w := n.Duration.Float()
+			weights[((n.Pitch%12)+12)%12] += w
+			total += w
+		}
+	}
+	if total == 0 {
+		return Key{}, fmt.Errorf("analysis: no notes to analyze")
+	}
+	best := Key{Score: math.Inf(-1)}
+	for tonic := 0; tonic < 12; tonic++ {
+		for _, minor := range []bool{false, true} {
+			profile := majorProfile
+			if minor {
+				profile = minorProfile
+			}
+			var rotated [12]float64
+			for i := 0; i < 12; i++ {
+				rotated[(tonic+i)%12] = profile[i]
+			}
+			r := correlation(weights[:], rotated[:])
+			if r > best.Score {
+				best = Key{Tonic: tonic, Minor: minor, Score: r}
+			}
+		}
+	}
+	return best, nil
+}
+
+func correlation(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range x {
+		a, b := x[i]-mx, y[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// MotifHit is one occurrence of an interval pattern in a voice.
+type MotifHit struct {
+	StartIndex int       // index of the first note of the hit
+	Onset      cmn.RTime // movement-relative onset of the first note
+	Transposed int       // semitone offset of the hit's first pitch vs. the query's implied start
+}
+
+// FindMotif locates every occurrence of the interval pattern in the
+// voice's melodic line (transposition-invariant).
+func FindMotif(v *cmn.Voice, intervals []int) ([]MotifHit, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("analysis: empty motif")
+	}
+	notes, err := v.PerformedNotes()
+	if err != nil {
+		return nil, err
+	}
+	var hits []MotifHit
+	for i := 0; i+len(intervals) < len(notes); i++ {
+		ok := true
+		for j, iv := range intervals {
+			if notes[i+j+1].Pitch-notes[i+j].Pitch != iv {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits = append(hits, MotifHit{
+				StartIndex: i,
+				Onset:      notes[i].Start,
+				Transposed: notes[i].Pitch,
+			})
+		}
+	}
+	return hits, nil
+}
+
+// Ambitus returns the lowest and highest performed pitches of the voice.
+func Ambitus(v *cmn.Voice) (low, high int, err error) {
+	notes, err := v.PerformedNotes()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(notes) == 0 {
+		return 0, 0, fmt.Errorf("analysis: voice has no notes")
+	}
+	low, high = notes[0].Pitch, notes[0].Pitch
+	for _, n := range notes {
+		if n.Pitch < low {
+			low = n.Pitch
+		}
+		if n.Pitch > high {
+			high = n.Pitch
+		}
+	}
+	return low, high, nil
+}
+
+// ProgressionReport labels every sync of the movement with an identified
+// chord where one matches, for display by analysis clients.
+func ProgressionReport(mv *cmn.Movement, voices []*cmn.Voice) ([]string, error) {
+	slices, err := VerticalSlices(mv, voices)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, s := range slices {
+		label := "—"
+		if name, ok := IdentifyChord(s.Pitches); ok {
+			label = name.String()
+		}
+		out = append(out, fmt.Sprintf("m%d beat %s: %v %s", s.Measure, s.Offset, s.Pitches, label))
+	}
+	return out, nil
+}

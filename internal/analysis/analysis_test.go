@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmn"
+	"repro/internal/demo"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+func newMusic(t testing.TB) *cmn.Music {
+	t.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cmn.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdentifyChord(t *testing.T) {
+	cases := []struct {
+		pitches []int
+		want    string
+		ok      bool
+	}{
+		{[]int{60, 64, 67}, "C maj", true},
+		{[]int{60, 63, 67}, "C min", true},
+		{[]int{62, 65, 69}, "D min", true},
+		{[]int{67, 71, 74, 77}, "G dom7", true},
+		{[]int{60, 64, 67, 71}, "C maj7", true},
+		{[]int{59, 62, 65}, "B dim", true},
+		{[]int{60, 64, 68}, "C aug", true}, // symmetric: any root matches; C is in the set
+		{[]int{60, 65, 67}, "C sus4", true},
+		{[]int{60, 67}, "C 5", true},
+		// Inversions identify the same chord.
+		{[]int{64, 67, 72}, "C maj", true},
+		{[]int{67, 72, 76}, "C maj", true},
+		// Octave duplications collapse.
+		{[]int{48, 60, 64, 67, 72}, "C maj", true},
+		// Nonsense cluster: no match.
+		{[]int{60, 61, 62, 63, 64}, "", false},
+		{nil, "", false},
+	}
+	for _, c := range cases {
+		got, ok := IdentifyChord(c.pitches)
+		if ok != c.ok {
+			t.Errorf("IdentifyChord(%v) ok=%v want %v", c.pitches, ok, c.ok)
+			continue
+		}
+		if ok && got.String() != c.want {
+			t.Errorf("IdentifyChord(%v) = %s want %s", c.pitches, got, c.want)
+		}
+	}
+}
+
+func TestAugSymmetry(t *testing.T) {
+	// The augmented triad is symmetric; root detection picks one of the
+	// three pitch classes in the set.
+	got, ok := IdentifyChord([]int{61, 65, 69})
+	if !ok || got.Quality != "aug" {
+		t.Fatalf("aug: %v %v", got, ok)
+	}
+}
+
+func TestEstimateKeyFugueSubject(t *testing.T) {
+	m := newMusic(t)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := EstimateKey([]*cmn.Voice{voice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subject is in G minor.
+	if key.String() != "G minor" {
+		t.Fatalf("key: %s (score %.3f)", key, key.Score)
+	}
+	if key.Score < 0.5 {
+		t.Fatalf("weak correlation: %g", key.Score)
+	}
+}
+
+func TestEstimateKeyCMajorScale(t *testing.T) {
+	m := newMusic(t)
+	score, _ := m.NewScore("scale", "")
+	mv, _ := score.AddMovement("I")
+	mv.AddMeasure(4, 4)
+	mv.AddMeasure(4, 4)
+	orch, _ := m.NewOrchestra("o")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("s")
+	inst, _ := sec.AddInstrument("i", 0)
+	staff, _ := inst.AddStaff(1, cmn.TrebleClef, 0)
+	part, _ := inst.AddPart("p")
+	v, _ := part.AddVoice(1)
+	for d := -2; d <= 5; d++ { // C4..C5 scale
+		c, _ := v.AppendChord(cmn.Quarter, 1)
+		n, _ := c.AddNote(d, cmn.AccNone)
+		n.OnStaff(staff)
+	}
+	mv.Align([]*cmn.Voice{v})
+	v.ResolvePitches(staff)
+	key, err := EstimateKey([]*cmn.Voice{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.String() != "C major" {
+		t.Fatalf("key: %s", key)
+	}
+	// Empty voice errors.
+	v2, _ := part.AddVoice(2)
+	if _, err := EstimateKey([]*cmn.Voice{v2}); err == nil {
+		t.Fatal("empty voice accepted")
+	}
+}
+
+func buildTriadScore(t *testing.T) (*cmn.Movement, []*cmn.Voice) {
+	t.Helper()
+	m := newMusic(t)
+	score, _ := m.NewScore("triads", "")
+	mv, _ := score.AddMovement("I")
+	mv.AddMeasure(4, 4)
+	orch, _ := m.NewOrchestra("o")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("s")
+	inst, _ := sec.AddInstrument("i", 0)
+	staff, _ := inst.AddStaff(1, cmn.TrebleClef, 0)
+	part, _ := inst.AddPart("p")
+	// Voice 1: a held whole-note C4 (degree -2).
+	v1, _ := part.AddVoice(1)
+	c1, _ := v1.AppendChord(cmn.Whole, 1)
+	n, _ := c1.AddNote(-2, cmn.AccNone)
+	n.OnStaff(staff)
+	// Voice 2: E4 G4 (halves) — C major across the held C, then chord
+	// tones move.
+	v2, _ := part.AddVoice(2)
+	c2, _ := v2.AppendChord(cmn.Half, -1)
+	n, _ = c2.AddNote(0, cmn.AccNone) // E4
+	n.OnStaff(staff)
+	c3, _ := v2.AppendChord(cmn.Half, -1)
+	n, _ = c3.AddNote(2, cmn.AccNone) // G4
+	n.OnStaff(staff)
+	// Voice 3: G4 then E4.
+	v3, _ := part.AddVoice(3)
+	c4, _ := v3.AppendChord(cmn.Half, -1)
+	n, _ = c4.AddNote(2, cmn.AccNone)
+	n.OnStaff(staff)
+	c5, _ := v3.AppendChord(cmn.Half, -1)
+	n, _ = c5.AddNote(0, cmn.AccNone)
+	n.OnStaff(staff)
+	voices := []*cmn.Voice{v1, v2, v3}
+	if err := mv.Align(voices); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range voices {
+		v.ResolvePitches(staff)
+	}
+	return mv, voices
+}
+
+func TestVerticalSlicesWithHeldNotes(t *testing.T) {
+	mv, voices := buildTriadScore(t)
+	slices, err := VerticalSlices(mv, voices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Syncs at beats 0 and 2; the whole-note C sounds at both.
+	if len(slices) != 2 {
+		t.Fatalf("slices: %d", len(slices))
+	}
+	want0 := []int{60, 64, 67}
+	if len(slices[0].Pitches) != 3 {
+		t.Fatalf("slice 0: %v", slices[0].Pitches)
+	}
+	for i, p := range want0 {
+		if slices[0].Pitches[i] != p {
+			t.Fatalf("slice 0: %v", slices[0].Pitches)
+		}
+	}
+	// Slice at beat 2: held C plus swapped E/G — same set.
+	if len(slices[1].Pitches) != 3 || slices[1].Pitches[0] != 60 {
+		t.Fatalf("slice 1: %v", slices[1].Pitches)
+	}
+	if slices[1].Measure != 1 || slices[1].Offset.Cmp(cmn.Half) != 0 {
+		t.Fatalf("slice 1 position: m%d %s", slices[1].Measure, slices[1].Offset)
+	}
+}
+
+func TestProgressionReport(t *testing.T) {
+	mv, voices := buildTriadScore(t)
+	report, err := ProgressionReport(mv, voices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) != 2 {
+		t.Fatalf("report: %v", report)
+	}
+	for _, line := range report {
+		if !strings.Contains(line, "C maj") {
+			t.Fatalf("report line: %q", line)
+		}
+	}
+}
+
+func TestFindMotif(t *testing.T) {
+	m := newMusic(t)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subject's head: +7 -4 occurs once, at the start.
+	hits, err := FindMotif(voice, []int{7, -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].StartIndex != 0 || !hits[0].Onset.IsZero() {
+		t.Fatalf("hits: %+v", hits)
+	}
+	// The falling-step figure -1 -2 occurs twice (Bb-A-G in both
+	// statements).
+	hits, _ = FindMotif(voice, []int{-1, -2})
+	if len(hits) != 2 {
+		t.Fatalf("falling-step hits: %+v", hits)
+	}
+	if _, err := FindMotif(voice, nil); err == nil {
+		t.Fatal("empty motif accepted")
+	}
+}
+
+func TestAmbitus(t *testing.T) {
+	m := newMusic(t)
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high, err := Ambitus(voice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 62 || high != 74 { // D4 .. D5
+		t.Fatalf("ambitus: %d..%d", low, high)
+	}
+}
+
+func BenchmarkEstimateKey(b *testing.B) {
+	store, _ := storage.Open(storage.Options{})
+	db, _ := model.Open(store)
+	m, _ := cmn.Open(db)
+	_, voices, err := demo.RandomScore(m, 16, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateKey(voices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerticalSlices(b *testing.B) {
+	store, _ := storage.Open(storage.Options{})
+	db, _ := model.Open(store)
+	m, _ := cmn.Open(db)
+	score, voices, err := demo.RandomScore(m, 16, 3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	movements, _ := score.Movements()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerticalSlices(movements[0], voices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package biblio
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/quel"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func newIndex(t testing.TB) (*model.Database, *Index) {
+	t.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ix
+}
+
+func bwvCatalog(t testing.TB, ix *Index) (value.Ref, value.Ref) {
+	t.Helper()
+	cat, err := ix.NewCatalog("Bach Werke Verzeichnis", "BWV", "chronological")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := ix.AddEntry(cat, BWV578())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, entry
+}
+
+func TestIdentifier(t *testing.T) {
+	_, ix := newIndex(t)
+	_, entry := bwvCatalog(t, ix)
+	id, err := ix.Identifier(entry)
+	if err != nil || id != "BWV 578" {
+		t.Fatalf("identifier: %q %v", id, err)
+	}
+}
+
+func TestLookupAndGet(t *testing.T) {
+	_, ix := newIndex(t)
+	_, want := bwvCatalog(t, ix)
+	got, err := ix.Lookup("BWV", 578)
+	if err != nil || got != want {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := ix.Lookup("BWV", 9999); err == nil {
+		t.Fatal("missing number accepted")
+	}
+	if _, err := ix.Lookup("KV", 578); err == nil {
+		t.Fatal("missing catalogue accepted")
+	}
+	e, err := ix.Get(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Title != "Fuge g-moll" || e.Setting != "Orgel" || e.Measures != 68 {
+		t.Fatalf("entry: %+v", e)
+	}
+	if len(e.Incipit) != 11 || e.Incipit[0].MIDIPitch != 67 {
+		t.Fatalf("incipit: %+v", e.Incipit)
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	_, ix := newIndex(t)
+	_, entry := bwvCatalog(t, ix)
+	out, err := ix.Render(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BWV 578", "Fuge g-moll", "Besetzung: Orgel", "Weimar",
+		"68 Takte", "Abschriften:", "Ausgaben:", "Literatur:", "Incipit: G4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIncipitSearch(t *testing.T) {
+	_, ix := newIndex(t)
+	cat, entry578 := bwvCatalog(t, ix)
+	// A decoy with a different subject.
+	decoy := Entry{Number: 565, Title: "Toccata d-moll", Setting: "Orgel",
+		Incipit: []IncipitNote{{MIDIPitch: 69, DurNum: 1, DurDen: 4},
+			{MIDIPitch: 67, DurNum: 1, DurDen: 4}, {MIDIPitch: 69, DurNum: 1, DurDen: 1}}}
+	if _, err := ix.AddEntry(cat, decoy); err != nil {
+		t.Fatal(err)
+	}
+	// The fugue subject's head: G up a fifth to D, down a major third.
+	// Intervals: +7, -4.
+	hits, err := ix.SearchIncipit([]int{7, -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != entry578 {
+		t.Fatalf("hits: %v", hits)
+	}
+	// Transposition-invariance: the same query matches regardless of
+	// absolute pitch; an entry transposed up a tone still matches.
+	trans := BWV578()
+	trans.Number = 9578
+	for i := range trans.Incipit {
+		trans.Incipit[i].MIDIPitch += 2
+	}
+	ix.AddEntry(cat, trans)
+	hits, _ = ix.SearchIncipit([]int{7, -4})
+	if len(hits) != 2 {
+		t.Fatalf("transposed match: %v", hits)
+	}
+	// No match.
+	hits, _ = ix.SearchIncipit([]int{11, 11, 11})
+	if len(hits) != 0 {
+		t.Fatalf("phantom hits: %v", hits)
+	}
+	if _, err := ix.SearchIncipit(nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestChronologicalOrdering(t *testing.T) {
+	db, ix := newIndex(t)
+	cat, _ := ix.NewCatalog("Köchel", "KV", "chronological")
+	for _, num := range []int{1, 41, 550, 626} {
+		if _, err := ix.AddEntry(cat, Entry{Number: num, Title: fmt.Sprintf("No. %d", num)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := db.Children("entry_in_catalog", cat)
+	if err != nil || len(entries) != 4 {
+		t.Fatal("entries")
+	}
+	for i, e := range entries {
+		v, _ := db.Attr(e, "number")
+		want := []int64{1, 41, 550, 626}[i]
+		if v.AsInt() != want {
+			t.Fatalf("order at %d: %d", i, v.AsInt())
+		}
+	}
+}
+
+func TestQueryableViaQUEL(t *testing.T) {
+	db, ix := newIndex(t)
+	bwvCatalog(t, ix)
+	s := quel.NewSession(db)
+	res, err := s.Exec(`
+range of e is CATALOG_ENTRY
+retrieve (e.title, e.measures) where e.number = 578`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "Fuge g-moll" || res.Rows[0][1].AsInt() != 68 {
+		t.Fatalf("QUEL over catalogue: %v", res.Rows)
+	}
+}
+
+func TestOpenIdempotent(t *testing.T) {
+	db, _ := newIndex(t)
+	if _, err := Open(db); err != nil {
+		t.Fatal("second Open failed")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	store, _ := storage.Open(storage.Options{})
+	db, _ := model.Open(store)
+	ix, _ := Open(db)
+	cat, _ := ix.NewCatalog("Bench", "BN", "chronological")
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		ix.AddEntry(cat, Entry{Number: i, Title: fmt.Sprintf("Work %d", i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Lookup("BN", 1+i%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncipitSearch(b *testing.B) {
+	store, _ := storage.Open(storage.Options{})
+	db, _ := model.Open(store)
+	ix, _ := Open(db)
+	cat, _ := ix.NewCatalog("Bench", "BN", "chronological")
+	for i := 1; i <= 200; i++ {
+		e := Entry{Number: i, Title: fmt.Sprintf("Work %d", i)}
+		for j := 0; j < 12; j++ {
+			e.Incipit = append(e.Incipit, IncipitNote{MIDIPitch: 60 + (i*j)%24, DurNum: 1, DurDen: 4})
+		}
+		ix.AddEntry(cat, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchIncipit([]int{7, -4})
+	}
+}

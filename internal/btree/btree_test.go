@@ -1,0 +1,423 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestSetGet(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty len")
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Fatal("get on empty")
+	}
+	if !tr.Set(key(1), 100) {
+		t.Fatal("first set should insert")
+	}
+	if tr.Set(key(1), 200) {
+		t.Fatal("second set should update")
+	}
+	v, ok := tr.Get(key(1))
+	if !ok || v != 200 {
+		t.Fatalf("get = %d,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len after update")
+	}
+}
+
+func TestInsertManyOrdered(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i*10))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != uint64(i*10) {
+			t.Fatalf("get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInsertManyRandom(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(5000)
+	for _, i := range perm {
+		tr.Set(key(i), uint64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full scan must be sorted and complete.
+	i := 0
+	tr.Ascend(nil, nil, func(k []byte, v uint64) bool {
+		if !bytes.Equal(k, key(i)) || v != uint64(i) {
+			t.Fatalf("scan at %d: key %x val %d", i, k, v)
+		}
+		i++
+		return true
+	})
+	if i != 5000 {
+		t.Fatalf("scanned %d", i)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	deleted := map[int]bool{}
+	for step, i := range perm {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete(%d) failed", i)
+		}
+		if tr.Delete(key(i)) {
+			t.Fatalf("double delete(%d) succeeded", i)
+		}
+		deleted[i] = true
+		if step%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", step+1, err)
+			}
+			for j := 0; j < n; j += 97 {
+				_, ok := tr.Get(key(j))
+				if ok == deleted[j] {
+					t.Fatalf("get(%d) presence wrong", j)
+				}
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after all deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedWorkloadAgainstMap(t *testing.T) {
+	tr := New()
+	ref := map[string]uint64{}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(800))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			tr.Set(k, v)
+			ref[string(k)] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := ref[string(k)]
+			if got != want {
+				t.Fatalf("op %d: delete mismatch", op)
+			}
+			delete(ref, string(k))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len %d != %d", tr.Len(), len(ref))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range ref {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got != want {
+			t.Fatalf("get(%x) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+}
+
+func TestAtAndRank(t *testing.T) {
+	tr := New()
+	const n = 2500
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range rng.Perm(n) {
+		tr.Set(key(i*2), uint64(i)) // even keys only
+	}
+	for i := 0; i < n; i++ {
+		k, v, ok := tr.At(i)
+		if !ok || !bytes.Equal(k, key(i*2)) || v != uint64(i) {
+			t.Fatalf("At(%d) = %x,%d,%v", i, k, v, ok)
+		}
+		if r := tr.Rank(key(i * 2)); r != i {
+			t.Fatalf("Rank(even %d) = %d", i, r)
+		}
+		// Rank of a missing odd key equals count of smaller entries.
+		if r := tr.Rank(key(i*2 + 1)); r != i+1 {
+			t.Fatalf("Rank(odd %d) = %d", i, r)
+		}
+	}
+	if _, _, ok := tr.At(-1); ok {
+		t.Fatal("At(-1)")
+	}
+	if _, _, ok := tr.At(n); ok {
+		t.Fatal("At(n)")
+	}
+}
+
+func TestAtRankAfterDeletes(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	// Delete every third key.
+	for i := 0; i < n; i += 3 {
+		tr.Delete(key(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			want = append(want, i)
+		}
+	}
+	for pos, i := range want {
+		k, _, ok := tr.At(pos)
+		if !ok || !bytes.Equal(k, key(i)) {
+			t.Fatalf("At(%d) after deletes", pos)
+		}
+		if r := tr.Rank(key(i)); r != pos {
+			t.Fatalf("Rank(%d) = %d want %d", i, r, pos)
+		}
+	}
+}
+
+func TestSeekAndIterate(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i*10), uint64(i))
+	}
+	it := tr.Seek(key(45)) // between 40 and 50
+	if !it.Valid() || !bytes.Equal(it.Key(), key(50)) {
+		t.Fatal("seek between keys")
+	}
+	it = tr.Seek(key(50))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(50)) {
+		t.Fatal("seek exact")
+	}
+	it = tr.Seek(key(99999))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+	// Backward iteration from Max.
+	it = tr.Max()
+	for i := 99; i >= 0; i-- {
+		if !it.Valid() || it.Val() != uint64(i) {
+			t.Fatalf("backward at %d", i)
+		}
+		it.Prev()
+	}
+	if it.Valid() {
+		t.Fatal("iterator should exhaust")
+	}
+	// Min on empty tree.
+	if New().Min().Valid() {
+		t.Fatal("min of empty")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	var got []uint64
+	tr.Ascend(key(100), key(110), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+		t.Fatalf("range scan: %v", got)
+	}
+	// Early termination.
+	calls := 0
+	tr.Ascend(nil, nil, func(k []byte, v uint64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop: %d", calls)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	names := []string{"bach/578", "bach/579", "bach/1080", "beethoven/5", "brahms/4"}
+	for i, n := range names {
+		tr.Set([]byte(n), uint64(i))
+	}
+	var got []string
+	tr.AscendPrefix([]byte("bach/"), func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	sort.Strings(got)
+	if len(got) != 3 || got[0] != "bach/1080" {
+		t.Fatalf("prefix scan: %v", got)
+	}
+	count := 0
+	tr.AscendPrefix([]byte("bach/"), func(k []byte, v uint64) bool { count++; return false })
+	if count != 1 {
+		t.Fatal("prefix early stop")
+	}
+}
+
+func TestKeyAliasing(t *testing.T) {
+	// Set must copy the key; mutating the caller's buffer must not
+	// corrupt the tree.
+	tr := New()
+	k := []byte("mutate-me")
+	tr.Set(k, 1)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutate-me")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"", "a", "ab", "abc", "b", "ba", "\x00", "\x00\x01", "zzzz"}
+	for i, k := range keys {
+		tr.Set([]byte(k), uint64(i))
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	i := 0
+	tr.Ascend(nil, nil, func(k []byte, v uint64) bool {
+		if string(k) != sorted[i] {
+			t.Fatalf("at %d: %q want %q", i, k, sorted[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatal("missing keys")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.At(i % n)
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 37) % (n - 100)
+		count := 0
+		tr.Ascend(key(lo), key(lo+100), func(k []byte, v uint64) bool { count++; return true })
+		if count != 100 {
+			b.Fatalf("count=%d", count)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	tr := New()
+	tr.Set(key(1), 1)
+	if got := tr.String(); got != fmt.Sprintf("btree[%d entries]", 1) {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestQuickRandomKeys drives the tree with arbitrary byte-string keys
+// from testing/quick and cross-checks Get/Rank/At against a sorted
+// reference.
+func TestQuickRandomKeys(t *testing.T) {
+	prop := func(keys [][]byte) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for i, k := range keys {
+			tr.Set(k, uint64(i))
+			ref[string(k)] = uint64(i)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		sorted := make([]string, 0, len(ref))
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for i, k := range sorted {
+			v, ok := tr.Get([]byte(k))
+			if !ok || v != ref[k] {
+				return false
+			}
+			if tr.Rank([]byte(k)) != i {
+				return false
+			}
+			gk, gv, ok := tr.At(i)
+			if !ok || string(gk) != k || gv != ref[k] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package cmn
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// Articulative attributes (§7.1.1): "A note inherits various articulative
+// attributes ... modal attributes such as staccato (shortened or clipped)
+// or marcato (marked or stressed).  Also, a note may have inherited
+// various performance attributes, such as when a violin note is played
+// pizzicato (plucked) or arco (bowed)."
+//
+// Articulations attach to a voice at a beat and apply to notes from that
+// beat onward, until changed — the same contextual-inheritance scheme as
+// dynamics.  Their performance effect:
+//
+//	staccato  sounded duration halved
+//	tenuto    full notated duration (cancels staccato)
+//	marcato   velocity raised by 16 (cancels after one context change)
+//	pizzicato / arco  timbre selection, surfaced on PerformedNote
+//	legato    durations extended slightly (110%, capped at the onset of
+//	          the next note by the synthesizer's mixing)
+
+// articulationEffects maps markings to their performance parameters.
+var articulationEffects = map[string]struct {
+	durNum, durDen int64 // sounded duration scale
+	velDelta       int
+	timbre         string
+}{
+	"staccato":  {1, 2, 0, ""},
+	"tenuto":    {1, 1, 0, ""},
+	"marcato":   {1, 1, 16, ""},
+	"legato":    {11, 10, 0, ""},
+	"pizzicato": {1, 1, 0, "pizzicato"},
+	"arco":      {1, 1, 0, "arco"},
+}
+
+// AddArticulation attaches an articulation context to the voice at a
+// beat.  Recognized markings: staccato, tenuto, marcato, legato,
+// pizzicato, arco.
+func (v *Voice) AddArticulation(beat RTime, marking string) error {
+	if _, ok := articulationEffects[marking]; !ok {
+		return fmt.Errorf("cmn: unknown articulation %q", marking)
+	}
+	ref, err := v.m.DB.NewEntity("ANNOTATION", model.Attrs{
+		"kind": value.Str("articulation:" + marking),
+		"text": value.Str(fmt.Sprintf("%d", beat.Encode())),
+	})
+	if err != nil {
+		return err
+	}
+	return v.m.DB.InsertChild("articulation_in_voice", v.Ref, ref, model.Last())
+}
+
+// articulationAt resolves the active articulation context at a beat: the
+// latest marking at or before it.
+func (v *Voice) articulationAt(beat RTime) (string, bool) {
+	kids, err := v.m.DB.Children("articulation_in_voice", v.Ref)
+	if err != nil {
+		return "", false
+	}
+	best := ""
+	bestBeat := Zero
+	found := false
+	for _, a := range kids {
+		an := node{v.m, a}
+		kind := an.strAttr("kind")
+		const prefix = "articulation:"
+		if len(kind) <= len(prefix) || kind[:len(prefix)] != prefix {
+			continue
+		}
+		var enc int64
+		fmt.Sscanf(an.strAttr("text"), "%d", &enc)
+		at := DecodeRTime(enc)
+		if at.Cmp(beat) <= 0 && (!found || bestBeat.Cmp(at) <= 0) {
+			best = kind[len(prefix):]
+			bestBeat = at
+			found = true
+		}
+	}
+	return best, found
+}
+
+// applyArticulation adjusts a performed note per the active context.
+func (v *Voice) applyArticulation(pn *PerformedNote) {
+	marking, ok := v.articulationAt(pn.Start)
+	if !ok {
+		return
+	}
+	fx := articulationEffects[marking]
+	pn.Duration = pn.Duration.Mul(Beats(fx.durNum, fx.durDen))
+	pn.Velocity += fx.velDelta
+	if fx.timbre != "" {
+		pn.Timbre = fx.timbre
+	}
+	pn.Articulation = marking
+}

@@ -1,0 +1,247 @@
+package cmn
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// Layout builds the graphical aspect's page structure (figure 11's PAGE,
+// SYSTEM, and STAFF entities with the page_in_score, system_in_page, and
+// staff_in_system orderings): the score's measures are broken into
+// systems of measuresPerSystem, and systems onto pages of
+// systemsPerPage.  Each system carries its own graphical STAFF
+// instances — one per logical (instrument) staff, copying its clef and
+// key — since an entity may have only one parent per ordering (§5.5);
+// the logical staff stays ordered under its instrument.
+//
+// Returns the created pages.  Calling Layout again replaces the previous
+// layout.
+func (s *Score) Layout(measuresPerSystem, systemsPerPage int) ([]*Page, error) {
+	if measuresPerSystem <= 0 || systemsPerPage <= 0 {
+		return nil, fmt.Errorf("cmn: layout: parameters must be positive")
+	}
+	if err := s.clearLayout(); err != nil {
+		return nil, err
+	}
+	movements, err := s.Movements()
+	if err != nil {
+		return nil, err
+	}
+	totalMeasures := 0
+	for _, mv := range movements {
+		measures, err := mv.Measures()
+		if err != nil {
+			return nil, err
+		}
+		totalMeasures += len(measures)
+	}
+	systems := (totalMeasures + measuresPerSystem - 1) / measuresPerSystem
+	if systems == 0 {
+		systems = 1
+	}
+	pages := (systems + systemsPerPage - 1) / systemsPerPage
+
+	staves, err := s.performingStaves()
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Page
+	sysNum := 0
+	for p := 0; p < pages; p++ {
+		pref, err := s.m.DB.NewEntity("PAGE", model.Attrs{"number": value.Int(int64(p + 1))})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.m.DB.InsertChild("page_in_score", s.Ref, pref, model.Last()); err != nil {
+			return nil, err
+		}
+		page := &Page{node{s.m, pref}}
+		for q := 0; q < systemsPerPage && sysNum < systems; q++ {
+			sysNum++
+			sref, err := s.m.DB.NewEntity("SYSTEM", model.Attrs{"number": value.Int(int64(sysNum))})
+			if err != nil {
+				return nil, err
+			}
+			if err := s.m.DB.InsertChild("system_in_page", pref, sref, model.Last()); err != nil {
+				return nil, err
+			}
+			for _, logical := range staves {
+				lh := &Staff{node{s.m, logical}}
+				gref, err := s.m.DB.NewEntity("STAFF", model.Attrs{
+					"number":        value.Int(lh.intAttr("number")),
+					"clef":          value.Int(int64(lh.Clef())),
+					"key_signature": value.Int(int64(lh.Key())),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := s.m.DB.InsertChild("staff_in_system", sref, gref, model.Last()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, page)
+	}
+	return out, nil
+}
+
+// Page wraps a PAGE surrogate.
+type Page struct{ node }
+
+// Number returns the 1-based page number.
+func (p *Page) Number() int { return int(p.intAttr("number")) }
+
+// Systems returns the page's systems in order.
+func (p *Page) Systems() ([]*System, error) {
+	kids, err := p.m.DB.Children("system_in_page", p.Ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*System, len(kids))
+	for i, k := range kids {
+		out[i] = &System{node{p.m, k}}
+	}
+	return out, nil
+}
+
+// System wraps a SYSTEM surrogate.
+type System struct{ node }
+
+// Number returns the 1-based system number within the score.
+func (sy *System) Number() int { return int(sy.intAttr("number")) }
+
+// Staves returns the system's staves in score order.
+func (sy *System) Staves() ([]*Staff, error) {
+	kids, err := sy.m.DB.Children("staff_in_system", sy.Ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Staff, len(kids))
+	for i, k := range kids {
+		out[i] = &Staff{node{sy.m, k}}
+	}
+	return out, nil
+}
+
+// Pages returns the score's pages in order.
+func (s *Score) Pages() ([]*Page, error) {
+	kids, err := s.m.DB.Children("page_in_score", s.Ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Page, len(kids))
+	for i, k := range kids {
+		out[i] = &Page{node{s.m, k}}
+	}
+	return out, nil
+}
+
+// clearLayout removes an existing page structure.
+func (s *Score) clearLayout() error {
+	pages, err := s.Pages()
+	if err != nil {
+		return err
+	}
+	for _, p := range pages {
+		systems, err := p.Systems()
+		if err != nil {
+			return err
+		}
+		for _, sy := range systems {
+			staves, err := sy.Staves()
+			if err != nil {
+				return err
+			}
+			for _, st := range staves {
+				// Per-system graphical staves are owned by the layout.
+				if err := s.m.DB.DeleteEntity(st.Ref); err != nil {
+					return err
+				}
+			}
+			if err := s.m.DB.RemoveChild("system_in_page", sy.Ref); err != nil {
+				return err
+			}
+			if err := s.m.DB.DeleteEntity(sy.Ref); err != nil {
+				return err
+			}
+		}
+		if err := s.m.DB.RemoveChild("page_in_score", p.Ref); err != nil {
+			return err
+		}
+		if err := s.m.DB.DeleteEntity(p.Ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// performingStaves collects the staves of every instrument of every
+// orchestra that performs this score, in instrument order.
+func (s *Score) performingStaves() ([]value.Ref, error) {
+	orchs, err := s.m.DB.RelatedRefs("PERFORMS", "score", s.Ref, "orchestra")
+	if err != nil {
+		return nil, err
+	}
+	var staves []value.Ref
+	for _, o := range orchs {
+		sections, err := s.m.DB.Children("section_in_orchestra", o)
+		if err != nil {
+			return nil, err
+		}
+		for _, sec := range sections {
+			instruments, err := s.m.DB.Children("instrument_in_section", sec)
+			if err != nil {
+				return nil, err
+			}
+			for _, inst := range instruments {
+				sts, err := s.m.DB.Children("staff_in_instrument", inst)
+				if err != nil {
+					return nil, err
+				}
+				staves = append(staves, sts...)
+			}
+		}
+	}
+	return staves, nil
+}
+
+// Lyrics returns the syllables of the part's text lines, in order, with
+// the notes they attach to.
+func (p *Part) Lyrics() ([]Lyric, error) {
+	lines, err := p.m.DB.Children("text_in_part", p.Ref)
+	if err != nil {
+		return nil, err
+	}
+	var out []Lyric
+	for _, line := range lines {
+		syls, err := p.m.DB.Children("syllable_in_text", line)
+		if err != nil {
+			return nil, err
+		}
+		for _, syl := range syls {
+			text, err := p.m.DB.Attr(syl, "text")
+			if err != nil {
+				return nil, err
+			}
+			l := Lyric{Text: text.AsString()}
+			notes, err := p.m.DB.RelatedRefs("SYLLABLE_OF", "syllable", syl, "note")
+			if err != nil {
+				return nil, err
+			}
+			if len(notes) > 0 {
+				l.Note = notes[0]
+			}
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// Lyric is one syllable of text underlay and the note it is sung to.
+type Lyric struct {
+	Text string
+	Note value.Ref
+}

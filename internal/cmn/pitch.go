@@ -1,0 +1,318 @@
+package cmn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the "meta-musical" pitch rules of §4.3: the
+// mapping from graphical criteria (staff degree, clef, key signature,
+// accidentals) to performance pitch.  The paper stresses that these
+// rules carry both a declarative meaning ("the piece is in A major") and
+// a procedural one ("perform all notes notated as F, C, or G one
+// semitone higher than written"); both readings are exposed.
+
+// Clef maps staff degrees to scale pitches ("Every Good Boy Does Fine",
+// §4.3).
+type Clef int
+
+// The common clefs.
+const (
+	TrebleClef Clef = iota
+	BassClef
+	AltoClef
+	TenorClef
+)
+
+// String names the clef.
+func (c Clef) String() string {
+	switch c {
+	case TrebleClef:
+		return "treble"
+	case BassClef:
+		return "bass"
+	case AltoClef:
+		return "alto"
+	case TenorClef:
+		return "tenor"
+	}
+	return fmt.Sprintf("Clef(%d)", int(c))
+}
+
+// ClefFromName parses a clef name (or its DARMS code letter).
+func ClefFromName(s string) (Clef, bool) {
+	switch strings.ToLower(s) {
+	case "treble", "g":
+		return TrebleClef, true
+	case "bass", "f":
+		return BassClef, true
+	case "alto", "c":
+		return AltoClef, true
+	case "tenor":
+		return TenorClef, true
+	}
+	return 0, false
+}
+
+// baseDiatonic returns the diatonic index (letter steps above C0) of the
+// bottom staff line under this clef.
+func (c Clef) baseDiatonic() int {
+	switch c {
+	case TrebleClef:
+		return diatonic('E', 4) // bottom line E4
+	case BassClef:
+		return diatonic('G', 2)
+	case AltoClef:
+		return diatonic('F', 3)
+	case TenorClef:
+		return diatonic('D', 3)
+	}
+	return diatonic('E', 4)
+}
+
+// diatonic converts a letter and octave to the diatonic index.
+func diatonic(letter byte, octave int) int {
+	return int(letterStep(letter)) + 7*octave
+}
+
+// letterStep maps C..B to 0..6.
+func letterStep(letter byte) int {
+	switch letter {
+	case 'C', 'c':
+		return 0
+	case 'D', 'd':
+		return 1
+	case 'E', 'e':
+		return 2
+	case 'F', 'f':
+		return 3
+	case 'G', 'g':
+		return 4
+	case 'A', 'a':
+		return 5
+	case 'B', 'b':
+		return 6
+	}
+	return 0
+}
+
+var stepLetters = [7]byte{'C', 'D', 'E', 'F', 'G', 'A', 'B'}
+
+// stepSemitones maps diatonic steps C..B to semitone offsets within an
+// octave.
+var stepSemitones = [7]int{0, 2, 4, 5, 7, 9, 11}
+
+// Accidental alters a note's pitch, or defers to context (§4.3).
+type Accidental int
+
+// The accidentals.  AccNone means no accidental is notated; the
+// effective alteration then comes procedurally from the key signature
+// and earlier accidentals in the same measure.
+const (
+	AccNone Accidental = iota
+	AccNatural
+	AccSharp
+	AccFlat
+	AccDoubleSharp
+	AccDoubleFlat
+)
+
+// Alter returns the semitone alteration the accidental denotes.
+func (a Accidental) Alter() int {
+	switch a {
+	case AccSharp:
+		return 1
+	case AccFlat:
+		return -1
+	case AccDoubleSharp:
+		return 2
+	case AccDoubleFlat:
+		return -2
+	}
+	return 0
+}
+
+// String renders the accidental in conventional ASCII.
+func (a Accidental) String() string {
+	switch a {
+	case AccNone:
+		return ""
+	case AccNatural:
+		return "n"
+	case AccSharp:
+		return "#"
+	case AccFlat:
+		return "b"
+	case AccDoubleSharp:
+		return "##"
+	case AccDoubleFlat:
+		return "bb"
+	}
+	return "?"
+}
+
+// KeySignature is a count of sharps (positive) or flats (negative),
+// -7..+7.
+type KeySignature int
+
+// sharpOrder and flatOrder are the letters altered, in order, by
+// successive sharps and flats.
+var (
+	sharpOrder = []byte{'F', 'C', 'G', 'D', 'A', 'E', 'B'}
+	flatOrder  = []byte{'B', 'E', 'A', 'D', 'G', 'C', 'F'}
+)
+
+// Alter returns the key signature's alteration for a letter: +1 if the
+// letter is sharped, -1 if flatted, 0 otherwise.  This is the procedural
+// meaning of the key signature (§4.3).
+func (k KeySignature) Alter(letter byte) int {
+	n := int(k)
+	if n > 0 {
+		for i := 0; i < n && i < 7; i++ {
+			if sharpOrder[i] == letter {
+				return 1
+			}
+		}
+	}
+	if n < 0 {
+		for i := 0; i < -n && i < 7; i++ {
+			if flatOrder[i] == letter {
+				return -1
+			}
+		}
+	}
+	return 0
+}
+
+// majorKeys[k+7] is the major key with k sharps (k < 0: flats).
+var majorKeys = [15]string{"Cb", "Gb", "Db", "Ab", "Eb", "Bb", "F", "C", "G", "D", "A", "E", "B", "F#", "C#"}
+
+// minorKeys[k+7] is the relative minor.
+var minorKeys = [15]string{"ab", "eb", "bb", "f", "c", "g", "d", "a", "e", "b", "f#", "c#", "g#", "d#", "a#"}
+
+// Declarative returns the declarative meaning of the key signature: the
+// major key and its relative minor (§4.3: "The piece is in the key of A
+// major (or f# minor)").
+func (k KeySignature) Declarative() string {
+	i := int(k) + 7
+	if i < 0 || i >= len(majorKeys) {
+		return fmt.Sprintf("key signature of %d", int(k))
+	}
+	return fmt.Sprintf("the piece is in the key of %s major (or %s minor)", majorKeys[i], minorKeys[i])
+}
+
+// Procedural returns the procedural meaning: which letters are performed
+// altered (§4.3: "Perform all notes notated as F, C, or G one semitone
+// higher than written").
+func (k KeySignature) Procedural() string {
+	n := int(k)
+	if n == 0 {
+		return "perform all notes as written"
+	}
+	var letters []string
+	dir := "higher"
+	if n > 0 {
+		for i := 0; i < n && i < 7; i++ {
+			letters = append(letters, string(sharpOrder[i]))
+		}
+	} else {
+		dir = "lower"
+		for i := 0; i < -n && i < 7; i++ {
+			letters = append(letters, string(flatOrder[i]))
+		}
+	}
+	return fmt.Sprintf("perform all notes notated as %s one semitone %s than written",
+		joinAnd(letters), dir)
+}
+
+func joinAnd(xs []string) string {
+	switch len(xs) {
+	case 0:
+		return ""
+	case 1:
+		return xs[0]
+	case 2:
+		return xs[0] + " or " + xs[1]
+	default:
+		return strings.Join(xs[:len(xs)-1], ", ") + ", or " + xs[len(xs)-1]
+	}
+}
+
+// SpelledPitch is a notated pitch: letter, octave (scientific pitch
+// notation, C4 = middle C), and chromatic alteration.
+type SpelledPitch struct {
+	Letter byte // 'A'..'G'
+	Octave int
+	Alter  int // semitones, + sharp / - flat
+}
+
+// MIDI returns the MIDI key number (C4 = 60).
+func (p SpelledPitch) MIDI() int {
+	return 12*(p.Octave+1) + stepSemitones[letterStep(p.Letter)] + p.Alter
+}
+
+// Name renders the pitch, e.g. "F#4", "Bb2", "C4".
+func (p SpelledPitch) Name() string {
+	var alter string
+	switch {
+	case p.Alter > 0:
+		alter = strings.Repeat("#", p.Alter)
+	case p.Alter < 0:
+		alter = strings.Repeat("b", -p.Alter)
+	}
+	return fmt.Sprintf("%c%s%d", p.Letter, alter, p.Octave)
+}
+
+// MeasureState tracks accidentals within one measure: an accidental on a
+// staff degree applies to later notes on the same degree until the bar
+// line (the standard CMN rule, part of the procedural pitch semantics).
+type MeasureState struct {
+	alters map[int]int // diatonic index → alteration
+}
+
+// NewMeasureState returns the state at the start of a measure.
+func NewMeasureState() *MeasureState {
+	return &MeasureState{alters: make(map[int]int)}
+}
+
+// Reset clears the state at a bar line.
+func (ms *MeasureState) Reset() {
+	ms.alters = make(map[int]int)
+}
+
+// ResolvePitch computes the performance pitch of a note from its
+// graphical criteria — the full procedural derivation of §4.3:
+//
+//  1. The clef maps the staff degree (0 = bottom line, counting lines
+//     and spaces upward; negative below) to a letter and octave.
+//  2. A notated accidental overrides and is remembered for the rest of
+//     the measure on that degree.
+//  3. Otherwise an earlier accidental in the measure on the same degree
+//     applies.
+//  4. Otherwise the key signature's alteration for the letter applies.
+func ResolvePitch(clef Clef, key KeySignature, staffDegree int, acc Accidental, ms *MeasureState) SpelledPitch {
+	d := clef.baseDiatonic() + staffDegree
+	letter := stepLetters[((d%7)+7)%7]
+	octave := d / 7
+	if d < 0 && d%7 != 0 {
+		octave--
+	}
+	var alter int
+	switch {
+	case acc != AccNone:
+		alter = acc.Alter()
+		if ms != nil {
+			ms.alters[d] = alter
+		}
+	case ms != nil && hasAlter(ms, d):
+		alter = ms.alters[d]
+	default:
+		alter = key.Alter(letter)
+	}
+	return SpelledPitch{Letter: letter, Octave: octave, Alter: alter}
+}
+
+func hasAlter(ms *MeasureState, d int) bool {
+	_, ok := ms.alters[d]
+	return ok
+}

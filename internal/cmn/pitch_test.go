@@ -1,0 +1,178 @@
+package cmn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClefMapping(t *testing.T) {
+	cases := []struct {
+		clef   Clef
+		degree int
+		want   string
+	}{
+		{TrebleClef, 0, "E4"},  // bottom line
+		{TrebleClef, 1, "F4"},  // bottom space
+		{TrebleClef, 8, "F5"},  // top line
+		{TrebleClef, -2, "C4"}, // middle C, first ledger below
+		{BassClef, 0, "G2"},
+		{BassClef, 10, "C4"}, // middle C above bass staff
+		{AltoClef, 4, "C4"},  // middle line
+		{TenorClef, 6, "C4"},
+	}
+	for _, c := range cases {
+		got := ResolvePitch(c.clef, 0, c.degree, AccNone, nil)
+		if got.Name() != c.want {
+			t.Errorf("%s degree %d = %s want %s", c.clef, c.degree, got.Name(), c.want)
+		}
+	}
+}
+
+func TestNegativeOctaves(t *testing.T) {
+	// Deep below the bass staff.
+	p := ResolvePitch(BassClef, 0, -16, AccNone, nil)
+	if p.Name() != "E0" {
+		t.Fatalf("deep pitch: %s", p.Name())
+	}
+}
+
+func TestMIDINumbers(t *testing.T) {
+	cases := map[string]struct {
+		p    SpelledPitch
+		midi int
+	}{
+		"C4":  {SpelledPitch{'C', 4, 0}, 60},
+		"A4":  {SpelledPitch{'A', 4, 0}, 69},
+		"F#4": {SpelledPitch{'F', 4, 1}, 66},
+		"Bb2": {SpelledPitch{'B', 2, -1}, 46},
+		"C0":  {SpelledPitch{'C', 0, 0}, 12},
+	}
+	for name, c := range cases {
+		if got := c.p.MIDI(); got != c.midi {
+			t.Errorf("%s MIDI = %d want %d", name, got, c.midi)
+		}
+		if c.p.Name() != name {
+			t.Errorf("Name = %s want %s", c.p.Name(), name)
+		}
+	}
+}
+
+func TestKeySignatureProceduralMeaning(t *testing.T) {
+	// §4.3's example: three sharps (A major) sharpen F, C, G.
+	k := KeySignature(3)
+	for _, letter := range []byte{'F', 'C', 'G'} {
+		if k.Alter(letter) != 1 {
+			t.Errorf("3 sharps should sharpen %c", letter)
+		}
+	}
+	for _, letter := range []byte{'D', 'A', 'E', 'B'} {
+		if k.Alter(letter) != 0 {
+			t.Errorf("3 sharps should not alter %c", letter)
+		}
+	}
+	if got := k.Procedural(); got != "perform all notes notated as F, C, or G one semitone higher than written" {
+		t.Errorf("procedural: %q", got)
+	}
+	if got := k.Declarative(); !strings.Contains(got, "A major") || !strings.Contains(got, "f# minor") {
+		t.Errorf("declarative: %q", got)
+	}
+	// Two flats: Bb major / g minor; B and E flatted.
+	k = KeySignature(-2)
+	if k.Alter('B') != -1 || k.Alter('E') != -1 || k.Alter('A') != 0 {
+		t.Error("2 flats alterations")
+	}
+	if got := k.Declarative(); !strings.Contains(got, "Bb major") {
+		t.Errorf("declarative flats: %q", got)
+	}
+	if got := KeySignature(0).Procedural(); got != "perform all notes as written" {
+		t.Errorf("C major procedural: %q", got)
+	}
+	if got := KeySignature(-1).Procedural(); !strings.Contains(got, "B one semitone lower") {
+		t.Errorf("1 flat procedural: %q", got)
+	}
+}
+
+func TestResolvePitchWithKeySignature(t *testing.T) {
+	// In A major (3#), the F on the treble staff's bottom space is
+	// performed F#4.
+	p := ResolvePitch(TrebleClef, 3, 1, AccNone, nil)
+	if p.Name() != "F#4" || p.MIDI() != 66 {
+		t.Fatalf("F in A major: %s", p.Name())
+	}
+	// A notated natural cancels it.
+	p = ResolvePitch(TrebleClef, 3, 1, AccNatural, nil)
+	if p.Name() != "F4" {
+		t.Fatalf("natural: %s", p.Name())
+	}
+}
+
+func TestMeasureAccidentalPersistence(t *testing.T) {
+	ms := NewMeasureState()
+	// Sharp on the F space...
+	p := ResolvePitch(TrebleClef, 0, 1, AccSharp, ms)
+	if p.Name() != "F#4" {
+		t.Fatalf("sharp: %s", p.Name())
+	}
+	// ...persists for later notes on the same degree in the measure...
+	p = ResolvePitch(TrebleClef, 0, 1, AccNone, ms)
+	if p.Name() != "F#4" {
+		t.Fatalf("persisted sharp: %s", p.Name())
+	}
+	// ...but not on a different octave's F (different staff degree).
+	p = ResolvePitch(TrebleClef, 0, 8, AccNone, ms)
+	if p.Name() != "F5" {
+		t.Fatalf("different degree: %s", p.Name())
+	}
+	// A natural later in the measure overrides, and itself persists.
+	p = ResolvePitch(TrebleClef, 0, 1, AccNatural, ms)
+	if p.Name() != "F4" {
+		t.Fatalf("natural override: %s", p.Name())
+	}
+	p = ResolvePitch(TrebleClef, 0, 1, AccNone, ms)
+	if p.Name() != "F4" {
+		t.Fatalf("persisted natural: %s", p.Name())
+	}
+	// Bar line resets; key signature (1 sharp) applies again.
+	ms.Reset()
+	p = ResolvePitch(TrebleClef, 1, 1, AccNone, ms)
+	if p.Name() != "F#4" {
+		t.Fatalf("after barline in G major: %s", p.Name())
+	}
+}
+
+func TestAccidentalKinds(t *testing.T) {
+	cases := map[Accidental]int{
+		AccNone: 0, AccNatural: 0, AccSharp: 1, AccFlat: -1,
+		AccDoubleSharp: 2, AccDoubleFlat: -2,
+	}
+	for a, want := range cases {
+		if a.Alter() != want {
+			t.Errorf("%v alter = %d", a, a.Alter())
+		}
+	}
+	if AccDoubleSharp.String() != "##" || AccFlat.String() != "b" || AccNone.String() != "" {
+		t.Error("accidental strings")
+	}
+	p := ResolvePitch(TrebleClef, 0, 0, AccDoubleFlat, nil)
+	if p.Name() != "Ebb4" || p.MIDI() != 62 {
+		t.Fatalf("double flat: %s %d", p.Name(), p.MIDI())
+	}
+}
+
+func TestClefFromName(t *testing.T) {
+	for name, want := range map[string]Clef{
+		"treble": TrebleClef, "G": TrebleClef, "bass": BassClef,
+		"f": BassClef, "alto": AltoClef, "tenor": TenorClef,
+	} {
+		got, ok := ClefFromName(name)
+		if !ok || got != want {
+			t.Errorf("ClefFromName(%q) = %v %v", name, got, ok)
+		}
+	}
+	if _, ok := ClefFromName("xyzzy"); ok {
+		t.Error("bogus clef accepted")
+	}
+	if TrebleClef.String() != "treble" || Clef(9).String() != "Clef(9)" {
+		t.Error("clef strings")
+	}
+}

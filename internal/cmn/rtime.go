@@ -1,0 +1,154 @@
+// Package cmn implements the paper's database schema for common musical
+// notation (§7): the entity types of figure 11, the aspect structure of
+// figure 12 (temporal, timbral, graphical), the temporal HO graph of
+// figure 13 (score → movement → measure → sync → chord → note, with
+// groups, events, ties, and MIDI at the bottom), sync alignment
+// (figure 14), and melodic groups (figure 15).
+//
+// The package provides both the schema definition (DefineSchema, which
+// issues the define entity / define ordering statements against a model
+// database) and a typed builder API over it, so client programs — the
+// editors, typesetters, compositional tools and analysis systems of §2 —
+// manipulate scores through Go types while all state lives in the
+// database.
+package cmn
+
+import (
+	"fmt"
+)
+
+// RTime is an exact rational score time or duration, measured in beats
+// (quarter notes unless a meter says otherwise).  §7.2: "Score time ...
+// is measured in rhythmic units"; exact rationals avoid the drift that
+// floating-point beats would accumulate over long movements (a triplet
+// eighth is exactly 1/3 beat).
+type RTime struct {
+	num, den int64 // den > 0, gcd(num, den) == 1
+}
+
+// Beats returns the rational n/d beats, normalized.
+func Beats(n, d int64) RTime {
+	if d == 0 {
+		panic("cmn: zero-denominator RTime")
+	}
+	if d < 0 {
+		n, d = -n, -d
+	}
+	g := gcd(abs64(n), d)
+	if g > 1 {
+		n, d = n/g, d/g
+	}
+	return RTime{num: n, den: d}
+}
+
+// Whole, half, quarter, eighth and sixteenth note durations, in beats.
+var (
+	Whole     = Beats(4, 1)
+	Half      = Beats(2, 1)
+	Quarter   = Beats(1, 1)
+	Eighth    = Beats(1, 2)
+	Sixteenth = Beats(1, 4)
+	Zero      = Beats(0, 1)
+)
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Num returns the normalized numerator.
+func (t RTime) Num() int64 { return t.num }
+
+// Den returns the normalized denominator.
+func (t RTime) Den() int64 {
+	if t.den == 0 {
+		return 1 // zero value is 0/1
+	}
+	return t.den
+}
+
+// Add returns t + u.
+func (t RTime) Add(u RTime) RTime {
+	return Beats(t.num*u.Den()+u.num*t.Den(), t.Den()*u.Den())
+}
+
+// Sub returns t - u.
+func (t RTime) Sub(u RTime) RTime {
+	return Beats(t.num*u.Den()-u.num*t.Den(), t.Den()*u.Den())
+}
+
+// MulInt returns t * k.
+func (t RTime) MulInt(k int64) RTime { return Beats(t.num*k, t.Den()) }
+
+// Mul returns t * u (used for tuplet scaling, e.g. duration * 2/3).
+func (t RTime) Mul(u RTime) RTime { return Beats(t.num*u.num, t.Den()*u.Den()) }
+
+// Cmp returns -1, 0, or 1 comparing t with u.
+func (t RTime) Cmp(u RTime) int {
+	l := t.num * u.Den()
+	r := u.num * t.Den()
+	switch {
+	case l < r:
+		return -1
+	case l > r:
+		return 1
+	}
+	return 0
+}
+
+// Less reports t < u.
+func (t RTime) Less(u RTime) bool { return t.Cmp(u) < 0 }
+
+// IsZero reports whether t is zero.
+func (t RTime) IsZero() bool { return t.num == 0 }
+
+// Float returns the beat count as a float64.
+func (t RTime) Float() float64 { return float64(t.num) / float64(t.Den()) }
+
+// Dotted returns the dotted duration: t * 3/2 per dot.
+func (t RTime) Dotted(dots int) RTime {
+	out := t
+	add := t
+	for i := 0; i < dots; i++ {
+		add = add.Mul(Beats(1, 2))
+		out = out.Add(add)
+	}
+	return out
+}
+
+// String renders the time as "n/d" (or "n" when integral).
+func (t RTime) String() string {
+	if t.Den() == 1 {
+		return fmt.Sprintf("%d", t.num)
+	}
+	return fmt.Sprintf("%d/%d", t.num, t.Den())
+}
+
+// Encode packs the rational into a single int64 (num in the high 32
+// bits, den in the low 32) for storage as an integer attribute.  Score
+// durations comfortably fit 32 bits per component.
+func (t RTime) Encode() int64 {
+	return int64(uint64(uint32(int32(t.num)))<<32 | uint64(uint32(int32(t.Den()))))
+}
+
+// DecodeRTime unpacks an Encode'd rational.
+func DecodeRTime(v int64) RTime {
+	num := int64(int32(uint32(uint64(v) >> 32)))
+	den := int64(int32(uint32(uint64(v))))
+	if den == 0 {
+		den = 1
+	}
+	return Beats(num, den)
+}

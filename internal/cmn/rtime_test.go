@@ -1,0 +1,196 @@
+package cmn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBeatsNormalization(t *testing.T) {
+	if r := Beats(2, 4); r.Num() != 1 || r.Den() != 2 {
+		t.Fatalf("2/4 → %s", r)
+	}
+	if r := Beats(-2, -4); r.Num() != 1 || r.Den() != 2 {
+		t.Fatalf("-2/-4 → %s", r)
+	}
+	if r := Beats(3, -6); r.Num() != -1 || r.Den() != 2 {
+		t.Fatalf("3/-6 → %s", r)
+	}
+	if r := Beats(0, 5); r.Num() != 0 || r.Den() != 1 || !r.IsZero() {
+		t.Fatalf("0/5 → %s", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero denominator should panic")
+		}
+	}()
+	Beats(1, 0)
+}
+
+func TestArithmetic(t *testing.T) {
+	// Triplet eighths: 3 × 1/3 = 1 beat, exactly.
+	triplet := Beats(1, 3)
+	sum := triplet.Add(triplet).Add(triplet)
+	if sum.Cmp(Quarter) != 0 {
+		t.Fatalf("3 triplets = %s", sum)
+	}
+	if got := Half.Sub(Eighth); got.Cmp(Beats(3, 2)) != 0 {
+		t.Fatalf("half - eighth = %s", got)
+	}
+	if got := Eighth.MulInt(3); got.Cmp(Beats(3, 2)) != 0 {
+		t.Fatalf("eighth×3 = %s", got)
+	}
+	if got := Quarter.Mul(Beats(2, 3)); got.Cmp(Beats(2, 3)) != 0 {
+		t.Fatalf("tuplet scale = %s", got)
+	}
+}
+
+func TestDotted(t *testing.T) {
+	if got := Quarter.Dotted(1); got.Cmp(Beats(3, 2)) != 0 {
+		t.Fatalf("dotted quarter = %s", got)
+	}
+	if got := Quarter.Dotted(2); got.Cmp(Beats(7, 4)) != 0 {
+		t.Fatalf("double-dotted quarter = %s", got)
+	}
+	if got := Half.Dotted(0); got.Cmp(Half) != 0 {
+		t.Fatal("zero dots")
+	}
+}
+
+func TestCmpAndString(t *testing.T) {
+	if !Eighth.Less(Quarter) || Quarter.Less(Eighth) {
+		t.Fatal("Less")
+	}
+	if Quarter.Cmp(Beats(2, 2)) != 0 {
+		t.Fatal("Cmp equality across representations")
+	}
+	if Whole.String() != "4" || Beats(3, 2).String() != "3/2" {
+		t.Fatalf("String: %s %s", Whole, Beats(3, 2))
+	}
+	if Quarter.Float() != 1.0 || math.Abs(Beats(1, 3).Float()-1.0/3) > 1e-15 {
+		t.Fatal("Float")
+	}
+	var zero RTime
+	if zero.Den() != 1 || !zero.IsZero() {
+		t.Fatal("zero value")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(n int32, d int32) bool {
+		if d == 0 {
+			d = 1
+		}
+		r := Beats(int64(n), int64(d))
+		got := DecodeRTime(r.Encode())
+		return got.Cmp(r) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeRTime(0); got.Den() != 1 {
+		t.Fatal("decode zero")
+	}
+}
+
+func TestTempoSteady(t *testing.T) {
+	tm := NewTempoMap(120)
+	if got := tm.Seconds(Beats(4, 1)); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("4 beats at 120 = %g s", got)
+	}
+	if got := tm.Seconds(Zero); got != 0 {
+		t.Fatal("t(0)")
+	}
+	if got := tm.BPMAt(Beats(100, 1)); got != 120 {
+		t.Fatal("BPMAt")
+	}
+	if got := tm.BeatAt(2.0); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("BeatAt: %g", got)
+	}
+}
+
+func TestTempoChange(t *testing.T) {
+	tm := NewTempoMap(120)
+	tm.AddMark(TempoMark{Beat: Beats(4, 1), BPM: 60}) // halve the speed
+	// First 4 beats: 2 s; next 4 beats at 60: 4 s.
+	if got := tm.Seconds(Beats(8, 1)); math.Abs(got-6.0) > 1e-12 {
+		t.Fatalf("8 beats = %g s", got)
+	}
+	if got := tm.BPMAt(Beats(5, 1)); got != 60 {
+		t.Fatalf("BPM at 5 = %g", got)
+	}
+	if got := tm.BPMAt(Beats(3, 1)); got != 120 {
+		t.Fatalf("BPM at 3 = %g", got)
+	}
+	// Inverse agrees.
+	if got := tm.BeatAt(6.0); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("BeatAt(6) = %g", got)
+	}
+	if got := tm.BeatAt(1.0); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("BeatAt(1) = %g", got)
+	}
+}
+
+func TestAccelerando(t *testing.T) {
+	// Ramp from 60 to 120 over 4 beats: time = 60·4/60·ln(2) ≈ 2.7726 s,
+	// less than 4 s (steady 60) and more than 2 s (steady 120).
+	tm := NewTempoMap(60)
+	tm.marks[0].Ramp = true
+	tm.AddMark(TempoMark{Beat: Beats(4, 1), BPM: 120})
+	got := tm.Seconds(Beats(4, 1))
+	want := 4.0 * math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("accelerando: %g want %g", got, want)
+	}
+	// Midpoint tempo is the linear blend.
+	if got := tm.BPMAt(Beats(2, 1)); math.Abs(got-90) > 1e-12 {
+		t.Fatalf("mid-ramp BPM = %g", got)
+	}
+	// After the ramp, tempo holds at 120.
+	after := tm.Seconds(Beats(8, 1)) - tm.Seconds(Beats(4, 1))
+	if math.Abs(after-2.0) > 1e-9 {
+		t.Fatalf("post-ramp: %g", after)
+	}
+	// Monotonicity and inverse.
+	prev := -1.0
+	for b := 0; b <= 16; b++ {
+		s := tm.Seconds(Beats(int64(b), 2))
+		if s <= prev {
+			t.Fatalf("Seconds not increasing at %d", b)
+		}
+		prev = s
+		if inv := tm.BeatAt(s); math.Abs(inv-float64(b)/2) > 1e-6 {
+			t.Fatalf("BeatAt(Seconds(%g)) = %g", float64(b)/2, inv)
+		}
+	}
+}
+
+func TestRitardando(t *testing.T) {
+	// Slowing 120 → 60 over 4 beats takes longer than steady 120.
+	tm := NewTempoMap(120)
+	tm.marks[0].Ramp = true
+	tm.AddMark(TempoMark{Beat: Beats(4, 1), BPM: 60})
+	got := tm.Seconds(Beats(4, 1))
+	if got <= 2.0 || got >= 4.0 {
+		t.Fatalf("ritardando duration %g out of (2,4)", got)
+	}
+}
+
+func TestTempoMarkValidation(t *testing.T) {
+	tm := NewTempoMap(120)
+	if err := tm.AddMark(TempoMark{Beat: Quarter, BPM: 0}); err == nil {
+		t.Fatal("zero BPM accepted")
+	}
+	if err := tm.AddMark(TempoMark{Beat: Quarter, BPM: -10}); err == nil {
+		t.Fatal("negative BPM accepted")
+	}
+	// Replacing a mark at the same beat.
+	tm.AddMark(TempoMark{Beat: Quarter, BPM: 90})
+	tm.AddMark(TempoMark{Beat: Quarter, BPM: 100})
+	if len(tm.Marks()) != 2 {
+		t.Fatalf("marks: %v", tm.Marks())
+	}
+	if got := tm.BPMAt(Beats(2, 1)); got != 100 {
+		t.Fatalf("replaced mark: %g", got)
+	}
+}

@@ -1,0 +1,667 @@
+package cmn
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func newMusic(t testing.TB) *Music {
+	t.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildTwoVoices builds one movement of two measures of 4/4 with two
+// voices:
+//
+//	voice 1: quarter, quarter, half | whole
+//	voice 2: half, half            | rest(half), half
+func buildTwoVoices(t testing.TB, m *Music) (*Score, *Movement, *Voice, *Voice, *Staff) {
+	t.Helper()
+	score, err := m.NewScore("Test Invention", "T 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, _ := score.AddMovement("Allegro")
+	mv.AddMeasure(4, 4)
+	mv.AddMeasure(4, 4)
+
+	orch, _ := m.NewOrchestra("ensemble")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("keyboards")
+	inst, _ := sec.AddInstrument("organ", 19)
+	staff, _ := inst.AddStaff(1, TrebleClef, 0)
+	part, _ := inst.AddPart("organ I")
+	v1, _ := part.AddVoice(1)
+	v2, _ := part.AddVoice(2)
+
+	// Voice 1: E4 F4 G4 | C5.
+	for _, d := range []struct {
+		dur    RTime
+		degree int
+	}{{Quarter, 0}, {Quarter, 1}, {Half, 2}, {Whole, 5}} {
+		c, err := v1.AppendChord(d.dur, +1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.AddNote(d.degree, AccNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.OnStaff(staff)
+	}
+	// Voice 2: C4 E4 | rest, G4.
+	c1, _ := v2.AppendChord(Half, -1)
+	n1, _ := c1.AddNote(-2, AccNone)
+	n1.OnStaff(staff)
+	c2, _ := v2.AppendChord(Half, -1)
+	n2, _ := c2.AddNote(0, AccNone)
+	n2.OnStaff(staff)
+	v2.AppendRest(Half)
+	c3, _ := v2.AppendChord(Half, -1)
+	n3, _ := c3.AddNote(2, AccNone)
+	n3.OnStaff(staff)
+
+	if err := mv.Align([]*Voice{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []*Voice{v1, v2} {
+		if err := v.ResolvePitches(staff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return score, mv, v1, v2, staff
+}
+
+func TestScoreStructure(t *testing.T) {
+	m := newMusic(t)
+	score, mv, _, _, _ := buildTwoVoices(t, m)
+	if score.Title() != "Test Invention" || score.CatalogID() != "T 1" {
+		t.Fatal("score attrs")
+	}
+	movements, _ := score.Movements()
+	if len(movements) != 1 || movements[0].Ref != mv.Ref {
+		t.Fatal("movements")
+	}
+	measures, _ := mv.Measures()
+	if len(measures) != 2 || measures[0].Number() != 1 || measures[1].Number() != 2 {
+		t.Fatal("measures")
+	}
+	if d := measures[0].Duration(); d.Cmp(Whole) != 0 {
+		t.Fatalf("4/4 measure duration = %s", d)
+	}
+	start, _ := measures[1].Start()
+	if start.Cmp(Whole) != 0 {
+		t.Fatalf("measure 2 start = %s", start)
+	}
+	dur, _ := score.Duration()
+	if dur.Cmp(Beats(8, 1)) != 0 {
+		t.Fatalf("score duration = %s", dur)
+	}
+}
+
+func TestMeterDurations(t *testing.T) {
+	m := newMusic(t)
+	score, _ := m.NewScore("meters", "")
+	mv, _ := score.AddMovement("one")
+	sixEight, _ := mv.AddMeasure(6, 8)
+	threeFour, _ := mv.AddMeasure(3, 4)
+	if d := sixEight.Duration(); d.Cmp(Beats(3, 1)) != 0 {
+		t.Fatalf("6/8 = %s beats", d)
+	}
+	if d := threeFour.Duration(); d.Cmp(Beats(3, 1)) != 0 {
+		t.Fatalf("3/4 = %s beats", d)
+	}
+	if _, err := mv.AddMeasure(0, 4); err == nil {
+		t.Fatal("zero meter accepted")
+	}
+}
+
+// TestFigure14SyncAlignment checks the sync structure of the two-voice
+// fragment: measure 1 has syncs at 0, 1, 2 (voice 1's onsets 0,1,2 and
+// voice 2's 0,2 merge); measure 2 has syncs at 0 and 2.
+func TestFigure14SyncAlignment(t *testing.T) {
+	m := newMusic(t)
+	_, mv, _, _, _ := buildTwoVoices(t, m)
+	measures, _ := mv.Measures()
+	syncs1, _ := measures[0].Syncs()
+	var offsets []string
+	for _, sy := range syncs1 {
+		offsets = append(offsets, sy.Offset().String())
+	}
+	if len(offsets) != 3 || offsets[0] != "0" || offsets[1] != "1" || offsets[2] != "2" {
+		t.Fatalf("measure 1 syncs: %v", offsets)
+	}
+	// The sync at beat 0 carries chords from both voices.
+	chords, _ := syncs1[0].Chords()
+	if len(chords) != 2 {
+		t.Fatalf("sync 0 chords: %d", len(chords))
+	}
+	// Measure 2: whole note at 0 (voice 1) and half at 2 (voice 2) —
+	// the rest creates no sync.
+	syncs2, _ := measures[1].Syncs()
+	if len(syncs2) != 2 || syncs2[0].Offset().Cmp(Zero) != 0 || syncs2[1].Offset().Cmp(Half) != 0 {
+		var got []string
+		for _, sy := range syncs2 {
+			got = append(got, sy.Offset().String())
+		}
+		t.Fatalf("measure 2 syncs: %v", got)
+	}
+}
+
+func TestOnsets(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, v2, _ := buildTwoVoices(t, m)
+	content, _ := v1.Content()
+	wantOnsets := []string{"0", "1", "2", "4"}
+	for i, item := range content {
+		c := &Chord{node{m, item.Ref}}
+		on, err := c.Onset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.String() != wantOnsets[i] {
+			t.Fatalf("voice1 chord %d onset = %s want %s", i, on, wantOnsets[i])
+		}
+	}
+	// Voice 2's final half note starts at beat 6 (after the rest).
+	content2, _ := v2.Content()
+	last := &Chord{node{m, content2[len(content2)-1].Ref}}
+	on, _ := last.Onset()
+	if on.Cmp(Beats(6, 1)) != 0 {
+		t.Fatalf("voice2 last onset = %s", on)
+	}
+}
+
+func TestVoiceOverflowDetected(t *testing.T) {
+	m := newMusic(t)
+	score, _ := m.NewScore("overflow", "")
+	mv, _ := score.AddMovement("one")
+	mv.AddMeasure(4, 4)
+	orch, _ := m.NewOrchestra("o")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("s")
+	inst, _ := sec.AddInstrument("i", 0)
+	part, _ := inst.AddPart("p")
+	v, _ := part.AddVoice(1)
+	v.AppendChord(Whole, 1)
+	over, _ := v.AppendChord(Quarter, 1) // beyond the single measure
+	_ = over
+	if err := mv.Align([]*Voice{v}); err == nil {
+		t.Fatal("overflow not detected")
+	}
+}
+
+func TestResolvePitchesAcrossMeasures(t *testing.T) {
+	m := newMusic(t)
+	score, _ := m.NewScore("accidentals", "")
+	mv, _ := score.AddMovement("one")
+	mv.AddMeasure(4, 4)
+	mv.AddMeasure(4, 4)
+	orch, _ := m.NewOrchestra("o")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("s")
+	inst, _ := sec.AddInstrument("i", 0)
+	staff, _ := inst.AddStaff(1, TrebleClef, 1) // G major: F#
+	part, _ := inst.AddPart("p")
+	v, _ := part.AddVoice(1)
+
+	// Measure 1: F (sharp by key), F-natural, F (natural persists).
+	// Measure 2: F (key signature applies again).
+	degrees := []struct {
+		acc Accidental
+	}{{AccNone}, {AccNatural}, {AccNone}, {AccNone}}
+	var notes []*Note
+	for i, d := range degrees {
+		dur := Quarter
+		if i == 3 {
+			dur = Whole // fills measure 2... wait: 3 quarters then whole
+		}
+		_ = i
+		c, _ := v.AppendChord(dur, 1)
+		n, _ := c.AddNote(1, d.acc) // F4 space
+		notes = append(notes, n)
+	}
+	// Pad measure 1 with a rest (3 quarters + rest = 4 beats).
+	v.AppendRest(Quarter)
+	// Content order: q q q w rest — but rest must come before the whole
+	// note to pad measure 1.  Rebuild properly instead:
+	// (simpler: move the rest before the whole via MoveChild)
+	items, _ := v.Content()
+	_ = items
+	if err := m.DB.MoveChild("voice_content", items[4].Ref, model.At(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.Align([]*Voice{v}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ResolvePitches(staff); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{66, 65, 65, 66} // F#4, F4, F4, F#4
+	for i, n := range notes {
+		if got := n.MIDIPitch(); got != want[i] {
+			t.Fatalf("note %d pitch = %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestTieMergesIntoEvent(t *testing.T) {
+	m := newMusic(t)
+	score, _ := m.NewScore("ties", "")
+	mv, _ := score.AddMovement("one")
+	mv.AddMeasure(4, 4)
+	mv.AddMeasure(4, 4)
+	orch, _ := m.NewOrchestra("o")
+	orch.Performs(score)
+	sec, _ := orch.AddSection("s")
+	inst, _ := sec.AddInstrument("i", 0)
+	staff, _ := inst.AddStaff(1, TrebleClef, 0)
+	part, _ := inst.AddPart("p")
+	v, _ := part.AddVoice(1)
+
+	// Whole note tied across the barline to a half note, then a half.
+	c1, _ := v.AppendChord(Whole, 1)
+	n1, _ := c1.AddNote(2, AccNone) // G4
+	c2, _ := v.AppendChord(Half, 1)
+	n2, _ := c2.AddNote(2, AccNone)
+	c3, _ := v.AppendChord(Half, 1)
+	n3, _ := c3.AddNote(4, AccNone) // B4
+	for _, n := range []*Note{n1, n2, n3} {
+		n.OnStaff(staff)
+	}
+	ev, err := m.Tie(n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n1.EventOf(); !ok {
+		t.Fatal("n1 not in event")
+	}
+	if ev2, ok := n2.EventOf(); !ok || ev2.Ref != ev.Ref {
+		t.Fatal("n2 not in same event")
+	}
+	mv.Align([]*Voice{v})
+	v.ResolvePitches(staff)
+
+	pns, err := v.PerformedNotes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two performed notes: the tied G (6 beats) and the B (2 beats).
+	if len(pns) != 2 {
+		t.Fatalf("performed notes: %d", len(pns))
+	}
+	if pns[0].Pitch != 67 || pns[0].Duration.Cmp(Beats(6, 1)) != 0 || !pns[0].Start.IsZero() {
+		t.Fatalf("tied note: %+v", pns[0])
+	}
+	if pns[1].Pitch != 71 || pns[1].Start.Cmp(Beats(6, 1)) != 0 {
+		t.Fatalf("second note: %+v", pns[1])
+	}
+}
+
+func TestTieValidation(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, v2, _ := buildTwoVoices(t, m)
+	c1, _ := v1.Content()
+	c2, _ := v2.Content()
+	n1 := firstNote(t, m, c1[0].Ref)
+	n2 := firstNote(t, m, c2[0].Ref)
+	if _, err := m.Tie(n1, n2); err == nil {
+		t.Fatal("cross-voice tie accepted")
+	}
+}
+
+func firstNote(t *testing.T, m *Music, chordRef value.Ref) *Note {
+	t.Helper()
+	notes, err := (&Chord{node{m, chordRef}}).Notes()
+	if err != nil || len(notes) == 0 {
+		t.Fatal("no notes")
+	}
+	return notes[0]
+}
+
+func TestDynamicsInheritance(t *testing.T) {
+	m := newMusic(t)
+	score, _, v1, v2, _ := buildTwoVoices(t, m)
+	// Score-level forte from beat 0; voice 1 drops to piano at beat 2.
+	if err := score.AddDynamic(Zero, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AddDynamic(Beats(2, 1), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AddDynamic(Zero, "bogus"); err == nil {
+		t.Fatal("bogus dynamic accepted")
+	}
+	pns1, _ := v1.PerformedNotes()
+	// Beats 0 and 1: inherited score-level f (96); beats 2+: voice p (49).
+	if pns1[0].Velocity != 96 || pns1[1].Velocity != 96 {
+		t.Fatalf("early velocities: %+v", pns1[:2])
+	}
+	if pns1[2].Velocity != 49 || pns1[3].Velocity != 49 {
+		t.Fatalf("late velocities: %+v", pns1[2:])
+	}
+	// Voice 2 has no voice-level marks: all score-level f.
+	pns2, _ := v2.PerformedNotes()
+	for _, pn := range pns2 {
+		if pn.Velocity != 96 {
+			t.Fatalf("voice2 velocity: %+v", pn)
+		}
+	}
+}
+
+func TestDefaultDynamicIsMF(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	pns, _ := v1.PerformedNotes()
+	if pns[0].Velocity != 80 {
+		t.Fatalf("default velocity: %d", pns[0].Velocity)
+	}
+}
+
+// TestFigure15Groups: nested groups with duration aggregation and tuplet
+// scaling.
+func TestFigure15Groups(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	content, _ := v1.Content()
+	// Slur over the first three chords (durations 1+1+2 = 4 beats).
+	slur, err := v1.NewGroup("slur", 0, 0, content[0].Ref, content[1].Ref, content[2].Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := slur.Duration()
+	if err != nil || d.Cmp(Whole) != 0 {
+		t.Fatalf("slur duration = %s (%v)", d, err)
+	}
+	if slur.Kind() != "slur" {
+		t.Fatal("kind")
+	}
+	// A chord may belong to only one group per ordering (one P-edge per
+	// ordering, §5.5).
+	if _, err := v1.NewGroup("beam", 0, 0, content[0].Ref); err == nil {
+		t.Fatal("chord admitted to second group")
+	}
+	// Nested: beam of two fresh quarters inside a phrase group that also
+	// holds a fresh half note (figure 8's recursive shape).
+	q1, _ := v1.AppendChord(Quarter, 1)
+	q2, _ := v1.AppendChord(Quarter, 1)
+	h1, _ := v1.AppendChord(Half, 1)
+	beam, err := v1.NewGroup("beam", 0, 0, q1.Ref, q2.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phrase, err := v1.NewGroup("phrase", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DB.InsertChild("group_content", phrase.Ref, beam.Ref, model.Last()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DB.InsertChild("group_content", phrase.Ref, h1.Ref, model.Last()); err != nil {
+		t.Fatal(err)
+	}
+	d, err = phrase.Duration()
+	if err != nil || d.Cmp(Whole) != 0 {
+		t.Fatalf("phrase duration = %s (%v)", d, err)
+	}
+	// Tuplet: three fresh quarters in the time of two.
+	t1, _ := v1.AppendChord(Quarter, 1)
+	t2, _ := v1.AppendChord(Quarter, 1)
+	t3, _ := v1.AppendChord(Quarter, 1)
+	tuplet, err := v1.NewGroup("tuplet", 2, 3, t1.Ref, t2.Ref, t3.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ = tuplet.Duration()
+	if d.Cmp(Beats(2, 1)) != 0 {
+		t.Fatalf("tuplet duration = %s", d)
+	}
+}
+
+func TestClearAndRealign(t *testing.T) {
+	m := newMusic(t)
+	_, mv, v1, v2, _ := buildTwoVoices(t, m)
+	if err := mv.ClearAlignment(); err != nil {
+		t.Fatal(err)
+	}
+	measures, _ := mv.Measures()
+	for _, me := range measures {
+		syncs, _ := me.Syncs()
+		if len(syncs) != 0 {
+			t.Fatal("syncs survive clear")
+		}
+	}
+	if err := mv.Align([]*Voice{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	syncs, _ := measures[0].Syncs()
+	if len(syncs) != 3 {
+		t.Fatalf("realigned syncs: %d", len(syncs))
+	}
+}
+
+func TestInstrumentNavigation(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, staff := buildTwoVoices(t, m)
+	inst, ok := v1.Instrument()
+	if !ok || inst.Name() != "organ" || inst.MIDIProgram() != 19 {
+		t.Fatal("instrument navigation")
+	}
+	if staff.Clef() != TrebleClef || staff.Key() != 0 {
+		t.Fatal("staff attrs")
+	}
+	// Note → chord → staff navigation.
+	content, _ := v1.Content()
+	n := firstNote(t, m, content[0].Ref)
+	st, ok := n.Staff()
+	if !ok || st.Ref != staff.Ref {
+		t.Fatal("note staff")
+	}
+	ch, ok := n.Chord()
+	if !ok || ch.Ref != content[0].Ref {
+		t.Fatal("note chord")
+	}
+	if ch.StemDirection() != 1 {
+		t.Fatal("stem direction")
+	}
+	vv, ok := ch.Voice()
+	if !ok || vv.Ref != v1.Ref {
+		t.Fatal("chord voice")
+	}
+}
+
+func TestInventoryAndAspects(t *testing.T) {
+	m := newMusic(t)
+	inv := Inventory()
+	if len(inv) < 24 {
+		t.Fatalf("inventory rows: %d", len(inv))
+	}
+	// Every inventoried entity type must exist in the schema.
+	for _, e := range inv {
+		if _, ok := m.DB.EntityType(e.Name); !ok {
+			t.Errorf("inventory entity %s not in schema", e.Name)
+		}
+	}
+	asp := Aspects()
+	// Figure 12 checks: notes have five aspects; MIDI events have no
+	// graphical aspect.
+	noteAspects := asp["NOTE"]
+	if len(noteAspects) != 5 {
+		t.Fatalf("NOTE aspects: %v", noteAspects)
+	}
+	for _, a := range asp["MIDIEV"] {
+		if a == AspectGraphical {
+			t.Fatal("MIDI events must have no graphical aspect")
+		}
+	}
+	// Every aspect-classified entity is in the inventory.
+	names := map[string]bool{}
+	for _, e := range inv {
+		names[e.Name] = true
+	}
+	for n := range asp {
+		if !names[n] {
+			t.Errorf("aspect entity %s missing from inventory", n)
+		}
+	}
+	// The temporal orderings of figure 13 all exist.
+	for _, o := range TemporalOrderings() {
+		if _, ok := m.DB.OrderingByName(o); !ok {
+			t.Errorf("temporal ordering %s not defined", o)
+		}
+	}
+}
+
+func TestArticulationInheritance(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	// Staccato from the start; tenuto restores at beat 2; marcato at 4.
+	if err := v1.AddArticulation(Zero, "staccato"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AddArticulation(Beats(2, 1), "tenuto"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AddArticulation(Beats(4, 1), "marcato"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AddArticulation(Zero, "bogus"); err == nil {
+		t.Fatal("bogus articulation accepted")
+	}
+	pns, err := v1.PerformedNotes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voice 1: quarters at 0 and 1 (staccato: halved), half at 2
+	// (tenuto: full), whole at 4 (marcato: velocity +16).
+	if pns[0].Duration.Cmp(Eighth) != 0 || pns[0].Articulation != "staccato" {
+		t.Fatalf("staccato: %+v", pns[0])
+	}
+	if pns[1].Duration.Cmp(Eighth) != 0 {
+		t.Fatalf("staccato carries: %+v", pns[1])
+	}
+	if pns[2].Duration.Cmp(Half) != 0 || pns[2].Articulation != "tenuto" {
+		t.Fatalf("tenuto: %+v", pns[2])
+	}
+	if pns[3].Velocity != 96 || pns[3].Articulation != "marcato" {
+		t.Fatalf("marcato: %+v", pns[3])
+	}
+}
+
+func TestPizzicatoTimbre(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	v1.AddArticulation(Zero, "pizzicato")
+	v1.AddArticulation(Beats(2, 1), "arco")
+	pns, _ := v1.PerformedNotes()
+	if pns[0].Timbre != "pizzicato" || pns[2].Timbre != "arco" {
+		t.Fatalf("timbres: %q %q", pns[0].Timbre, pns[2].Timbre)
+	}
+	// Durations unchanged by pizzicato/arco.
+	if pns[0].Duration.Cmp(Quarter) != 0 {
+		t.Fatalf("pizz duration: %s", pns[0].Duration)
+	}
+}
+
+func TestTransposingInstrument(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	inst, _ := v1.Instrument()
+	if err := inst.SetTransposition(-2); err != nil { // B-flat instrument
+		t.Fatal(err)
+	}
+	if inst.Transposition() != -2 {
+		t.Fatal("transposition attr")
+	}
+	pns, _ := v1.PerformedNotes()
+	// Written E4 (64) sounds D4 (62).
+	if pns[0].Pitch != 62 {
+		t.Fatalf("transposed pitch: %d", pns[0].Pitch)
+	}
+}
+
+func TestLayout(t *testing.T) {
+	m := newMusic(t)
+	score, mv, _, _, _ := buildTwoVoices(t, m)
+	// 2 measures → 1 measure per system = 2 systems; 1 system per page
+	// = 2 pages.
+	pages, err := score.Layout(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 || pages[0].Number() != 1 || pages[1].Number() != 2 {
+		t.Fatalf("pages: %d", len(pages))
+	}
+	systems, err := pages[0].Systems()
+	if err != nil || len(systems) != 1 || systems[0].Number() != 1 {
+		t.Fatalf("systems: %v %v", systems, err)
+	}
+	staves, err := systems[0].Staves()
+	if err != nil || len(staves) != 1 {
+		t.Fatalf("staves: %d %v", len(staves), err)
+	}
+	if staves[0].Clef() != TrebleClef {
+		t.Fatal("graphical staff clef")
+	}
+	// Re-layout replaces: 2 measures per system → 1 system on 1 page.
+	pages, err = score.Layout(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 {
+		t.Fatalf("relayout pages: %d", len(pages))
+	}
+	all, _ := score.Pages()
+	if len(all) != 1 {
+		t.Fatalf("Pages(): %d", len(all))
+	}
+	// Parameter validation.
+	if _, err := score.Layout(0, 1); err == nil {
+		t.Fatal("zero measures per system accepted")
+	}
+	_ = mv
+}
+
+func TestLyrics(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, _, _ := buildTwoVoices(t, m)
+	partRef, _ := m.DB.ParentOf("voice_in_part", v1.Ref)
+	part := &Part{node{m, partRef}}
+	// Attach a text line with two syllables to the part.
+	line, _ := m.DB.NewEntity("TEXTLINE", model.Attrs{"name": value.Str("verse")})
+	m.DB.InsertChild("text_in_part", partRef, line, model.Last())
+	content, _ := v1.Content()
+	notes, _ := (&Chord{node{m, content[0].Ref}}).Notes()
+	for i, text := range []string{"Al-", "le-"} {
+		syl, _ := m.DB.NewEntity("SYLLABLE", model.Attrs{"text": value.Str(text)})
+		m.DB.InsertChild("syllable_in_text", line, syl, model.Last())
+		if i == 0 {
+			m.DB.Relate("SYLLABLE_OF", map[string]value.Ref{"syllable": syl, "note": notes[0].Ref}, nil)
+		}
+	}
+	lyrics, err := part.Lyrics()
+	if err != nil || len(lyrics) != 2 {
+		t.Fatalf("lyrics: %v %v", lyrics, err)
+	}
+	if lyrics[0].Text != "Al-" || lyrics[0].Note != notes[0].Ref {
+		t.Fatalf("first lyric: %+v", lyrics[0])
+	}
+	if lyrics[1].Note != 0 {
+		t.Fatal("unattached syllable should have no note")
+	}
+}

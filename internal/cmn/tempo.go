@@ -1,0 +1,173 @@
+package cmn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TempoMap is the conductor of §7.2: the mapping between score time
+// (beats) and performance time (seconds).  It is a piecewise function
+// built from tempo marks; between consecutive marks the tempo either
+// holds steady or ramps linearly (accelerando / ritardando), in which
+// case performance time is the exact integral of 60/bpm over beats.
+type TempoMap struct {
+	marks []TempoMark
+}
+
+// TempoMark sets the tempo at a beat position.  If Ramp is true, the
+// tempo changes linearly from this mark's BPM to the next mark's BPM
+// over the interval (accelerando when rising, ritardando when falling);
+// otherwise the tempo holds until the next mark.
+type TempoMark struct {
+	Beat RTime
+	BPM  float64
+	Ramp bool
+}
+
+// NewTempoMap returns a tempo map with a single steady tempo.
+func NewTempoMap(bpm float64) *TempoMap {
+	return &TempoMap{marks: []TempoMark{{Beat: Zero, BPM: bpm}}}
+}
+
+// AddMark inserts a tempo mark, keeping marks sorted by beat.  A mark at
+// an existing beat replaces it.
+func (tm *TempoMap) AddMark(m TempoMark) error {
+	if m.BPM <= 0 {
+		return fmt.Errorf("cmn: tempo must be positive, got %g", m.BPM)
+	}
+	i := sort.Search(len(tm.marks), func(i int) bool {
+		return !tm.marks[i].Beat.Less(m.Beat)
+	})
+	if i < len(tm.marks) && tm.marks[i].Beat.Cmp(m.Beat) == 0 {
+		tm.marks[i] = m
+		return nil
+	}
+	tm.marks = append(tm.marks, TempoMark{})
+	copy(tm.marks[i+1:], tm.marks[i:])
+	tm.marks[i] = m
+	return nil
+}
+
+// Marks returns a copy of the tempo marks in beat order.
+func (tm *TempoMap) Marks() []TempoMark {
+	return append([]TempoMark(nil), tm.marks...)
+}
+
+// BPMAt returns the instantaneous tempo at a beat.
+func (tm *TempoMap) BPMAt(beat RTime) float64 {
+	if len(tm.marks) == 0 {
+		return 120
+	}
+	i := tm.segmentFor(beat)
+	m := tm.marks[i]
+	if !m.Ramp || i+1 >= len(tm.marks) {
+		return m.BPM
+	}
+	next := tm.marks[i+1]
+	span := next.Beat.Sub(m.Beat).Float()
+	if span <= 0 {
+		return m.BPM
+	}
+	frac := beat.Sub(m.Beat).Float() / span
+	if frac > 1 {
+		frac = 1
+	}
+	return m.BPM + frac*(next.BPM-m.BPM)
+}
+
+// segmentFor returns the index of the mark governing the given beat.
+func (tm *TempoMap) segmentFor(beat RTime) int {
+	i := sort.Search(len(tm.marks), func(i int) bool {
+		return beat.Less(tm.marks[i].Beat)
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Seconds maps a score-time position to performance time.  Beats before
+// the first mark use the first mark's tempo.
+func (tm *TempoMap) Seconds(beat RTime) float64 {
+	if len(tm.marks) == 0 {
+		return beat.Float() * 60 / 120
+	}
+	total := 0.0
+	b := beat.Float()
+	for i, m := range tm.marks {
+		start := m.Beat.Float()
+		var end float64
+		var nextBPM float64
+		if i+1 < len(tm.marks) {
+			end = tm.marks[i+1].Beat.Float()
+			nextBPM = tm.marks[i+1].BPM
+		} else {
+			end = math.Inf(1)
+			nextBPM = m.BPM
+		}
+		if b <= start {
+			break
+		}
+		segEnd := math.Min(b, end)
+		total += segmentSeconds(m, nextBPM, end-start, segEnd-start)
+		if b <= end {
+			break
+		}
+	}
+	// Beats before beat zero (anacrusis handled by callers): linear at
+	// the first tempo.
+	if b < tm.marks[0].Beat.Float() {
+		total = (b - tm.marks[0].Beat.Float()) * 60 / tm.marks[0].BPM
+	}
+	return total
+}
+
+// segmentSeconds integrates performance time across the first `take`
+// beats of a segment of `span` beats governed by mark m.
+func segmentSeconds(m TempoMark, nextBPM, span, take float64) float64 {
+	if take <= 0 {
+		return 0
+	}
+	if !m.Ramp || math.IsInf(span, 1) || span <= 0 || m.BPM == nextBPM {
+		return take * 60 / m.BPM
+	}
+	// Linear tempo ramp: bpm(x) = b0 + (b1-b0)·x/span for x ∈ [0, take].
+	// ∫ 60/bpm(x) dx = 60·span/(b1-b0) · ln(bpm(take)/b0).
+	b0, b1 := m.BPM, nextBPM
+	rate := (b1 - b0) / span
+	return 60 / rate * math.Log((b0+rate*take)/b0)
+}
+
+// BeatAt inverts Seconds: the score-time beat (as float) reached at a
+// given performance time.  Used by editors that scrub in seconds.
+func (tm *TempoMap) BeatAt(sec float64) float64 {
+	if sec <= 0 {
+		return sec * tm.marks[0].BPM / 60
+	}
+	total := 0.0
+	for i, m := range tm.marks {
+		start := m.Beat.Float()
+		var end, nextBPM float64
+		if i+1 < len(tm.marks) {
+			end = tm.marks[i+1].Beat.Float()
+			nextBPM = tm.marks[i+1].BPM
+		} else {
+			end = math.Inf(1)
+			nextBPM = m.BPM
+		}
+		span := end - start
+		segTotal := segmentSeconds(m, nextBPM, span, span)
+		if math.IsInf(span, 1) || total+segTotal >= sec {
+			remain := sec - total
+			if !m.Ramp || m.BPM == nextBPM || math.IsInf(span, 1) {
+				return start + remain*m.BPM/60
+			}
+			// Invert the ramp integral.
+			rate := (nextBPM - m.BPM) / span
+			return start + (m.BPM*(math.Exp(remain*rate/60)-1))/rate
+		}
+		total += segTotal
+	}
+	return tm.marks[len(tm.marks)-1].Beat.Float()
+}

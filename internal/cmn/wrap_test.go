@@ -1,0 +1,152 @@
+package cmn
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestByRefWrappers(t *testing.T) {
+	m := newMusic(t)
+	score, mv, v1, _, staff := buildTwoVoices(t, m)
+	measures, _ := mv.Measures()
+	content, _ := v1.Content()
+	chord := content[0].Ref
+	notes, _ := (&Chord{node{m, chord}}).Notes()
+	group, _ := v1.NewGroup("slur", 0, 0, chord)
+	inst, _ := v1.Instrument()
+
+	cases := []struct {
+		name string
+		ref  value.Ref
+		get  func(value.Ref) (value.Ref, error)
+	}{
+		{"score", score.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.ScoreByRef(r)
+			return refOf(h, err)
+		}},
+		{"movement", mv.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.MovementByRef(r)
+			return refOf(h, err)
+		}},
+		{"measure", measures[0].Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.MeasureByRef(r)
+			return refOf(h, err)
+		}},
+		{"voice", v1.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.VoiceByRef(r)
+			return refOf(h, err)
+		}},
+		{"staff", staff.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.StaffByRef(r)
+			return refOf(h, err)
+		}},
+		{"chord", chord, func(r value.Ref) (value.Ref, error) {
+			h, err := m.ChordByRef(r)
+			return refOf(h, err)
+		}},
+		{"note", notes[0].Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.NoteByRef(r)
+			return refOf(h, err)
+		}},
+		{"group", group.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.GroupByRef(r)
+			return refOf(h, err)
+		}},
+		{"instrument", inst.Ref, func(r value.Ref) (value.Ref, error) {
+			h, err := m.InstrumentByRef(r)
+			return refOf(h, err)
+		}},
+	}
+	for _, c := range cases {
+		got, err := c.get(c.ref)
+		if err != nil || got != c.ref {
+			t.Errorf("%s: %v %v", c.name, got, err)
+		}
+		// Wrong type is refused (scores are not voices).
+		if c.name != "score" {
+			if _, err := c.get(score.Ref); err == nil {
+				t.Errorf("%s wrapper accepted a SCORE ref", c.name)
+			}
+		}
+		// Missing refs are refused.
+		if _, err := c.get(value.Ref(999999)); err == nil {
+			t.Errorf("%s wrapper accepted a dangling ref", c.name)
+		}
+	}
+	scores, err := m.Scores()
+	if err != nil || len(scores) != 1 || scores[0].Ref != score.Ref {
+		t.Fatalf("Scores: %v %v", scores, err)
+	}
+}
+
+func refOf[T any](h *T, err error) (value.Ref, error) {
+	if err != nil {
+		return 0, err
+	}
+	// All handles embed node with a Ref field; fetch via type switch.
+	switch x := any(h).(type) {
+	case *Score:
+		return x.Ref, nil
+	case *Movement:
+		return x.Ref, nil
+	case *Measure:
+		return x.Ref, nil
+	case *Voice:
+		return x.Ref, nil
+	case *Staff:
+		return x.Ref, nil
+	case *Chord:
+		return x.Ref, nil
+	case *Note:
+		return x.Ref, nil
+	case *Group:
+		return x.Ref, nil
+	case *Instrument:
+		return x.Ref, nil
+	}
+	return 0, nil
+}
+
+func TestAccidentalStringsAndClefNames(t *testing.T) {
+	// Exercise the remaining String branches.
+	if AccNatural.String() != "n" || Accidental(99).String() != "?" {
+		t.Error("accidental strings")
+	}
+	for _, c := range []Clef{TrebleClef, BassClef, AltoClef, TenorClef} {
+		if c.String() == "" {
+			t.Error("clef name empty")
+		}
+	}
+}
+
+func TestRestAndChordAccessors(t *testing.T) {
+	m := newMusic(t)
+	_, _, v1, v2, _ := buildTwoVoices(t, m)
+	content2, _ := v2.Content()
+	// v2's third item is the rest.
+	var rest *Rest
+	for _, it := range content2 {
+		if it.IsRest {
+			rest = &Rest{node{m, it.Ref}}
+		}
+	}
+	if rest == nil {
+		t.Fatal("no rest")
+	}
+	if rest.Duration().Cmp(Half) != 0 {
+		t.Fatalf("rest duration: %s", rest.Duration())
+	}
+	content1, _ := v1.Content()
+	chord := &Chord{node{m, content1[0].Ref}}
+	if chord.Duration().Cmp(Quarter) != 0 {
+		t.Fatalf("chord duration: %s", chord.Duration())
+	}
+	if !chord.valid() {
+		t.Fatal("valid()")
+	}
+	var zero node
+	if zero.valid() {
+		t.Fatal("zero node valid")
+	}
+}

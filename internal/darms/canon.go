@@ -1,0 +1,203 @@
+package darms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonize converts user DARMS to canonical DARMS (§4.6): every
+// suppressed position and duration is made explicit, and multi-rest
+// shorthands (R2W) are expanded into individual rests.  The relative
+// order of items is preserved ("presents the score information in a
+// consistent order, and explicitly includes all repeated information").
+func Canonize(items []Item) ([]Item, error) {
+	st := &canonState{}
+	return st.canonize(items)
+}
+
+type canonState struct {
+	lastPos int
+	lastDur byte
+	dots    int
+}
+
+func (st *canonState) canonize(items []Item) ([]Item, error) {
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		switch x := it.(type) {
+		case NoteItem:
+			if x.Pos == 0 {
+				if st.lastPos == 0 {
+					return nil, fmt.Errorf("darms: note inherits position but none precedes it")
+				}
+				x.Pos = st.lastPos
+			}
+			if x.Dur == 0 {
+				if st.lastDur == 0 {
+					return nil, fmt.Errorf("darms: note inherits duration but none precedes it")
+				}
+				x.Dur = st.lastDur
+				x.Dots = st.dots
+			}
+			st.lastPos, st.lastDur, st.dots = x.Pos, x.Dur, x.Dots
+			out = append(out, x)
+		case RestItem:
+			if x.Dur == 0 {
+				if st.lastDur == 0 {
+					return nil, fmt.Errorf("darms: rest inherits duration but none precedes it")
+				}
+				x.Dur = st.lastDur
+				x.Dots = st.dots
+			}
+			st.lastDur, st.dots = x.Dur, x.Dots
+			for i := 0; i < x.Mult; i++ {
+				out = append(out, RestItem{Mult: 1, Dur: x.Dur, Dots: x.Dots})
+			}
+		case Group:
+			inner, err := st.canonize(x.Items)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Group{Items: inner})
+		default:
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// Encode renders items as DARMS text.  Canonical input produces
+// canonical output; Encode∘Parse∘Canonize is a fixpoint.
+func Encode(items []Item) string {
+	var b strings.Builder
+	encodeItems(&b, items)
+	return strings.TrimSpace(b.String())
+}
+
+func encodeItems(b *strings.Builder, items []Item) {
+	for _, it := range items {
+		switch x := it.(type) {
+		case InstrumentDef:
+			fmt.Fprintf(b, "I%d ", x.N)
+		case ClefItem:
+			fmt.Fprintf(b, "'%s ", string(x.Letter))
+		case KeySigItem:
+			mark := "#"
+			if !x.Sharp {
+				mark = "-"
+			}
+			fmt.Fprintf(b, "'K%d%s ", x.Count, mark)
+		case Annotation:
+			fmt.Fprintf(b, "00%s ", encodeLiteral(x.Text))
+		case RestItem:
+			b.WriteString("R")
+			if x.Mult > 1 {
+				fmt.Fprintf(b, "%d", x.Mult)
+			}
+			b.WriteByte(x.Dur)
+			b.WriteString(strings.Repeat(".", x.Dots))
+			b.WriteString(" ")
+		case NoteItem:
+			if x.Pos != 0 {
+				fmt.Fprintf(b, "%d", x.Pos)
+			}
+			switch x.Acc {
+			case AccSharpCode:
+				b.WriteString("#")
+			case AccFlatCode:
+				b.WriteString("-")
+			case AccNaturalCode:
+				b.WriteString("=")
+			}
+			if x.Dur != 0 {
+				b.WriteByte(x.Dur)
+				b.WriteString(strings.Repeat(".", x.Dots))
+			}
+			switch x.Stem {
+			case -1:
+				b.WriteString("D")
+			case +1:
+				b.WriteString("U")
+			}
+			if x.Syllable != "" {
+				b.WriteString(",")
+				b.WriteString(encodeLiteral(x.Syllable))
+			}
+			b.WriteString(" ")
+		case Group:
+			b.WriteString("(")
+			encodeItems(b, x.Items)
+			// Trim the trailing space inside the group for tidy output.
+			trimTrailingSpace(b)
+			b.WriteString(") ")
+		case Barline:
+			if x.Double {
+				b.WriteString("// ")
+			} else {
+				b.WriteString("/ ")
+			}
+		}
+	}
+}
+
+func trimTrailingSpace(b *strings.Builder) {
+	s := b.String()
+	if strings.HasSuffix(s, " ") {
+		b.Reset()
+		b.WriteString(s[:len(s)-1])
+	}
+}
+
+// encodeLiteral renders text as @...$ with ¢ before capitals, the
+// punch-card convention of §4.6.
+func encodeLiteral(text string) string {
+	var b strings.Builder
+	b.WriteString("@")
+	for _, r := range text {
+		if r >= 'A' && r <= 'Z' {
+			b.WriteString("¢")
+			b.WriteRune(r)
+			continue
+		}
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r - 'a' + 'A')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	b.WriteString("$")
+	return b.String()
+}
+
+// Figure4 is the DARMS encoding of figure 4(b) of the paper — the
+// "Gloria in excelsis" fragment — transcribed from the published text.
+const Figure4 = `I4 'G 'K2# 00@¢TENOR$ R2W / (7,@¢GLO-$ 47) / (8 (9 8 7 8)) / 9E 9,@RI-$ 8,@A$ / (7,@IN $ 6) 7,@EX-$ / (4D,@CEL-$ (8 7 8 6)) / (4D 31) 4,@SIS$ / 8Q,@¢DE-$ E,@O$ //`
+
+// CountNotes returns the number of notes in an item stream (recursing
+// into groups) — a convenience for tests and analysis clients.
+func CountNotes(items []Item) int {
+	n := 0
+	for _, it := range items {
+		switch x := it.(type) {
+		case NoteItem:
+			n++
+		case Group:
+			n += CountNotes(x.Items)
+		}
+	}
+	return n
+}
+
+// Flatten returns the stream with groups spliced inline (beam structure
+// erased), the order of notes preserved.
+func Flatten(items []Item) []Item {
+	var out []Item
+	for _, it := range items {
+		if g, ok := it.(Group); ok {
+			out = append(out, Flatten(g.Items)...)
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package darms implements a subset of DARMS (Digital Alternate
+// Representation of Musical Scores, §4.6 of the paper), sufficient to
+// encode and decode figure 4's fragment and scores of comparable
+// complexity.
+//
+// The subset covers the constructs of figure 4(c):
+//
+//	I<n>        instrument (or voice) definition
+//	'G 'F 'C    clefs
+//	'K<n>#      key signature (<n> sharps; 'K<n>- for flats)
+//	00@text$    annotation above the staff
+//	R<m><dur>   rest(s): optional multiplier, duration code
+//	@text$      literal string; ¢ capitalizes the next letter
+//	( ... )     beam grouping (nestable)
+//	W H Q E S T duration codes (whole … thirty-second); . dots
+//	D / U       stems down / up
+//	/  //       bar line, double bar
+//	digits      staff positions: 1–9 are short for 21–29 (21 = bottom
+//	            line, 22 = bottom space, …); numbers 21–39 are full
+//	            space codes; other multi-digit numbers read digit by
+//	            digit as short codes
+//	,@text$     a syllable attached to the preceding note
+//
+// Following DARMS's "very flexible input protocol", user encodings may
+// suppress repeated information: a note without a duration inherits the
+// previous duration, and a duration letter without a position inherits
+// the previous position.  Canonize produces canonical DARMS — "score
+// information in a consistent order, [with] all repeated information
+// explicitly included" — the job of the project's whimsically named
+// "canonizers".
+package darms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Item is one element of a DARMS stream.
+type Item interface{ darmsItem() }
+
+// InstrumentDef is I<n>.
+type InstrumentDef struct{ N int }
+
+// ClefItem is 'G, 'F, or 'C.
+type ClefItem struct{ Letter byte }
+
+// KeySigItem is 'K<n># or 'K<n>-.
+type KeySigItem struct {
+	Count int
+	Sharp bool
+}
+
+// Annotation is 00@text$ (text above the staff).
+type Annotation struct{ Text string }
+
+// RestItem is R with an optional multiplier and duration.
+type RestItem struct {
+	Mult int // 1 when absent
+	Dur  byte
+	Dots int
+}
+
+// NoteItem is a positioned note.
+type NoteItem struct {
+	Pos      int  // full space code (21 = bottom line); 0 = inherited
+	Acc      int  // accidental: +1 #, -1 -, +2 = (natural), 0 none
+	Dur      byte // duration code; 0 = inherited
+	Dots     int
+	Stem     int    // +1 up (U), -1 down (D), 0 unmarked
+	Syllable string // attached lyric syllable, if any
+}
+
+// Accidental suffix values for NoteItem.Acc.
+const (
+	AccSharpCode   = 1
+	AccFlatCode    = -1
+	AccNaturalCode = 2
+)
+
+// Group is a beam group: ( ... ), possibly nested.
+type Group struct{ Items []Item }
+
+// Barline is / (or // when Double).
+type Barline struct{ Double bool }
+
+func (InstrumentDef) darmsItem() {}
+func (ClefItem) darmsItem()      {}
+func (KeySigItem) darmsItem()    {}
+func (Annotation) darmsItem()    {}
+func (RestItem) darmsItem()      {}
+func (NoteItem) darmsItem()      {}
+func (Group) darmsItem()         {}
+func (Barline) darmsItem()       {}
+
+// durBeats maps duration codes to beats (quarter = 1).
+var durBeats = map[byte]struct{ num, den int64 }{
+	'W': {4, 1}, 'H': {2, 1}, 'Q': {1, 1}, 'E': {1, 2}, 'S': {1, 4}, 'T': {1, 8},
+}
+
+// IsDurCode reports whether c is a duration code letter.
+func IsDurCode(c byte) bool {
+	_, ok := durBeats[c]
+	return ok
+}
+
+// DurationBeats returns the duration in beats of a code with dots.
+func DurationBeats(code byte, dots int) (num, den int64, err error) {
+	d, ok := durBeats[code]
+	if !ok {
+		return 0, 0, fmt.Errorf("darms: unknown duration code %q", string(code))
+	}
+	num, den = d.num, d.den
+	add := d
+	for i := 0; i < dots; i++ {
+		add.den *= 2
+		num = num*add.den + add.num*den
+		den = den * add.den
+		// normalize lightly to keep numbers small
+		for num%2 == 0 && den%2 == 0 {
+			num, den = num/2, den/2
+		}
+	}
+	return num, den, nil
+}
+
+// parser state.
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("darms: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// Parse parses a DARMS stream (user or canonical form).
+func Parse(src string) ([]Item, error) {
+	p := &parser{src: src}
+	items, err := p.items(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errf("unexpected %q", string(p.src[p.pos]))
+	}
+	return items, nil
+}
+
+// items parses until end of input or a closing paren (depth > 0).
+func (p *parser) items(depth int) ([]Item, error) {
+	var out []Item
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			if depth > 0 {
+				return nil, p.errf("unclosed beam group")
+			}
+			return out, nil
+		}
+		c := p.src[p.pos]
+		switch {
+		case c == ')':
+			if depth == 0 {
+				return nil, p.errf("unmatched )")
+			}
+			p.pos++
+			return out, nil
+		case c == '(':
+			p.pos++
+			inner, err := p.items(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Group{Items: inner})
+		case c == '/':
+			p.pos++
+			double := p.peek() == '/'
+			if double {
+				p.pos++
+			}
+			out = append(out, Barline{Double: double})
+		case c == 'I' && p.digitAfter(1):
+			p.pos++
+			n := p.number()
+			out = append(out, InstrumentDef{N: n})
+		case c == '\'':
+			item, err := p.tick()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		case c == 'R':
+			p.pos++
+			item, err := p.rest()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		case c == '0' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '0':
+			p.pos += 2
+			p.skipSpace()
+			if p.peek() != '@' {
+				return nil, p.errf("annotation 00 must be followed by @text$")
+			}
+			text, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Annotation{Text: text})
+		case c >= '1' && c <= '9', IsDurCode(c):
+			notes, err := p.note()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, notes...)
+		default:
+			return nil, p.errf("unexpected %q", string(c))
+		}
+	}
+}
+
+func (p *parser) digitAfter(off int) bool {
+	i := p.pos + off
+	return i < len(p.src) && p.src[i] >= '0' && p.src[i] <= '9'
+}
+
+func (p *parser) number() int {
+	n := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		n = n*10 + int(p.src[p.pos]-'0')
+		p.pos++
+	}
+	return n
+}
+
+// tick parses 'G / 'F / 'C / 'K<n># or 'K<n>-.
+func (p *parser) tick() (Item, error) {
+	p.pos++ // '
+	if p.pos >= len(p.src) {
+		return nil, p.errf("dangling '")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	switch c {
+	case 'G', 'F', 'C':
+		return ClefItem{Letter: c}, nil
+	case 'K':
+		n := p.number()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("key signature needs # or -")
+		}
+		switch p.src[p.pos] {
+		case '#':
+			p.pos++
+			return KeySigItem{Count: n, Sharp: true}, nil
+		case '-':
+			p.pos++
+			return KeySigItem{Count: n, Sharp: false}, nil
+		}
+		return nil, p.errf("key signature needs # or -, found %q", string(p.src[p.pos]))
+	}
+	return nil, p.errf("unknown code '%s", string(c))
+}
+
+// rest parses the tail of R: optional multiplier then duration.
+func (p *parser) rest() (Item, error) {
+	mult := 1
+	if p.peek() >= '1' && p.peek() <= '9' {
+		mult = p.number()
+	}
+	c := p.peek()
+	if !IsDurCode(c) {
+		return nil, p.errf("rest needs a duration code, found %q", string(c))
+	}
+	p.pos++
+	dots := p.dots()
+	return RestItem{Mult: mult, Dur: c, Dots: dots}, nil
+}
+
+func (p *parser) dots() int {
+	n := 0
+	for p.peek() == '.' {
+		n++
+		p.pos++
+	}
+	return n
+}
+
+// note parses a run of digits (each a short position code, or together a
+// full 21–39 code) with optional duration, stem, and syllable suffixes.
+// A leading duration code with no digits is a note at the inherited
+// position.
+func (p *parser) note() ([]Item, error) {
+	var positions []int
+	start := p.pos
+	digits := 0
+	for p.peek() >= '0' && p.peek() <= '9' {
+		digits++
+		p.pos++
+	}
+	run := p.src[start:p.pos]
+	switch {
+	case digits == 0:
+		positions = []int{0} // inherited position
+	case digits == 2:
+		full := int(run[0]-'0')*10 + int(run[1]-'0')
+		if full >= 10 && full <= 39 {
+			positions = []int{full}
+		} else {
+			positions = []int{shortPos(run[0]), shortPos(run[1])}
+		}
+	default:
+		for i := 0; i < digits; i++ {
+			positions = append(positions, shortPos(run[i]))
+		}
+	}
+	// Suffixes attach to the final position of the run.
+	items := make([]Item, 0, len(positions))
+	for i, pos := range positions {
+		n := NoteItem{Pos: pos}
+		if i == len(positions)-1 {
+			// Accidental suffix: # sharp, - flat, = natural.
+			switch p.peek() {
+			case '#':
+				n.Acc = AccSharpCode
+				p.pos++
+			case '-':
+				n.Acc = AccFlatCode
+				p.pos++
+			case '=':
+				n.Acc = AccNaturalCode
+				p.pos++
+			}
+			if IsDurCode(p.peek()) {
+				n.Dur = p.peek()
+				p.pos++
+				n.Dots = p.dots()
+			}
+			switch p.peek() {
+			case 'D':
+				n.Stem = -1
+				p.pos++
+			case 'U':
+				n.Stem = +1
+				p.pos++
+			}
+			if p.peek() == ',' {
+				p.pos++
+				p.skipSpace()
+				if p.peek() != '@' {
+					return nil, p.errf("expected @syllable$ after comma")
+				}
+				text, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				n.Syllable = text
+			}
+		}
+		items = append(items, n)
+	}
+	// A token with neither position digits nor a duration code is not a
+	// note at all.
+	if digits == 0 {
+		if n := items[0].(NoteItem); n.Dur == 0 {
+			return nil, p.errf("expected a note (position digits or duration code)")
+		}
+	}
+	return items, nil
+}
+
+func shortPos(d byte) int { return 20 + int(d-'0') }
+
+// literal parses @...$ with ¢ capitalization: letters read lowercase,
+// a letter after ¢ reads uppercase.
+func (p *parser) literal() (string, error) {
+	if p.peek() != '@' {
+		return "", p.errf("expected @")
+	}
+	p.pos++
+	var b strings.Builder
+	capNext := false
+	for p.pos < len(p.src) {
+		// ¢ is multi-byte UTF-8; check for it explicitly.
+		if strings.HasPrefix(p.src[p.pos:], "¢") {
+			capNext = true
+			p.pos += len("¢")
+			continue
+		}
+		c := p.src[p.pos]
+		if c == '$' {
+			p.pos++
+			return b.String(), nil
+		}
+		if c >= 'A' && c <= 'Z' && !capNext {
+			c = c - 'A' + 'a'
+		}
+		capNext = false
+		b.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated literal (missing $)")
+}

@@ -1,0 +1,409 @@
+package darms
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cmn"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func TestParseBasicTokens(t *testing.T) {
+	items, err := Parse("I4 'G 'K2# 00@¢TENOR$ R2W /")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{
+		InstrumentDef{N: 4},
+		ClefItem{Letter: 'G'},
+		KeySigItem{Count: 2, Sharp: true},
+		Annotation{Text: "Tenor"},
+		RestItem{Mult: 2, Dur: 'W'},
+		Barline{},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("items:\n got %#v\nwant %#v", items, want)
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	// "47" = two short codes (not in 21–39); "31" = one full code.
+	items, err := Parse("47 31 9E 21Q.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{
+		NoteItem{Pos: 24}, NoteItem{Pos: 27},
+		NoteItem{Pos: 31},
+		NoteItem{Pos: 29, Dur: 'E'},
+		NoteItem{Pos: 21, Dur: 'Q', Dots: 1},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("items:\n got %#v\nwant %#v", items, want)
+	}
+}
+
+func TestParseSuffixes(t *testing.T) {
+	items, err := Parse(`4D 5U 7,@¢GLO-$ E,@O$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{
+		NoteItem{Pos: 24, Stem: -1},
+		NoteItem{Pos: 25, Stem: +1},
+		NoteItem{Pos: 27, Syllable: "Glo-"},
+		NoteItem{Pos: 0, Dur: 'E', Syllable: "o"},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("items:\n got %#v\nwant %#v", items, want)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	items, err := Parse("(8 (9 8 7 8)) //")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := items[0].(Group)
+	if !ok || len(g.Items) != 2 {
+		t.Fatalf("outer group: %#v", items[0])
+	}
+	inner, ok := g.Items[1].(Group)
+	if !ok || len(inner.Items) != 4 {
+		t.Fatalf("inner group: %#v", g.Items[1])
+	}
+	if bl, ok := items[1].(Barline); !ok || !bl.Double {
+		t.Fatalf("double bar: %#v", items[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(7 8",   // unclosed group
+		")",      // unmatched close
+		"'X",     // unknown tick code
+		"'K2",    // key sig without #/-
+		"'K2*",   // bad key sig mark
+		"R",      // rest without duration
+		"RZ",     // bad duration code
+		"7,",     // comma without literal
+		"7,@abc", // unterminated literal
+		"00 7",   // annotation without literal
+		"Q",      // inherited position with no context is a parse-time OK but canonize error; "Q" alone parses
+		"&",      // junk
+		"'",      // dangling tick
+	}
+	for _, src := range bad {
+		if src == "Q" {
+			continue // parses; fails at canonize (tested below)
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLiteralCapitalization(t *testing.T) {
+	items, err := Parse("00@¢GLO-¢RIA$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := items[0].(Annotation); a.Text != "Glo-Ria" {
+		t.Fatalf("literal: %q", a.Text)
+	}
+	// Round-trip through encodeLiteral.
+	if got := encodeLiteral("Glo-Ria"); got != "@¢GLO-¢RIA$" {
+		t.Fatalf("encodeLiteral: %q", got)
+	}
+}
+
+func TestCanonize(t *testing.T) {
+	items, err := Parse("7Q 8 9E R2W E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Canonize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{
+		NoteItem{Pos: 27, Dur: 'Q'},
+		NoteItem{Pos: 28, Dur: 'Q'}, // inherited duration made explicit
+		NoteItem{Pos: 29, Dur: 'E'},
+		RestItem{Mult: 1, Dur: 'W'}, // R2W expanded
+		RestItem{Mult: 1, Dur: 'W'},
+		NoteItem{Pos: 29, Dur: 'E'}, // bare E: inherited position
+	}
+	if !reflect.DeepEqual(canon, want) {
+		t.Fatalf("canon:\n got %#v\nwant %#v", canon, want)
+	}
+	// Orphan inheritance errors.
+	if _, err := Canonize([]Item{NoteItem{Pos: 0, Dur: 'Q'}}); err == nil {
+		t.Fatal("orphan position accepted")
+	}
+	if _, err := Canonize([]Item{NoteItem{Pos: 25}}); err == nil {
+		t.Fatal("orphan duration accepted")
+	}
+	if _, err := Canonize([]Item{RestItem{Mult: 1}}); err == nil {
+		t.Fatal("orphan rest duration accepted")
+	}
+}
+
+func TestCanonicalFixpoint(t *testing.T) {
+	items, err := Parse(Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Canonize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1 := Encode(canon)
+	reparsed, err := Parse(enc1)
+	if err != nil {
+		t.Fatalf("reparse canonical: %v\n%s", err, enc1)
+	}
+	canon2, err := Canonize(reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2 := Encode(canon2)
+	if enc1 != enc2 {
+		t.Fatalf("canonical form not a fixpoint:\n1: %s\n2: %s", enc1, enc2)
+	}
+	if !reflect.DeepEqual(canon, canon2) {
+		t.Fatal("canonical items differ after round trip")
+	}
+}
+
+// TestFigure4Golden pins the parse of the paper's figure 4(b).
+func TestFigure4Golden(t *testing.T) {
+	items, err := Parse(Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountNotes(items); n != 24 {
+		t.Fatalf("figure 4 note count: %d", n)
+	}
+	// 8 measures (7 single barlines + final double).
+	bars := 0
+	double := 0
+	for _, it := range Flatten(items) {
+		if b, ok := it.(Barline); ok {
+			bars++
+			if b.Double {
+				double++
+			}
+		}
+	}
+	if bars != 8 || double != 1 {
+		t.Fatalf("barlines: %d (%d double)", bars, double)
+	}
+	// Syllables of the Gloria text, in order.
+	var syls []string
+	for _, it := range Flatten(items) {
+		if n, ok := it.(NoteItem); ok && n.Syllable != "" {
+			syls = append(syls, n.Syllable)
+		}
+	}
+	want := []string{"Glo-", "ri-", "a", "in ", "ex-", "cel-", "sis", "De-", "o"}
+	if !reflect.DeepEqual(syls, want) {
+		t.Fatalf("syllables: %q", syls)
+	}
+	// The annotation is "Tenor".
+	if a, ok := items[3].(Annotation); !ok || a.Text != "Tenor" {
+		t.Fatalf("annotation: %#v", items[3])
+	}
+}
+
+func TestDurationBeats(t *testing.T) {
+	cases := []struct {
+		code byte
+		dots int
+		num  int64
+		den  int64
+	}{
+		{'W', 0, 4, 1}, {'H', 0, 2, 1}, {'Q', 0, 1, 1},
+		{'E', 0, 1, 2}, {'S', 0, 1, 4}, {'T', 0, 1, 8},
+		{'Q', 1, 3, 2}, {'H', 2, 7, 2},
+	}
+	for _, c := range cases {
+		n, d, err := DurationBeats(c.code, c.dots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmn.Beats(n, d).Cmp(cmn.Beats(c.num, c.den)) != 0 {
+			t.Errorf("%c dots=%d: %d/%d want %d/%d", c.code, c.dots, n, d, c.num, c.den)
+		}
+	}
+	if _, _, err := DurationBeats('Z', 0); err == nil {
+		t.Fatal("bad code accepted")
+	}
+}
+
+func TestDurationCode(t *testing.T) {
+	for _, d := range []cmn.RTime{cmn.Whole, cmn.Half, cmn.Quarter, cmn.Eighth,
+		cmn.Quarter.Dotted(1), cmn.Half.Dotted(2)} {
+		code, dots, err := DurationCode(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, dn, _ := DurationBeats(code, dots)
+		if cmn.Beats(n, dn).Cmp(d) != 0 {
+			t.Errorf("code round trip for %s: %c dots=%d", d, code, dots)
+		}
+	}
+	if _, _, err := DurationCode(cmn.Beats(1, 3)); err == nil {
+		t.Fatal("triplet duration should have no single code")
+	}
+}
+
+func newMusic(t testing.TB) *cmn.Music {
+	t.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cmn.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestToScoreFigure4(t *testing.T) {
+	m := newMusic(t)
+	items, _ := Parse(Figure4)
+	score, err := ToScore(m, items, "Gloria in excelsis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DB.Count("NOTE") != 24 {
+		t.Fatalf("notes: %d", m.DB.Count("NOTE"))
+	}
+	movements, _ := score.Movements()
+	measures, _ := movements[0].Measures()
+	if len(measures) != 8 {
+		t.Fatalf("measures: %d", len(measures))
+	}
+	// Measure 1 holds the two whole rests: 8 beats.
+	if d := measures[0].Duration(); d.Cmp(cmn.Beats(8, 1)) != 0 {
+		t.Fatalf("measure 1 duration: %s", d)
+	}
+	// All notes have resolved (non-zero) pitches, altered per 2 sharps.
+	count := 0
+	err = m.DB.Instances("NOTE", func(ref value.Ref, attrs value.Tuple) bool {
+		if attrs[2].AsInt() == 0 {
+			t.Errorf("unresolved pitch on note @%d", ref)
+		}
+		count++
+		return true
+	})
+	if err != nil || count != 24 {
+		t.Fatalf("instance walk: %d %v", count, err)
+	}
+	// Syllables stored and related.
+	if m.DB.Count("SYLLABLE") != 9 {
+		t.Fatalf("syllables: %d", m.DB.Count("SYLLABLE"))
+	}
+	// Beam groups: figure 4 has 7 groups (5 outer + 2 nested).
+	if got := m.DB.Count("GROUP"); got != 7 {
+		t.Fatalf("groups: %d", got)
+	}
+	// Key signature applied: with 2 sharps, notes on F and C degrees
+	// resolve a semitone up.  The tenor annotation exists.
+	if m.DB.Count("ANNOTATION") != 1 {
+		t.Fatalf("annotations: %d", m.DB.Count("ANNOTATION"))
+	}
+}
+
+func TestFromScoreRoundTrip(t *testing.T) {
+	m := newMusic(t)
+	// A simpler single-voice score without nested beams (FromScore
+	// flattens nesting).
+	src := "I1 'G 'K1# 7Q 8Q (9E 8E) / 7H RQ Q //"
+	items, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ToScore(m, items, "round trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover handles.
+	voices, _ := m.DB.FindByAttr("VOICE", "number", value.Int(1))
+	if len(voices) != 1 {
+		t.Fatal("voice lookup")
+	}
+	staffRefs := findAll(t, m, "STAFF")
+	if len(staffRefs) != 1 {
+		t.Fatal("staff lookup")
+	}
+	voice, err := m.VoiceByRef(voices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	staff, err := m.StaffByRef(staffRefs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := FromScore(m, score, voice, staff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Encode(back)
+	// Canonical re-encode of the canonized original must match.
+	canon, _ := Canonize(items)
+	want := Encode(canon)
+	if enc != want {
+		t.Fatalf("round trip:\n got %s\nwant %s", enc, want)
+	}
+}
+
+func findAll(t *testing.T, m *cmn.Music, typ string) []value.Ref {
+	t.Helper()
+	var out []value.Ref
+	if err := m.DB.Instances(typ, func(ref value.Ref, _ value.Tuple) bool {
+		out = append(out, ref)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func BenchmarkParseFigure4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(Figure4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonize(b *testing.B) {
+	items, _ := Parse(Figure4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Canonize(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToScore(b *testing.B) {
+	items, _ := Parse(Figure4)
+	for i := 0; i < b.N; i++ {
+		m := newMusic(b)
+		if _, err := ToScore(m, items, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package darms
+
+import (
+	"fmt"
+
+	"repro/internal/cmn"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// ToScore builds a CMN database score from a DARMS stream — the pipeline
+// the paper sketches around DARMS ("systems to generate a graphical CMN
+// score from a DARMS encoding have also been designed").  The stream is
+// canonized first; one instrument/voice is built; measures are created
+// from the barlines, each with duration equal to its content (DARMS
+// carries no meter signature in the figure-4 subset, so the meter is
+// taken from the music itself); beam groups become GROUP entities;
+// syllables become SYLLABLE entities related to their notes; the score
+// is aligned and its pitches resolved.
+func ToScore(m *cmn.Music, items []Item, title string) (*cmn.Score, error) {
+	canon, err := Canonize(items)
+	if err != nil {
+		return nil, err
+	}
+	score, err := m.NewScore(title, "")
+	if err != nil {
+		return nil, err
+	}
+	mv, err := score.AddMovement("I")
+	if err != nil {
+		return nil, err
+	}
+	orch, err := m.NewOrchestra("darms import")
+	if err != nil {
+		return nil, err
+	}
+	if err := orch.Performs(score); err != nil {
+		return nil, err
+	}
+	sec, err := orch.AddSection("voices")
+	if err != nil {
+		return nil, err
+	}
+
+	// First pass: find clef/key and instrument number.
+	clef := cmn.TrebleClef
+	key := cmn.KeySignature(0)
+	instNum := 1
+	for _, it := range Flatten(canon) {
+		switch x := it.(type) {
+		case InstrumentDef:
+			instNum = x.N
+		case ClefItem:
+			switch x.Letter {
+			case 'G':
+				clef = cmn.TrebleClef
+			case 'F':
+				clef = cmn.BassClef
+			case 'C':
+				clef = cmn.AltoClef
+			}
+		case KeySigItem:
+			if x.Sharp {
+				key = cmn.KeySignature(x.Count)
+			} else {
+				key = cmn.KeySignature(-x.Count)
+			}
+		}
+	}
+	inst, err := sec.AddInstrument(fmt.Sprintf("instrument %d", instNum), 0)
+	if err != nil {
+		return nil, err
+	}
+	staff, err := inst.AddStaff(1, clef, key)
+	if err != nil {
+		return nil, err
+	}
+	part, err := inst.AddPart(fmt.Sprintf("part %d", instNum))
+	if err != nil {
+		return nil, err
+	}
+	voice, err := part.AddVoice(1)
+	if err != nil {
+		return nil, err
+	}
+	textLine, err := m.DB.NewEntity("TEXTLINE", model.Attrs{"name": value.Str("lyrics")})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.DB.InsertChild("text_in_part", part.Ref, textLine, model.Last()); err != nil {
+		return nil, err
+	}
+
+	b := &scoreBuilder{m: m, mv: mv, staff: staff, voice: voice, text: textLine}
+	if err := b.build(canon, nil); err != nil {
+		return nil, err
+	}
+	if err := b.closeMeasure(); err != nil {
+		return nil, err
+	}
+	if err := mv.Align([]*cmn.Voice{voice}); err != nil {
+		return nil, err
+	}
+	if err := voice.ResolvePitches(staff); err != nil {
+		return nil, err
+	}
+	return score, nil
+}
+
+type scoreBuilder struct {
+	m     *cmn.Music
+	mv    *cmn.Movement
+	staff *cmn.Staff
+	voice *cmn.Voice
+	text  value.Ref
+
+	measureBeats cmn.RTime // accumulated content of the open measure
+	pending      []pendingItem
+}
+
+type pendingItem struct {
+	ref value.Ref
+}
+
+// build walks items, creating chords/rests and recording measure
+// boundaries.  group is the enclosing GROUP entity ref (nil at top
+// level).
+func (b *scoreBuilder) build(items []Item, group *cmn.Group) error {
+	for _, it := range items {
+		switch x := it.(type) {
+		case InstrumentDef, ClefItem, KeySigItem:
+			// Consumed in the first pass.
+		case Annotation:
+			ref, err := b.m.DB.NewEntity("ANNOTATION", model.Attrs{
+				"kind": value.Str("above-staff"), "text": value.Str(x.Text),
+			})
+			if err != nil {
+				return err
+			}
+			_ = ref // annotations are free-standing entities
+		case RestItem:
+			num, den, err := DurationBeats(x.Dur, x.Dots)
+			if err != nil {
+				return err
+			}
+			d := cmn.Beats(num, den)
+			rest, err := b.voice.AppendRest(d)
+			if err != nil {
+				return err
+			}
+			if group != nil {
+				if err := b.m.DB.InsertChild("group_content", group.Ref, rest.Ref, model.Last()); err != nil {
+					return err
+				}
+			}
+			b.measureBeats = b.measureBeats.Add(d)
+		case NoteItem:
+			num, den, err := DurationBeats(x.Dur, x.Dots)
+			if err != nil {
+				return err
+			}
+			d := cmn.Beats(num, den)
+			chord, err := b.voice.AppendChord(d, x.Stem)
+			if err != nil {
+				return err
+			}
+			acc := cmn.AccNone
+			switch x.Acc {
+			case AccSharpCode:
+				acc = cmn.AccSharp
+			case AccFlatCode:
+				acc = cmn.AccFlat
+			case AccNaturalCode:
+				acc = cmn.AccNatural
+			}
+			note, err := chord.AddNote(x.Pos-21, acc)
+			if err != nil {
+				return err
+			}
+			if err := note.OnStaff(b.staff); err != nil {
+				return err
+			}
+			if x.Syllable != "" {
+				syl, err := b.m.DB.NewEntity("SYLLABLE", model.Attrs{"text": value.Str(x.Syllable)})
+				if err != nil {
+					return err
+				}
+				if err := b.m.DB.InsertChild("syllable_in_text", b.text, syl, model.Last()); err != nil {
+					return err
+				}
+				if err := b.m.DB.Relate("SYLLABLE_OF", map[string]value.Ref{
+					"syllable": syl, "note": note.Ref,
+				}, nil); err != nil {
+					return err
+				}
+			}
+			if group != nil {
+				if err := b.m.DB.InsertChild("group_content", group.Ref, chord.Ref, model.Last()); err != nil {
+					return err
+				}
+			}
+			b.measureBeats = b.measureBeats.Add(d)
+		case Group:
+			g, err := b.voice.NewGroup("beam", 0, 0)
+			if err != nil {
+				return err
+			}
+			if group != nil {
+				// Nested beam: re-parent under the enclosing group
+				// (figure 8's recursive ordering).
+				if err := b.m.DB.RemoveChild("group_in_voice", g.Ref); err != nil {
+					return err
+				}
+				if err := b.m.DB.InsertChild("group_content", group.Ref, g.Ref, model.Last()); err != nil {
+					return err
+				}
+			}
+			if err := b.build(x.Items, g); err != nil {
+				return err
+			}
+		case Barline:
+			if err := b.closeMeasure(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("darms: unsupported item %T", it)
+		}
+	}
+	return nil
+}
+
+// closeMeasure ends the open measure, creating a MEASURE whose meter
+// matches its accumulated content.
+func (b *scoreBuilder) closeMeasure() error {
+	if b.measureBeats.IsZero() {
+		return nil // consecutive barlines or trailing //
+	}
+	// meter = beats as n/4-style signature: beats × den/4 over den.
+	num, den := b.measureBeats.Num(), b.measureBeats.Den()
+	// measure duration = 4·meterNum/meterDen = num/den beats
+	// → meterNum = num, meterDen = 4·den.
+	if _, err := b.mv.AddMeasure(int(num), int(4*den)); err != nil {
+		return err
+	}
+	b.measureBeats = cmn.Zero
+	return nil
+}
+
+// DurationCode maps a beat duration back to a DARMS code with dots
+// (0–2).  It errors for durations outside the code set.
+func DurationCode(d cmn.RTime) (code byte, dots int, err error) {
+	for c, base := range durBeats {
+		b := cmn.Beats(base.num, base.den)
+		for dots = 0; dots <= 2; dots++ {
+			if b.Dotted(dots).Cmp(d) == 0 {
+				return c, dots, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("darms: no duration code for %s beats", d)
+}
+
+// FromScore re-encodes a single-voice score as canonical DARMS: the
+// inverse of ToScore.  Clef and key come from the staff; barlines from
+// the measure structure; beams from the voice's groups; syllables from
+// the SYLLABLE_OF relationship.
+func FromScore(m *cmn.Music, score *cmn.Score, voice *cmn.Voice, staff *cmn.Staff) ([]Item, error) {
+	var items []Item
+	items = append(items, InstrumentDef{N: 1})
+	switch staff.Clef() {
+	case cmn.TrebleClef:
+		items = append(items, ClefItem{Letter: 'G'})
+	case cmn.BassClef:
+		items = append(items, ClefItem{Letter: 'F'})
+	default:
+		items = append(items, ClefItem{Letter: 'C'})
+	}
+	if k := int(staff.Key()); k > 0 {
+		items = append(items, KeySigItem{Count: k, Sharp: true})
+	} else if k < 0 {
+		items = append(items, KeySigItem{Count: -k, Sharp: false})
+	}
+
+	movements, err := score.Movements()
+	if err != nil || len(movements) == 0 {
+		return nil, fmt.Errorf("darms: score has no movements: %v", err)
+	}
+	measures, err := movements[0].Measures()
+	if err != nil {
+		return nil, err
+	}
+	boundaries := make([]cmn.RTime, 0, len(measures))
+	total := cmn.Zero
+	for _, me := range measures {
+		total = total.Add(me.Duration())
+		boundaries = append(boundaries, total)
+	}
+
+	content, err := voice.Content()
+	if err != nil {
+		return nil, err
+	}
+	onset := cmn.Zero
+	nextBoundary := 0
+	// Track open beam groups: when a chord is the first/last member of
+	// its group, open/close a Group item.  Single-level beams only in
+	// re-encoding (nested beams flatten).
+	var current []Item
+	push := func(it Item) { current = append(current, it) }
+	var openGroup value.Ref
+	var groupItems []Item
+
+	flushGroup := func() {
+		if openGroup != 0 {
+			push(Group{Items: groupItems})
+			groupItems = nil
+			openGroup = 0
+		}
+	}
+	emit := func(it Item, grp value.Ref) {
+		if grp != openGroup {
+			flushGroup()
+			openGroup = grp
+		}
+		if grp != 0 {
+			groupItems = append(groupItems, it)
+		} else {
+			push(it)
+		}
+	}
+
+	for _, item := range content {
+		code, dots, err := DurationCode(item.Duration)
+		if err != nil {
+			return nil, err
+		}
+		grp, _ := m.DB.ParentOf("group_content", item.Ref)
+		if item.IsRest {
+			emit(RestItem{Mult: 1, Dur: code, Dots: dots}, grp)
+		} else {
+			notes, err := m.DB.Children("note_in_chord", item.Ref)
+			if err != nil {
+				return nil, err
+			}
+			for _, nref := range notes {
+				deg, err := m.DB.Attr(nref, "degree")
+				if err != nil {
+					return nil, err
+				}
+				stem, _ := m.DB.Attr(item.Ref, "stem_direction")
+				ni := NoteItem{Pos: int(deg.AsInt()) + 21, Dur: code, Dots: dots, Stem: int(stem.AsInt())}
+				accAttr, _ := m.DB.Attr(nref, "accidental")
+				switch cmn.Accidental(accAttr.AsInt()) {
+				case cmn.AccSharp:
+					ni.Acc = AccSharpCode
+				case cmn.AccFlat:
+					ni.Acc = AccFlatCode
+				case cmn.AccNatural:
+					ni.Acc = AccNaturalCode
+				}
+				// Syllable lookup.
+				insts, err := m.DB.Related("SYLLABLE_OF", "note", nref)
+				if err != nil {
+					return nil, err
+				}
+				if len(insts) > 0 {
+					text, err := m.DB.Attr(insts[0].Roles["syllable"], "text")
+					if err != nil {
+						return nil, err
+					}
+					ni.Syllable = text.AsString()
+				}
+				emit(ni, grp)
+			}
+		}
+		onset = onset.Add(item.Duration)
+		for nextBoundary < len(boundaries) && boundaries[nextBoundary].Cmp(onset) <= 0 {
+			flushGroup()
+			double := nextBoundary == len(boundaries)-1
+			push(Barline{Double: double})
+			nextBoundary++
+		}
+	}
+	flushGroup()
+	items = append(items, current...)
+	return items, nil
+}

@@ -1,0 +1,321 @@
+// Package demo builds the shared demonstration data used by the figure
+// regeneration tool, the examples, and the benchmark harness: the
+// subject of Bach's g-minor fugue BWV 578 (figures 2 and 3 of the
+// paper), the beam-group structure of figure 8, and synthetic scores of
+// parameterized size for performance experiments.
+package demo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/midi"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// FugueSubjectDARMS is a DARMS transcription of the opening of the
+// BWV 578 fugue subject (g minor, treble clef, two flats):
+// G4 D5 | Bb4 A4 G4 | Bb4 A4 G4 F#4 | A4 D4.
+const FugueSubjectDARMS = `I1 'G 'K2- 00@¢SUBJECT$ 3Q 7Q (5E 4E) 3Q / (5E 4E) (3E 2#E) 4Q 20Q //`
+
+// subjectLine is the subject as (degree, accidental, duration) rows,
+// used to build multi-voice textures programmatically.
+var subjectLine = []struct {
+	degree int
+	acc    cmn.Accidental
+	dur    cmn.RTime
+}{
+	{2, cmn.AccNone, cmn.Quarter}, {6, cmn.AccNone, cmn.Quarter},
+	{4, cmn.AccNone, cmn.Eighth}, {3, cmn.AccNone, cmn.Eighth}, {2, cmn.AccNone, cmn.Quarter},
+	{4, cmn.AccNone, cmn.Eighth}, {3, cmn.AccNone, cmn.Eighth},
+	{2, cmn.AccNone, cmn.Eighth}, {1, cmn.AccSharp, cmn.Eighth},
+	{3, cmn.AccNone, cmn.Quarter}, {-1, cmn.AccNone, cmn.Quarter},
+}
+
+// LoadExposition builds a two-voice fugue exposition: the subject in
+// voice 1 (measures 1–2), then the answer — the subject transposed to
+// the dominant, a fourth lower — in voice 2 (measures 3–4) while voice 1
+// rests.  Both voices are aligned and pitched.  This is the texture the
+// §2 analysis clients work on.
+func LoadExposition(m *cmn.Music) (*cmn.Score, []*cmn.Voice, error) {
+	score, err := m.NewScore("Fuge g-moll (exposition)", "")
+	if err != nil {
+		return nil, nil, err
+	}
+	mv, err := score.AddMovement("I")
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mv.AddMeasure(4, 4); err != nil {
+			return nil, nil, err
+		}
+	}
+	orch, err := m.NewOrchestra("organ")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := orch.Performs(score); err != nil {
+		return nil, nil, err
+	}
+	sec, err := orch.AddSection("manuals")
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := sec.AddInstrument("organ", 19)
+	if err != nil {
+		return nil, nil, err
+	}
+	staff, err := inst.AddStaff(1, cmn.TrebleClef, -2)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := inst.AddPart("manual I")
+	if err != nil {
+		return nil, nil, err
+	}
+	v1, err := part.AddVoice(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	v2, err := part.AddVoice(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	appendLine := func(v *cmn.Voice, transpose int) error {
+		for _, n := range subjectLine {
+			chord, err := v.AppendChord(n.dur, 1)
+			if err != nil {
+				return err
+			}
+			note, err := chord.AddNote(n.degree+transpose, n.acc)
+			if err != nil {
+				return err
+			}
+			if err := note.OnStaff(staff); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Voice 1: subject, then two measures of rest.
+	if err := appendLine(v1, 0); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := v1.AppendRest(cmn.Whole); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Voice 2: two measures of rest, then the answer a fourth lower.
+	for i := 0; i < 2; i++ {
+		if _, err := v2.AppendRest(cmn.Whole); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := appendLine(v2, -3); err != nil {
+		return nil, nil, err
+	}
+	voices := []*cmn.Voice{v1, v2}
+	if err := mv.Align(voices); err != nil {
+		return nil, nil, err
+	}
+	for _, v := range voices {
+		if err := v.ResolvePitches(staff); err != nil {
+			return nil, nil, err
+		}
+	}
+	return score, voices, nil
+}
+
+// LoadFugue imports the fugue subject into a CMN database and returns
+// the typed handles (score, voice, staff).
+func LoadFugue(m *cmn.Music) (*cmn.Score, *cmn.Voice, *cmn.Staff, error) {
+	items, err := darms.Parse(FugueSubjectDARMS)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	score, err := darms.ToScore(m, items, "Fuge g-moll (subject)")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	voice, staff, err := SoloHandles(m, score)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return score, voice, staff, nil
+}
+
+// SoloHandles recovers the single voice and staff of a DARMS-imported
+// score.
+func SoloHandles(m *cmn.Music, score *cmn.Score) (*cmn.Voice, *cmn.Staff, error) {
+	var voice *cmn.Voice
+	var staff *cmn.Staff
+	err := m.DB.Instances("VOICE", func(ref value.Ref, _ value.Tuple) bool {
+		v, err := m.VoiceByRef(ref)
+		if err == nil {
+			voice = v
+		}
+		return false // first voice
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	err = m.DB.Instances("STAFF", func(ref value.Ref, _ value.Tuple) bool {
+		s, err := m.StaffByRef(ref)
+		if err == nil {
+			staff = s
+		}
+		return false
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if voice == nil || staff == nil {
+		return nil, nil, fmt.Errorf("demo: score has no voice or staff")
+	}
+	return voice, staff, nil
+}
+
+// FugueSequence renders the fugue subject to MIDI events at the given
+// tempo.
+func FugueSequence(m *cmn.Music, voice *cmn.Voice, bpm float64) (*midi.Sequence, error) {
+	notes, err := voice.PerformedNotes()
+	if err != nil {
+		return nil, err
+	}
+	return midi.FromPerformance(notes, cmn.NewTempoMap(bpm), 0), nil
+}
+
+// BeamSchemaDDL defines the figure-8 recursive ordering schema.
+const BeamSchemaDDL = `
+define entity BEAM_GROUP (name = string)
+define entity BCHORD (name = string)
+define ordering beam_content (BEAM_GROUP, BCHORD) under BEAM_GROUP
+`
+
+// BuildBeamFigure builds figure 8's instance structure on a fresh
+// BEAM_GROUP/BCHORD schema and returns the root group g1.
+//
+//	g1 = (c1, g2 = (c2, c3), g3 = (c4, g4 = (c5, c6)))
+func BuildBeamFigure(db *model.Database) (value.Ref, error) {
+	mk := func(typ, name string) (value.Ref, error) {
+		return db.NewEntity(typ, model.Attrs{"name": value.Str(name)})
+	}
+	g1, err := mk("BEAM_GROUP", "g1")
+	if err != nil {
+		return 0, err
+	}
+	g2, _ := mk("BEAM_GROUP", "g2")
+	g3, _ := mk("BEAM_GROUP", "g3")
+	g4, _ := mk("BEAM_GROUP", "g4")
+	c := make([]value.Ref, 7)
+	for i := 1; i <= 6; i++ {
+		c[i], _ = mk("BCHORD", fmt.Sprintf("c%d", i))
+	}
+	for _, edge := range []struct{ p, k value.Ref }{
+		{g1, c[1]}, {g1, g2}, {g2, c[2]}, {g2, c[3]},
+		{g1, g3}, {g3, c[4]}, {g3, g4}, {g4, c[5]}, {g4, c[6]},
+	} {
+		if err := db.InsertChild("beam_content", edge.p, edge.k, model.Last()); err != nil {
+			return 0, err
+		}
+	}
+	return g1, nil
+}
+
+// RandomScore generates a synthetic score: nMeasures of 4/4 in nVoices,
+// each voice filled with random quarter/eighth content, aligned and
+// pitched.  Used by the scaling benchmarks; the rng seed makes runs
+// reproducible.
+func RandomScore(m *cmn.Music, nMeasures, nVoices int, seed int64) (*cmn.Score, []*cmn.Voice, error) {
+	rng := rand.New(rand.NewSource(seed))
+	score, err := m.NewScore(fmt.Sprintf("synthetic %dx%d", nMeasures, nVoices), "")
+	if err != nil {
+		return nil, nil, err
+	}
+	mv, err := score.AddMovement("I")
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < nMeasures; i++ {
+		if _, err := mv.AddMeasure(4, 4); err != nil {
+			return nil, nil, err
+		}
+	}
+	orch, err := m.NewOrchestra("synthetic")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := orch.Performs(score); err != nil {
+		return nil, nil, err
+	}
+	sec, err := orch.AddSection("strings")
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := sec.AddInstrument("violin", 40)
+	if err != nil {
+		return nil, nil, err
+	}
+	staff, err := inst.AddStaff(1, cmn.TrebleClef, cmn.KeySignature(rng.Intn(5)-2))
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := inst.AddPart("violin I")
+	if err != nil {
+		return nil, nil, err
+	}
+	voices := make([]*cmn.Voice, nVoices)
+	total := cmn.Beats(int64(4*nMeasures), 1)
+	for v := 0; v < nVoices; v++ {
+		voice, err := part.AddVoice(v + 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		voices[v] = voice
+		filled := cmn.Zero
+		for filled.Less(total) {
+			remain := total.Sub(filled)
+			var dur cmn.RTime
+			switch {
+			case remain.Cmp(cmn.Quarter) < 0:
+				dur = remain
+			case rng.Intn(2) == 0:
+				dur = cmn.Quarter
+			default:
+				dur = cmn.Eighth
+			}
+			if rng.Intn(8) == 0 {
+				if _, err := voice.AppendRest(dur); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				chord, err := voice.AppendChord(dur, 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				note, err := chord.AddNote(rng.Intn(12)-2, cmn.AccNone)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := note.OnStaff(staff); err != nil {
+					return nil, nil, err
+				}
+			}
+			filled = filled.Add(dur)
+		}
+	}
+	if err := mv.Align(voices); err != nil {
+		return nil, nil, err
+	}
+	for _, v := range voices {
+		if err := v.ResolvePitches(staff); err != nil {
+			return nil, nil, err
+		}
+	}
+	return score, voices, nil
+}

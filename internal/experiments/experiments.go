@@ -1,0 +1,397 @@
+// Package experiments implements the quantitative harness of the
+// reproduction: for each performance argument the paper makes
+// qualitatively, a measured experiment (DESIGN.md's Q1–Q7), plus
+// scaling sweeps for the figure-derived operations (F-experiments).
+// The cmd/mdmbench tool prints the rows recorded in EXPERIMENTS.md.
+//
+// Measurements use testing.Benchmark, so each number is a stable ns/op
+// (or a ratio/bytes metric where noted).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/demo"
+	"repro/internal/midi"
+	"repro/internal/model"
+	"repro/internal/relbase"
+	"repro/internal/sound"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Row is one measured result.
+type Row struct {
+	ID     string  // experiment id (Q1, F14, ...)
+	Name   string  // what is measured
+	Config string  // workload parameters
+	Value  float64 // the measurement
+	Unit   string
+}
+
+// Render formats rows as an aligned table.
+func Render(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-44s %-22s %14s %s\n", "id", "measurement", "configuration", "value", "unit")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-44s %-22s %14.1f %s\n", r.ID, r.Name, r.Config, r.Value, r.Unit)
+	}
+	return b.String()
+}
+
+// Sizes scales workloads: Quick for tests, Full for the recorded runs.
+type Sizes struct {
+	ScanRows     int
+	OrderedNotes int
+	MiddleChord  int
+	SyncMeasures int
+	Clients      int
+	ClientOps    int
+	SoundSeconds float64
+}
+
+// Quick returns test-sized workloads.
+func Quick() Sizes {
+	return Sizes{ScanRows: 2000, OrderedNotes: 500, MiddleChord: 300,
+		SyncMeasures: 8, Clients: 4, ClientOps: 25, SoundSeconds: 0.25}
+}
+
+// Full returns the workload sizes used for EXPERIMENTS.md.
+func Full() Sizes {
+	return Sizes{ScanRows: 100_000, OrderedNotes: 10_000, MiddleChord: 2_000,
+		SyncMeasures: 64, Clients: 4, ClientOps: 400, SoundSeconds: 5}
+}
+
+func nsPerOp(fn func(b *testing.B)) float64 {
+	r := testing.Benchmark(fn)
+	return float64(r.NsPerOp())
+}
+
+// RunAll executes every experiment at the given sizes.
+func RunAll(sz Sizes) []Row {
+	var rows []Row
+	rows = append(rows, Q1SortedSelection(sz)...)
+	rows = append(rows, Q2MiddleInsert(sz)...)
+	rows = append(rows, Q3OrderingOperators(sz)...)
+	rows = append(rows, Q4Sound(sz)...)
+	rows = append(rows, Q7TxnOverhead(sz)...)
+	rows = append(rows, F13Extrapolation(sz)...)
+	rows = append(rows, F14SyncAlignment(sz)...)
+	rows = append(rows, F4DarmsThroughput()...)
+	return rows
+}
+
+// Q1SortedSelection measures §5.2's claim: key-range selection on a
+// sorted (indexed) relation versus a heap scan, and the footnote's
+// caveat that a mismatched sort key does not help.
+func Q1SortedSelection(sz Sizes) []Row {
+	db, _ := storage.Open(storage.Options{})
+	db.CreateRelation("N", value.NewSchema(
+		value.Field{Name: "pitch", Kind: value.KindInt},
+		value.Field{Name: "dur", Kind: value.KindInt},
+	))
+	db.CreateIndex("N", storage.IndexSpec{Name: "by_pitch", Columns: []string{"pitch"}})
+	db.Run(func(tx *storage.Tx) error {
+		for i := 0; i < sz.ScanRows; i++ {
+			tx.Insert("N", value.Tuple{value.Int(int64(i % 128)), value.Int(int64(i % 7))})
+		}
+		return nil
+	})
+	cfg := fmt.Sprintf("n=%d", sz.ScanRows)
+	lo := value.AppendKey(nil, value.Int(60))
+	hi := value.AppendKey(nil, value.Int(64))
+	idx := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				return tx.IndexScan("N", "by_pitch", lo, hi, func(storage.RowID, value.Tuple) bool { return true })
+			})
+		}
+	})
+	heap := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				return tx.Scan("N", func(_ storage.RowID, t value.Tuple) bool {
+					_ = t[0].AsInt() >= 60 && t[0].AsInt() < 64
+					return true
+				})
+			})
+		}
+	})
+	// Mismatched key: selecting on dur via the pitch index degenerates
+	// to the heap scan (the paper's footnote 3).
+	mismatch := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Run(func(tx *storage.Tx) error {
+				return tx.Scan("N", func(_ storage.RowID, t value.Tuple) bool {
+					_ = t[1].AsInt() == 3
+					return true
+				})
+			})
+		}
+	})
+	return []Row{
+		{"Q1", "range selection via matching sort key", cfg, idx, "ns/query"},
+		{"Q1", "range selection via heap scan", cfg, heap, "ns/query"},
+		{"Q1", "selection with mismatched sort key", cfg, mismatch, "ns/query"},
+		{"Q1", "speedup from matching key", cfg, heap / idx, "x"},
+	}
+}
+
+// Q2MiddleInsert measures ordered insertion in the middle: the model
+// layer's gap ranks versus the relational baseline's renumbering.
+func Q2MiddleInsert(sz Sizes) []Row {
+	cfg := fmt.Sprintf("siblings=%d", sz.MiddleChord)
+
+	gap := nsPerOp(func(b *testing.B) {
+		b.StopTimer()
+		db := freshModel()
+		defineChordSchema(db)
+		chord, _ := db.NewEntity("CHORD", nil)
+		refs, _ := db.NewEntities("NOTE", sz.MiddleChord+b.N, func(int) model.Attrs { return nil })
+		for i := 0; i < sz.MiddleChord; i++ {
+			db.InsertChild("note_in_chord", chord, refs[i], model.Last())
+		}
+		anchor := refs[sz.MiddleChord/2]
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertChild("note_in_chord", chord, refs[sz.MiddleChord+i], model.Before(anchor)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	renumber := nsPerOp(func(b *testing.B) {
+		b.StopTimer()
+		db, _ := storage.Open(storage.Options{})
+		s, _ := relbase.Open(db)
+		chord, _ := s.NewChord(1)
+		for i := 0; i < sz.MiddleChord; i++ {
+			s.AppendNote(chord, int64(i), 60)
+		}
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.InsertNoteAt(chord, int64(sz.MiddleChord/2), int64(1000+i), 60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []Row{
+		{"Q2", "middle insert, hierarchical ordering (gap ranks)", cfg, gap, "ns/insert"},
+		{"Q2", "middle insert, relational seqno renumbering", cfg, renumber, "ns/insert"},
+		{"Q2", "hierarchical ordering advantage", cfg, renumber / gap, "x"},
+	}
+}
+
+// Q3OrderingOperators measures the §5.6 operators against the relational
+// equivalents.
+func Q3OrderingOperators(sz Sizes) []Row {
+	cfg := fmt.Sprintf("siblings=%d", sz.OrderedNotes)
+	db := freshModel()
+	defineChordSchema(db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	refs, _ := db.NewEntities("NOTE", sz.OrderedNotes, func(i int) model.Attrs {
+		return model.Attrs{"name": value.Int(int64(i))}
+	})
+	for _, r := range refs {
+		db.InsertChild("note_in_chord", chord, r, model.Last())
+	}
+	sdb, _ := storage.Open(storage.Options{})
+	rb, _ := relbase.Open(sdb)
+	bchord, _ := rb.NewChord(1)
+	for i := 0; i < sz.OrderedNotes; i++ {
+		rb.AppendNote(bchord, int64(i), 60)
+	}
+
+	before := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.BeforeIn("note_in_chord", refs[i%len(refs)], refs[(i*7)%len(refs)])
+		}
+	})
+	rbBefore := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rb.Before(bchord, int64(i%sz.OrderedNotes), int64((i*7)%sz.OrderedNotes))
+		}
+	})
+	at := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.ChildAt("note_in_chord", chord, i%sz.OrderedNotes)
+		}
+	})
+	rbAt := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rb.NoteAt(bchord, int64(i%sz.OrderedNotes))
+		}
+	})
+	return []Row{
+		{"Q3", "before operator, hierarchical ordering", cfg, before, "ns/op"},
+		{"Q3", "before equivalent, relational scan", cfg, rbBefore, "ns/op"},
+		{"Q3", "ordinal access, order-statistics tree", cfg, at, "ns/op"},
+		{"Q3", "ordinal access, relational index walk", cfg, rbAt, "ns/op"},
+	}
+}
+
+// Q4Sound verifies §4.1's storage arithmetic and measures the two
+// compaction families on synthesized music.
+func Q4Sound(sz Sizes) []Row {
+	exact := float64(sound.StorageBytes(600, sound.ProfessionalRate))
+	m := freshMusic()
+	_, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		panic(err)
+	}
+	notes, _ := voice.PerformedNotes()
+	// Stretch/loop the subject to fill the requested duration.
+	tm := cmn.NewTempoMap(8 * 60 / sz.SoundSeconds) // 8 beats over SoundSeconds
+	seq := midi.FromPerformance(notes, tm, 0)
+	buf, err := sound.Synthesize(seq, sound.Organ, 48000)
+	if err != nil {
+		panic(err)
+	}
+	cfg := fmt.Sprintf("%.2gs @48kHz", buf.Duration())
+	delta := sound.EncodeDelta(buf)
+	mulaw := sound.EncodeMuLaw(buf)
+	dec, _ := sound.DecodeMuLaw(mulaw)
+	snr, _ := sound.SNR(buf, dec)
+	return []Row{
+		{"Q4", "10 min at 48kHz/16-bit (paper: 57.6 MB)", "exact", exact, "bytes"},
+		{"Q4", "redundancy codec (delta) compression", cfg, sound.CompressionRatio(buf, delta), "x"},
+		{"Q4", "perceptual codec (mu-law) compression", cfg, sound.CompressionRatio(buf, mulaw), "x"},
+		{"Q4", "perceptual codec SNR", cfg, snr, "dB"},
+	}
+}
+
+// Q7TxnOverhead measures WAL and locking overheads (§2's standard
+// duties).
+func Q7TxnOverhead(sz Sizes) []Row {
+	schema := value.NewSchema(value.Field{Name: "v", Kind: value.KindInt})
+	insertBench := func(opts storage.Options) float64 {
+		return nsPerOp(func(b *testing.B) {
+			b.StopTimer()
+			db, err := storage.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			db.CreateRelation("T", schema)
+			b.StartTimer()
+			for i := 0; i < b.N; i++ {
+				db.Run(func(tx *storage.Tx) error {
+					_, err := tx.Insert("T", value.Tuple{value.Int(int64(i))})
+					return err
+				})
+			}
+		})
+	}
+	mem := insertBench(storage.Options{})
+	dir1, _ := tempDir()
+	wal := insertBench(storage.Options{Dir: dir1})
+	dir2, _ := tempDir()
+	walSync := insertBench(storage.Options{Dir: dir2, SyncCommits: true})
+	return []Row{
+		{"Q7", "txn insert, no WAL (in-memory)", "1 row/txn", mem, "ns/txn"},
+		{"Q7", "txn insert, WAL (group commit)", "1 row/txn", wal, "ns/txn"},
+		{"Q7", "txn insert, WAL + fsync per commit", "1 row/txn", walSync, "ns/txn"},
+	}
+}
+
+// F13Extrapolation measures score-time → performance-time MIDI
+// extrapolation through a tempo map with ramps.
+func F13Extrapolation(sz Sizes) []Row {
+	tm := cmn.NewTempoMap(96)
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(32, 1), BPM: 120, Ramp: true})
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(64, 1), BPM: 60})
+	notes := make([]cmn.PerformedNote, 1000)
+	for i := range notes {
+		notes[i] = cmn.PerformedNote{Pitch: 40 + i%40, Start: cmn.Beats(int64(i), 4),
+			Duration: cmn.Quarter, Velocity: 80}
+	}
+	ns := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			midi.FromPerformance(notes, tm, 0)
+		}
+	})
+	return []Row{
+		{"F13", "temporal extrapolation (1000 notes, 3-mark map)", "ramped tempo", ns / 1000, "ns/note"},
+	}
+}
+
+// F14SyncAlignment measures the figure-14 alignment as score size grows.
+func F14SyncAlignment(sz Sizes) []Row {
+	var rows []Row
+	for _, voices := range []int{1, 2, 4} {
+		cfg := fmt.Sprintf("measures=%d voices=%d", sz.SyncMeasures, voices)
+		v := voices
+		ns := nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := freshMusic()
+				score, vs, err := demo.RandomScore(m, sz.SyncMeasures, v, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				movements, _ := score.Movements()
+				movements[0].ClearAlignment()
+				b.StartTimer()
+				if err := movements[0].Align(vs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, Row{"F14", "sync alignment of a movement", cfg, ns, "ns/align"})
+	}
+	return rows
+}
+
+// F4DarmsThroughput measures DARMS parsing and canonization.
+func F4DarmsThroughput() []Row {
+	src := darms.Figure4
+	parse := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := darms.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	items, _ := darms.Parse(src)
+	canon := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := darms.Canonize(items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []Row{
+		{"F4", "DARMS parse (figure 4 fragment)", fmt.Sprintf("%d bytes", len(src)), parse, "ns/parse"},
+		{"F4", "DARMS canonize (figure 4 fragment)", "24 notes", canon, "ns/op"},
+	}
+}
+
+func freshModel() *model.Database {
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		panic(err)
+	}
+	db, err := model.Open(store)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func freshMusic() *cmn.Music {
+	m, err := cmn.Open(freshModel())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func defineChordSchema(db *model.Database) {
+	db.DefineEntity("CHORD", value.Field{Name: "name", Kind: value.KindInt})
+	db.DefineEntity("NOTE", value.Field{Name: "name", Kind: value.KindInt})
+	db.DefineOrdering("note_in_chord", []string{"NOTE"}, "CHORD")
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/biblio"
+	"repro/internal/ddl"
+	"repro/internal/demo"
+	"repro/internal/figuregen"
+	"repro/internal/mdm"
+	"repro/internal/meta"
+	"repro/internal/model"
+	"repro/internal/pscript"
+	"repro/internal/quel"
+	"repro/internal/value"
+)
+
+// RunAllExtended appends the remaining experiments to RunAll's rows.
+func RunAllExtended(sz Sizes) []Row {
+	rows := RunAll(sz)
+	rows = append(rows, Q5CatalogIndirection()...)
+	rows = append(rows, Q6SharedMDM(sz)...)
+	rows = append(rows, F2ThematicLookup(sz)...)
+	rows = append(rows, F6OrdinalFanout(sz)...)
+	rows = append(rows, F8RecursiveTraversal()...)
+	rows = append(rows, F9CatalogBootstrap()...)
+	rows = append(rows, F5QuelJoin(sz)...)
+	return rows
+}
+
+// Q5CatalogIndirection measures the §6.2 three-layer indirection: drawing
+// a stem by resolving GraphDef/GParmUse through the catalog versus a
+// hard-coded drawing call (the ablation of design choice 4).
+func Q5CatalogIndirection() []Row {
+	db := freshModel()
+	c, err := meta.Bootstrap(db)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := ddl.Exec(db, `
+define entity STEM (xpos = integer, ypos = integer, length = integer, direction = integer)`); err != nil {
+		panic(err)
+	}
+	c.Refresh()
+	const fn = "newpath xpos ypos moveto 0 length direction mul rlineto stroke"
+	c.DefineGraphDef("draw_stem", "STEM", fn, []meta.ParamBinding{
+		{Attribute: "xpos", Setup: "/xpos exch def"},
+		{Attribute: "ypos", Setup: "/ypos exch def"},
+		{Attribute: "length", Setup: "/length exch def"},
+		{Attribute: "direction", Setup: "/direction exch def"},
+	})
+	stem, _ := db.NewEntity("STEM", model.Attrs{
+		"xpos": value.Int(4), "ypos": value.Int(10),
+		"length": value.Int(7), "direction": value.Int(-1),
+	})
+	viaCatalog := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := figuregen.DrawViaCatalog(db, c, "STEM", stem); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hardcoded := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			canvas := pscript.NewCanvas()
+			in := pscript.New(canvas)
+			if err := in.Run("newpath 4 10 moveto 0 7 -1 mul rlineto stroke"); err != nil {
+				b.Fatal(err)
+			}
+			canvas.Rasterize(12, 12)
+		}
+	})
+	return []Row{
+		{"Q5", "stem draw via catalog (GDefUse+GParmUse)", "figure 10", viaCatalog, "ns/draw"},
+		{"Q5", "stem draw hard-coded", "figure 10", hardcoded, "ns/draw"},
+		{"Q5", "catalog indirection overhead", "figure 10", viaCatalog / hardcoded, "x"},
+	}
+}
+
+// Q6SharedMDM measures figure 1's architecture: total time for N client
+// workloads run against one shared MDM concurrently versus serially.
+func Q6SharedMDM(sz Sizes) []Row {
+	setup := func() (*mdm.MDM, error) {
+		m, err := mdm.Open(mdm.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := m.NewSession()
+		if _, err := s.Exec(`append to ANNOTATION (kind = "seed", text = "x")`); err != nil {
+			m.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+	clientWork := func(m *mdm.MDM, ops int) error {
+		s := m.NewSession()
+		for i := 0; i < ops; i++ {
+			if i%2 == 0 {
+				if _, err := s.Exec(`append to ANNOTATION (kind = "note", text = "y")`); err != nil {
+					return err
+				}
+			} else {
+				if _, err := s.Query(`range of a is ANNOTATION retrieve (c = count(a.all))`); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	cfg := fmt.Sprintf("clients=%d ops=%d", sz.Clients, sz.ClientOps)
+	concurrent := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < sz.Clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					clientWork(m, sz.ClientOps) //nolint:errcheck
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			m.Close()
+			b.StartTimer()
+		}
+	})
+	serial := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for c := 0; c < sz.Clients; c++ {
+				clientWork(m, sz.ClientOps) //nolint:errcheck
+			}
+			b.StopTimer()
+			m.Close()
+			b.StartTimer()
+		}
+	})
+	return []Row{
+		{"Q6", "4 clients sharing one MDM, concurrent", cfg, concurrent, "ns/run"},
+		{"Q6", "4 clients sharing one MDM, serial", cfg, serial, "ns/run"},
+	}
+}
+
+// F2ThematicLookup measures catalogue lookup as the index grows.
+func F2ThematicLookup(sz Sizes) []Row {
+	var rows []Row
+	for _, n := range []int{100, 1000} {
+		db := freshModel()
+		ix, err := biblio.Open(db)
+		if err != nil {
+			panic(err)
+		}
+		cat, _ := ix.NewCatalog("bench", "BN", "chronological")
+		for i := 1; i <= n; i++ {
+			ix.AddEntry(cat, biblio.Entry{Number: i, Title: fmt.Sprintf("Work %d", i)})
+		}
+		nn := n
+		ns := nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Lookup("BN", 1+i%nn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, Row{"F2", "thematic index lookup by identifier",
+			fmt.Sprintf("entries=%d", n), ns, "ns/lookup"})
+	}
+	return rows
+}
+
+// F6OrdinalFanout measures "the i'th child of p" as fan-out grows.
+func F6OrdinalFanout(sz Sizes) []Row {
+	var rows []Row
+	for _, n := range []int{10, 1000, 100000} {
+		if n > sz.OrderedNotes*20 {
+			continue
+		}
+		db := freshModel()
+		defineChordSchema(db)
+		chord, _ := db.NewEntity("CHORD", nil)
+		refs, _ := db.NewEntities("NOTE", n, func(int) model.Attrs { return nil })
+		for _, r := range refs {
+			db.InsertChild("note_in_chord", chord, r, model.Last())
+		}
+		nn := n
+		ns := nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.ChildAt("note_in_chord", chord, i%nn)
+			}
+		})
+		rows = append(rows, Row{"F6", "ordinal access (i'th child)",
+			fmt.Sprintf("fan-out=%d", n), ns, "ns/op"})
+	}
+	return rows
+}
+
+// F8RecursiveTraversal measures depth-first walks of recursive
+// orderings as depth grows.
+func F8RecursiveTraversal() []Row {
+	var rows []Row
+	for _, depth := range []int{4, 16, 64} {
+		db := freshModel()
+		if _, err := ddl.Exec(db, demo.BeamSchemaDDL); err != nil {
+			panic(err)
+		}
+		// A chain of nested groups, two chords per level.
+		root, _ := db.NewEntity("BEAM_GROUP", model.Attrs{"name": value.Str("g0")})
+		parent := root
+		count := 1
+		for d := 1; d < depth; d++ {
+			for i := 0; i < 2; i++ {
+				c, _ := db.NewEntity("BCHORD", nil)
+				db.InsertChild("beam_content", parent, c, model.Last())
+				count++
+			}
+			g, _ := db.NewEntity("BEAM_GROUP", model.Attrs{"name": value.Str(fmt.Sprintf("g%d", d))})
+			db.InsertChild("beam_content", parent, g, model.Last())
+			parent = g
+			count++
+		}
+		ns := nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				db.Walk("beam_content", root, func(value.Ref, int) bool { n++; return true })
+			}
+		})
+		rows = append(rows, Row{"F8", "recursive ordering walk",
+			fmt.Sprintf("depth=%d nodes=%d", depth, count), ns, "ns/walk"})
+	}
+	return rows
+}
+
+// F9CatalogBootstrap measures the meta-schema bootstrap (schema stored
+// as ordered entities) over the full CMN schema.
+func F9CatalogBootstrap() []Row {
+	ns := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := freshMusic()
+			b.StartTimer()
+			if _, err := meta.Bootstrap(m.DB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []Row{
+		{"F9", "meta-catalog bootstrap over CMN schema", "~40 types", ns, "ns/bootstrap"},
+	}
+}
+
+// F5QuelJoin measures the figure-5 is-operator join as the relationship
+// grows.
+func F5QuelJoin(sz Sizes) []Row {
+	db := freshModel()
+	if _, err := ddl.Exec(db, `
+define entity PERSON (name = string)
+define entity COMPOSITION (title = string)
+define relationship COMPOSER (composer = PERSON, composition = COMPOSITION)`); err != nil {
+		panic(err)
+	}
+	n := sz.ScanRows / 100
+	if n < 10 {
+		n = 10
+	}
+	people, _ := db.NewEntities("PERSON", n, func(i int) model.Attrs {
+		return model.Attrs{"name": value.Str(fmt.Sprintf("composer %d", i))}
+	})
+	comps, _ := db.NewEntities("COMPOSITION", n, func(i int) model.Attrs {
+		return model.Attrs{"title": value.Str(fmt.Sprintf("work %d", i))}
+	})
+	for i := range people {
+		db.Relate("COMPOSER", map[string]value.Ref{
+			"composer": people[i], "composition": comps[i%len(comps)],
+		}, nil)
+	}
+	s := quel.NewSession(db)
+	q := `retrieve (PERSON.name)
+  where COMPOSITION.title = "work 5"
+  and COMPOSER.composition is COMPOSITION
+  and COMPOSER.composer is PERSON`
+	ns := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []Row{
+		{"F5", "is-operator join (Star Spangled Banner query)",
+			fmt.Sprintf("%d persons/works", n), ns, "ns/query"},
+	}
+}

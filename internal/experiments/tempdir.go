@@ -1,0 +1,8 @@
+package experiments
+
+import "os"
+
+// tempDir allocates a throwaway directory for durability experiments.
+func tempDir() (string, error) {
+	return os.MkdirTemp("", "mdmbench-*")
+}

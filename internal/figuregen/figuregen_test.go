@@ -1,0 +1,102 @@
+package figuregen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresGenerate runs every generator and checks for key content
+// from the corresponding paper figure.
+func TestAllFiguresGenerate(t *testing.T) {
+	wantContent := map[int][]string{
+		1:  {"music data manager", "editor client", "11 notes"},
+		2:  {"BWV 578", "Fuge g-moll", "Orgel", "68 Takte"},
+		3:  {"piano roll", "▒", "█", "D5"},
+		4:  {"canonical DARMS", "24 notes", "8 measures", "abbreviation key"},
+		5:  {"[COMPOSITION]", "<COMPOSER>", "Francis Scott Key", "John Stafford Smith"},
+		6:  {"4 P-edges, 3 S-edges", "third child of y is w"},
+		7:  {"[CHORD]", "note_in_chord", "(NOTE)"},
+		8:  {"BEAM_GROUP", "(c1)", "(g4)", "part of itself"},
+		9:  {"entity_attributes", "entity_name", "attribute_name"},
+		10: {"draw_stem", "four-step", "#"},
+		11: {"SYNC", "Sets of simultaneous events", "Entity type"},
+		12: {"temporal:", "timbral/pitch:", "NOTE"},
+		13: {"movement_in_score", "[SYNC]", "midi_in_event"},
+		14: {"measure 1:", "sync at beat 0:", "sync at beat 2:"},
+		15: {"kind=beam", "duration"},
+	}
+	gens := All()
+	if len(gens) != 15 {
+		t.Fatalf("generators: %d", len(gens))
+	}
+	for n := 1; n <= 15; n++ {
+		out, err := gens[n]()
+		if err != nil {
+			t.Errorf("figure %d: %v", n, err)
+			continue
+		}
+		if len(out) < 40 {
+			t.Errorf("figure %d output too short: %q", n, out)
+		}
+		for _, want := range wantContent[n] {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure %d missing %q:\n%s", n, want, out)
+			}
+		}
+	}
+}
+
+// TestFigure10StemGeometry checks the drawn stem's pixels: a vertical
+// line (downward stem of length 7 from y=10).
+func TestFigure10StemGeometry(t *testing.T) {
+	out, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count '#' pixels: an 11-row vertical line rasterized into 12×12.
+	pixels := strings.Count(out, "#")
+	if pixels < 8 || pixels > 14 {
+		t.Fatalf("stem pixels: %d\n%s", pixels, out)
+	}
+	// All '#' in the same column: verify verticality.
+	var col = -1
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.IndexByte(line, '#')
+		if i < 0 || strings.ContainsAny(line, "abcdefghijklmnopqrstuvwxyz") {
+			continue
+		}
+		if col == -1 {
+			col = i
+		} else if i != col {
+			t.Fatalf("stem not vertical: col %d vs %d\n%s", i, col, out)
+		}
+	}
+}
+
+func TestFigure3RollShape(t *testing.T) {
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subject spans D4..D5: compact rendering shows 6 pitch rows
+	// (G4, F#4, A4, A#4, D4, D5) plus header and axis.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 6 {
+		t.Fatalf("roll rows: %d\n%s", rows, out)
+	}
+}
+
+func BenchmarkFigureGeneration(b *testing.B) {
+	gens := All()
+	for i := 0; i < b.N; i++ {
+		n := 1 + i%15
+		if _, err := gens[n](); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

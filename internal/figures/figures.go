@@ -1,0 +1,212 @@
+// Package figures renders the paper's diagram vocabulary as text: Chen
+// entity-relationship graphs (figure 5), instance graphs with P- and
+// S-edges (figures 6 and 8(c)), hierarchical-ordering graphs (figures 7,
+// 8(a), 9, 13), and the aspect tree (figure 12).  The cmd/figures tool
+// assembles these renderings into reproductions of every figure in the
+// paper.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cmn"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// RenderER renders the schema's entity-relationship graph in Chen's
+// notation, textually: entity types in [boxes], relationships in
+// <diamonds> with their role edges.
+func RenderER(db *model.Database, entities []string, relationships []string) string {
+	var b strings.Builder
+	b.WriteString("Entity types:\n")
+	for _, e := range entities {
+		et, ok := db.EntityType(e)
+		if !ok {
+			continue
+		}
+		attrs := make([]string, len(et.Attrs))
+		for i, a := range et.Attrs {
+			if a.Kind == value.KindRef && a.RefType != "" {
+				attrs[i] = fmt.Sprintf("%s = %s (1:n)", a.Name, a.RefType)
+			} else {
+				attrs[i] = fmt.Sprintf("%s = %s", a.Name, a.Kind)
+			}
+		}
+		fmt.Fprintf(&b, "  [%s] (%s)\n", e, strings.Join(attrs, ", "))
+	}
+	b.WriteString("Relationships:\n")
+	for _, r := range relationships {
+		rt, ok := db.RelationshipType(r)
+		if !ok {
+			continue
+		}
+		legs := make([]string, len(rt.Roles))
+		for i, role := range rt.Roles {
+			legs[i] = fmt.Sprintf("%s:[%s]", role.Name, role.EntityType)
+		}
+		fmt.Fprintf(&b, "  <%s> m:n — %s\n", r, strings.Join(legs, " — "))
+	}
+	return b.String()
+}
+
+// RenderHO renders a hierarchical-ordering graph: one line per ordering
+// (edge), parent above children, matching the solid arrows of the
+// paper's HO graphs.
+func RenderHO(g *model.HOGraph) string {
+	var b strings.Builder
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  [%s]\n", e.Parent)
+		fmt.Fprintf(&b, "    │ %s\n", e.Ordering)
+		fmt.Fprintf(&b, "    ▼ (%s)\n", strings.Join(e.Children, ", "))
+	}
+	return b.String()
+}
+
+// RenderHOGraphviz renders the HO graph in DOT syntax for external
+// layout tools.
+func RenderHOGraphviz(g *model.HOGraph) string {
+	var b strings.Builder
+	b.WriteString("digraph HO {\n  rankdir=TB;\n  node [shape=box];\n")
+	for _, e := range g.Edges {
+		for _, c := range e.Children {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.Parent, c, e.Ordering)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenderInstance renders an instance graph as an indented tree: P-edges
+// as indentation, S-edges as the top-to-bottom order of siblings, each
+// node labelled.  The sibling arrows of figure 6 appear as "→" chains.
+func RenderInstance(g *model.InstanceGraph) string {
+	children := map[value.Ref][]value.Ref{}
+	isChild := map[value.Ref]bool{}
+	labels := map[value.Ref]string{}
+	for _, n := range g.Nodes {
+		labels[n.Ref] = fmt.Sprintf("%s @%d (%s)", n.Type, n.Ref, n.Label)
+	}
+	// P-edges preserve sibling order because InstanceGraph emits them in
+	// ordering order.
+	for _, e := range g.PEdges {
+		children[e.To] = append(children[e.To], e.From)
+		isChild[e.From] = true
+	}
+	var roots []value.Ref
+	for _, n := range g.Nodes {
+		if !isChild[n.Ref] {
+			roots = append(roots, n.Ref)
+		}
+	}
+	var b strings.Builder
+	var walk func(ref value.Ref, depth int)
+	walk = func(ref value.Ref, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), labels[ref])
+		kids := dedupe(children[ref])
+		if len(kids) > 0 {
+			names := make([]string, len(kids))
+			for i, k := range kids {
+				names[i] = fmt.Sprintf("@%d", k)
+			}
+			fmt.Fprintf(&b, "%sS: %s\n", strings.Repeat("  ", depth+1), strings.Join(names, " → "))
+		}
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	fmt.Fprintf(&b, "(%d nodes, %d P-edges, %d S-edges)\n",
+		len(g.Nodes), len(g.PEdges), len(g.SEdges))
+	return b.String()
+}
+
+func dedupe(refs []value.Ref) []value.Ref {
+	seen := map[value.Ref]bool{}
+	out := refs[:0:0]
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RenderAspects renders figure 12's aspect tree: aspects and subaspects,
+// with the entities participating in each.
+func RenderAspects(asp map[string][]cmn.Aspect) string {
+	byAspect := map[cmn.Aspect][]string{}
+	for entity, aspects := range asp {
+		for _, a := range aspects {
+			byAspect[a] = append(byAspect[a], entity)
+		}
+	}
+	order := []cmn.Aspect{
+		cmn.AspectTemporal,
+		cmn.AspectTimbral, cmn.AspectPitch, cmn.AspectArticulation, cmn.AspectDynamic,
+		cmn.AspectGraphical, cmn.AspectTextual,
+	}
+	var b strings.Builder
+	b.WriteString("Aspects of musical entities (figure 12):\n")
+	for _, a := range order {
+		ents := byAspect[a]
+		sort.Strings(ents)
+		indent := "  "
+		if strings.Contains(string(a), "/") {
+			indent = "      "
+		}
+		fmt.Fprintf(&b, "%s%s: %s\n", indent, a, strings.Join(ents, ", "))
+	}
+	return b.String()
+}
+
+// RenderInventory renders figure 11's entity table.
+func RenderInventory(inv []cmn.EntityDesc) string {
+	width := 0
+	for _, e := range inv {
+		if len(e.Name) > width {
+			width = len(e.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %s\n", width, "Entity type", "Description")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", width+40))
+	for _, e := range inv {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, e.Name, e.Description)
+	}
+	return b.String()
+}
+
+// RenderSyncs renders figure 14: a movement's measures divided into
+// syncs, with the chords aligned at each.
+func RenderSyncs(mv *cmn.Movement) (string, error) {
+	var b strings.Builder
+	measures, err := mv.Measures()
+	if err != nil {
+		return "", err
+	}
+	for _, me := range measures {
+		fmt.Fprintf(&b, "measure %d:\n", me.Number())
+		syncs, err := me.Syncs()
+		if err != nil {
+			return "", err
+		}
+		for _, sy := range syncs {
+			chords, err := sy.Chords()
+			if err != nil {
+				return "", err
+			}
+			names := make([]string, len(chords))
+			for i, c := range chords {
+				names[i] = fmt.Sprintf("chord@%d(%s)", c.Ref, c.Duration())
+			}
+			fmt.Fprintf(&b, "  sync at beat %-5s %s\n", sy.Offset().String()+":", strings.Join(names, " "))
+		}
+	}
+	return b.String(), nil
+}

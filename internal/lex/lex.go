@@ -1,0 +1,248 @@
+// Package lex provides the shared tokenizer for the music data manager's
+// two languages: the data definition language of §5.4 (define entity /
+// relationship / ordering) and the QUEL-based data manipulation language
+// of §5.6 (retrieve / append / replace / delete with the is, before,
+// after, and under operators).
+package lex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// The token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int
+	Float
+	String
+	Punct
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Int:
+		return "integer"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Punct:
+		return "punctuation"
+	}
+	return "unknown"
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier text, punctuation, or raw literal
+	IntV int64
+	FltV float64
+	Pos  int // byte offset in the input
+	Line int // 1-based line number
+}
+
+// Is reports whether the token is the given punctuation.
+func (t Token) Is(punct string) bool { return t.Kind == Punct && t.Text == punct }
+
+// IsKeyword reports whether the token is the given keyword
+// (case-insensitive identifier match).
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == Ident && strings.EqualFold(t.Text, kw)
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return strconv.Quote(t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Lexer tokenizes an input string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	err  error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Err returns the first lexical error encountered, if any.
+func (l *Lexer) Err() error { return l.err }
+
+// twoCharPuncts are the multi-character punctuation tokens.
+var twoCharPuncts = []string{"<=", ">=", "!=", "=="}
+
+// Next returns the next token.  After an error or end of input it keeps
+// returning EOF.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	if l.pos >= len(l.src) || l.err != nil {
+		return Token{Kind: EOF, Pos: l.pos, Line: l.line}
+	}
+	start, startLine := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentCont(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: Ident, Text: l.src[start:l.pos], Pos: start, Line: startLine}
+	case c >= '0' && c <= '9':
+		return l.number(start, startLine)
+	case c == '"' || c == '\'':
+		return l.stringLit(start, startLine, c)
+	default:
+		for _, p := range twoCharPuncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += len(p)
+				return Token{Kind: Punct, Text: p, Pos: start, Line: startLine}
+			}
+		}
+		l.pos++
+		return Token{Kind: Punct, Text: string(c), Pos: start, Line: startLine}
+	}
+}
+
+func (l *Lexer) number(start, startLine int) Token {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			l.err = fmt.Errorf("line %d: bad float literal %q", startLine, text)
+			return Token{Kind: EOF, Pos: start, Line: startLine}
+		}
+		return Token{Kind: Float, Text: text, FltV: f, Pos: start, Line: startLine}
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		l.err = fmt.Errorf("line %d: bad integer literal %q", startLine, text)
+		return Token{Kind: EOF, Pos: start, Line: startLine}
+	}
+	return Token{Kind: Int, Text: text, IntV: i, Pos: start, Line: startLine}
+}
+
+func (l *Lexer) stringLit(start, startLine int, quote byte) Token {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{Kind: String, Text: b.String(), Pos: start, Line: startLine}
+		case '\\':
+			if l.pos+1 < len(l.src) {
+				l.pos++
+				esc := l.src[l.pos]
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(esc)
+				}
+				l.pos++
+				continue
+			}
+			l.pos++
+		case '\n':
+			l.err = fmt.Errorf("line %d: newline in string literal", startLine)
+			return Token{Kind: EOF, Pos: start, Line: startLine}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	l.err = fmt.Errorf("line %d: unterminated string literal", startLine)
+	return Token{Kind: EOF, Pos: start, Line: startLine}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.err = fmt.Errorf("line %d: unterminated comment", l.line)
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += nl
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// All tokenizes the whole input, returning the tokens (excluding EOF).
+func All(src string) ([]Token, error) {
+	l := New(src)
+	var out []Token
+	for {
+		t := l.Next()
+		if err := l.Err(); err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

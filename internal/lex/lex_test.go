@@ -1,0 +1,171 @@
+package lex
+
+import "testing"
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	ts, err := All(`define entity NOTE (pitch = integer, label = "c4")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Ident, Ident, Ident, Punct, Ident, Punct, Ident, Punct, Ident, Punct, String, Punct}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v want %v (%v)", i, got[i], want[i], ts[i])
+		}
+	}
+	if ts[10].Text != "c4" {
+		t.Errorf("string content %q", ts[10].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	ts, err := All("42 3.25 0 1709")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Kind != Int || ts[0].IntV != 42 {
+		t.Error("int")
+	}
+	if ts[1].Kind != Float || ts[1].FltV != 3.25 {
+		t.Error("float")
+	}
+	if ts[3].IntV != 1709 {
+		t.Error("1709")
+	}
+	// Trailing dot is punctuation, not a float: "n.all".
+	ts, _ = All("n.all")
+	if len(ts) != 3 || !ts[1].Is(".") {
+		t.Errorf("dotted access: %v", ts)
+	}
+	// "3." followed by non-digit: int then dot.
+	ts, _ = All("3.x")
+	if len(ts) != 3 || ts[0].Kind != Int || !ts[1].Is(".") {
+		t.Errorf("3.x: %v", ts)
+	}
+}
+
+func TestTwoCharPunct(t *testing.T) {
+	ts, err := All("a <= b >= c != d == e < f > g = h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPunct := []string{"<=", ">=", "!=", "==", "<", ">", "="}
+	j := 0
+	for _, tok := range ts {
+		if tok.Kind == Punct {
+			if tok.Text != wantPunct[j] {
+				t.Errorf("punct %d = %q want %q", j, tok.Text, wantPunct[j])
+			}
+			j++
+		}
+	}
+	if j != len(wantPunct) {
+		t.Errorf("found %d puncts", j)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	ts, err := All(`"a\"b" 'single' "tab\there"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Text != `a"b` || ts[1].Text != "single" || ts[2].Text != "tab\there" {
+		t.Errorf("escapes: %q %q %q", ts[0].Text, ts[1].Text, ts[2].Text)
+	}
+	if _, err := All(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := All("\"new\nline\""); err == nil {
+		t.Error("newline in string accepted")
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts, err := All("a /* comment\nacross lines */ b -- line comment\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0].Text != "a" || ts[1].Text != "b" || ts[2].Text != "c" {
+		t.Errorf("comments: %v", ts)
+	}
+	if ts[2].Line != 3 {
+		t.Errorf("line tracking: %d", ts[2].Line)
+	}
+	if _, err := All("/* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+	// Line comment at end of input without newline.
+	ts, err = All("x -- trailing")
+	if err != nil || len(ts) != 1 {
+		t.Errorf("trailing comment: %v %v", ts, err)
+	}
+}
+
+func TestKeywordMatching(t *testing.T) {
+	ts, _ := All("RETRIEVE Retrieve retrieve")
+	for _, tok := range ts {
+		if !tok.IsKeyword("retrieve") {
+			t.Errorf("%v should match keyword", tok)
+		}
+	}
+	if ts[0].IsKeyword("define") {
+		t.Error("wrong keyword matched")
+	}
+}
+
+func TestIdentWithDollarAndUnderscore(t *testing.T) {
+	ts, err := All("note_in_chord$2 _ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Text != "note_in_chord$2" || ts[1].Text != "_ref" {
+		t.Errorf("idents: %v", ts)
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	l := New("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != EOF {
+			t.Fatal("EOF not stable")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EOF: "end of input", Ident: "identifier", Int: "integer",
+		Float: "float", String: "string", Punct: "punctuation", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	ts, _ := All(`name 42 "str" +`)
+	want := []string{`"name"`, `"42"`, `"str"`, `"+"`}
+	for i, tok := range ts {
+		if tok.String() != want[i] {
+			t.Errorf("token %d: %q want %q", i, tok.String(), want[i])
+		}
+	}
+	eof := Token{Kind: EOF}
+	if eof.String() != "end of input" {
+		t.Error("EOF string")
+	}
+}

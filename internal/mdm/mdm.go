@@ -1,0 +1,140 @@
+// Package mdm assembles the music data manager of §2 (figure 1): one
+// database back end serving many music clients — editors, typesetters,
+// compositional tools, score libraries, and analysis systems.
+//
+// An MDM owns the storage engine (transactions, locking, write-ahead
+// logging), the entity-relationship model with hierarchical ordering,
+// the self-describing catalog (§6), the CMN schema (§7), and the
+// bibliographic layer (§4.2).  Clients connect through sessions and
+// speak the DDL of §5.4 and the extended QUEL of §5.6, or use the typed
+// Go APIs of the underlying layers directly.
+package mdm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/biblio"
+	"repro/internal/cmn"
+	"repro/internal/ddl"
+	"repro/internal/meta"
+	"repro/internal/model"
+	"repro/internal/quel"
+	"repro/internal/storage"
+)
+
+// Options configure an MDM.
+type Options struct {
+	// Dir is the database directory; empty runs fully in memory.
+	Dir string
+	// SyncCommits makes every commit durable before returning.
+	SyncCommits bool
+	// SkipCMN leaves the CMN and bibliographic schemas undefined (for
+	// clients that define their own domain from scratch).
+	SkipCMN bool
+}
+
+// MDM is the music data manager.
+type MDM struct {
+	Store   *storage.DB
+	Model   *model.Database
+	Catalog *meta.Catalog
+	Music   *cmn.Music
+	Biblio  *biblio.Index
+}
+
+// Open builds (or reopens) a music data manager.
+func Open(opts Options) (*MDM, error) {
+	store, err := storage.Open(storage.Options{
+		Dir:             opts.Dir,
+		SyncCommits:     opts.SyncCommits,
+		CheckpointBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.Open(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	mgr := &MDM{Store: store, Model: m}
+	if !opts.SkipCMN {
+		if mgr.Music, err = cmn.Open(m); err != nil {
+			store.Close()
+			return nil, err
+		}
+		if mgr.Biblio, err = biblio.Open(m); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	if mgr.Catalog, err = meta.Bootstrap(m); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return mgr, nil
+}
+
+// Close checkpoints and closes the manager.
+func (m *MDM) Close() error { return m.Store.Close() }
+
+// Checkpoint forces a snapshot.
+func (m *MDM) Checkpoint() error { return m.Store.Checkpoint() }
+
+// Session is one client connection: a QUEL workspace plus DDL access.
+type Session struct {
+	mdm  *MDM
+	quel *quel.Session
+}
+
+// NewSession opens a client session.
+func (m *MDM) NewSession() *Session {
+	return &Session{mdm: m, quel: quel.NewSession(m.Model)}
+}
+
+// ddlKeywords begin DDL statements.
+var ddlKeywords = []string{"define"}
+
+// Exec executes DDL or QUEL source, dispatching on the first keyword,
+// and returns a printable result.  After DDL, the meta-catalog is
+// refreshed so the new schema is immediately queryable (§6).
+func (s *Session) Exec(src string) (string, error) {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return "", nil
+	}
+	first := strings.ToLower(firstWord(trimmed))
+	for _, kw := range ddlKeywords {
+		if first == kw {
+			msgs, err := ddl.Exec(s.mdm.Model, trimmed)
+			if err != nil {
+				return strings.Join(msgs, "\n"), err
+			}
+			if err := s.mdm.Catalog.Refresh(); err != nil {
+				return "", fmt.Errorf("mdm: refreshing catalog: %w", err)
+			}
+			return strings.Join(msgs, "\n"), nil
+		}
+	}
+	res, err := s.quel.Exec(trimmed)
+	if err != nil {
+		return "", err
+	}
+	return res.String(), nil
+}
+
+// Query executes QUEL and returns the structured result (for clients
+// that process rows programmatically rather than as text).
+func (s *Session) Query(src string) (*quel.Result, error) {
+	return s.quel.Exec(src)
+}
+
+func firstWord(s string) string {
+	for i, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,383 @@
+// Package meta implements §6 of the paper: blurring the schema/data
+// distinction.
+//
+// The model layer already stores every schema definition in catalog
+// relations (§6.1).  This package raises that catalog to first-class
+// entities of the data model itself — ENTITY, ATTRIBUTE, RELATIONSHIP and
+// ORDERING become entity types whose instances mirror the schema, with
+// the hierarchical orderings of figure 9 (entity_attributes,
+// relationship_attributes) and the order_child relationship — so QUEL
+// queries can interrogate the schema exactly as they interrogate musical
+// data.
+//
+// It also implements the middle layer of §6.2: application-specific
+// schema information.  GraphDef entities hold executable graphical
+// definitions (PostScript-subset programs); GDefUse associates an entity
+// type with its drawing function; GParmUse associates schema attributes
+// with the definition's parameters, including the set-up code fragment
+// executed to bind each attribute value (figure 10).
+package meta
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// Meta-schema entity type names.
+const (
+	TypeEntity       = "ENTITY"
+	TypeAttribute    = "ATTRIBUTE"
+	TypeRelationship = "RELATIONSHIP"
+	TypeOrdering     = "ORDERING"
+	TypeGraphDef     = "GraphDef"
+)
+
+// Meta-schema ordering and relationship names (figure 9 / figure 10).
+const (
+	OrderEntityAttrs       = "entity_attributes"
+	OrderRelationshipAttrs = "relationship_attributes"
+	RelOrderChild          = "order_child"
+	RelGDefUse             = "GDefUse"
+	RelGParmUse            = "GParmUse"
+)
+
+// Catalog mirrors the model schema into queryable meta-entities.
+type Catalog struct {
+	db *model.Database
+	// refs of meta-entities by name, for idempotent refresh.
+	entityRefs   map[string]value.Ref
+	relRefs      map[string]value.Ref
+	orderRefs    map[string]value.Ref
+	graphDefRefs map[string]value.Ref
+}
+
+// Bootstrap defines the meta-schema (if not yet defined) and synchronizes
+// the meta-entity instances with the current schema.  Calling it again
+// after further DDL refreshes the mirror.
+//
+// The meta-schema describes itself: after Bootstrap, the ENTITY relation
+// contains a row for ENTITY, whose attributes are catalogued in
+// ATTRIBUTE, which is itself catalogued — the §6.1 fixpoint.
+func Bootstrap(db *model.Database) (*Catalog, error) {
+	c := &Catalog{
+		db:           db,
+		entityRefs:   make(map[string]value.Ref),
+		relRefs:      make(map[string]value.Ref),
+		orderRefs:    make(map[string]value.Ref),
+		graphDefRefs: make(map[string]value.Ref),
+	}
+	if err := c.defineMetaSchema(); err != nil {
+		return nil, err
+	}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Catalog) defineMetaSchema() error {
+	db := c.db
+	if _, ok := db.EntityType(TypeEntity); ok {
+		return nil // already bootstrapped (e.g. reopened database)
+	}
+	// The meta-definition of §6.1, transcribed from the paper.
+	if _, err := db.DefineEntity(TypeEntity,
+		value.Field{Name: "entity_name", Kind: value.KindString}); err != nil {
+		return err
+	}
+	if _, err := db.DefineEntity(TypeRelationship,
+		value.Field{Name: "relationship_name", Kind: value.KindString}); err != nil {
+		return err
+	}
+	if _, err := db.DefineEntity(TypeAttribute,
+		value.Field{Name: "attribute_name", Kind: value.KindString},
+		value.Field{Name: "attribute_type", Kind: value.KindString}); err != nil {
+		return err
+	}
+	if _, err := db.DefineEntity(TypeOrdering,
+		value.Field{Name: "order_name", Kind: value.KindString},
+		value.Field{Name: "order_parent", Kind: value.KindRef, RefType: TypeEntity}); err != nil {
+		return err
+	}
+	if _, err := db.DefineOrdering(OrderEntityAttrs, []string{TypeAttribute}, TypeEntity); err != nil {
+		return err
+	}
+	if _, err := db.DefineOrdering(OrderRelationshipAttrs, []string{TypeAttribute}, TypeRelationship); err != nil {
+		return err
+	}
+	if _, err := db.DefineRelationship(RelOrderChild, []model.Role{
+		{Name: "child", EntityType: TypeEntity},
+		{Name: "ordering", EntityType: TypeOrdering},
+	}); err != nil {
+		return err
+	}
+	// Figure 10: graphical definitions.
+	if _, err := db.DefineEntity(TypeGraphDef,
+		value.Field{Name: "name", Kind: value.KindString},
+		value.Field{Name: "function", Kind: value.KindString}); err != nil {
+		return err
+	}
+	if _, err := db.DefineRelationship(RelGDefUse, []model.Role{
+		{Name: "entity", EntityType: TypeEntity},
+		{Name: "graphdef", EntityType: TypeGraphDef},
+	}); err != nil {
+		return err
+	}
+	_, err := db.DefineRelationship(RelGParmUse, []model.Role{
+		{Name: "attribute", EntityType: TypeAttribute},
+		{Name: "graphdef", EntityType: TypeGraphDef},
+	}, value.Field{Name: "setup", Kind: value.KindString})
+	return err
+}
+
+// Refresh synchronizes the meta-entity instances with the schema: one
+// ENTITY per entity type (including the meta-types themselves), its
+// ATTRIBUTE children ordered under entity_attributes, one RELATIONSHIP
+// per relationship type with its attributes, and one ORDERING per
+// ordering with order_child relationship instances.
+func (c *Catalog) Refresh() error {
+	db := c.db
+	// Load existing meta-entities (reopen case).
+	if err := db.Instances(TypeEntity, func(ref value.Ref, attrs value.Tuple) bool {
+		c.entityRefs[attrs[0].AsString()] = ref
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := db.Instances(TypeRelationship, func(ref value.Ref, attrs value.Tuple) bool {
+		c.relRefs[attrs[0].AsString()] = ref
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := db.Instances(TypeOrdering, func(ref value.Ref, attrs value.Tuple) bool {
+		c.orderRefs[attrs[0].AsString()] = ref
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := db.Instances(TypeGraphDef, func(ref value.Ref, attrs value.Tuple) bool {
+		c.graphDefRefs[attrs[0].AsString()] = ref
+		return true
+	}); err != nil {
+		return err
+	}
+
+	for _, name := range db.EntityTypes() {
+		eref, ok := c.entityRefs[name]
+		if !ok {
+			var err error
+			eref, err = db.NewEntity(TypeEntity, model.Attrs{"entity_name": value.Str(name)})
+			if err != nil {
+				return err
+			}
+			c.entityRefs[name] = eref
+		}
+		et, _ := db.EntityType(name)
+		existing, err := db.Children(OrderEntityAttrs, eref)
+		if err != nil {
+			return err
+		}
+		for i := len(existing); i < len(et.Attrs); i++ {
+			a := et.Attrs[i]
+			aref, err := db.NewEntity(TypeAttribute, model.Attrs{
+				"attribute_name": value.Str(a.Name),
+				"attribute_type": value.Str(a.Kind.String()),
+			})
+			if err != nil {
+				return err
+			}
+			if err := db.InsertChild(OrderEntityAttrs, eref, aref, model.Last()); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range db.RelationshipTypes() {
+		rref, ok := c.relRefs[name]
+		if !ok {
+			var err error
+			rref, err = db.NewEntity(TypeRelationship, model.Attrs{"relationship_name": value.Str(name)})
+			if err != nil {
+				return err
+			}
+			c.relRefs[name] = rref
+		}
+		rt, _ := db.RelationshipType(name)
+		fields := rt.Fields()
+		existing, err := db.Children(OrderRelationshipAttrs, rref)
+		if err != nil {
+			return err
+		}
+		for i := len(existing); i < len(fields); i++ {
+			a := fields[i]
+			typ := a.Kind.String()
+			if a.Kind == value.KindRef && a.RefType != "" {
+				typ = a.RefType
+			}
+			aref, err := db.NewEntity(TypeAttribute, model.Attrs{
+				"attribute_name": value.Str(a.Name),
+				"attribute_type": value.Str(typ),
+			})
+			if err != nil {
+				return err
+			}
+			if err := db.InsertChild(OrderRelationshipAttrs, rref, aref, model.Last()); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range db.Orderings() {
+		if _, ok := c.orderRefs[name]; ok {
+			continue
+		}
+		o, _ := db.OrderingByName(name)
+		oref, err := db.NewEntity(TypeOrdering, model.Attrs{
+			"order_name":   value.Str(name),
+			"order_parent": value.RefVal(c.entityRefs[o.Parent]),
+		})
+		if err != nil {
+			return err
+		}
+		c.orderRefs[name] = oref
+		for _, child := range o.Children {
+			if err := db.Relate(RelOrderChild, map[string]value.Ref{
+				"child": c.entityRefs[child], "ordering": oref,
+			}, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EntityRef returns the meta-entity (ENTITY instance) describing the
+// named entity type.
+func (c *Catalog) EntityRef(typeName string) (value.Ref, bool) {
+	r, ok := c.entityRefs[typeName]
+	return r, ok
+}
+
+// OrderingRef returns the ORDERING instance describing the named
+// ordering.
+func (c *Catalog) OrderingRef(name string) (value.Ref, bool) {
+	r, ok := c.orderRefs[name]
+	return r, ok
+}
+
+// AttributeRefs returns the ATTRIBUTE instances of an entity type, in
+// schema order (the entity_attributes hierarchical ordering).
+func (c *Catalog) AttributeRefs(typeName string) ([]value.Ref, error) {
+	eref, ok := c.entityRefs[typeName]
+	if !ok {
+		return nil, fmt.Errorf("meta: no catalogued entity %q", typeName)
+	}
+	return c.db.Children(OrderEntityAttrs, eref)
+}
+
+// DefineGraphDef registers a graphical definition: a named drawing
+// function (PostScript-subset source) associated with an entity type via
+// GDefUse, and per-attribute parameter bindings via GParmUse.  Each
+// binding's setup fragment pushes the attribute's value before the
+// function body runs (§6.2's four-step drawing procedure).
+func (c *Catalog) DefineGraphDef(name, entityType, function string, params []ParamBinding) (value.Ref, error) {
+	eref, ok := c.entityRefs[entityType]
+	if !ok {
+		return 0, fmt.Errorf("meta: no catalogued entity %q", entityType)
+	}
+	gref, err := c.db.NewEntity(TypeGraphDef, model.Attrs{
+		"name": value.Str(name), "function": value.Str(function),
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.graphDefRefs[name] = gref
+	if err := c.db.Relate(RelGDefUse, map[string]value.Ref{
+		"entity": eref, "graphdef": gref,
+	}, nil); err != nil {
+		return 0, err
+	}
+	attrRefs, err := c.AttributeRefs(entityType)
+	if err != nil {
+		return 0, err
+	}
+	et, _ := c.db.EntityType(entityType)
+	for _, p := range params {
+		i, ok := et.AttrIndex(p.Attribute)
+		if !ok {
+			return 0, fmt.Errorf("meta: graphdef %s: %s has no attribute %q", name, entityType, p.Attribute)
+		}
+		if err := c.db.Relate(RelGParmUse, map[string]value.Ref{
+			"attribute": attrRefs[i], "graphdef": gref,
+		}, model.Attrs{"setup": value.Str(p.Setup)}); err != nil {
+			return 0, err
+		}
+	}
+	return gref, nil
+}
+
+// ParamBinding binds one schema attribute to a graphical-definition
+// parameter, with the set-up code that loads it.
+type ParamBinding struct {
+	Attribute string
+	Setup     string // PostScript fragment, e.g. "/xpos exch def"
+}
+
+// GraphDefFor resolves the drawing function for an entity type via the
+// GDefUse relationship: step 2 of the §6.2 procedure.  It returns the
+// function source and the ordered parameter bindings (attribute name,
+// set-up fragment): step 3's inputs.
+func (c *Catalog) GraphDefFor(entityType string) (function string, params []ParamBinding, err error) {
+	eref, ok := c.entityRefs[entityType]
+	if !ok {
+		return "", nil, fmt.Errorf("meta: no catalogued entity %q", entityType)
+	}
+	insts, err := c.db.Related(RelGDefUse, "entity", eref)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(insts) == 0 {
+		return "", nil, fmt.Errorf("meta: no graphical definition for %q", entityType)
+	}
+	gref := insts[0].Roles["graphdef"]
+	fv, err := c.db.Attr(gref, "function")
+	if err != nil {
+		return "", nil, err
+	}
+	// Parameters: GParmUse instances for this graphdef, ordered by the
+	// attribute order of the entity type.
+	attrRefs, err := c.AttributeRefs(entityType)
+	if err != nil {
+		return "", nil, err
+	}
+	attrPos := make(map[value.Ref]int, len(attrRefs))
+	for i, a := range attrRefs {
+		attrPos[a] = i
+	}
+	uses, err := c.db.Related(RelGParmUse, "graphdef", gref)
+	if err != nil {
+		return "", nil, err
+	}
+	et, _ := c.db.EntityType(entityType)
+	ordered := make([]*ParamBinding, len(attrRefs))
+	for _, u := range uses {
+		aref := u.Roles["attribute"]
+		pos, ok := attrPos[aref]
+		if !ok {
+			continue // parameter of another entity's attribute set
+		}
+		ordered[pos] = &ParamBinding{
+			Attribute: et.Attrs[pos].Name,
+			Setup:     u.Attrs[0].AsString(),
+		}
+	}
+	for _, p := range ordered {
+		if p != nil {
+			params = append(params, *p)
+		}
+	}
+	return fv.AsString(), params, nil
+}

@@ -1,0 +1,131 @@
+// Package midi implements the MIDI model the paper assumes at the bottom
+// of the temporal aspect graph (§7.2, figure 13): note events with
+// performance-time starting and ending times, control events, and a
+// Standard-MIDI-File-compatible binary serialization.
+//
+// "MIDI events constitute performance information, and so their temporal
+// parameters are given in performance time (i.e. seconds)."  Events here
+// carry microsecond timestamps; the extrapolation from score time runs
+// through a cmn.TempoMap (the conductor).
+package midi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cmn"
+)
+
+// NoteEvent is one MIDI note: key, velocity, channel, and performance
+// start/duration in microseconds.
+type NoteEvent struct {
+	Key      int
+	Velocity int
+	Channel  int
+	StartUs  int64
+	DurUs    int64
+}
+
+// EndUs returns the event's end time.
+func (e NoteEvent) EndUs() int64 { return e.StartUs + e.DurUs }
+
+// ControlEvent is a MIDI control change at a point in performance time
+// (e.g. the sostenuto pedal of §7.2).
+type ControlEvent struct {
+	Controller int
+	Value      int
+	Channel    int
+	AtUs       int64
+}
+
+// Sequence is a performance: note and control events plus the tempo map
+// they were rendered under.
+type Sequence struct {
+	Notes    []NoteEvent
+	Controls []ControlEvent
+	// TicksPerQuarter is the SMF division used when serializing.
+	TicksPerQuarter int
+}
+
+// Sort orders events by start time (stable on equal starts).
+func (s *Sequence) Sort() {
+	sort.SliceStable(s.Notes, func(i, j int) bool { return s.Notes[i].StartUs < s.Notes[j].StartUs })
+	sort.SliceStable(s.Controls, func(i, j int) bool { return s.Controls[i].AtUs < s.Controls[j].AtUs })
+}
+
+// DurationUs returns the end time of the last event.
+func (s *Sequence) DurationUs() int64 {
+	var end int64
+	for _, n := range s.Notes {
+		if n.EndUs() > end {
+			end = n.EndUs()
+		}
+	}
+	for _, c := range s.Controls {
+		if c.AtUs > end {
+			end = c.AtUs
+		}
+	}
+	return end
+}
+
+// FromPerformance extrapolates MIDI events from performed notes using the
+// tempo map: the §7.2 mapping from score time (beats) to performance
+// time (seconds → microseconds).
+func FromPerformance(notes []cmn.PerformedNote, tm *cmn.TempoMap, channel int) *Sequence {
+	seq := &Sequence{TicksPerQuarter: 480}
+	for _, pn := range notes {
+		if pn.Pitch <= 0 {
+			continue // unresolved pitch: not performable
+		}
+		startSec := tm.Seconds(pn.Start)
+		endSec := tm.Seconds(pn.Start.Add(pn.Duration))
+		seq.Notes = append(seq.Notes, NoteEvent{
+			Key:      pn.Pitch,
+			Velocity: clamp7(pn.Velocity),
+			Channel:  channel,
+			StartUs:  int64(startSec * 1e6),
+			DurUs:    int64((endSec - startSec) * 1e6),
+		})
+	}
+	seq.Sort()
+	return seq
+}
+
+func clamp7(v int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > 127 {
+		return 127
+	}
+	return v
+}
+
+// Validate checks event invariants: key/velocity/controller ranges and
+// non-negative times.
+func (s *Sequence) Validate() error {
+	for i, n := range s.Notes {
+		if n.Key < 0 || n.Key > 127 {
+			return fmt.Errorf("midi: note %d: key %d out of range", i, n.Key)
+		}
+		if n.Velocity < 0 || n.Velocity > 127 {
+			return fmt.Errorf("midi: note %d: velocity %d out of range", i, n.Velocity)
+		}
+		if n.Channel < 0 || n.Channel > 15 {
+			return fmt.Errorf("midi: note %d: channel %d out of range", i, n.Channel)
+		}
+		if n.StartUs < 0 || n.DurUs < 0 {
+			return fmt.Errorf("midi: note %d: negative time", i)
+		}
+	}
+	for i, c := range s.Controls {
+		if c.Controller < 0 || c.Controller > 127 || c.Value < 0 || c.Value > 127 {
+			return fmt.Errorf("midi: control %d out of range", i)
+		}
+		if c.Channel < 0 || c.Channel > 15 || c.AtUs < 0 {
+			return fmt.Errorf("midi: control %d: bad channel or time", i)
+		}
+	}
+	return nil
+}

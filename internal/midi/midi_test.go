@@ -1,0 +1,212 @@
+package midi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cmn"
+)
+
+func TestFromPerformanceSteadyTempo(t *testing.T) {
+	tm := cmn.NewTempoMap(120) // 0.5 s per beat
+	notes := []cmn.PerformedNote{
+		{Pitch: 60, Start: cmn.Zero, Duration: cmn.Quarter, Velocity: 80},
+		{Pitch: 64, Start: cmn.Quarter, Duration: cmn.Half, Velocity: 90},
+		{Pitch: 0, Start: cmn.Half, Duration: cmn.Quarter, Velocity: 80}, // unresolved: dropped
+	}
+	seq := FromPerformance(notes, tm, 3)
+	if len(seq.Notes) != 2 {
+		t.Fatalf("events: %d", len(seq.Notes))
+	}
+	e0, e1 := seq.Notes[0], seq.Notes[1]
+	if e0.Key != 60 || e0.StartUs != 0 || e0.DurUs != 500_000 || e0.Channel != 3 {
+		t.Fatalf("e0: %+v", e0)
+	}
+	if e1.StartUs != 500_000 || e1.DurUs != 1_000_000 || e1.Velocity != 90 {
+		t.Fatalf("e1: %+v", e1)
+	}
+	if seq.DurationUs() != 1_500_000 {
+		t.Fatalf("duration: %d", seq.DurationUs())
+	}
+}
+
+func TestFromPerformanceRitardando(t *testing.T) {
+	// A ritardando stretches later beats: equal score durations, growing
+	// performance durations.
+	tm := cmn.NewTempoMap(120)
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Zero, BPM: 120, Ramp: true})
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(8, 1), BPM: 40})
+	var notes []cmn.PerformedNote
+	for b := int64(0); b < 8; b++ {
+		notes = append(notes, cmn.PerformedNote{
+			Pitch: 60, Start: cmn.Beats(b, 1), Duration: cmn.Quarter, Velocity: 80,
+		})
+	}
+	seq := FromPerformance(notes, tm, 0)
+	for i := 1; i < len(seq.Notes); i++ {
+		if seq.Notes[i].DurUs <= seq.Notes[i-1].DurUs {
+			t.Fatalf("beat %d did not stretch: %d then %d", i, seq.Notes[i-1].DurUs, seq.Notes[i].DurUs)
+		}
+	}
+}
+
+func TestVelocityClamped(t *testing.T) {
+	tm := cmn.NewTempoMap(120)
+	seq := FromPerformance([]cmn.PerformedNote{
+		{Pitch: 60, Start: cmn.Zero, Duration: cmn.Quarter, Velocity: 300},
+		{Pitch: 61, Start: cmn.Zero, Duration: cmn.Quarter, Velocity: -5},
+	}, tm, 0)
+	if seq.Notes[0].Velocity != 127 || seq.Notes[1].Velocity != 1 {
+		t.Fatalf("clamp: %+v", seq.Notes)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Sequence{Notes: []NoteEvent{{Key: 60, Velocity: 80, Channel: 0, StartUs: 0, DurUs: 1000}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Sequence{
+		{Notes: []NoteEvent{{Key: 200, Velocity: 80}}},
+		{Notes: []NoteEvent{{Key: 60, Velocity: 200}}},
+		{Notes: []NoteEvent{{Key: 60, Velocity: 80, Channel: 16}}},
+		{Notes: []NoteEvent{{Key: 60, Velocity: 80, StartUs: -1}}},
+		{Controls: []ControlEvent{{Controller: 128}}},
+		{Controls: []ControlEvent{{Controller: 64, Value: 1, Channel: 99}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sequence %d accepted", i)
+		}
+	}
+}
+
+func TestSMFRoundTrip(t *testing.T) {
+	seq := &Sequence{TicksPerQuarter: 480}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		start := int64(rng.Intn(10_000_000))
+		seq.Notes = append(seq.Notes, NoteEvent{
+			Key:      24 + rng.Intn(80),
+			Velocity: 1 + rng.Intn(126),
+			Channel:  rng.Intn(4),
+			StartUs:  start,
+			DurUs:    int64(1000 + rng.Intn(2_000_000)),
+		})
+	}
+	seq.Controls = append(seq.Controls, ControlEvent{Controller: 64, Value: 127, Channel: 0, AtUs: 50_000})
+	seq.Sort()
+
+	data, err := WriteSMF(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSMF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Notes) != len(seq.Notes) {
+		t.Fatalf("notes: %d want %d", len(got.Notes), len(seq.Notes))
+	}
+	if len(got.Controls) != 1 || got.Controls[0].Controller != 64 {
+		t.Fatalf("controls: %+v", got.Controls)
+	}
+	// Tick resolution at 480 tpq / 120 BPM ≈ 1042 µs.
+	const tol = 1100
+	for i := range seq.Notes {
+		w, g := seq.Notes[i], got.Notes[i]
+		if w.Key != g.Key || w.Velocity != g.Velocity || w.Channel != g.Channel {
+			t.Fatalf("note %d identity: %+v vs %+v", i, w, g)
+		}
+		if math.Abs(float64(w.StartUs-g.StartUs)) > tol || math.Abs(float64(w.DurUs-g.DurUs)) > tol {
+			t.Fatalf("note %d timing: %+v vs %+v", i, w, g)
+		}
+	}
+}
+
+func TestSMFOverlappingSameKey(t *testing.T) {
+	// Two overlapping notes of the same key/channel: FIFO matching of
+	// offs to ons.
+	seq := &Sequence{Notes: []NoteEvent{
+		{Key: 60, Velocity: 80, StartUs: 0, DurUs: 1_000_000},
+		{Key: 60, Velocity: 80, StartUs: 500_000, DurUs: 1_000_000},
+	}}
+	data, err := WriteSMF(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSMF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Notes) != 2 {
+		t.Fatalf("notes: %d", len(got.Notes))
+	}
+	if got.Notes[0].DurUs > 1_100_000 || got.Notes[1].DurUs > 1_100_000 {
+		t.Fatalf("FIFO matching broken: %+v", got.Notes)
+	}
+}
+
+func TestSMFErrors(t *testing.T) {
+	if _, err := ReadSMF([]byte("not midi")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSMF(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	seq := &Sequence{Notes: []NoteEvent{{Key: 60, Velocity: 80, DurUs: 1000}}}
+	data, _ := WriteSMF(seq)
+	if _, err := ReadSMF(data[:20]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	// Invalid sequence refuses to serialize.
+	if _, err := WriteSMF(&Sequence{Notes: []NoteEvent{{Key: 999}}}); err == nil {
+		t.Fatal("invalid sequence serialized")
+	}
+}
+
+func TestVarLen(t *testing.T) {
+	for _, v := range []uint32{0, 1, 127, 128, 8192, 16383, 16384, 0x0FFFFFFF} {
+		enc := appendVarLen(nil, v)
+		got, n, err := readVarLen(enc)
+		if err != nil || n != len(enc) || got != v {
+			t.Fatalf("varlen %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+	if _, _, err := readVarLen([]byte{0x80, 0x80, 0x80, 0x80}); err == nil {
+		t.Fatal("unterminated varlen accepted")
+	}
+}
+
+func BenchmarkFromPerformance(b *testing.B) {
+	tm := cmn.NewTempoMap(96)
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(64, 1), BPM: 120, Ramp: true})
+	tm.AddMark(cmn.TempoMark{Beat: cmn.Beats(128, 1), BPM: 60})
+	notes := make([]cmn.PerformedNote, 1000)
+	for i := range notes {
+		notes[i] = cmn.PerformedNote{
+			Pitch: 40 + i%40, Start: cmn.Beats(int64(i), 4),
+			Duration: cmn.Quarter, Velocity: 80,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromPerformance(notes, tm, 0)
+	}
+}
+
+func BenchmarkWriteSMF(b *testing.B) {
+	seq := &Sequence{}
+	for i := 0; i < 1000; i++ {
+		seq.Notes = append(seq.Notes, NoteEvent{
+			Key: 40 + i%40, Velocity: 80, StartUs: int64(i) * 250_000, DurUs: 250_000,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriteSMF(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package midi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Standard MIDI File (format 0) serialization.
+//
+// The sequence's microsecond timestamps are converted to ticks at a
+// fixed 120 BPM reference (the file carries a matching tempo meta
+// event), so WriteSMF∘ReadSMF round-trips timestamps to tick precision.
+
+const (
+	refBPM       = 120
+	usPerQuarter = 60_000_000 / refBPM
+)
+
+// WriteSMF serializes the sequence as a format-0 Standard MIDI File.
+func WriteSMF(s *Sequence) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tpq := s.TicksPerQuarter
+	if tpq <= 0 {
+		tpq = 480
+	}
+	usToTicks := func(us int64) int64 {
+		return us * int64(tpq) / usPerQuarter
+	}
+
+	// Flatten to absolute-tick messages.
+	type msg struct {
+		tick int64
+		data []byte
+		ord  int // stable sort tiebreaker: offs before ons at same tick
+	}
+	var msgs []msg
+	for _, n := range s.Notes {
+		on := []byte{byte(0x90 | n.Channel), byte(n.Key), byte(n.Velocity)}
+		off := []byte{byte(0x80 | n.Channel), byte(n.Key), 0}
+		msgs = append(msgs,
+			msg{tick: usToTicks(n.StartUs), data: on, ord: 1},
+			msg{tick: usToTicks(n.EndUs()), data: off, ord: 0},
+		)
+	}
+	for _, c := range s.Controls {
+		cc := []byte{byte(0xB0 | c.Channel), byte(c.Controller), byte(c.Value)}
+		msgs = append(msgs, msg{tick: usToTicks(c.AtUs), data: cc, ord: 2})
+	}
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].tick != msgs[j].tick {
+			return msgs[i].tick < msgs[j].tick
+		}
+		return msgs[i].ord < msgs[j].ord
+	})
+
+	var track []byte
+	// Tempo meta event at tick 0: 500000 µs per quarter (120 BPM).
+	track = appendVarLen(track, 0)
+	track = append(track, 0xFF, 0x51, 0x03, 0x07, 0xA1, 0x20)
+	last := int64(0)
+	for _, m := range msgs {
+		track = appendVarLen(track, uint32(m.tick-last))
+		track = append(track, m.data...)
+		last = m.tick
+	}
+	// End of track.
+	track = appendVarLen(track, 0)
+	track = append(track, 0xFF, 0x2F, 0x00)
+
+	out := make([]byte, 0, 14+8+len(track))
+	out = append(out, 'M', 'T', 'h', 'd', 0, 0, 0, 6, 0, 0, 0, 1)
+	out = binary.BigEndian.AppendUint16(out, uint16(tpq))
+	out = append(out, 'M', 'T', 'r', 'k')
+	out = binary.BigEndian.AppendUint32(out, uint32(len(track)))
+	out = append(out, track...)
+	return out, nil
+}
+
+func appendVarLen(dst []byte, v uint32) []byte {
+	if v > 0x0FFFFFFF {
+		v = 0x0FFFFFFF
+	}
+	var tmp [4]byte
+	n := 0
+	for {
+		tmp[n] = byte(v & 0x7F)
+		v >>= 7
+		n++
+		if v == 0 {
+			break
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		b := tmp[i]
+		if i > 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// ReadSMF parses a format-0 SMF produced by WriteSMF (it also accepts
+// the common subset of externally produced files: one track, note
+// on/off, control change, meta events skipped).
+func ReadSMF(data []byte) (*Sequence, error) {
+	if len(data) < 14 || string(data[:4]) != "MThd" {
+		return nil, errors.New("midi: not an SMF file")
+	}
+	hdrLen := binary.BigEndian.Uint32(data[4:8])
+	if hdrLen < 6 {
+		return nil, errors.New("midi: bad header")
+	}
+	ntrks := binary.BigEndian.Uint16(data[10:12])
+	division := binary.BigEndian.Uint16(data[12:14])
+	if division&0x8000 != 0 {
+		return nil, errors.New("midi: SMPTE division not supported")
+	}
+	if ntrks != 1 {
+		return nil, fmt.Errorf("midi: expected 1 track, found %d", ntrks)
+	}
+	pos := 8 + int(hdrLen)
+	if len(data) < pos+8 || string(data[pos:pos+4]) != "MTrk" {
+		return nil, errors.New("midi: missing track")
+	}
+	trkLen := int(binary.BigEndian.Uint32(data[pos+4 : pos+8]))
+	pos += 8
+	if len(data) < pos+trkLen {
+		return nil, errors.New("midi: truncated track")
+	}
+	trk := data[pos : pos+trkLen]
+
+	seq := &Sequence{TicksPerQuarter: int(division)}
+	ticksToUs := func(t int64) int64 {
+		return t * usPerQuarter / int64(division)
+	}
+
+	type onKey struct{ ch, key int }
+	open := map[onKey][]int{} // pending note-on indexes in seq.Notes
+	var tick int64
+	i := 0
+	var running byte
+	for i < len(trk) {
+		delta, n, err := readVarLen(trk[i:])
+		if err != nil {
+			return nil, err
+		}
+		i += n
+		tick += int64(delta)
+		if i >= len(trk) {
+			return nil, errors.New("midi: truncated event")
+		}
+		status := trk[i]
+		if status < 0x80 {
+			status = running
+		} else {
+			i++
+			running = status
+		}
+		switch {
+		case status == 0xFF: // meta
+			if i+1 >= len(trk) {
+				return nil, errors.New("midi: truncated meta")
+			}
+			metaType := trk[i]
+			i++
+			ln, n, err := readVarLen(trk[i:])
+			if err != nil {
+				return nil, err
+			}
+			i += n + int(ln)
+			if metaType == 0x2F {
+				i = len(trk) // end of track
+			}
+		case status&0xF0 == 0x90 || status&0xF0 == 0x80:
+			if i+1 >= len(trk) {
+				return nil, errors.New("midi: truncated note event")
+			}
+			key, vel := int(trk[i]), int(trk[i+1])
+			i += 2
+			ch := int(status & 0x0F)
+			isOn := status&0xF0 == 0x90 && vel > 0
+			k := onKey{ch, key}
+			if isOn {
+				seq.Notes = append(seq.Notes, NoteEvent{
+					Key: key, Velocity: vel, Channel: ch, StartUs: ticksToUs(tick), DurUs: -1,
+				})
+				open[k] = append(open[k], len(seq.Notes)-1)
+			} else if pend := open[k]; len(pend) > 0 {
+				idx := pend[0]
+				open[k] = pend[1:]
+				seq.Notes[idx].DurUs = ticksToUs(tick) - seq.Notes[idx].StartUs
+			}
+		case status&0xF0 == 0xB0:
+			if i+1 >= len(trk) {
+				return nil, errors.New("midi: truncated control event")
+			}
+			seq.Controls = append(seq.Controls, ControlEvent{
+				Controller: int(trk[i]), Value: int(trk[i+1]),
+				Channel: int(status & 0x0F), AtUs: ticksToUs(tick),
+			})
+			i += 2
+		case status&0xF0 == 0xC0 || status&0xF0 == 0xD0: // program/pressure: 1 byte
+			i++
+		case status&0xF0 == 0xA0 || status&0xF0 == 0xE0: // aftertouch/bend: 2 bytes
+			i += 2
+		default:
+			return nil, fmt.Errorf("midi: unsupported status byte %#x", status)
+		}
+	}
+	// Close any dangling notes at the final tick.
+	for _, idxs := range open {
+		for _, idx := range idxs {
+			if seq.Notes[idx].DurUs < 0 {
+				seq.Notes[idx].DurUs = ticksToUs(tick) - seq.Notes[idx].StartUs
+			}
+		}
+	}
+	seq.Sort()
+	return seq, nil
+}
+
+func readVarLen(b []byte) (uint32, int, error) {
+	var v uint32
+	for i := 0; i < len(b) && i < 4; i++ {
+		v = v<<7 | uint32(b[i]&0x7F)
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, errors.New("midi: bad variable-length quantity")
+}

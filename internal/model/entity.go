@@ -1,0 +1,337 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Attrs is a convenience map for entity attribute values by name.
+type Attrs map[string]value.Value
+
+// NewEntity creates an entity instance of the named type with the given
+// attribute values (missing attributes are null) and returns its
+// surrogate reference.
+func (db *Database) NewEntity(typeName string, attrs Attrs) (value.Ref, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.newEntityLocked(typeName, attrs)
+}
+
+func (db *Database) newEntityLocked(typeName string, attrs Attrs) (value.Ref, error) {
+	et, ok := db.entities[typeName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	for name := range attrs {
+		if _, ok := et.AttrIndex(name); !ok {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoAttribute, typeName, name)
+		}
+	}
+	ref := value.Ref(db.store.NextSeq("ref"))
+	t := make(value.Tuple, len(et.Attrs)+1)
+	t[0] = value.RefVal(ref)
+	for i, a := range et.Attrs {
+		if v, ok := attrs[a.Name]; ok {
+			t[i+1] = v
+		} else {
+			t[i+1] = value.Null
+		}
+	}
+	var rowID storage.RowID
+	err := db.store.Run(func(tx *storage.Tx) error {
+		var err error
+		rowID, err = tx.Insert(entPrefix+typeName, t)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	db.directory[ref] = entityLoc{typeName: typeName, rowID: rowID}
+	return ref, nil
+}
+
+// NewEntities creates n entities of the same type in a single
+// transaction; attrs(i) supplies the attributes of the i'th.  It is the
+// bulk-loading path used by score import.
+func (db *Database) NewEntities(typeName string, n int, attrs func(i int) Attrs) ([]value.Ref, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	et, ok := db.entities[typeName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	refs := make([]value.Ref, n)
+	rowIDs := make([]storage.RowID, n)
+	err := db.store.Run(func(tx *storage.Tx) error {
+		for i := 0; i < n; i++ {
+			ref := value.Ref(db.store.NextSeq("ref"))
+			refs[i] = ref
+			t := make(value.Tuple, len(et.Attrs)+1)
+			t[0] = value.RefVal(ref)
+			am := attrs(i)
+			for j, a := range et.Attrs {
+				if v, ok := am[a.Name]; ok {
+					t[j+1] = v
+				} else {
+					t[j+1] = value.Null
+				}
+			}
+			var err error
+			rowIDs[i], err = tx.Insert(entPrefix+typeName, t)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ref := range refs {
+		db.directory[ref] = entityLoc{typeName: typeName, rowID: rowIDs[i]}
+	}
+	return refs, nil
+}
+
+// TypeOf returns the entity type name of ref.
+func (db *Database) TypeOf(ref value.Ref) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	loc, ok := db.directory[ref]
+	return loc.typeName, ok
+}
+
+// Exists reports whether ref identifies a live entity.
+func (db *Database) Exists(ref value.Ref) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.directory[ref]
+	return ok
+}
+
+// Attr returns one attribute value of an entity.
+func (db *Database) Attr(ref value.Ref, attr string) (value.Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.attrLocked(ref, attr)
+}
+
+func (db *Database) attrLocked(ref value.Ref, attr string) (value.Value, error) {
+	loc, ok := db.directory[ref]
+	if !ok {
+		return value.Null, fmt.Errorf("%w: @%d", ErrNoEntity, ref)
+	}
+	et := db.entities[loc.typeName]
+	i, ok := et.AttrIndex(attr)
+	if !ok {
+		return value.Null, fmt.Errorf("%w: %s.%s", ErrNoAttribute, loc.typeName, attr)
+	}
+	var out value.Value
+	err := db.store.Run(func(tx *storage.Tx) error {
+		t, err := tx.Get(entPrefix+loc.typeName, loc.rowID)
+		if err != nil {
+			return err
+		}
+		out = t[i+1]
+		return nil
+	})
+	return out, err
+}
+
+// AttrTuple returns all attribute values of an entity, in schema order
+// (excluding the surrogate).
+func (db *Database) AttrTuple(ref value.Ref) (value.Tuple, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	loc, ok := db.directory[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: @%d", ErrNoEntity, ref)
+	}
+	var out value.Tuple
+	err := db.store.Run(func(tx *storage.Tx) error {
+		t, err := tx.Get(entPrefix+loc.typeName, loc.rowID)
+		if err != nil {
+			return err
+		}
+		out = t[1:].Clone()
+		return nil
+	})
+	return out, err
+}
+
+// SetAttr updates one attribute value of an entity.
+func (db *Database) SetAttr(ref value.Ref, attr string, v value.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	loc, ok := db.directory[ref]
+	if !ok {
+		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
+	}
+	et := db.entities[loc.typeName]
+	i, ok := et.AttrIndex(attr)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoAttribute, loc.typeName, attr)
+	}
+	return db.store.Run(func(tx *storage.Tx) error {
+		return tx.UpdateField(entPrefix+loc.typeName, loc.rowID, et.Attrs[i].Name, v)
+	})
+}
+
+// SetAttrs updates several attributes of an entity in one transaction.
+func (db *Database) SetAttrs(ref value.Ref, attrs Attrs) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	loc, ok := db.directory[ref]
+	if !ok {
+		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
+	}
+	et := db.entities[loc.typeName]
+	return db.store.Run(func(tx *storage.Tx) error {
+		t, err := tx.Get(entPrefix+loc.typeName, loc.rowID)
+		if err != nil {
+			return err
+		}
+		nt := t.Clone()
+		for name, v := range attrs {
+			i, ok := et.AttrIndex(name)
+			if !ok {
+				return fmt.Errorf("%w: %s.%s", ErrNoAttribute, loc.typeName, name)
+			}
+			nt[i+1] = v
+		}
+		return tx.Update(entPrefix+loc.typeName, loc.rowID, nt)
+	})
+}
+
+// DeleteEntity removes an entity instance.  The entity must not be a
+// parent with children in any ordering (ErrHasChildren) — callers that
+// want cascade semantics use DeleteSubtree.  The entity is detached from
+// any orderings in which it is a child, and relationship instances that
+// reference it are deleted.
+func (db *Database) DeleteEntity(ref value.Ref) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteEntityLocked(ref)
+}
+
+func (db *Database) deleteEntityLocked(ref value.Ref) error {
+	loc, ok := db.directory[ref]
+	if !ok {
+		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
+	}
+	for name, rt := range db.orders {
+		if rt.childCount(ref) > 0 {
+			return fmt.Errorf("%w: @%d in ordering %q", ErrHasChildren, ref, name)
+		}
+	}
+	// Detach from orderings where ref is a child.
+	for name, rt := range db.orders {
+		if _, ok := rt.child[ref]; ok {
+			if err := db.removeChildLocked(name, ref); err != nil {
+				return err
+			}
+		}
+	}
+	// Remove relationship instances referencing ref.
+	for rname, rt := range db.relationships {
+		relName := relPrefix + rname
+		var doomed []storage.RowID
+		err := db.store.Run(func(tx *storage.Tx) error {
+			for ri := range rt.Roles {
+				if err := tx.IndexPrefixScan(relName, "by_"+rt.Roles[ri].Name,
+					value.Tuple{value.RefVal(ref)},
+					func(id storage.RowID, _ value.Tuple) bool {
+						doomed = append(doomed, id)
+						return true
+					}); err != nil {
+					return err
+				}
+			}
+			for _, id := range doomed {
+				if err := tx.Delete(relName, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	err := db.store.Run(func(tx *storage.Tx) error {
+		return tx.Delete(entPrefix+loc.typeName, loc.rowID)
+	})
+	if err != nil {
+		return err
+	}
+	delete(db.directory, ref)
+	return nil
+}
+
+// DeleteSubtree removes an entity and, recursively, every child beneath
+// it in every ordering ("cascade" deletion of a hierarchy).
+func (db *Database) DeleteSubtree(ref value.Ref) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteSubtreeLocked(ref)
+}
+
+func (db *Database) deleteSubtreeLocked(ref value.Ref) error {
+	for _, rt := range db.orders {
+		for _, child := range rt.childrenOf(ref) {
+			if err := db.deleteSubtreeLocked(child); err != nil {
+				return err
+			}
+		}
+	}
+	return db.deleteEntityLocked(ref)
+}
+
+// Instances calls fn for every instance of the named entity type, in
+// creation order, passing the surrogate and the attribute tuple
+// (excluding the surrogate).  Iteration stops if fn returns false.
+func (db *Database) Instances(typeName string, fn func(ref value.Ref, attrs value.Tuple) bool) error {
+	db.mu.RLock()
+	if _, ok := db.entities[typeName]; !ok {
+		db.mu.RUnlock()
+		return fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	db.mu.RUnlock()
+	return db.store.Run(func(tx *storage.Tx) error {
+		return tx.Scan(entPrefix+typeName, func(_ storage.RowID, t value.Tuple) bool {
+			return fn(t[0].AsRef(), t[1:])
+		})
+	})
+}
+
+// Count returns the number of instances of the named entity type.
+func (db *Database) Count(typeName string) int {
+	rel := db.store.Relation(entPrefix + typeName)
+	if rel == nil {
+		return 0
+	}
+	return rel.Len()
+}
+
+// FindByAttr returns the refs of instances of typeName whose attribute
+// equals v, in creation order.
+func (db *Database) FindByAttr(typeName, attr string, v value.Value) ([]value.Ref, error) {
+	var out []value.Ref
+	et, ok := db.EntityType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	i, ok := et.AttrIndex(attr)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoAttribute, typeName, attr)
+	}
+	err := db.Instances(typeName, func(ref value.Ref, attrs value.Tuple) bool {
+		if attrs[i].Equal(v) {
+			out = append(out, ref)
+		}
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,839 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func memModel(t testing.TB) *Database {
+	t.Helper()
+	store, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// defineChordSchema defines the NOTE-in-CHORD schema used throughout §5.
+func defineChordSchema(t testing.TB, db *Database) {
+	t.Helper()
+	if _, err := db.DefineEntity("CHORD",
+		value.Field{Name: "name", Kind: value.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineEntity("NOTE",
+		value.Field{Name: "name", Kind: value.KindInt},
+		value.Field{Name: "pitch", Kind: value.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineOrdering("note_in_chord", []string{"NOTE"}, "CHORD"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineEntity(t *testing.T) {
+	db := memModel(t)
+	et, err := db.DefineEntity("COMPOSITION",
+		value.Field{Name: "title", Kind: value.KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Name != "COMPOSITION" || len(et.Attrs) != 1 {
+		t.Fatal("entity shape")
+	}
+	if _, err := db.DefineEntity("COMPOSITION"); err == nil {
+		t.Fatal("duplicate entity type accepted")
+	}
+	if _, ok := db.EntityType("COMPOSITION"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := et.AttrIndex("TITLE"); !ok {
+		t.Fatal("attr index should be case-insensitive")
+	}
+	if _, ok := et.AttrIndex("nope"); ok {
+		t.Fatal("missing attr found")
+	}
+}
+
+func TestDefineRelationshipValidation(t *testing.T) {
+	db := memModel(t)
+	db.DefineEntity("PERSON", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("COMPOSITION", value.Field{Name: "title", Kind: value.KindString})
+	if _, err := db.DefineRelationship("COMPOSER", []Role{
+		{Name: "composer", EntityType: "PERSON"},
+	}); err == nil {
+		t.Fatal("single-role relationship accepted")
+	}
+	if _, err := db.DefineRelationship("COMPOSER", []Role{
+		{Name: "composer", EntityType: "PERSON"},
+		{Name: "composition", EntityType: "NOPE"},
+	}); err == nil {
+		t.Fatal("missing entity type accepted")
+	}
+	if _, err := db.DefineRelationship("COMPOSER", []Role{
+		{Name: "composer", EntityType: "PERSON"},
+		{Name: "composition", EntityType: "COMPOSITION"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineRelationship("COMPOSER", nil); err == nil {
+		t.Fatal("duplicate relationship accepted")
+	}
+}
+
+func TestFigure5StarSpangledBanner(t *testing.T) {
+	// The §5.6 example: find all composers of "The Star Spangled Banner".
+	db := memModel(t)
+	db.DefineEntity("PERSON", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("COMPOSITION", value.Field{Name: "title", Kind: value.KindString})
+	db.DefineRelationship("COMPOSER", []Role{
+		{Name: "composer", EntityType: "PERSON"},
+		{Name: "composition", EntityType: "COMPOSITION"},
+	})
+	key, _ := db.NewEntity("PERSON", Attrs{"name": value.Str("Francis Scott Key")})
+	smith, _ := db.NewEntity("PERSON", Attrs{"name": value.Str("John Stafford Smith")})
+	bach, _ := db.NewEntity("PERSON", Attrs{"name": value.Str("J. S. Bach")})
+	ssb, _ := db.NewEntity("COMPOSITION", Attrs{"title": value.Str("The Star Spangled Banner")})
+	fugue, _ := db.NewEntity("COMPOSITION", Attrs{"title": value.Str("Fuge g-moll")})
+	for _, p := range []value.Ref{key, smith} {
+		if err := db.Relate("COMPOSER", map[string]value.Ref{"composer": p, "composition": ssb}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Relate("COMPOSER", map[string]value.Ref{"composer": bach, "composition": fugue}, nil)
+
+	composers, err := db.RelatedRefs("COMPOSER", "composition", ssb, "composer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(composers) != 2 {
+		t.Fatalf("composers = %v", composers)
+	}
+	names := map[string]bool{}
+	for _, c := range composers {
+		v, _ := db.Attr(c, "name")
+		names[v.AsString()] = true
+	}
+	if !names["Francis Scott Key"] || !names["John Stafford Smith"] {
+		t.Fatalf("wrong composers: %v", names)
+	}
+}
+
+func TestRelateValidation(t *testing.T) {
+	db := memModel(t)
+	db.DefineEntity("PERSON", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("COMPOSITION", value.Field{Name: "title", Kind: value.KindString})
+	db.DefineRelationship("COMPOSER", []Role{
+		{Name: "composer", EntityType: "PERSON"},
+		{Name: "composition", EntityType: "COMPOSITION"},
+	})
+	p, _ := db.NewEntity("PERSON", nil)
+	c, _ := db.NewEntity("COMPOSITION", nil)
+	if err := db.Relate("NOPE", nil, nil); !errors.Is(err, ErrNoRelationship) {
+		t.Fatal("missing relationship accepted")
+	}
+	if err := db.Relate("COMPOSER", map[string]value.Ref{"composer": p}, nil); err == nil {
+		t.Fatal("missing role accepted")
+	}
+	if err := db.Relate("COMPOSER", map[string]value.Ref{"composer": c, "composition": p}, nil); err == nil {
+		t.Fatal("role type mismatch accepted")
+	}
+	if err := db.Relate("COMPOSER", map[string]value.Ref{"composer": p, "composition": value.Ref(9999)}, nil); err == nil {
+		t.Fatal("dangling ref accepted")
+	}
+	if err := db.Relate("COMPOSER", map[string]value.Ref{"composer": p, "composition": c}, nil); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Unrelate("COMPOSER", map[string]value.Ref{"composer": p})
+	if err != nil || n != 1 {
+		t.Fatalf("unrelate: %d %v", n, err)
+	}
+}
+
+func TestEntityAttrs(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	n, err := db.NewEntity("NOTE", Attrs{"name": value.Int(1), "pitch": value.Int(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn, ok := db.TypeOf(n); !ok || tn != "NOTE" {
+		t.Fatal("TypeOf")
+	}
+	if !db.Exists(n) || db.Exists(value.Ref(99999)) {
+		t.Fatal("Exists")
+	}
+	v, err := db.Attr(n, "pitch")
+	if err != nil || v.AsInt() != 60 {
+		t.Fatalf("Attr: %v %v", v, err)
+	}
+	if err := db.SetAttr(n, "pitch", value.Int(62)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Attr(n, "pitch"); v.AsInt() != 62 {
+		t.Fatal("SetAttr did not stick")
+	}
+	if err := db.SetAttrs(n, Attrs{"pitch": value.Int(64), "name": value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	tup, err := db.AttrTuple(n)
+	if err != nil || tup[0].AsInt() != 2 || tup[1].AsInt() != 64 {
+		t.Fatalf("AttrTuple: %v %v", tup, err)
+	}
+	// Error paths.
+	if _, err := db.NewEntity("NOPE", nil); !errors.Is(err, ErrNoEntityType) {
+		t.Fatal("missing type")
+	}
+	if _, err := db.NewEntity("NOTE", Attrs{"bogus": value.Int(1)}); !errors.Is(err, ErrNoAttribute) {
+		t.Fatal("bogus attr")
+	}
+	if _, err := db.Attr(value.Ref(12345), "pitch"); !errors.Is(err, ErrNoEntity) {
+		t.Fatal("missing entity")
+	}
+	if _, err := db.Attr(n, "bogus"); !errors.Is(err, ErrNoAttribute) {
+		t.Fatal("bogus attr get")
+	}
+	if err := db.SetAttr(n, "bogus", value.Int(1)); !errors.Is(err, ErrNoAttribute) {
+		t.Fatal("bogus attr set")
+	}
+}
+
+// TestFigure6InstanceGraph reproduces the four-note chord of figure 6:
+// parent y with ordered children {u, v, w, x}; w is the third child.
+func TestFigure6InstanceGraph(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	y, _ := db.NewEntity("CHORD", Attrs{"name": value.Int(1)})
+	var kids []value.Ref
+	for i := 0; i < 4; i++ {
+		n, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(int64(i + 1))})
+		if err := db.InsertChild("note_in_chord", y, n, Last()); err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, n)
+	}
+	// Ordinal access: "the third child of y".
+	third, err := db.ChildAt("note_in_chord", y, 2)
+	if err != nil || third != kids[2] {
+		t.Fatalf("third child: %v %v", third, err)
+	}
+	// P-edges: each child's parent is y.
+	for _, k := range kids {
+		p, ok := db.ParentOf("note_in_chord", k)
+		if !ok || p != y {
+			t.Fatal("P-edge broken")
+		}
+		under, _ := db.UnderIn("note_in_chord", k, y)
+		if !under {
+			t.Fatal("under operator")
+		}
+	}
+	// S-edges: u before v before w before x.
+	for i := 0; i < 3; i++ {
+		b, _ := db.BeforeIn("note_in_chord", kids[i], kids[i+1])
+		if !b {
+			t.Fatalf("S-order broken at %d", i)
+		}
+		a, _ := db.AfterIn("note_in_chord", kids[i+1], kids[i])
+		if !a {
+			t.Fatal("after operator")
+		}
+	}
+	if b, _ := db.BeforeIn("note_in_chord", kids[2], kids[0]); b {
+		t.Fatal("before should be false in reverse")
+	}
+	// Instance graph shape.
+	g, err := db.InstanceGraph(y, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 5 || len(g.PEdges) != 4 || len(g.SEdges) != 3 {
+		t.Fatalf("graph shape: %d nodes, %d P, %d S", len(g.Nodes), len(g.PEdges), len(g.SEdges))
+	}
+}
+
+func TestOrderingValidation(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	if _, err := db.DefineOrdering("x", nil, "CHORD"); err == nil {
+		t.Fatal("empty children accepted")
+	}
+	if _, err := db.DefineOrdering("x", []string{"NOPE"}, "CHORD"); err == nil {
+		t.Fatal("missing child type accepted")
+	}
+	if _, err := db.DefineOrdering("x", []string{"NOTE"}, "NOPE"); err == nil {
+		t.Fatal("missing parent type accepted")
+	}
+	if _, err := db.DefineOrdering("x", []string{"NOTE", "NOTE"}, "CHORD"); err == nil {
+		t.Fatal("duplicate child type accepted")
+	}
+	if _, err := db.DefineOrdering("note_in_chord", []string{"NOTE"}, "CHORD"); err == nil {
+		t.Fatal("duplicate ordering name accepted")
+	}
+
+	chord, _ := db.NewEntity("CHORD", nil)
+	note, _ := db.NewEntity("NOTE", nil)
+	// Wrong parent/child types.
+	if err := db.InsertChild("note_in_chord", note, chord, Last()); !errors.Is(err, ErrWrongParent) {
+		t.Fatalf("wrong parent: %v", err)
+	}
+	chord2, _ := db.NewEntity("CHORD", nil)
+	if err := db.InsertChild("note_in_chord", chord, chord2, Last()); !errors.Is(err, ErrWrongChildType) {
+		t.Fatalf("wrong child type: %v", err)
+	}
+	// Double insertion (one parent per ordering).
+	if err := db.InsertChild("note_in_chord", chord, note, Last()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertChild("note_in_chord", chord2, note, Last()); !errors.Is(err, ErrAlreadyChild) {
+		t.Fatalf("second parent accepted: %v", err)
+	}
+	// Missing ordering / entities.
+	if err := db.InsertChild("nope", chord, note, Last()); !errors.Is(err, ErrNoOrdering) {
+		t.Fatal("missing ordering")
+	}
+	if err := db.InsertChild("note_in_chord", value.Ref(9999), note, Last()); !errors.Is(err, ErrNoEntity) {
+		t.Fatal("missing parent entity")
+	}
+	if err := db.InsertChild("note_in_chord", chord, value.Ref(9999), Last()); !errors.Is(err, ErrNoEntity) {
+		t.Fatal("missing child entity")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	mk := func(name int64) value.Ref {
+		n, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(name)})
+		return n
+	}
+	names := func() []int64 {
+		kids, _ := db.Children("note_in_chord", chord)
+		out := make([]int64, len(kids))
+		for i, k := range kids {
+			v, _ := db.Attr(k, "name")
+			out[i] = v.AsInt()
+		}
+		return out
+	}
+	n1, n2, n3, n4, n5, n6 := mk(1), mk(2), mk(3), mk(4), mk(5), mk(6)
+	db.InsertChild("note_in_chord", chord, n1, Last())                        // [1]
+	db.InsertChild("note_in_chord", chord, n2, Last())                        // [1 2]
+	db.InsertChild("note_in_chord", chord, n3, First())                       // [3 1 2]
+	db.InsertChild("note_in_chord", chord, n4, Before(n1))                    // [3 4 1 2]
+	db.InsertChild("note_in_chord", chord, n5, After(n1))                     // [3 4 1 5 2]
+	if err := db.InsertChild("note_in_chord", chord, n6, At(2)); err != nil { // [3 4 6 1 5 2]
+		t.Fatal(err)
+	}
+	got := names()
+	want := []int64{3, 4, 6, 1, 5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v want %v", got, want)
+		}
+	}
+	// IndexOf and siblings.
+	if i, _ := db.IndexOf("note_in_chord", n6); i != 2 {
+		t.Fatalf("IndexOf = %d", i)
+	}
+	if s, ok := db.NextSibling("note_in_chord", n6); !ok || s != n1 {
+		t.Fatal("NextSibling")
+	}
+	if s, ok := db.PrevSibling("note_in_chord", n6); !ok || s != n4 {
+		t.Fatal("PrevSibling")
+	}
+	if _, ok := db.NextSibling("note_in_chord", n2); ok {
+		t.Fatal("NextSibling at end")
+	}
+	if _, ok := db.PrevSibling("note_in_chord", n3); ok {
+		t.Fatal("PrevSibling at start")
+	}
+	// Move: n2 to front.
+	if err := db.MoveChild("note_in_chord", n2, First()); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); got[0] != 2 {
+		t.Fatalf("after move: %v", got)
+	}
+	// Remove.
+	if err := db.RemoveChild("note_in_chord", n6); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); len(got) != 5 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if err := db.RemoveChild("note_in_chord", n6); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	// At() out of range clamps to append/prepend.
+	n7 := mk(7)
+	if err := db.InsertChild("note_in_chord", chord, n7, At(100)); err != nil {
+		t.Fatal(err)
+	}
+	got = names()
+	if got[len(got)-1] != 7 {
+		t.Fatalf("At(100) should append: %v", got)
+	}
+}
+
+// TestMultiLevelHierarchy covers §5.5 "Multiple Levels of Hierarchy":
+// notes under chords, chords under measures.
+func TestMultiLevelHierarchy(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineEntity("MEASURE", value.Field{Name: "number", Kind: value.KindInt})
+	db.DefineOrdering("chord_in_measure", []string{"CHORD"}, "MEASURE")
+
+	m, _ := db.NewEntity("MEASURE", Attrs{"number": value.Int(1)})
+	for c := 0; c < 3; c++ {
+		chord, _ := db.NewEntity("CHORD", Attrs{"name": value.Int(int64(c))})
+		db.InsertChild("chord_in_measure", m, chord, Last())
+		for n := 0; n < 2; n++ {
+			note, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(int64(c*10 + n))})
+			db.InsertChild("note_in_chord", chord, note, Last())
+		}
+	}
+	// Walking both orderings from the measure reaches all 10 entities.
+	count := 0
+	g, err := db.InstanceGraph(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count = len(g.Nodes)
+	if count != 10 {
+		t.Fatalf("nodes = %d want 10", count)
+	}
+	// 9 P-edges (3 chords + 6 notes); S-edges: 2 between chords, 1 per
+	// chord's note pair = 5.
+	if len(g.PEdges) != 9 || len(g.SEdges) != 5 {
+		t.Fatalf("edges: %d P, %d S", len(g.PEdges), len(g.SEdges))
+	}
+}
+
+// TestMultipleOrderingsUnderParent covers §5.5 "Multiple Orderings Under
+// a Parent": parts and staves both ordered under an instrument.
+func TestMultipleOrderingsUnderParent(t *testing.T) {
+	db := memModel(t)
+	db.DefineEntity("INSTRUMENT", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("PART", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("STAFF", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineOrdering("part_in_instrument", []string{"PART"}, "INSTRUMENT")
+	db.DefineOrdering("staff_in_instrument", []string{"STAFF"}, "INSTRUMENT")
+
+	violin, _ := db.NewEntity("INSTRUMENT", Attrs{"name": value.Str("violin")})
+	for i := 0; i < 3; i++ {
+		p, _ := db.NewEntity("PART", nil)
+		db.InsertChild("part_in_instrument", violin, p, Last())
+	}
+	for i := 0; i < 2; i++ {
+		s, _ := db.NewEntity("STAFF", nil)
+		db.InsertChild("staff_in_instrument", violin, s, Last())
+	}
+	parts, _ := db.Children("part_in_instrument", violin)
+	staves, _ := db.Children("staff_in_instrument", violin)
+	if len(parts) != 3 || len(staves) != 2 {
+		t.Fatalf("3 parts on 2 staves expected: %d, %d", len(parts), len(staves))
+	}
+	// "The second part for the violin" is meaningful.
+	second, err := db.ChildAt("part_in_instrument", violin, 1)
+	if err != nil || second != parts[1] {
+		t.Fatal("second part")
+	}
+}
+
+// TestInhomogeneousOrdering covers §5.5: a voice is an ordered sequence
+// of chords and rests, intermixed; "the second object under voice V" is
+// of exactly one type.
+func TestInhomogeneousOrdering(t *testing.T) {
+	db := memModel(t)
+	db.DefineEntity("VOICE", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("CHORD", value.Field{Name: "name", Kind: value.KindInt})
+	db.DefineEntity("REST", value.Field{Name: "name", Kind: value.KindInt})
+	db.DefineOrdering("voice_content", []string{"CHORD", "REST"}, "VOICE")
+
+	v, _ := db.NewEntity("VOICE", nil)
+	c1, _ := db.NewEntity("CHORD", Attrs{"name": value.Int(1)})
+	r1, _ := db.NewEntity("REST", Attrs{"name": value.Int(2)})
+	c2, _ := db.NewEntity("CHORD", Attrs{"name": value.Int(3)})
+	for _, ref := range []value.Ref{c1, r1, c2} {
+		if err := db.InsertChild("voice_content", v, ref, Last()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := db.ChildAt("voice_content", v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := db.TypeOf(second)
+	if second != r1 || tn != "REST" {
+		t.Fatalf("second object should be the rest, got %s @%d", tn, second)
+	}
+	// Chords and rests are comparable within the ordering.
+	if b, _ := db.BeforeIn("voice_content", c1, r1); !b {
+		t.Fatal("chord before rest")
+	}
+	if b, _ := db.BeforeIn("voice_content", r1, c2); !b {
+		t.Fatal("rest before chord")
+	}
+}
+
+// TestMultipleParents covers §5.5 "Multiple Parents": a note has a chord
+// parent in one ordering and a staff parent in another, independently.
+func TestMultipleParents(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineEntity("STAFF", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineOrdering("note_on_staff", []string{"NOTE"}, "STAFF")
+
+	chord, _ := db.NewEntity("CHORD", nil)
+	staff1, _ := db.NewEntity("STAFF", nil)
+	staff2, _ := db.NewEntity("STAFF", nil)
+	// A chord lying across two staves: notes n1,n2 in one chord, but on
+	// different staves.
+	n1, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(1)})
+	n2, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(2)})
+	for _, n := range []value.Ref{n1, n2} {
+		if err := db.InsertChild("note_in_chord", chord, n, Last()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.InsertChild("note_on_staff", staff1, n1, Last())
+	db.InsertChild("note_on_staff", staff2, n2, Last())
+
+	// Same "per chord" ordering, different "per staff" orderings.
+	if b, _ := db.BeforeIn("note_in_chord", n1, n2); !b {
+		t.Fatal("chord ordering broken")
+	}
+	if b, _ := db.BeforeIn("note_on_staff", n1, n2); b {
+		t.Fatal("different staff parents must be incomparable (false)")
+	}
+	p1, _ := db.ParentOf("note_in_chord", n1)
+	p2, _ := db.ParentOf("note_on_staff", n1)
+	if p1 != chord || p2 != staff1 {
+		t.Fatal("independent parents broken")
+	}
+}
+
+// TestRecursiveOrdering covers §5.5 and figure 8: beam groups containing
+// beam groups and chords, with cycle prevention.
+func TestRecursiveOrdering(t *testing.T) {
+	db := memModel(t)
+	db.DefineEntity("BEAM_GROUP", value.Field{Name: "name", Kind: value.KindString})
+	db.DefineEntity("CHORD", value.Field{Name: "name", Kind: value.KindString})
+	o, err := db.DefineOrdering("beam_content", []string{"BEAM_GROUP", "CHORD"}, "BEAM_GROUP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Recursive() {
+		t.Fatal("ordering should report recursive")
+	}
+
+	// Figure 8(b)/(c): g1 contains c1, g2, g3; g2 contains c2, c3;
+	// g3 contains c4, g4; g4 contains c5, c6.
+	mk := func(typ, name string) value.Ref {
+		r, err := db.NewEntity(typ, Attrs{"name": value.Str(name)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	g1, g2, g3, g4 := mk("BEAM_GROUP", "g1"), mk("BEAM_GROUP", "g2"), mk("BEAM_GROUP", "g3"), mk("BEAM_GROUP", "g4")
+	c1, c2, c3, c4, c5, c6 := mk("CHORD", "c1"), mk("CHORD", "c2"), mk("CHORD", "c3"), mk("CHORD", "c4"), mk("CHORD", "c5"), mk("CHORD", "c6")
+	ins := func(p, c value.Ref) {
+		if err := db.InsertChild("beam_content", p, c, Last()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(g1, c1)
+	ins(g1, g2)
+	ins(g2, c2)
+	ins(g2, c3)
+	ins(g1, g3)
+	ins(g3, c4)
+	ins(g3, g4)
+	ins(g4, c5)
+	ins(g4, c6)
+
+	// Depth-first walk yields the figure's structure.
+	var labels []string
+	var depths []int
+	db.Walk("beam_content", g1, func(ref value.Ref, depth int) bool {
+		v, _ := db.Attr(ref, "name")
+		labels = append(labels, v.AsString())
+		depths = append(depths, depth)
+		return true
+	})
+	wantLabels := []string{"g1", "c1", "g2", "c2", "c3", "g3", "c4", "g4", "c5", "c6"}
+	for i := range wantLabels {
+		if labels[i] != wantLabels[i] {
+			t.Fatalf("walk order %v want %v", labels, wantLabels)
+		}
+	}
+	if depths[0] != 0 || depths[1] != 1 || depths[3] != 2 || depths[8] != 3 {
+		t.Fatalf("depths %v", depths)
+	}
+
+	// Cycle prevention (§5.5 restrictions).
+	if err := db.InsertChild("beam_content", g4, g1, Last()); !errors.Is(err, ErrPCycle) {
+		t.Fatalf("P-cycle accepted: %v", err)
+	}
+	if err := db.InsertChild("beam_content", g2, g2, Last()); !errors.Is(err, ErrPCycle) {
+		t.Fatalf("self-parent accepted: %v", err)
+	}
+	// A sibling chain that would close a cycle via parents is refused,
+	// but a legitimate reattachment elsewhere is fine.
+	if err := db.RemoveChild("beam_content", g2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertChild("beam_content", g4, g2, Last()); err != nil {
+		t.Fatal(err)
+	}
+	// Roots: only g1.
+	roots, _ := db.Roots("beam_content")
+	if len(roots) != 1 || roots[0] != g1 {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+// TestRenumber forces rank-gap exhaustion by repeatedly inserting at the
+// same interior position, and checks the order survives.
+func TestRenumber(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	chord, _ := db.NewEntity("CHORD", nil)
+	first, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(0)})
+	db.InsertChild("note_in_chord", chord, first, Last())
+	last, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(9999)})
+	db.InsertChild("note_in_chord", chord, last, Last())
+	// Repeated Before(last) bisects the same gap each time: gap 2^20
+	// is exhausted after ~20 insertions, forcing renumbering.
+	const n = 60
+	for i := 1; i <= n; i++ {
+		note, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(int64(i))})
+		if err := db.InsertChild("note_in_chord", chord, note, Before(last)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	kids, _ := db.Children("note_in_chord", chord)
+	if len(kids) != n+2 {
+		t.Fatalf("children = %d", len(kids))
+	}
+	// Expected order: 0, 1, 2, ..., n, 9999.
+	v, _ := db.Attr(kids[0], "name")
+	if v.AsInt() != 0 {
+		t.Fatal("first moved")
+	}
+	for i := 1; i <= n; i++ {
+		v, _ := db.Attr(kids[i], "name")
+		if v.AsInt() != int64(i) {
+			t.Fatalf("position %d has name %d", i, v.AsInt())
+		}
+	}
+	v, _ = db.Attr(kids[n+1], "name")
+	if v.AsInt() != 9999 {
+		t.Fatal("last moved")
+	}
+}
+
+func TestDeleteEntitySemantics(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineRelationship("SIMILAR", []Role{
+		{Name: "a", EntityType: "NOTE"}, {Name: "b", EntityType: "NOTE"},
+	})
+	chord, _ := db.NewEntity("CHORD", nil)
+	n1, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(1)})
+	n2, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(2)})
+	db.InsertChild("note_in_chord", chord, n1, Last())
+	db.InsertChild("note_in_chord", chord, n2, Last())
+	db.Relate("SIMILAR", map[string]value.Ref{"a": n1, "b": n2}, nil)
+
+	// Deleting a parent with children is refused.
+	if err := db.DeleteEntity(chord); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("parent delete: %v", err)
+	}
+	// Deleting a child detaches it and removes its relationships.
+	if err := db.DeleteEntity(n1); err != nil {
+		t.Fatal(err)
+	}
+	if db.Exists(n1) {
+		t.Fatal("entity survives delete")
+	}
+	kids, _ := db.Children("note_in_chord", chord)
+	if len(kids) != 1 || kids[0] != n2 {
+		t.Fatalf("children after delete: %v", kids)
+	}
+	insts, _ := db.Related("SIMILAR", "", n2)
+	if len(insts) != 0 {
+		t.Fatal("relationship survives participant delete")
+	}
+	// Subtree delete removes everything.
+	if err := db.DeleteSubtree(chord); err != nil {
+		t.Fatal(err)
+	}
+	if db.Exists(chord) || db.Exists(n2) {
+		t.Fatal("subtree delete incomplete")
+	}
+	if db.Count("NOTE") != 0 || db.Count("CHORD") != 0 {
+		t.Fatal("counts after subtree delete")
+	}
+}
+
+func TestInstancesAndFind(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	refs, err := db.NewEntities("NOTE", 10, func(i int) Attrs {
+		return Attrs{"name": value.Int(int64(i)), "pitch": value.Int(int64(60 + i%3))}
+	})
+	if err != nil || len(refs) != 10 {
+		t.Fatal(err)
+	}
+	count := 0
+	db.Instances("NOTE", func(ref value.Ref, attrs value.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 10 || db.Count("NOTE") != 10 {
+		t.Fatalf("instances = %d", count)
+	}
+	found, err := db.FindByAttr("NOTE", "pitch", value.Int(61))
+	if err != nil || len(found) != 3 {
+		t.Fatalf("FindByAttr: %v %v", found, err)
+	}
+	if err := db.Instances("NOPE", nil); !errors.Is(err, ErrNoEntityType) {
+		t.Fatal("Instances on missing type")
+	}
+	if _, err := db.FindByAttr("NOTE", "bogus", value.Null); !errors.Is(err, ErrNoAttribute) {
+		t.Fatal("FindByAttr on missing attr")
+	}
+}
+
+func TestFindOrdering(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineEntity("STAFF")
+	db.DefineOrdering("note_on_staff", []string{"NOTE"}, "STAFF")
+
+	if o, err := db.FindOrdering("note_in_chord", "", ""); err != nil || o.Name != "note_in_chord" {
+		t.Fatal("by name")
+	}
+	if _, err := db.FindOrdering("nope", "", ""); !errors.Is(err, ErrNoOrdering) {
+		t.Fatal("missing name")
+	}
+	if o, err := db.FindOrdering("", "NOTE", "CHORD"); err != nil || o.Name != "note_in_chord" {
+		t.Fatalf("by types: %v", err)
+	}
+	if _, err := db.FindOrdering("", "NOTE", ""); err == nil {
+		t.Fatal("ambiguous reference accepted")
+	}
+	if _, err := db.FindOrdering("", "CHORD", ""); !errors.Is(err, ErrNoOrdering) {
+		t.Fatal("no match")
+	}
+}
+
+func TestAutoNamedOrdering(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineEntity("MEASURE")
+	o, err := db.DefineOrdering("", []string{"CHORD"}, "MEASURE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name == "" {
+		t.Fatal("auto name empty")
+	}
+	if _, ok := db.OrderingByName(o.Name); !ok {
+		t.Fatal("auto-named ordering not registered")
+	}
+}
+
+func TestHOGraph(t *testing.T) {
+	db := memModel(t)
+	defineChordSchema(t, db)
+	db.DefineEntity("MEASURE")
+	db.DefineOrdering("chord_in_measure", []string{"CHORD"}, "MEASURE")
+	g := db.HOGraph()
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	if len(g.Nodes) != 3 { // NOTE, CHORD, MEASURE
+		t.Fatalf("nodes = %v", g.Nodes)
+	}
+	g2 := db.HOGraph("note_in_chord")
+	if len(g2.Edges) != 1 || g2.Edges[0].Parent != "CHORD" {
+		t.Fatal("restricted graph")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineChordSchema(t, db)
+	chord, _ := db.NewEntity("CHORD", Attrs{"name": value.Int(7)})
+	var notes []value.Ref
+	for i := 0; i < 5; i++ {
+		n, _ := db.NewEntity("NOTE", Attrs{"name": value.Int(int64(i)), "pitch": value.Int(int64(60 + i))})
+		db.InsertChild("note_in_chord", chord, n, First()) // reverse order
+		notes = append(notes, n)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	db2, err := Open(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema survived.
+	if _, ok := db2.EntityType("NOTE"); !ok {
+		t.Fatal("entity type lost")
+	}
+	o, ok := db2.OrderingByName("note_in_chord")
+	if !ok || o.Parent != "CHORD" || len(o.Children) != 1 {
+		t.Fatal("ordering lost")
+	}
+	// Instance data and order survived (First() insertion → reversed).
+	kids, err := db2.Children("note_in_chord", chord)
+	if err != nil || len(kids) != 5 {
+		t.Fatalf("children after reopen: %v %v", kids, err)
+	}
+	for i, k := range kids {
+		v, err := db2.Attr(k, "name")
+		if err != nil || v.AsInt() != int64(4-i) {
+			t.Fatalf("order after reopen at %d: %v %v", i, v, err)
+		}
+	}
+	// New entities get fresh surrogates (no collision with old refs).
+	fresh, err := db2.NewEntity("NOTE", Attrs{"name": value.Int(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range notes {
+		if fresh == old {
+			t.Fatal("surrogate collision after reopen")
+		}
+	}
+	if fresh <= chord {
+		t.Fatal("surrogate sequence regressed")
+	}
+}

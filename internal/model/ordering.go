@@ -1,0 +1,554 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// rankGap is the spacing between consecutive sibling ranks.  New siblings
+// inserted between neighbors take the midpoint; when the midpoint
+// collides (gap exhausted), the whole sibling list is renumbered with
+// fresh gaps.  2^20 allows twenty levels of repeated bisection between
+// any two appends before a renumber.
+const rankGap int64 = 1 << 20
+
+// childPos records where a child entity sits in one ordering's instance
+// graph: its parent (P-edge), its rank (S-order), and the storage row
+// holding the edge.
+type childPos struct {
+	parent value.Ref
+	rank   int64
+	rowID  storage.RowID
+}
+
+// orderRuntime is the in-memory index for one ordering: per-parent
+// rank-ordered sibling trees, and a child → position map.
+type orderRuntime struct {
+	siblings map[value.Ref]*btree.Tree // parent → tree of rankKey → child ref
+	child    map[value.Ref]childPos
+}
+
+func newOrderRuntime() *orderRuntime {
+	return &orderRuntime{
+		siblings: make(map[value.Ref]*btree.Tree),
+		child:    make(map[value.Ref]childPos),
+	}
+}
+
+// rankKey encodes a signed rank so byte order matches numeric order.
+func rankKey(rank int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(rank)^(1<<63))
+	return b[:]
+}
+
+// attach records an edge in the runtime (used by load and by mutation).
+func (rt *orderRuntime) attach(parent, child value.Ref, rank int64, rowID storage.RowID) {
+	tr := rt.siblings[parent]
+	if tr == nil {
+		tr = btree.New()
+		rt.siblings[parent] = tr
+	}
+	tr.Set(rankKey(rank), uint64(child))
+	rt.child[child] = childPos{parent: parent, rank: rank, rowID: rowID}
+}
+
+// detach removes a child's edge from the runtime.
+func (rt *orderRuntime) detach(child value.Ref) {
+	cp, ok := rt.child[child]
+	if !ok {
+		return
+	}
+	if tr := rt.siblings[cp.parent]; tr != nil {
+		tr.Delete(rankKey(cp.rank))
+		if tr.Len() == 0 {
+			delete(rt.siblings, cp.parent)
+		}
+	}
+	delete(rt.child, child)
+}
+
+// childCount returns the number of children under parent.
+func (rt *orderRuntime) childCount(parent value.Ref) int {
+	if tr := rt.siblings[parent]; tr != nil {
+		return tr.Len()
+	}
+	return 0
+}
+
+// childrenOf returns the ordered children of parent.
+func (rt *orderRuntime) childrenOf(parent value.Ref) []value.Ref {
+	tr := rt.siblings[parent]
+	if tr == nil {
+		return nil
+	}
+	out := make([]value.Ref, 0, tr.Len())
+	tr.Ascend(nil, nil, func(_ []byte, v uint64) bool {
+		out = append(out, value.Ref(v))
+		return true
+	})
+	return out
+}
+
+// Position is where to insert a child within its siblings.
+type Position struct {
+	kind    posKind
+	sibling value.Ref // for before/after
+	index   int       // for at
+}
+
+type posKind uint8
+
+const (
+	posLast posKind = iota
+	posFirst
+	posBefore
+	posAfter
+	posAt
+)
+
+// Last appends after all existing siblings.
+func Last() Position { return Position{kind: posLast} }
+
+// First prepends before all existing siblings.
+func First() Position { return Position{kind: posFirst} }
+
+// Before places the child immediately before sibling.
+func Before(sibling value.Ref) Position { return Position{kind: posBefore, sibling: sibling} }
+
+// After places the child immediately after sibling.
+func After(sibling value.Ref) Position { return Position{kind: posAfter, sibling: sibling} }
+
+// At places the child at ordinal position i (0-based) among the siblings.
+func At(i int) Position { return Position{kind: posAt, index: i} }
+
+// InsertChild places child under parent in the named ordering at the
+// given position.  It enforces the §5.5 well-formedness restrictions:
+//
+//   - child's type must be one of the ordering's declared child types,
+//     and parent's type must be the declared parent type;
+//   - child may have at most one parent per ordering (a second insertion
+//     without removal returns ErrAlreadyChild);
+//   - for recursive orderings, the insertion must not create a P-edge
+//     cycle (an instance "part of itself"): ErrPCycle.
+//
+// S-edge cycles cannot arise structurally: sibling order is a total order
+// induced by integer ranks.
+func (db *Database) InsertChild(ordering string, parent, child value.Ref, pos Position) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertChildLocked(ordering, parent, child, pos)
+}
+
+func (db *Database) insertChildLocked(ordering string, parent, child value.Ref, pos Position) error {
+	o, ok := db.orderings[ordering]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	rt := db.orders[ordering]
+	ploc, ok := db.directory[parent]
+	if !ok {
+		return fmt.Errorf("%w: parent @%d", ErrNoEntity, parent)
+	}
+	cloc, ok := db.directory[child]
+	if !ok {
+		return fmt.Errorf("%w: child @%d", ErrNoEntity, child)
+	}
+	if ploc.typeName != o.Parent {
+		return fmt.Errorf("%w: %s is not parent type %s of ordering %s", ErrWrongParent, ploc.typeName, o.Parent, ordering)
+	}
+	if !o.hasChild(cloc.typeName) {
+		return fmt.Errorf("%w: %s under ordering %s", ErrWrongChildType, cloc.typeName, ordering)
+	}
+	// P-cycle check: an entity may not be placed under itself (§5.5
+	// disallows instance graphs where an instance is "part of" itself).
+	if child == parent {
+		return fmt.Errorf("%w: @%d under itself", ErrPCycle, child)
+	}
+	if _, exists := rt.child[child]; exists {
+		return fmt.Errorf("%w: @%d in ordering %s", ErrAlreadyChild, child, ordering)
+	}
+	// Walking P-edges upward from parent must not reach child.
+	for anc := parent; ; {
+		cp, ok := rt.child[anc]
+		if !ok {
+			break
+		}
+		if cp.parent == child {
+			return fmt.Errorf("%w: @%d is an ancestor of @%d in ordering %s", ErrPCycle, child, parent, ordering)
+		}
+		anc = cp.parent
+	}
+
+	rank, needRenumber := db.chooseRank(rt, parent, pos)
+	if needRenumber {
+		if err := db.renumberLocked(ordering, parent); err != nil {
+			return err
+		}
+		rank, needRenumber = db.chooseRank(rt, parent, pos)
+		if needRenumber {
+			return fmt.Errorf("model: ordering %s: rank space exhausted after renumber", ordering)
+		}
+	}
+	var rowID storage.RowID
+	err := db.store.Run(func(tx *storage.Tx) error {
+		var err error
+		rowID, err = tx.Insert(ordPrefix+ordering, value.Tuple{
+			value.RefVal(parent), value.RefVal(child), value.Int(rank),
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rt.attach(parent, child, rank, rowID)
+	return nil
+}
+
+// chooseRank computes the rank for an insertion at pos under parent,
+// reporting whether a renumber is needed first (no integer strictly
+// between the neighbors).
+func (db *Database) chooseRank(rt *orderRuntime, parent value.Ref, pos Position) (int64, bool) {
+	tr := rt.siblings[parent]
+	n := 0
+	if tr != nil {
+		n = tr.Len()
+	}
+	if n == 0 {
+		return 0, false
+	}
+	// Resolve the insertion point to neighbor ranks.
+	var loRank, hiRank int64
+	var haveLo, haveHi bool
+	switch pos.kind {
+	case posLast:
+		k, _, _ := tr.At(n - 1)
+		loRank, haveLo = decodeRank(k), true
+	case posFirst:
+		k, _, _ := tr.At(0)
+		hiRank, haveHi = decodeRank(k), true
+	case posBefore:
+		cp, ok := rt.child[pos.sibling]
+		if !ok || cp.parent != parent {
+			// Treated as append; callers validate siblings beforehand.
+			k, _, _ := tr.At(n - 1)
+			loRank, haveLo = decodeRank(k), true
+			break
+		}
+		hiRank, haveHi = cp.rank, true
+		if r := tr.Rank(rankKey(cp.rank)); r > 0 {
+			k, _, _ := tr.At(r - 1)
+			loRank, haveLo = decodeRank(k), true
+		}
+	case posAfter:
+		cp, ok := rt.child[pos.sibling]
+		if !ok || cp.parent != parent {
+			k, _, _ := tr.At(n - 1)
+			loRank, haveLo = decodeRank(k), true
+			break
+		}
+		loRank, haveLo = cp.rank, true
+		if r := tr.Rank(rankKey(cp.rank)); r+1 < n {
+			k, _, _ := tr.At(r + 1)
+			hiRank, haveHi = decodeRank(k), true
+		}
+	case posAt:
+		i := pos.index
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			k, _, _ := tr.At(n - 1)
+			loRank, haveLo = decodeRank(k), true
+			break
+		}
+		k, _, _ := tr.At(i)
+		hiRank, haveHi = decodeRank(k), true
+		if i > 0 {
+			k, _, _ := tr.At(i - 1)
+			loRank, haveLo = decodeRank(k), true
+		}
+	}
+	switch {
+	case haveLo && haveHi:
+		if hiRank-loRank < 2 {
+			return 0, true
+		}
+		return loRank + (hiRank-loRank)/2, false
+	case haveLo:
+		return loRank + rankGap, false
+	case haveHi:
+		return hiRank - rankGap, false
+	default:
+		return 0, false
+	}
+}
+
+func decodeRank(key []byte) int64 {
+	return int64(binary.BigEndian.Uint64(key) ^ (1 << 63))
+}
+
+// renumberLocked rewrites the ranks of all children under parent with
+// fresh rankGap spacing, updating both storage and the runtime.
+func (db *Database) renumberLocked(ordering string, parent value.Ref) error {
+	rt := db.orders[ordering]
+	kids := rt.childrenOf(parent)
+	err := db.store.Run(func(tx *storage.Tx) error {
+		for i, c := range kids {
+			cp := rt.child[c]
+			if err := tx.UpdateField(ordPrefix+ordering, cp.rowID, "rank", value.Int(int64(i)*rankGap)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tr := btree.New()
+	for i, c := range kids {
+		cp := rt.child[c]
+		cp.rank = int64(i) * rankGap
+		rt.child[c] = cp
+		tr.Set(rankKey(cp.rank), uint64(c))
+	}
+	rt.siblings[parent] = tr
+	return nil
+}
+
+// RemoveChild detaches child from its parent in the named ordering.
+func (db *Database) RemoveChild(ordering string, child value.Ref) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.removeChildLocked(ordering, child)
+}
+
+func (db *Database) removeChildLocked(ordering string, child value.Ref) error {
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return fmt.Errorf("model: @%d is not a child in ordering %s", child, ordering)
+	}
+	err := db.store.Run(func(tx *storage.Tx) error {
+		return tx.Delete(ordPrefix+ordering, cp.rowID)
+	})
+	if err != nil {
+		return err
+	}
+	rt.detach(child)
+	return nil
+}
+
+// MoveChild repositions child among its current siblings.
+func (db *Database) MoveChild(ordering string, child value.Ref, pos Position) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return fmt.Errorf("model: @%d is not a child in ordering %s", child, ordering)
+	}
+	parent := cp.parent
+	if err := db.removeChildLocked(ordering, child); err != nil {
+		return err
+	}
+	return db.insertChildLocked(ordering, parent, child, pos)
+}
+
+// Children returns the ordered children of parent in the named ordering.
+func (db *Database) Children(ordering string, parent value.Ref) ([]value.Ref, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	return rt.childrenOf(parent), nil
+}
+
+// ChildAt returns the i'th (0-based) child of parent in the ordering.
+// This is the "third note in chord x" query of §5.4.
+func (db *Database) ChildAt(ordering string, parent value.Ref, i int) (value.Ref, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	tr := rt.siblings[parent]
+	if tr == nil {
+		return 0, fmt.Errorf("model: @%d has no children in ordering %s", parent, ordering)
+	}
+	_, v, ok := tr.At(i)
+	if !ok {
+		return 0, fmt.Errorf("model: @%d has no child at position %d in ordering %s (have %d)", parent, i, ordering, tr.Len())
+	}
+	return value.Ref(v), nil
+}
+
+// ParentOf returns the parent of child in the named ordering (the P-edge),
+// if any.
+func (db *Database) ParentOf(ordering string, child value.Ref) (value.Ref, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return 0, false
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return 0, false
+	}
+	return cp.parent, true
+}
+
+// IndexOf returns the ordinal position (0-based) of child among its
+// siblings in the named ordering.
+func (db *Database) IndexOf(ordering string, child value.Ref) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return 0, fmt.Errorf("model: @%d is not a child in ordering %s", child, ordering)
+	}
+	tr := rt.siblings[cp.parent]
+	return tr.Rank(rankKey(cp.rank)), nil
+}
+
+// BeforeIn implements the before operator of §5.6: true iff a and b have
+// the same parent in the ordering and a precedes b.  Entities with
+// different parents are not comparable and yield false.
+func (db *Database) BeforeIn(ordering string, a, b value.Ref) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	ca, okA := rt.child[a]
+	cb, okB := rt.child[b]
+	if !okA || !okB || ca.parent != cb.parent {
+		return false, nil
+	}
+	return ca.rank < cb.rank, nil
+}
+
+// AfterIn implements the after operator of §5.6.
+func (db *Database) AfterIn(ordering string, a, b value.Ref) (bool, error) {
+	return db.BeforeIn(ordering, b, a)
+}
+
+// UnderIn implements the under operator of §5.6: true iff child's P-edge
+// in the ordering points at parent.
+func (db *Database) UnderIn(ordering string, child, parent value.Ref) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	return ok && cp.parent == parent, nil
+}
+
+// NextSibling returns the sibling immediately after child, if any.
+func (db *Database) NextSibling(ordering string, child value.Ref) (value.Ref, bool) {
+	return db.adjacentSibling(ordering, child, +1)
+}
+
+// PrevSibling returns the sibling immediately before child, if any.
+func (db *Database) PrevSibling(ordering string, child value.Ref) (value.Ref, bool) {
+	return db.adjacentSibling(ordering, child, -1)
+}
+
+func (db *Database) adjacentSibling(ordering string, child value.Ref, dir int) (value.Ref, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return 0, false
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return 0, false
+	}
+	tr := rt.siblings[cp.parent]
+	i := tr.Rank(rankKey(cp.rank)) + dir
+	_, v, ok := tr.At(i)
+	if !ok {
+		return 0, false
+	}
+	return value.Ref(v), true
+}
+
+// Walk traverses the subtree rooted at root in the named ordering,
+// depth-first and in sibling order, calling fn with each entity and its
+// depth (root is depth 0).  Traversal stops if fn returns false.  For
+// recursive orderings (§5.5, beam groups) this is the natural structural
+// traversal.
+func (db *Database) Walk(ordering string, root value.Ref, fn func(ref value.Ref, depth int) bool) error {
+	db.mu.RLock()
+	rt, ok := db.orders[ordering]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	var walk func(ref value.Ref, depth int) bool
+	walk = func(ref value.Ref, depth int) bool {
+		if !fn(ref, depth) {
+			return false
+		}
+		db.mu.RLock()
+		kids := rt.childrenOf(ref)
+		db.mu.RUnlock()
+		for _, k := range kids {
+			if !walk(k, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(root, 0)
+	return nil
+}
+
+// Roots returns the entities that are parents in the ordering but not
+// children of any other entity in the same ordering, in surrogate order.
+func (db *Database) Roots(ordering string) ([]value.Ref, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	var roots []value.Ref
+	for p := range rt.siblings {
+		if _, isChild := rt.child[p]; !isChild {
+			roots = append(roots, p)
+		}
+	}
+	sortRefs(roots)
+	return roots, nil
+}
+
+func sortRefs(refs []value.Ref) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j] < refs[j-1]; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Relate creates an instance of the named m-to-n relationship.  roles
+// maps role names to entity refs; attrs supplies values for the
+// relationship's own attributes.  Every role must be filled with an
+// entity of the declared type.
+func (db *Database) Relate(relationship string, roles map[string]value.Ref, attrs Attrs) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, ok := db.relationships[relationship]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelationship, relationship)
+	}
+	t := make(value.Tuple, len(rt.Roles)+len(rt.Attrs))
+	for i, role := range rt.Roles {
+		ref, ok := roles[role.Name]
+		if !ok {
+			return fmt.Errorf("model: relate %s: missing role %q", relationship, role.Name)
+		}
+		loc, ok := db.directory[ref]
+		if !ok {
+			return fmt.Errorf("model: relate %s: role %q: %w: @%d", relationship, role.Name, ErrNoEntity, ref)
+		}
+		if loc.typeName != role.EntityType {
+			return fmt.Errorf("model: relate %s: role %q needs %s, got %s",
+				relationship, role.Name, role.EntityType, loc.typeName)
+		}
+		t[i] = value.RefVal(ref)
+	}
+	for i, a := range rt.Attrs {
+		if v, ok := attrs[a.Name]; ok {
+			t[len(rt.Roles)+i] = v
+		} else {
+			t[len(rt.Roles)+i] = value.Null
+		}
+	}
+	return db.store.Run(func(tx *storage.Tx) error {
+		_, err := tx.Insert(relPrefix+relationship, t)
+		return err
+	})
+}
+
+// Unrelate removes all instances of the relationship in which every
+// given role is bound to the given ref.  It returns the number removed.
+func (db *Database) Unrelate(relationship string, roles map[string]value.Ref) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, ok := db.relationships[relationship]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoRelationship, relationship)
+	}
+	removed := 0
+	err := db.store.Run(func(tx *storage.Tx) error {
+		var doomed []storage.RowID
+		err := tx.Scan(relPrefix+relationship, func(id storage.RowID, t value.Tuple) bool {
+			for name, ref := range roles {
+				i, ok := rt.RoleIndex(name)
+				if !ok || t[i].AsRef() != ref {
+					return true
+				}
+			}
+			doomed = append(doomed, id)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, id := range doomed {
+			if err := tx.Delete(relPrefix+relationship, id); err != nil {
+				return err
+			}
+		}
+		removed = len(doomed)
+		return nil
+	})
+	return removed, err
+}
+
+// RelInstance is one relationship instance: role bindings and attribute
+// values.
+type RelInstance struct {
+	Roles map[string]value.Ref
+	Attrs value.Tuple
+}
+
+// Related returns the instances of the relationship in which role is
+// bound to ref.  With role == "" it returns instances where any role is
+// bound to ref.
+func (db *Database) Related(relationship, role string, ref value.Ref) ([]RelInstance, error) {
+	db.mu.RLock()
+	rt, ok := db.relationships[relationship]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRelationship, relationship)
+	}
+	match := func(t value.Tuple) bool {
+		if role == "" {
+			for i := range rt.Roles {
+				if t[i].AsRef() == ref {
+					return true
+				}
+			}
+			return false
+		}
+		i, ok := rt.RoleIndex(role)
+		return ok && t[i].AsRef() == ref
+	}
+	var out []RelInstance
+	err := db.store.Run(func(tx *storage.Tx) error {
+		// Use the per-role index when the role is known.
+		collect := func(_ storage.RowID, t value.Tuple) bool {
+			if !match(t) {
+				return true
+			}
+			inst := RelInstance{Roles: make(map[string]value.Ref, len(rt.Roles))}
+			for i, r := range rt.Roles {
+				inst.Roles[r.Name] = t[i].AsRef()
+			}
+			inst.Attrs = t[len(rt.Roles):].Clone()
+			out = append(out, inst)
+			return true
+		}
+		if role != "" {
+			if _, ok := rt.RoleIndex(role); !ok {
+				return fmt.Errorf("model: relationship %s has no role %q", relationship, role)
+			}
+			return tx.IndexPrefixScan(relPrefix+relationship, "by_"+role,
+				value.Tuple{value.RefVal(ref)}, collect)
+		}
+		return tx.Scan(relPrefix+relationship, collect)
+	})
+	return out, err
+}
+
+// RelatedRefs is a convenience over Related: the refs bound to wantRole
+// in instances where haveRole is bound to ref.
+func (db *Database) RelatedRefs(relationship, haveRole string, ref value.Ref, wantRole string) ([]value.Ref, error) {
+	insts, err := db.Related(relationship, haveRole, ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Ref, 0, len(insts))
+	for _, inst := range insts {
+		if r, ok := inst.Roles[wantRole]; ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fields returns the relationship's tuple layout as schema fields: one
+// reference field per role followed by the relationship's own attributes.
+// This is the shape seen by query-language range variables bound to the
+// relationship (QUEL ranges over any relation, including relationships).
+func (rt *RelationshipType) Fields() []value.Field {
+	fields := make([]value.Field, 0, len(rt.Roles)+len(rt.Attrs))
+	for _, r := range rt.Roles {
+		fields = append(fields, value.Field{Name: r.Name, Kind: value.KindRef, RefType: r.EntityType})
+	}
+	return append(fields, rt.Attrs...)
+}
+
+// RelationshipTuples calls fn with the raw tuple (role refs then
+// attributes) of every instance of the relationship.
+func (db *Database) RelationshipTuples(name string, fn func(t value.Tuple) bool) error {
+	db.mu.RLock()
+	_, ok := db.relationships[name]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelationship, name)
+	}
+	return db.store.Run(func(tx *storage.Tx) error {
+		return tx.Scan(relPrefix+name, func(_ storage.RowID, t value.Tuple) bool {
+			return fn(t)
+		})
+	})
+}
+
+// EachRelated calls fn for every instance of the relationship.
+func (db *Database) EachRelated(relationship string, fn func(inst RelInstance) bool) error {
+	db.mu.RLock()
+	rt, ok := db.relationships[relationship]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelationship, relationship)
+	}
+	return db.store.Run(func(tx *storage.Tx) error {
+		return tx.Scan(relPrefix+relationship, func(_ storage.RowID, t value.Tuple) bool {
+			inst := RelInstance{Roles: make(map[string]value.Ref, len(rt.Roles))}
+			for i, r := range rt.Roles {
+				inst.Roles[r.Name] = t[i].AsRef()
+			}
+			inst.Attrs = t[len(rt.Roles):].Clone()
+			return fn(inst)
+		})
+	})
+}

@@ -1,0 +1,204 @@
+// Package pianoroll implements the piano-roll notation of §4.5 of the
+// paper: "essentially a map of the state of a musical keyboard against
+// time", with time progressing along the x-axis and pitch (quantized by
+// semitones) increasing upward along the y-axis (figure 3).
+//
+// The package translates between MIDI note-event streams and rolls in
+// both directions — the translation whose ease, the paper notes,
+// explains the popularity of the notation — and renders rolls as text.
+// Cells can carry a highlight mark, reproducing figure 3's grey shading
+// of the fugue entrances.
+package pianoroll
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/midi"
+)
+
+// Cell is the state of one key at one time step.
+type Cell uint8
+
+// Cell states.
+const (
+	Off Cell = iota
+	On
+	Highlight // sounding and highlighted (figure 3's grey entrances)
+)
+
+// Roll is a keyboard-state-versus-time map.
+type Roll struct {
+	MinKey, MaxKey int   // inclusive pitch range (MIDI keys)
+	StepUs         int64 // time quantum per column, microseconds
+	Columns        int
+	cells          []Cell // (key - MinKey) * Columns + col
+}
+
+// New returns an empty roll covering [minKey, maxKey] with the given
+// time step and column count.
+func New(minKey, maxKey int, stepUs int64, columns int) (*Roll, error) {
+	if minKey > maxKey {
+		return nil, fmt.Errorf("pianoroll: empty key range [%d,%d]", minKey, maxKey)
+	}
+	if stepUs <= 0 || columns <= 0 {
+		return nil, fmt.Errorf("pianoroll: invalid step %d or columns %d", stepUs, columns)
+	}
+	return &Roll{
+		MinKey: minKey, MaxKey: maxKey, StepUs: stepUs, Columns: columns,
+		cells: make([]Cell, (maxKey-minKey+1)*columns),
+	}, nil
+}
+
+// FromSequence builds a roll from a MIDI sequence, sizing the key range
+// and column count to fit.  stepUs is the time quantum.
+func FromSequence(seq *midi.Sequence, stepUs int64) (*Roll, error) {
+	if len(seq.Notes) == 0 {
+		return nil, fmt.Errorf("pianoroll: empty sequence")
+	}
+	minKey, maxKey := 128, -1
+	var endUs int64
+	for _, n := range seq.Notes {
+		if n.Key < minKey {
+			minKey = n.Key
+		}
+		if n.Key > maxKey {
+			maxKey = n.Key
+		}
+		if n.EndUs() > endUs {
+			endUs = n.EndUs()
+		}
+	}
+	cols := int((endUs + stepUs - 1) / stepUs)
+	if cols == 0 {
+		cols = 1
+	}
+	r, err := New(minKey, maxKey, stepUs, cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range seq.Notes {
+		r.AddNote(n, false)
+	}
+	return r, nil
+}
+
+// AddNote marks the note's cells.  Highlighted notes render differently
+// (figure 3's shaded entrances).
+func (r *Roll) AddNote(n midi.NoteEvent, highlight bool) {
+	if n.Key < r.MinKey || n.Key > r.MaxKey {
+		return
+	}
+	state := On
+	if highlight {
+		state = Highlight
+	}
+	c0 := int(n.StartUs / r.StepUs)
+	c1 := int((n.EndUs() - 1) / r.StepUs)
+	if n.DurUs <= 0 {
+		c1 = c0
+	}
+	for c := c0; c <= c1 && c < r.Columns; c++ {
+		if c < 0 {
+			continue
+		}
+		i := (n.Key-r.MinKey)*r.Columns + c
+		if r.cells[i] != Highlight { // highlight wins over plain overlap
+			r.cells[i] = state
+		}
+	}
+}
+
+// Get returns the cell state for a key and column.
+func (r *Roll) Get(key, col int) Cell {
+	if key < r.MinKey || key > r.MaxKey || col < 0 || col >= r.Columns {
+		return Off
+	}
+	return r.cells[(key-r.MinKey)*r.Columns+col]
+}
+
+// set is used by tests and editing tools.
+func (r *Roll) Set(key, col int, c Cell) {
+	if key < r.MinKey || key > r.MaxKey || col < 0 || col >= r.Columns {
+		return
+	}
+	r.cells[(key-r.MinKey)*r.Columns+col] = c
+}
+
+// ToSequence converts the roll back to a note-event stream: maximal runs
+// of consecutive On/Highlight cells become notes (the inverse
+// translation of §4.5).  Velocity is fixed at 80.
+func (r *Roll) ToSequence() *midi.Sequence {
+	seq := &midi.Sequence{TicksPerQuarter: 480}
+	for key := r.MinKey; key <= r.MaxKey; key++ {
+		col := 0
+		for col < r.Columns {
+			if r.Get(key, col) == Off {
+				col++
+				continue
+			}
+			start := col
+			for col < r.Columns && r.Get(key, col) != Off {
+				col++
+			}
+			seq.Notes = append(seq.Notes, midi.NoteEvent{
+				Key: key, Velocity: 80,
+				StartUs: int64(start) * r.StepUs,
+				DurUs:   int64(col-start) * r.StepUs,
+			})
+		}
+	}
+	seq.Sort()
+	return seq
+}
+
+// keyNames for the left gutter of the rendering.
+var keyNames = [12]string{"C", "C#", "D", "D#", "E", "F", "F#", "G", "G#", "A", "A#", "B"}
+
+// KeyName returns the note name of a MIDI key ("G4" for 67).
+func KeyName(key int) string {
+	return fmt.Sprintf("%s%d", keyNames[key%12], key/12-1)
+}
+
+// Render draws the roll as text: one row per key, high pitches on top
+// (§4.5: pitch increases upward), '█' for sounding cells, '▒' for
+// highlighted ones.  Rows that are entirely off are skipped when
+// compact is true.
+func (r *Roll) Render(compact bool) string {
+	var b strings.Builder
+	for key := r.MaxKey; key >= r.MinKey; key-- {
+		any := false
+		var row strings.Builder
+		for col := 0; col < r.Columns; col++ {
+			switch r.Get(key, col) {
+			case On:
+				row.WriteRune('█')
+				any = true
+			case Highlight:
+				row.WriteRune('▒')
+				any = true
+			default:
+				row.WriteRune('·')
+			}
+		}
+		if compact && !any {
+			continue
+		}
+		fmt.Fprintf(&b, "%4s |%s|\n", KeyName(key), row.String())
+	}
+	// Time axis.
+	fmt.Fprintf(&b, "     +%s+\n", strings.Repeat("-", r.Columns))
+	return b.String()
+}
+
+// Density returns the fraction of sounding cells, a simple roll metric
+// used by analysis clients.
+func (r *Roll) Density() float64 {
+	on := 0
+	for _, c := range r.cells {
+		if c != Off {
+			on++
+		}
+	}
+	return float64(on) / float64(len(r.cells))
+}

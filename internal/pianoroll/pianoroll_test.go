@@ -1,0 +1,173 @@
+package pianoroll
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/midi"
+)
+
+func seq(notes ...midi.NoteEvent) *midi.Sequence {
+	return &midi.Sequence{Notes: notes, TicksPerQuarter: 480}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(60, 50, 1000, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := New(50, 60, 0, 10); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := New(50, 60, 1000, 0); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+	if _, err := FromSequence(seq(), 1000); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}
+
+func TestFromSequenceShape(t *testing.T) {
+	s := seq(
+		midi.NoteEvent{Key: 60, Velocity: 80, StartUs: 0, DurUs: 500_000},
+		midi.NoteEvent{Key: 67, Velocity: 80, StartUs: 500_000, DurUs: 500_000},
+	)
+	r, err := FromSequence(s, 250_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinKey != 60 || r.MaxKey != 67 || r.Columns != 4 {
+		t.Fatalf("shape: %+v", r)
+	}
+	// C4 occupies columns 0-1; G4 columns 2-3.
+	for col := 0; col < 2; col++ {
+		if r.Get(60, col) != On || r.Get(67, col) != Off {
+			t.Fatalf("col %d wrong", col)
+		}
+	}
+	for col := 2; col < 4; col++ {
+		if r.Get(60, col) != Off || r.Get(67, col) != On {
+			t.Fatalf("col %d wrong", col)
+		}
+	}
+	if r.Get(200, 0) != Off || r.Get(60, 99) != Off {
+		t.Fatal("out-of-range get")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := seq(
+		midi.NoteEvent{Key: 55, Velocity: 80, StartUs: 0, DurUs: 1_000_000},
+		midi.NoteEvent{Key: 58, Velocity: 80, StartUs: 250_000, DurUs: 500_000},
+		midi.NoteEvent{Key: 62, Velocity: 80, StartUs: 1_000_000, DurUs: 250_000},
+	)
+	r, _ := FromSequence(s, 250_000)
+	back := r.ToSequence()
+	if len(back.Notes) != 3 {
+		t.Fatalf("notes after round trip: %d", len(back.Notes))
+	}
+	for i, n := range back.Notes {
+		w := s.Notes[i]
+		if n.Key != w.Key || n.StartUs != w.StartUs || n.DurUs != w.DurUs {
+			t.Fatalf("note %d: %+v want %+v", i, n, w)
+		}
+	}
+}
+
+func TestAdjacentNotesMerge(t *testing.T) {
+	// Two back-to-back same-key notes merge in the roll: a documented
+	// lossy property of the notation (the paper notes entrances are
+	// "normally hidden in a piano roll notation").
+	s := seq(
+		midi.NoteEvent{Key: 60, Velocity: 80, StartUs: 0, DurUs: 500_000},
+		midi.NoteEvent{Key: 60, Velocity: 80, StartUs: 500_000, DurUs: 500_000},
+	)
+	r, _ := FromSequence(s, 250_000)
+	back := r.ToSequence()
+	if len(back.Notes) != 1 || back.Notes[0].DurUs != 1_000_000 {
+		t.Fatalf("merge: %+v", back.Notes)
+	}
+}
+
+func TestHighlight(t *testing.T) {
+	r, _ := New(60, 62, 250_000, 8)
+	r.AddNote(midi.NoteEvent{Key: 60, StartUs: 0, DurUs: 1_000_000}, true)
+	r.AddNote(midi.NoteEvent{Key: 62, StartUs: 0, DurUs: 500_000}, false)
+	if r.Get(60, 0) != Highlight || r.Get(62, 0) != On {
+		t.Fatal("highlight state")
+	}
+	// Highlight is not overwritten by a plain overlapping note.
+	r.AddNote(midi.NoteEvent{Key: 60, StartUs: 0, DurUs: 250_000}, false)
+	if r.Get(60, 0) != Highlight {
+		t.Fatal("highlight overwritten")
+	}
+	out := r.Render(true)
+	if !strings.Contains(out, "▒") || !strings.Contains(out, "█") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	r, _ := New(60, 72, 250_000, 4)
+	r.AddNote(midi.NoteEvent{Key: 60, StartUs: 0, DurUs: 1_000_000}, false)
+	r.AddNote(midi.NoteEvent{Key: 72, StartUs: 0, DurUs: 250_000}, false)
+	full := r.Render(false)
+	lines := strings.Split(strings.TrimRight(full, "\n"), "\n")
+	if len(lines) != 14 { // 13 keys + axis
+		t.Fatalf("full render lines: %d", len(lines))
+	}
+	// Pitch increases upward: C5 row above C4 row.
+	if !strings.HasPrefix(lines[0], "  C5") || !strings.HasPrefix(lines[12], "  C4") {
+		t.Fatalf("row order:\n%s", full)
+	}
+	compact := r.Render(true)
+	if got := len(strings.Split(strings.TrimRight(compact, "\n"), "\n")); got != 3 {
+		t.Fatalf("compact lines: %d\n%s", got, compact)
+	}
+}
+
+func TestKeyName(t *testing.T) {
+	cases := map[int]string{60: "C4", 69: "A4", 58: "A#3", 21: "A0", 67: "G4"}
+	for key, want := range cases {
+		if got := KeyName(key); got != want {
+			t.Errorf("KeyName(%d) = %q want %q", key, got, want)
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	r, _ := New(60, 61, 1000, 10) // 20 cells
+	r.AddNote(midi.NoteEvent{Key: 60, StartUs: 0, DurUs: 5000}, false)
+	if d := r.Density(); d != 0.25 {
+		t.Fatalf("density: %g", d)
+	}
+	r.Set(61, 0, On)
+	if d := r.Density(); d != 0.3 {
+		t.Fatalf("density after set: %g", d)
+	}
+	r.Set(99, 0, On) // out of range ignored
+}
+
+func TestZeroDurationNote(t *testing.T) {
+	r, _ := New(60, 60, 1000, 4)
+	r.AddNote(midi.NoteEvent{Key: 60, StartUs: 1000, DurUs: 0}, false)
+	if r.Get(60, 1) != On {
+		t.Fatal("zero-duration note should mark one cell")
+	}
+}
+
+func BenchmarkFromSequence(b *testing.B) {
+	var notes []midi.NoteEvent
+	for i := 0; i < 2000; i++ {
+		notes = append(notes, midi.NoteEvent{
+			Key: 36 + i%48, Velocity: 80,
+			StartUs: int64(i) * 125_000, DurUs: 250_000,
+		})
+	}
+	s := seq(notes...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromSequence(s, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

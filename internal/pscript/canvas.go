@@ -1,0 +1,261 @@
+package pscript
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a device-space coordinate.
+type Point struct{ X, Y float64 }
+
+// Element is one painted canvas element: a stroked or filled path, or a
+// text run.
+type Element struct {
+	Subpaths  [][]Point
+	Filled    bool
+	LineWidth float64
+	Gray      float64
+	Text      string // non-empty for text elements
+	TextAt    Point
+}
+
+// Canvas records painted elements in device space (y increases upward,
+// as in PostScript).
+type Canvas struct {
+	Elements []Element
+}
+
+// NewCanvas returns an empty canvas.
+func NewCanvas() *Canvas { return &Canvas{} }
+
+func (c *Canvas) paint(subs [][]Point, filled bool, width, gray float64) {
+	cp := make([][]Point, len(subs))
+	for i, s := range subs {
+		cp[i] = append([]Point(nil), s...)
+	}
+	c.Elements = append(c.Elements, Element{
+		Subpaths: cp, Filled: filled, LineWidth: width, Gray: gray,
+	})
+}
+
+func (c *Canvas) text(x, y float64, s string, gray float64) {
+	c.Elements = append(c.Elements, Element{Text: s, TextAt: Point{x, y}, Gray: gray})
+}
+
+// Bounds returns the bounding box of all painted geometry.
+func (c *Canvas) Bounds() (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	add := func(p Point) {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	for _, e := range c.Elements {
+		for _, sp := range e.Subpaths {
+			for _, p := range sp {
+				add(p)
+			}
+		}
+		if e.Text != "" {
+			add(e.TextAt)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 0, 0, 0
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Rasterize renders the canvas geometry onto a w×h bitmap, mapping the
+// canvas bounds to the bitmap with a small margin.  Strokes draw their
+// segments; fills draw their outlines and interior scanlines.
+func (c *Canvas) Rasterize(w, h int) *Bitmap {
+	bm := NewBitmap(w, h)
+	minX, minY, maxX, maxY := c.Bounds()
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	margin := 1.0
+	sx := (float64(w) - 2*margin) / spanX
+	sy := (float64(h) - 2*margin) / spanY
+	toPix := func(p Point) (int, int) {
+		x := margin + (p.X-minX)*sx
+		y := float64(h) - 1 - (margin + (p.Y-minY)*sy) // flip: bitmap y grows down
+		return int(math.Round(x)), int(math.Round(y))
+	}
+	for _, e := range c.Elements {
+		for _, sp := range e.Subpaths {
+			for i := 1; i < len(sp); i++ {
+				x0, y0 := toPix(sp[i-1])
+				x1, y1 := toPix(sp[i])
+				bm.Line(x0, y0, x1, y1)
+			}
+			if e.Filled {
+				bm.fillPolygon(sp, toPix)
+			}
+		}
+	}
+	return bm
+}
+
+// Bitmap is a simple 1-bit raster.
+type Bitmap struct {
+	W, H int
+	Pix  []bool
+}
+
+// NewBitmap returns a cleared bitmap.
+func NewBitmap(w, h int) *Bitmap { return &Bitmap{W: w, H: h, Pix: make([]bool, w*h)} }
+
+// Set marks a pixel (ignoring out-of-range coordinates).
+func (b *Bitmap) Set(x, y int) {
+	if x >= 0 && x < b.W && y >= 0 && y < b.H {
+		b.Pix[y*b.W+x] = true
+	}
+}
+
+// Get reports a pixel.
+func (b *Bitmap) Get(x, y int) bool {
+	if x < 0 || x >= b.W || y < 0 || y >= b.H {
+		return false
+	}
+	return b.Pix[y*b.W+x]
+}
+
+// Count returns the number of set pixels.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, p := range b.Pix {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Line draws a line segment with Bresenham's algorithm.
+func (b *Bitmap) Line(x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		b.Set(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// fillPolygon scan-fills the polygon given in canvas coordinates.
+func (b *Bitmap) fillPolygon(sp []Point, toPix func(Point) (int, int)) {
+	if len(sp) < 3 {
+		return
+	}
+	pts := make([][2]int, len(sp))
+	minY, maxY := b.H, 0
+	for i, p := range sp {
+		x, y := toPix(p)
+		pts[i] = [2]int{x, y}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxY >= b.H {
+		maxY = b.H - 1
+	}
+	for y := minY; y <= maxY; y++ {
+		var xs []int
+		for i := 0; i < len(pts); i++ {
+			j := (i + 1) % len(pts)
+			y0, y1 := pts[i][1], pts[j][1]
+			if y0 == y1 {
+				continue
+			}
+			if (y >= y0 && y < y1) || (y >= y1 && y < y0) {
+				x := pts[i][0] + (y-y0)*(pts[j][0]-pts[i][0])/(y1-y0)
+				xs = append(xs, x)
+			}
+		}
+		sortInts(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			for x := xs[i]; x <= xs[i+1]; x++ {
+				b.Set(x, y)
+			}
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ASCII renders the bitmap as text, one character per pixel ('#' set,
+// '.' clear), for golden tests and terminal proofs.
+func (b *Bitmap) ASCII() string {
+	var sb strings.Builder
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String summarizes the canvas.
+func (c *Canvas) String() string {
+	strokes, fills, texts := 0, 0, 0
+	for _, e := range c.Elements {
+		switch {
+		case e.Text != "":
+			texts++
+		case e.Filled:
+			fills++
+		default:
+			strokes++
+		}
+	}
+	return fmt.Sprintf("canvas[%d strokes, %d fills, %d texts]", strokes, fills, texts)
+}

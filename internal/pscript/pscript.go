@@ -1,0 +1,545 @@
+// Package pscript implements a small PostScript-subset interpreter used
+// to execute the graphical definitions (GraphDef functions) of §6.2 of
+// the paper.
+//
+// The paper stores, for each graphical entity type (stems, note heads,
+// clefs, ...), an executable drawing function plus per-attribute set-up
+// fragments (figure 10).  The subset implemented here covers what score
+// drawing needs: the operand stack, name definitions, procedures,
+// arithmetic, path construction (moveto/lineto/rmoveto/rlineto/arc/
+// closepath), painting (stroke/fill), text (show), graphics state
+// (gsave/grestore, translate/scale/rotate, setlinewidth/setgray), and
+// the repeat loop.  Rendering targets an in-memory vector canvas that
+// records painted paths and can rasterize them to a bitmap for tests and
+// ASCII proofs.
+package pscript
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Object is a PostScript object: a number, a name (executable or
+// literal), a string, or a procedure.
+type Object struct {
+	Num   float64
+	Name  string
+	Str   string
+	Proc  []Object
+	kind  objKind
+	isLit bool // literal name (/x)
+}
+
+type objKind uint8
+
+const (
+	kindNum objKind = iota
+	kindName
+	kindString
+	kindProc
+)
+
+func numObj(f float64) Object { return Object{kind: kindNum, Num: f} }
+func nameObj(s string, lit bool) Object {
+	return Object{kind: kindName, Name: s, isLit: lit}
+}
+
+// String renders the object for error messages.
+func (o Object) String() string {
+	switch o.kind {
+	case kindNum:
+		return strconv.FormatFloat(o.Num, 'g', -1, 64)
+	case kindName:
+		if o.isLit {
+			return "/" + o.Name
+		}
+		return o.Name
+	case kindString:
+		return "(" + o.Str + ")"
+	case kindProc:
+		return fmt.Sprintf("{...%d}", len(o.Proc))
+	}
+	return "?"
+}
+
+// scan tokenizes PostScript source into objects (procedures nested).
+func scan(src string) ([]Object, error) {
+	var out []Object
+	stack := [][]Object{}
+	push := func(o Object) {
+		if len(stack) > 0 {
+			stack[len(stack)-1] = append(stack[len(stack)-1], o)
+		} else {
+			out = append(out, o)
+		}
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			stack = append(stack, nil)
+			i++
+		case c == '}':
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("pscript: unmatched }")
+			}
+			proc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			push(Object{kind: kindProc, Proc: proc})
+			i++
+		case c == '(':
+			depth := 1
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && depth > 0 {
+				switch src[j] {
+				case '(':
+					depth++
+					b.WriteByte(src[j])
+				case ')':
+					depth--
+					if depth > 0 {
+						b.WriteByte(src[j])
+					}
+				default:
+					b.WriteByte(src[j])
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("pscript: unterminated string")
+			}
+			push(Object{kind: kindString, Str: b.String()})
+			i = j
+		case c == '/':
+			j := i + 1
+			for j < len(src) && !isDelim(src[j]) {
+				j++
+			}
+			push(nameObj(src[i+1:j], true))
+			i = j
+		case (c >= '0' && c <= '9') || c == '-' || c == '.':
+			j := i
+			if c == '-' || c == '.' {
+				j++
+			}
+			for j < len(src) && !isDelim(src[j]) {
+				j++
+			}
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				// A lone "-" style token is a name (e.g. nothing here),
+				// report cleanly.
+				return nil, fmt.Errorf("pscript: bad number %q", src[i:j])
+			}
+			push(numObj(f))
+			i = j
+		default:
+			j := i
+			for j < len(src) && !isDelim(src[j]) {
+				j++
+			}
+			push(nameObj(src[i:j], false))
+			i = j
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("pscript: unmatched {")
+	}
+	return out, nil
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '{', '}', '(', ')', '/', '%':
+		return true
+	}
+	return false
+}
+
+// matrix is a 2D affine transform [a b c d tx ty]:
+// x' = a*x + c*y + tx ; y' = b*x + d*y + ty.
+type matrix struct{ a, b, c, d, tx, ty float64 }
+
+var identity = matrix{a: 1, d: 1}
+
+func (m matrix) apply(x, y float64) (float64, float64) {
+	return m.a*x + m.c*y + m.tx, m.b*x + m.d*y + m.ty
+}
+
+func (m matrix) mul(n matrix) matrix {
+	return matrix{
+		a:  n.a*m.a + n.b*m.c,
+		b:  n.a*m.b + n.b*m.d,
+		c:  n.c*m.a + n.d*m.c,
+		d:  n.c*m.b + n.d*m.d,
+		tx: n.tx*m.a + n.ty*m.c + m.tx,
+		ty: n.tx*m.b + n.ty*m.d + m.ty,
+	}
+}
+
+// gstate is the graphics state.
+type gstate struct {
+	ctm       matrix
+	lineWidth float64
+	gray      float64
+	curX      float64 // current point in device space
+	curY      float64
+	hasCur    bool
+}
+
+// Interp is a PostScript-subset interpreter bound to a canvas.
+type Interp struct {
+	stack  []Object
+	dict   map[string]Object
+	gs     gstate
+	gstack []gstate
+	canvas *Canvas
+	path   []Point // current path in device space
+	subs   [][]Point
+	steps  int
+}
+
+// maxSteps bounds execution so a buggy GraphDef cannot loop forever.
+// Drawing one score symbol takes tens of steps; a whole page takes
+// thousands.
+const maxSteps = 100_000
+
+// New returns an interpreter drawing onto canvas.
+func New(canvas *Canvas) *Interp {
+	return &Interp{
+		dict:   make(map[string]Object),
+		gs:     gstate{ctm: identity, lineWidth: 1, gray: 0},
+		canvas: canvas,
+	}
+}
+
+// Push pushes a number (used by the catalog layer to pass attribute
+// values before running set-up fragments).
+func (in *Interp) Push(f float64) { in.stack = append(in.stack, numObj(f)) }
+
+// PushString pushes a string operand.
+func (in *Interp) PushString(s string) {
+	in.stack = append(in.stack, Object{kind: kindString, Str: s})
+}
+
+// Depth returns the operand stack depth.
+func (in *Interp) Depth() int { return len(in.stack) }
+
+// Run executes PostScript source.
+func (in *Interp) Run(src string) error {
+	objs, err := scan(src)
+	if err != nil {
+		return err
+	}
+	return in.exec(objs)
+}
+
+func (in *Interp) exec(objs []Object) error {
+	for _, o := range objs {
+		if err := in.execOne(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execOne(o Object) error {
+	in.steps++
+	if in.steps > maxSteps {
+		return fmt.Errorf("pscript: execution limit exceeded")
+	}
+	switch o.kind {
+	case kindNum, kindString, kindProc:
+		in.stack = append(in.stack, o)
+		return nil
+	case kindName:
+		if o.isLit {
+			in.stack = append(in.stack, o)
+			return nil
+		}
+		if def, ok := in.dict[o.Name]; ok {
+			if def.kind == kindProc {
+				return in.exec(def.Proc)
+			}
+			in.stack = append(in.stack, def)
+			return nil
+		}
+		return in.operator(o.Name)
+	}
+	return fmt.Errorf("pscript: cannot execute %s", o)
+}
+
+func (in *Interp) pop() (Object, error) {
+	if len(in.stack) == 0 {
+		return Object{}, fmt.Errorf("pscript: stack underflow")
+	}
+	o := in.stack[len(in.stack)-1]
+	in.stack = in.stack[:len(in.stack)-1]
+	return o, nil
+}
+
+func (in *Interp) popNum() (float64, error) {
+	o, err := in.pop()
+	if err != nil {
+		return 0, err
+	}
+	if o.kind != kindNum {
+		return 0, fmt.Errorf("pscript: expected number, found %s", o)
+	}
+	return o.Num, nil
+}
+
+func (in *Interp) pop2Num() (a, b float64, err error) {
+	b, err = in.popNum()
+	if err != nil {
+		return
+	}
+	a, err = in.popNum()
+	return
+}
+
+func (in *Interp) operator(name string) error {
+	switch name {
+	case "add", "sub", "mul", "div":
+		a, b, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		var r float64
+		switch name {
+		case "add":
+			r = a + b
+		case "sub":
+			r = a - b
+		case "mul":
+			r = a * b
+		case "div":
+			if b == 0 {
+				return fmt.Errorf("pscript: division by zero")
+			}
+			r = a / b
+		}
+		in.Push(r)
+	case "neg":
+		a, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		in.Push(-a)
+	case "abs":
+		a, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		in.Push(math.Abs(a))
+	case "dup":
+		if len(in.stack) == 0 {
+			return fmt.Errorf("pscript: stack underflow")
+		}
+		in.stack = append(in.stack, in.stack[len(in.stack)-1])
+	case "pop":
+		_, err := in.pop()
+		return err
+	case "exch":
+		if len(in.stack) < 2 {
+			return fmt.Errorf("pscript: stack underflow")
+		}
+		n := len(in.stack)
+		in.stack[n-1], in.stack[n-2] = in.stack[n-2], in.stack[n-1]
+	case "def":
+		v, err := in.pop()
+		if err != nil {
+			return err
+		}
+		k, err := in.pop()
+		if err != nil {
+			return err
+		}
+		if k.kind != kindName || !k.isLit {
+			return fmt.Errorf("pscript: def requires a literal name, found %s", k)
+		}
+		in.dict[k.Name] = v
+	case "exec":
+		p, err := in.pop()
+		if err != nil {
+			return err
+		}
+		if p.kind != kindProc {
+			return fmt.Errorf("pscript: exec requires a procedure")
+		}
+		return in.exec(p.Proc)
+	case "repeat":
+		p, err := in.pop()
+		if err != nil {
+			return err
+		}
+		n, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		if p.kind != kindProc {
+			return fmt.Errorf("pscript: repeat requires a procedure")
+		}
+		for i := 0; i < int(n); i++ {
+			if err := in.exec(p.Proc); err != nil {
+				return err
+			}
+		}
+	case "newpath":
+		in.path = nil
+		in.subs = nil
+		in.gs.hasCur = false
+	case "moveto":
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		in.flushSub()
+		dx, dy := in.gs.ctm.apply(x, y)
+		in.setCur(dx, dy)
+		in.path = append(in.path, Point{dx, dy})
+	case "lineto":
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		if !in.gs.hasCur {
+			return fmt.Errorf("pscript: lineto with no current point")
+		}
+		dx, dy := in.gs.ctm.apply(x, y)
+		in.setCur(dx, dy)
+		in.path = append(in.path, Point{dx, dy})
+	case "rmoveto", "rlineto":
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		if !in.gs.hasCur {
+			return fmt.Errorf("pscript: %s with no current point", name)
+		}
+		// Relative motion transforms by the linear part only.
+		dx := in.gs.ctm.a*x + in.gs.ctm.c*y
+		dy := in.gs.ctm.b*x + in.gs.ctm.d*y
+		nx, ny := in.gs.curX+dx, in.gs.curY+dy
+		if name == "rmoveto" {
+			in.flushSub()
+		}
+		in.setCur(nx, ny)
+		in.path = append(in.path, Point{nx, ny})
+	case "closepath":
+		if len(in.path) > 0 {
+			in.path = append(in.path, in.path[0])
+			in.setCur(in.path[0].X, in.path[0].Y)
+		}
+	case "arc":
+		// x y r a1 a2 arc — approximate with line segments.
+		a2, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		a1, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		r, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		const segs = 24
+		for i := 0; i <= segs; i++ {
+			ang := (a1 + (a2-a1)*float64(i)/segs) * math.Pi / 180
+			px, py := x+r*math.Cos(ang), y+r*math.Sin(ang)
+			dx, dy := in.gs.ctm.apply(px, py)
+			in.setCur(dx, dy)
+			in.path = append(in.path, Point{dx, dy})
+		}
+	case "stroke", "fill":
+		in.flushSub()
+		if len(in.subs) > 0 {
+			in.canvas.paint(in.subs, name == "fill", in.gs.lineWidth, in.gs.gray)
+		}
+		in.subs = nil
+		in.path = nil
+		in.gs.hasCur = false
+	case "show":
+		o, err := in.pop()
+		if err != nil {
+			return err
+		}
+		if o.kind != kindString {
+			return fmt.Errorf("pscript: show requires a string")
+		}
+		if !in.gs.hasCur {
+			return fmt.Errorf("pscript: show with no current point")
+		}
+		in.canvas.text(in.gs.curX, in.gs.curY, o.Str, in.gs.gray)
+	case "setlinewidth":
+		w, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		in.gs.lineWidth = w
+	case "setgray":
+		g, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		in.gs.gray = g
+	case "translate":
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		in.gs.ctm = in.gs.ctm.mul(matrix{a: 1, d: 1, tx: x, ty: y})
+	case "scale":
+		x, y, err := in.pop2Num()
+		if err != nil {
+			return err
+		}
+		in.gs.ctm = in.gs.ctm.mul(matrix{a: x, d: y})
+	case "rotate":
+		a, err := in.popNum()
+		if err != nil {
+			return err
+		}
+		s, c := math.Sincos(a * math.Pi / 180)
+		in.gs.ctm = in.gs.ctm.mul(matrix{a: c, b: s, c: -s, d: c})
+	case "gsave":
+		in.gstack = append(in.gstack, in.gs)
+	case "grestore":
+		if len(in.gstack) == 0 {
+			return fmt.Errorf("pscript: grestore with empty graphics stack")
+		}
+		in.gs = in.gstack[len(in.gstack)-1]
+		in.gstack = in.gstack[:len(in.gstack)-1]
+	default:
+		return fmt.Errorf("pscript: undefined name %q", name)
+	}
+	return nil
+}
+
+func (in *Interp) setCur(x, y float64) {
+	in.gs.curX, in.gs.curY, in.gs.hasCur = x, y, true
+}
+
+// flushSub moves the current subpath into the pending subpath list.
+func (in *Interp) flushSub() {
+	if len(in.path) > 1 {
+		in.subs = append(in.subs, in.path)
+	}
+	in.path = nil
+}

@@ -1,0 +1,275 @@
+package pscript
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) (*Interp, *Canvas) {
+	t.Helper()
+	c := NewCanvas()
+	in := New(c)
+	if err := in.Run(src); err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return in, c
+}
+
+func TestArithmetic(t *testing.T) {
+	in, _ := run(t, "1 2 add 3 mul 4 sub 2 div neg")
+	if in.Depth() != 1 {
+		t.Fatal("depth")
+	}
+	v, err := in.popNum()
+	if err != nil || v != -2.5 {
+		t.Fatalf("result = %v %v", v, err)
+	}
+	in, _ = run(t, "-3 abs 2 dup add add")
+	v, _ = in.popNum()
+	if v != 7 {
+		t.Fatalf("abs/dup: %v", v)
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	in, _ := run(t, "1 2 exch")
+	b, _ := in.popNum()
+	a, _ := in.popNum()
+	if a != 2 || b != 1 {
+		t.Fatal("exch")
+	}
+	in, _ = run(t, "1 2 pop")
+	v, _ := in.popNum()
+	if v != 1 || in.Depth() != 0 {
+		t.Fatal("pop")
+	}
+}
+
+func TestDefAndProcedures(t *testing.T) {
+	in, _ := run(t, "/x 10 def /double { 2 mul } def x double")
+	v, _ := in.popNum()
+	if v != 20 {
+		t.Fatalf("def/proc: %v", v)
+	}
+	// Nested procedures and exec.
+	in, _ = run(t, "{ 1 { 2 add } exec } exec")
+	v, _ = in.popNum()
+	if v != 3 {
+		t.Fatalf("nested exec: %v", v)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	in, _ := run(t, "0 5 { 2 add } repeat")
+	v, _ := in.popNum()
+	if v != 10 {
+		t.Fatalf("repeat: %v", v)
+	}
+}
+
+func TestStrokeRecordsPath(t *testing.T) {
+	_, c := run(t, "newpath 0 0 moveto 10 0 lineto 10 10 lineto stroke")
+	if len(c.Elements) != 1 {
+		t.Fatalf("elements: %d", len(c.Elements))
+	}
+	e := c.Elements[0]
+	if e.Filled || len(e.Subpaths) != 1 || len(e.Subpaths[0]) != 3 {
+		t.Fatalf("element: %+v", e)
+	}
+	minX, minY, maxX, maxY := c.Bounds()
+	if minX != 0 || minY != 0 || maxX != 10 || maxY != 10 {
+		t.Fatalf("bounds: %v %v %v %v", minX, minY, maxX, maxY)
+	}
+}
+
+func TestRelativeMoves(t *testing.T) {
+	_, c := run(t, "newpath 5 5 moveto 10 0 rlineto 0 10 rlineto closepath stroke")
+	sp := c.Elements[0].Subpaths[0]
+	last := sp[len(sp)-1]
+	if last.X != 5 || last.Y != 5 {
+		t.Fatalf("closepath should return to start: %+v", last)
+	}
+	if sp[1].X != 15 || sp[2].Y != 15 {
+		t.Fatalf("rlineto: %+v", sp)
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	// translate then scale: point (1,1) lands at (10+2, 20+3).
+	_, c := run(t, "10 20 translate 2 3 scale newpath 0 0 moveto 1 1 lineto stroke")
+	sp := c.Elements[0].Subpaths[0]
+	if sp[0].X != 10 || sp[0].Y != 20 || sp[1].X != 12 || sp[1].Y != 23 {
+		t.Fatalf("transform: %+v", sp)
+	}
+	// rotate 90: x axis becomes y axis.
+	_, c = run(t, "90 rotate newpath 0 0 moveto 1 0 lineto stroke")
+	sp = c.Elements[0].Subpaths[0]
+	if math.Abs(sp[1].X) > 1e-9 || math.Abs(sp[1].Y-1) > 1e-9 {
+		t.Fatalf("rotate: %+v", sp)
+	}
+}
+
+func TestGsaveGrestore(t *testing.T) {
+	_, c := run(t, `
+gsave 100 100 translate newpath 0 0 moveto 1 0 lineto stroke grestore
+newpath 0 0 moveto 1 0 lineto stroke`)
+	if len(c.Elements) != 2 {
+		t.Fatal("elements")
+	}
+	if c.Elements[1].Subpaths[0][0].X != 0 {
+		t.Fatal("grestore did not restore CTM")
+	}
+	in := New(NewCanvas())
+	if err := in.Run("grestore"); err == nil {
+		t.Fatal("grestore on empty stack accepted")
+	}
+}
+
+func TestArcAndFill(t *testing.T) {
+	_, c := run(t, "newpath 0 0 10 0 360 arc fill")
+	e := c.Elements[0]
+	if !e.Filled {
+		t.Fatal("fill flag")
+	}
+	minX, _, maxX, _ := c.Bounds()
+	if math.Abs(minX+10) > 0.01 || math.Abs(maxX-10) > 0.01 {
+		t.Fatalf("circle bounds: %v %v", minX, maxX)
+	}
+	// Rasterized filled circle has many more pixels than its outline.
+	bmFill := c.Rasterize(40, 40)
+	c2 := NewCanvas()
+	in2 := New(c2)
+	in2.Run("newpath 0 0 10 0 360 arc stroke")
+	bmStroke := c2.Rasterize(40, 40)
+	if bmFill.Count() < 2*bmStroke.Count() {
+		t.Fatalf("fill %d vs stroke %d pixels", bmFill.Count(), bmStroke.Count())
+	}
+}
+
+func TestShow(t *testing.T) {
+	_, c := run(t, "newpath 5 5 moveto (GLO-) show")
+	found := false
+	for _, e := range c.Elements {
+		if e.Text == "GLO-" && e.TextAt.X == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("text element missing: %+v", c.Elements)
+	}
+	in := New(NewCanvas())
+	if err := in.Run("(x) show"); err == nil {
+		t.Fatal("show without current point accepted")
+	}
+}
+
+func TestSetupFragmentsAndStemFunction(t *testing.T) {
+	// The §6.2 stem-drawing flow: push attribute values, run set-up
+	// fragments, then the GraphDef body.
+	c := NewCanvas()
+	in := New(c)
+	// Attribute values xpos=4, ypos=10, length=7, direction=-1 (down).
+	in.Push(4)
+	if err := in.Run("/xpos exch def"); err != nil {
+		t.Fatal(err)
+	}
+	in.Push(10)
+	in.Run("/ypos exch def")
+	in.Push(7)
+	in.Run("/length exch def")
+	in.Push(-1)
+	in.Run("/direction exch def")
+	if err := in.Run("newpath xpos ypos moveto 0 length direction mul rlineto stroke"); err != nil {
+		t.Fatal(err)
+	}
+	sp := c.Elements[0].Subpaths[0]
+	if sp[0].X != 4 || sp[0].Y != 10 || sp[1].Y != 3 {
+		t.Fatalf("stem: %+v", sp)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"add",                 // underflow
+		"1 0 div",             // division by zero
+		"frobnicate",          // undefined name
+		"}",                   // unmatched brace
+		"{ 1",                 // unterminated proc
+		"(unterminated",       // unterminated string
+		"1 2 lineto",          // no current point
+		"5 /x def",            // def on non-literal... actually /x 5 def reversed
+		"1 exec",              // exec non-procedure
+		"(s) 3 add",           // type error
+		"newpath 1 1 rmoveto", // no current point
+	}
+	for _, src := range bad {
+		in := New(NewCanvas())
+		if err := in.Run(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestExecutionLimit(t *testing.T) {
+	in := New(NewCanvas())
+	err := in.Run("/loop { loop } def loop")
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("runaway recursion: %v", err)
+	}
+}
+
+func TestBitmapLine(t *testing.T) {
+	bm := NewBitmap(10, 10)
+	bm.Line(0, 0, 9, 9)
+	for i := 0; i < 10; i++ {
+		if !bm.Get(i, i) {
+			t.Fatalf("diagonal pixel (%d,%d) missing", i, i)
+		}
+	}
+	bm.Set(-1, -1) // out of range must not panic
+	if bm.Get(100, 100) {
+		t.Fatal("out of range get")
+	}
+	ascii := bm.ASCII()
+	if !strings.HasPrefix(ascii, "#") || len(strings.Split(strings.TrimSpace(ascii), "\n")) != 10 {
+		t.Fatal("ascii rendering")
+	}
+}
+
+func TestCanvasString(t *testing.T) {
+	_, c := run(t, "newpath 0 0 moveto 1 1 lineto stroke newpath 0 0 moveto (t) show")
+	if got := c.String(); got != "canvas[1 strokes, 0 fills, 1 texts]" {
+		t.Fatalf("String: %q", got)
+	}
+}
+
+func BenchmarkStemDraw(b *testing.B) {
+	src := "newpath 4 10 moveto 0 7 rlineto stroke"
+	for i := 0; i < b.N; i++ {
+		in := New(NewCanvas())
+		if err := in.Run(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPushStringAndObjectString(t *testing.T) {
+	in := New(NewCanvas())
+	in.PushString("hello")
+	in.Run("newpath 0 0 moveto")
+	if err := in.Run("show"); err != nil {
+		t.Fatalf("show after PushString: %v", err)
+	}
+	// Object renderings for error messages.
+	objs, err := scan(`3.5 /lit name (str) { 1 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"3.5", "/lit", "name", "(str)", "{...1}"}
+	for i, o := range objs {
+		if o.String() != want[i] {
+			t.Errorf("object %d: %q want %q", i, o.String(), want[i])
+		}
+	}
+}

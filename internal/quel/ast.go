@@ -1,0 +1,144 @@
+// Package quel implements the data manipulation language of the music
+// data manager: a QUEL dialect (after INGRES) extended, per §5.6 of the
+// paper, with three operators over hierarchically ordered entities —
+// before, after, and under — plus the GEM-style entity equivalence
+// operator is.
+//
+// Statements:
+//
+//	range of var {, var} is ENTITY
+//	retrieve [unique] ( target {, target} ) [ where qual ]
+//	append to ENTITY ( attr = expr {, attr = expr} )
+//	replace var ( attr = expr {, attr = expr} ) [ where qual ]
+//	delete var [ where qual ]
+//
+// Targets are attribute projections (var.attr, optionally labelled
+// `label = var.attr`), whole-entity projections (var.all), or aggregates
+// (count/sum/avg/min/max over var.attr, with an optional inner where).
+// Qualifications combine comparisons, arithmetic, and the entity
+// operators with and/or/not.  A range variable with the same name as its
+// entity type is implicitly declared (footnote 6 of the paper).
+package quel
+
+import "repro/internal/value"
+
+// Stmt is one parsed QUEL statement.
+type Stmt interface{ quelStmt() }
+
+// RangeStmt declares range variables over an entity type.
+type RangeStmt struct {
+	Vars       []string
+	EntityType string
+}
+
+// Retrieve projects targets for every binding satisfying the
+// qualification.
+type Retrieve struct {
+	Unique  bool
+	Targets []Target
+	Where   Expr // nil means true
+	SortBy  []SortKey
+}
+
+// SortKey orders the result by a named result column (the INGRES
+// `sort by` clause).
+type SortKey struct {
+	Label string
+	Desc  bool
+}
+
+// Target is one projection item.
+type Target struct {
+	Label string // result column label; defaulted from the expression
+	All   bool   // var.all
+	Var   string // set when All
+	Expr  Expr   // nil when All
+}
+
+// Append creates a new entity instance.
+type Append struct {
+	EntityType string
+	Assigns    []Assign
+}
+
+// Replace updates attributes of the entities bound to Var in bindings
+// satisfying the qualification.
+type Replace struct {
+	Var     string
+	Assigns []Assign
+	Where   Expr
+}
+
+// Delete removes the entities bound to Var in bindings satisfying the
+// qualification.
+type Delete struct {
+	Var   string
+	Where Expr
+}
+
+// Assign is one "attr = expr" assignment.
+type Assign struct {
+	Attr string
+	Expr Expr
+}
+
+func (RangeStmt) quelStmt() {}
+func (Retrieve) quelStmt()  {}
+func (Append) quelStmt()    {}
+func (Replace) quelStmt()   {}
+func (Delete) quelStmt()    {}
+
+// Expr is an expression node.
+type Expr interface{ quelExpr() }
+
+// Lit is a literal value.
+type Lit struct{ V value.Value }
+
+// AttrRef is var.attr.
+type AttrRef struct{ Var, Attr string }
+
+// VarRef is a bare range variable (operand of is/before/after/under).
+type VarRef struct{ Var string }
+
+// Binary is a binary operation: arithmetic (+ - * /), comparison
+// (= != < <= > >=), or boolean (and, or).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is boolean not or arithmetic negation.
+type Unary struct {
+	Op string // "not" or "-"
+	X  Expr
+}
+
+// IsOp is the GEM entity-equivalence operator: L is R.
+type IsOp struct{ L, R Expr }
+
+// OrderOp is one of the §5.6 hierarchical-ordering operators.
+type OrderOp struct {
+	Op    string // "before", "after", "under"
+	L, R  Expr   // range variables (VarRef) after parsing
+	Order string // optional `in order_name`
+}
+
+// Agg is an aggregate function over a range variable's attribute, with an
+// optional inner qualification: count(n.all), sum(n.pitch where ...).
+// Aggregates without by-lists are evaluated over their own independent
+// range, per QUEL semantics.
+type Agg struct {
+	Fn    string // count, sum, avg, min, max, any
+	Var   string
+	Attr  string // empty for count(var.all)
+	Where Expr
+}
+
+func (Lit) quelExpr()     {}
+func (AttrRef) quelExpr() {}
+func (VarRef) quelExpr()  {}
+func (Binary) quelExpr()  {}
+func (Unary) quelExpr()   {}
+func (IsOp) quelExpr()    {}
+func (OrderOp) quelExpr() {}
+func (Agg) quelExpr()     {}

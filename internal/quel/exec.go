@@ -1,0 +1,553 @@
+package quel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// Result is the output of a retrieve: labelled columns and result rows.
+type Result struct {
+	Columns []string
+	Rows    []value.Tuple
+	// Affected counts modified entities for append/replace/delete.
+	Affected int
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("(%d affected)", r.Affected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		b.WriteByte('|')
+		for i, s := range row {
+			fmt.Fprintf(&b, " %-*s |", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	b.WriteByte('|')
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Session holds range-variable declarations across statements, mirroring
+// the QUEL workspace model.
+type Session struct {
+	db     *model.Database
+	ranges map[string]string // var → entity type
+}
+
+// NewSession returns a session over the model database.
+func NewSession(db *model.Database) *Session {
+	return &Session{db: db, ranges: make(map[string]string)}
+}
+
+// Exec parses and executes QUEL statements.  It returns the result of the
+// last retrieve (or a Result with Affected set for updates); range
+// statements persist in the session.
+func (s *Session) Exec(src string) (*Result, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.execOne(st)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			last = r
+		}
+	}
+	if last == nil {
+		last = &Result{}
+	}
+	return last, nil
+}
+
+func (s *Session) execOne(st Stmt) (*Result, error) {
+	switch q := st.(type) {
+	case RangeStmt:
+		if _, ok := s.db.EntityType(q.EntityType); !ok {
+			return nil, fmt.Errorf("quel: range: %w: %s", model.ErrNoEntityType, q.EntityType)
+		}
+		for _, v := range q.Vars {
+			s.ranges[v] = q.EntityType
+		}
+		return nil, nil
+	case Retrieve:
+		return s.retrieve(q)
+	case Append:
+		return s.appendStmt(q)
+	case Replace:
+		return s.replace(q)
+	case Delete:
+		return s.delete(q)
+	}
+	return nil, fmt.Errorf("quel: unknown statement %T", st)
+}
+
+// binding associates a range variable with a concrete instance: an
+// entity (ref != 0) or a relationship tuple (ref == 0, no identity).
+type binding struct {
+	ref    value.Ref
+	attrs  value.Tuple
+	fields []value.Field
+	typ    string
+}
+
+type env map[string]binding
+
+// varInfo describes what a range variable ranges over.
+type varInfo struct {
+	typ    string
+	isRel  bool // relationship rather than entity
+	fields []value.Field
+}
+
+// varInfo resolves a range variable, applying the implicit-declaration
+// rule (a variable named like an entity or relationship type ranges over
+// that type, footnote 6 of the paper).
+func (s *Session) varInfo(v string) (varInfo, error) {
+	name := v
+	if t, ok := s.ranges[v]; ok {
+		name = t
+	}
+	if et, ok := s.db.EntityType(name); ok {
+		return varInfo{typ: name, fields: et.Attrs}, nil
+	}
+	if rt, ok := s.db.RelationshipType(name); ok {
+		return varInfo{typ: name, isRel: true, fields: rt.Fields()}, nil
+	}
+	return varInfo{}, fmt.Errorf("quel: undeclared range variable %q (and no entity or relationship type of that name)", v)
+}
+
+// scanVar iterates the instances the variable ranges over.
+func (s *Session) scanVar(info varInfo, fn func(b binding) bool) error {
+	if info.isRel {
+		return s.db.RelationshipTuples(info.typ, func(t value.Tuple) bool {
+			return fn(binding{attrs: t, fields: info.fields, typ: info.typ})
+		})
+	}
+	return s.db.Instances(info.typ, func(ref value.Ref, attrs value.Tuple) bool {
+		return fn(binding{ref: ref, attrs: attrs, fields: info.fields, typ: info.typ})
+	})
+}
+
+// fieldIndex finds a field by name, case-insensitively.
+func fieldIndex(fields []value.Field, name string) (int, bool) {
+	for i, f := range fields {
+		if strings.EqualFold(f.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// collectVars gathers the range variables mentioned by an expression.
+func collectVars(e Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case AttrRef:
+		out[x.Var] = true
+	case VarRef:
+		out[x.Var] = true
+	case Binary:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
+	case Unary:
+		collectVars(x.X, out)
+	case IsOp:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
+	case OrderOp:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
+	case Agg:
+		// Aggregates range independently; their variable is not a join
+		// variable of the outer query.
+	}
+	_ = e
+}
+
+// sarg is a pushed-down single-variable predicate used to filter a range
+// variable's instances during the scan (a rudimentary optimizer: it keeps
+// the nested-loop join from materializing obviously-excluded bindings).
+type sarg struct {
+	attr string
+	op   string
+	v    value.Value
+}
+
+// extractSargs pulls var.attr OP literal conjuncts out of the
+// qualification, keyed by variable.
+func extractSargs(e Expr, out map[string][]sarg) {
+	switch x := e.(type) {
+	case Binary:
+		if x.Op == "and" {
+			extractSargs(x.L, out)
+			extractSargs(x.R, out)
+			return
+		}
+		if relOps[x.Op] {
+			if ar, ok := x.L.(AttrRef); ok {
+				if lit, ok := x.R.(Lit); ok {
+					out[ar.Var] = append(out[ar.Var], sarg{attr: ar.Attr, op: x.Op, v: lit.V})
+				}
+			}
+			if ar, ok := x.R.(AttrRef); ok {
+				if lit, ok := x.L.(Lit); ok {
+					out[ar.Var] = append(out[ar.Var], sarg{attr: ar.Attr, op: flip(x.Op), v: lit.V})
+				}
+			}
+		}
+	}
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func sargMatches(ss []sarg, fields []value.Field, attrs value.Tuple) bool {
+	for _, sg := range ss {
+		i, ok := fieldIndex(fields, sg.attr)
+		if !ok {
+			return true // let full evaluation report the error
+		}
+		c := value.Compare(attrs[i], sg.v)
+		switch sg.op {
+		case "=":
+			if c != 0 {
+				return false
+			}
+		case "!=":
+			if c == 0 {
+				return false
+			}
+		case "<":
+			if c >= 0 {
+				return false
+			}
+		case "<=":
+			if c > 0 {
+				return false
+			}
+		case ">":
+			if c <= 0 {
+				return false
+			}
+		case ">=":
+			if c < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bindAll materializes the instances of each variable (after sarg
+// filtering) and invokes fn for every combination (nested-loop join).
+func (s *Session) bindAll(vars []string, where Expr, fn func(env) error) error {
+	sargs := map[string][]sarg{}
+	if where != nil {
+		extractSargs(where, sargs)
+	}
+	lists := make([][]binding, len(vars))
+	for i, v := range vars {
+		info, err := s.varInfo(v)
+		if err != nil {
+			return err
+		}
+		var list []binding
+		err = s.scanVar(info, func(b binding) bool {
+			if !sargMatches(sargs[v], b.fields, b.attrs) {
+				return true
+			}
+			b.attrs = b.attrs.Clone()
+			list = append(list, b)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		lists[i] = list
+	}
+	e := make(env, len(vars))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			return fn(e)
+		}
+		for _, b := range lists[i] {
+			e[vars[i]] = b
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+func (s *Session) retrieve(q Retrieve) (*Result, error) {
+	varSet := map[string]bool{}
+	for _, t := range q.Targets {
+		if t.All {
+			varSet[t.Var] = true
+		} else {
+			collectVars(t.Expr, varSet)
+		}
+	}
+	if q.Where != nil {
+		collectVars(q.Where, varSet)
+	}
+	vars := sortedKeys(varSet)
+
+	// Resolve columns.
+	res := &Result{}
+	for _, t := range q.Targets {
+		if t.All {
+			info, err := s.varInfo(t.Var)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range info.fields {
+				label := a.Name
+				if t.Label != "" {
+					label = t.Label + "_" + a.Name
+				}
+				res.Columns = append(res.Columns, label)
+			}
+			continue
+		}
+		res.Columns = append(res.Columns, t.Label)
+	}
+
+	seen := map[string]bool{}
+	err := s.bindAll(vars, q.Where, func(e env) error {
+		if q.Where != nil {
+			ok, err := s.evalBool(q.Where, e)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		var row value.Tuple
+		for _, t := range q.Targets {
+			if t.All {
+				row = append(row, e[t.Var].attrs...)
+				continue
+			}
+			v, err := s.eval(t.Expr, e)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		if q.Unique {
+			key := string(value.AppendKeyTuple(nil, row))
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(q.SortBy) > 0 {
+		if err := sortRows(res, q.SortBy); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// sortRows orders the result by the named columns (the sort by clause).
+func sortRows(res *Result, keys []SortKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		found := -1
+		for ci, col := range res.Columns {
+			if strings.EqualFold(col, k.Label) {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("quel: sort by: no result column %q", k.Label)
+		}
+		idx[i] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, ci := range idx {
+			c := value.Compare(res.Rows[a][ci], res.Rows[b][ci])
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *Session) appendStmt(q Append) (*Result, error) {
+	if _, ok := s.db.EntityType(q.EntityType); !ok {
+		return nil, fmt.Errorf("quel: append: %w: %s", model.ErrNoEntityType, q.EntityType)
+	}
+	attrs := model.Attrs{}
+	for _, a := range q.Assigns {
+		v, err := s.eval(a.Expr, nil)
+		if err != nil {
+			return nil, err
+		}
+		attrs[a.Attr] = v
+	}
+	if _, err := s.db.NewEntity(q.EntityType, attrs); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: 1}, nil
+}
+
+func (s *Session) replace(q Replace) (*Result, error) {
+	varSet := map[string]bool{q.Var: true}
+	if q.Where != nil {
+		collectVars(q.Where, varSet)
+	}
+	for _, a := range q.Assigns {
+		collectVars(a.Expr, varSet)
+	}
+	vars := sortedKeys(varSet)
+	type update struct {
+		ref   value.Ref
+		attrs model.Attrs
+	}
+	var updates []update
+	seen := map[value.Ref]bool{}
+	err := s.bindAll(vars, q.Where, func(e env) error {
+		if q.Where != nil {
+			ok, err := s.evalBool(q.Where, e)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		ref := e[q.Var].ref
+		if seen[ref] {
+			return nil
+		}
+		seen[ref] = true
+		attrs := model.Attrs{}
+		for _, a := range q.Assigns {
+			v, err := s.eval(a.Expr, e)
+			if err != nil {
+				return err
+			}
+			attrs[a.Attr] = v
+		}
+		updates = append(updates, update{ref: ref, attrs: attrs})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		if err := s.db.SetAttrs(u.ref, u.attrs); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(updates)}, nil
+}
+
+func (s *Session) delete(q Delete) (*Result, error) {
+	varSet := map[string]bool{q.Var: true}
+	if q.Where != nil {
+		collectVars(q.Where, varSet)
+	}
+	vars := sortedKeys(varSet)
+	var doomed []value.Ref
+	seen := map[value.Ref]bool{}
+	err := s.bindAll(vars, q.Where, func(e env) error {
+		if q.Where != nil {
+			ok, err := s.evalBool(q.Where, e)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		ref := e[q.Var].ref
+		if !seen[ref] {
+			seen[ref] = true
+			doomed = append(doomed, ref)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range doomed {
+		if err := s.db.DeleteEntity(ref); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(doomed)}, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

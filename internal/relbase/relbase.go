@@ -1,0 +1,223 @@
+// Package relbase is the relational baseline the paper argues against in
+// §5.2: ordering represented not as a modeling concept but as a plain
+// attribute.  Notes carry an explicit seqno within their chord, a sorted
+// B-tree index on (chord, seqno) provides the "ordering as a performance
+// optimization", and the §5.6 queries are answered with key-range scans
+// and joins over that index.
+//
+// Two costs distinguish the baseline from hierarchical ordering, and the
+// benchmark harness measures both:
+//
+//   - inserting a note in the middle of a chord must renumber every
+//     following seqno (O(n) updates), where the model layer's gap ranks
+//     amortize to O(log n);
+//   - "a before b" requires fetching both tuples and comparing seqnos,
+//     comparable in cost, but positional access scans the index.
+package relbase
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Store is the baseline: plain relations in a storage.DB.
+type Store struct {
+	db *storage.DB
+}
+
+// Open creates the baseline schema on a storage database.
+func Open(db *storage.DB) (*Store, error) {
+	s := &Store{db: db}
+	if db.Relation("BASE_CHORD") == nil {
+		if _, err := db.CreateRelation("BASE_CHORD", value.NewSchema(
+			value.Field{Name: "name", Kind: value.KindInt},
+		)); err != nil {
+			return nil, err
+		}
+		if _, err := db.CreateRelation("BASE_NOTE", value.NewSchema(
+			value.Field{Name: "chord", Kind: value.KindInt},
+			value.Field{Name: "seqno", Kind: value.KindInt},
+			value.Field{Name: "name", Kind: value.KindInt},
+			value.Field{Name: "pitch", Kind: value.KindInt},
+		)); err != nil {
+			return nil, err
+		}
+		if err := db.CreateIndex("BASE_NOTE", storage.IndexSpec{
+			Name: "by_chord_seq", Columns: []string{"chord", "seqno"}, Unique: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NewChord inserts a chord and returns its row id (the baseline's
+// surrogate).
+func (s *Store) NewChord(name int64) (uint64, error) {
+	var id uint64
+	err := s.db.Run(func(tx *storage.Tx) error {
+		var err error
+		id, err = tx.Insert("BASE_CHORD", value.Tuple{value.Int(name)})
+		return err
+	})
+	return id, err
+}
+
+// AppendNote adds a note at the end of a chord: seqno = count.
+func (s *Store) AppendNote(chord uint64, name, pitch int64) error {
+	return s.db.Run(func(tx *storage.Tx) error {
+		n, err := s.countLocked(tx, chord)
+		if err != nil {
+			return err
+		}
+		_, err = tx.Insert("BASE_NOTE", value.Tuple{
+			value.Int(int64(chord)), value.Int(n), value.Int(name), value.Int(pitch),
+		})
+		return err
+	})
+}
+
+func (s *Store) countLocked(tx *storage.Tx, chord uint64) (int64, error) {
+	var n int64
+	err := tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+		value.Tuple{value.Int(int64(chord))},
+		func(storage.RowID, value.Tuple) bool { n++; return true })
+	return n, err
+}
+
+// InsertNoteAt inserts a note at position pos, renumbering every
+// following note — the O(n) cost of attribute-encoded ordering.
+func (s *Store) InsertNoteAt(chord uint64, pos int64, name, pitch int64) error {
+	return s.db.Run(func(tx *storage.Tx) error {
+		// Collect rows at seqno >= pos, highest first, and shift them up.
+		type rowAt struct {
+			id storage.RowID
+			t  value.Tuple
+		}
+		var shift []rowAt
+		err := tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+			value.Tuple{value.Int(int64(chord))},
+			func(id storage.RowID, t value.Tuple) bool {
+				if t[1].AsInt() >= pos {
+					shift = append(shift, rowAt{id, t.Clone()})
+				}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		for i := len(shift) - 1; i >= 0; i-- {
+			r := shift[i]
+			r.t[1] = value.Int(r.t[1].AsInt() + 1)
+			if err := tx.Update("BASE_NOTE", r.id, r.t); err != nil {
+				return err
+			}
+		}
+		_, err = tx.Insert("BASE_NOTE", value.Tuple{
+			value.Int(int64(chord)), value.Int(pos), value.Int(name), value.Int(pitch),
+		})
+		return err
+	})
+}
+
+// NoteAt returns the name of the note at position pos ("the third note in
+// chord x"): an index range scan to the pos'th entry.
+func (s *Store) NoteAt(chord uint64, pos int64) (int64, error) {
+	var name int64
+	found := false
+	err := s.db.Run(func(tx *storage.Tx) error {
+		lo := value.AppendKeyTuple(nil, value.Tuple{value.Int(int64(chord)), value.Int(pos)})
+		return tx.IndexScan("BASE_NOTE", "by_chord_seq", lo, nil,
+			func(_ storage.RowID, t value.Tuple) bool {
+				if t[0].AsInt() == int64(chord) && t[1].AsInt() == pos {
+					name = t[2].AsInt()
+					found = true
+				}
+				return false
+			})
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("relbase: chord %d has no note at %d", chord, pos)
+	}
+	return name, nil
+}
+
+// Before reports whether note a precedes note b within the same chord —
+// the baseline's version of the §5.6 before operator: two lookups by
+// name plus a seqno comparison (full scans, as names are unindexed,
+// mirroring a qualification on a non-key attribute).
+func (s *Store) Before(chord uint64, nameA, nameB int64) (bool, error) {
+	var seqA, seqB int64 = -1, -1
+	err := s.db.Run(func(tx *storage.Tx) error {
+		return tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+			value.Tuple{value.Int(int64(chord))},
+			func(_ storage.RowID, t value.Tuple) bool {
+				switch t[2].AsInt() {
+				case nameA:
+					seqA = t[1].AsInt()
+				case nameB:
+					seqB = t[1].AsInt()
+				}
+				return true
+			})
+	})
+	if err != nil {
+		return false, err
+	}
+	if seqA < 0 || seqB < 0 {
+		return false, nil
+	}
+	return seqA < seqB, nil
+}
+
+// NotesBefore returns the names of notes preceding the named note in its
+// chord, in order — the first §5.6 example query, relational style.
+func (s *Store) NotesBefore(chord uint64, name int64) ([]int64, error) {
+	var pivot int64 = -1
+	var out []int64
+	err := s.db.Run(func(tx *storage.Tx) error {
+		if err := tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+			value.Tuple{value.Int(int64(chord))},
+			func(_ storage.RowID, t value.Tuple) bool {
+				if t[2].AsInt() == name {
+					pivot = t[1].AsInt()
+					return false
+				}
+				return true
+			}); err != nil {
+			return err
+		}
+		if pivot < 0 {
+			return nil
+		}
+		return tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+			value.Tuple{value.Int(int64(chord))},
+			func(_ storage.RowID, t value.Tuple) bool {
+				if t[1].AsInt() < pivot {
+					out = append(out, t[2].AsInt())
+					return true
+				}
+				return false
+			})
+	})
+	return out, err
+}
+
+// Notes returns the chord's note names in seqno order.
+func (s *Store) Notes(chord uint64) ([]int64, error) {
+	var out []int64
+	err := s.db.Run(func(tx *storage.Tx) error {
+		return tx.IndexPrefixScan("BASE_NOTE", "by_chord_seq",
+			value.Tuple{value.Int(int64(chord))},
+			func(_ storage.RowID, t value.Tuple) bool {
+				out = append(out, t[2].AsInt())
+				return true
+			})
+	})
+	return out, err
+}

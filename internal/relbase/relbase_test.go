@@ -1,0 +1,131 @@
+package relbase
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newStore(t testing.TB) *Store {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendAndOrder(t *testing.T) {
+	s := newStore(t)
+	chord, err := s.NewChord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := s.AppendNote(chord, i, 59+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	notes, err := s.Notes(chord)
+	if err != nil || len(notes) != 5 {
+		t.Fatalf("notes: %v %v", notes, err)
+	}
+	for i, n := range notes {
+		if n != int64(i+1) {
+			t.Fatalf("order: %v", notes)
+		}
+	}
+}
+
+func TestNoteAt(t *testing.T) {
+	s := newStore(t)
+	chord, _ := s.NewChord(1)
+	for i := int64(1); i <= 4; i++ {
+		s.AppendNote(chord, i*10, 60)
+	}
+	name, err := s.NoteAt(chord, 2) // third note
+	if err != nil || name != 30 {
+		t.Fatalf("NoteAt: %d %v", name, err)
+	}
+	if _, err := s.NoteAt(chord, 99); err == nil {
+		t.Fatal("missing position accepted")
+	}
+}
+
+func TestInsertMiddleRenumbers(t *testing.T) {
+	s := newStore(t)
+	chord, _ := s.NewChord(1)
+	for i := int64(1); i <= 4; i++ {
+		s.AppendNote(chord, i, 60)
+	}
+	if err := s.InsertNoteAt(chord, 2, 99, 70); err != nil {
+		t.Fatal(err)
+	}
+	notes, _ := s.Notes(chord)
+	want := []int64{1, 2, 99, 3, 4}
+	for i := range want {
+		if notes[i] != want[i] {
+			t.Fatalf("after insert: %v want %v", notes, want)
+		}
+	}
+	// Insert at front.
+	if err := s.InsertNoteAt(chord, 0, 100, 70); err != nil {
+		t.Fatal(err)
+	}
+	notes, _ = s.Notes(chord)
+	if notes[0] != 100 || len(notes) != 6 {
+		t.Fatalf("front insert: %v", notes)
+	}
+}
+
+func TestBeforeAndNotesBefore(t *testing.T) {
+	s := newStore(t)
+	chord, _ := s.NewChord(1)
+	for i := int64(1); i <= 5; i++ {
+		s.AppendNote(chord, i, 60)
+	}
+	if b, _ := s.Before(chord, 2, 4); !b {
+		t.Fatal("2 before 4")
+	}
+	if b, _ := s.Before(chord, 4, 2); b {
+		t.Fatal("4 not before 2")
+	}
+	if b, _ := s.Before(chord, 2, 99); b {
+		t.Fatal("missing note comparable")
+	}
+	prior, err := s.NotesBefore(chord, 3)
+	if err != nil || len(prior) != 2 || prior[0] != 1 || prior[1] != 2 {
+		t.Fatalf("NotesBefore: %v %v", prior, err)
+	}
+	if prior, _ := s.NotesBefore(chord, 999); prior != nil {
+		t.Fatal("missing pivot")
+	}
+}
+
+func TestChordsIndependent(t *testing.T) {
+	s := newStore(t)
+	c1, _ := s.NewChord(1)
+	c2, _ := s.NewChord(2)
+	s.AppendNote(c1, 10, 60)
+	s.AppendNote(c2, 20, 62)
+	s.AppendNote(c1, 11, 64)
+	n1, _ := s.Notes(c1)
+	n2, _ := s.Notes(c2)
+	if len(n1) != 2 || len(n2) != 1 || n2[0] != 20 {
+		t.Fatalf("isolation: %v %v", n1, n2)
+	}
+}
+
+func TestOpenIdempotent(t *testing.T) {
+	db, _ := storage.Open(storage.Options{})
+	if _, err := Open(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(db); err != nil {
+		t.Fatal("second open failed")
+	}
+}

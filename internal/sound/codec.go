@@ -1,0 +1,152 @@
+package sound
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The two §4.1 compaction families.
+
+// EncodeDelta compresses samples losslessly by first-order prediction:
+// each sample is coded as a zig-zag varint of its difference from the
+// previous sample.  Musical signals are strongly correlated
+// sample-to-sample, so deltas are small and the varints short — the
+// "eliminating redundant information" family [Wil85].
+func EncodeDelta(b *Buffer) []byte {
+	out := make([]byte, 0, len(b.Samples))
+	out = binary.AppendUvarint(out, uint64(b.Rate))
+	out = binary.AppendUvarint(out, uint64(len(b.Samples)))
+	prev := int16(0)
+	for _, s := range b.Samples {
+		out = binary.AppendVarint(out, int64(s-prev))
+		prev = s
+	}
+	return out
+}
+
+// DecodeDelta reverses EncodeDelta exactly.
+func DecodeDelta(data []byte) (*Buffer, error) {
+	rate, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("sound: delta: bad rate")
+	}
+	pos := n
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, errors.New("sound: delta: bad count")
+	}
+	pos += n
+	b := &Buffer{Rate: int(rate), Samples: make([]int16, count)}
+	prev := int16(0)
+	for i := range b.Samples {
+		d, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("sound: delta: truncated at sample %d", i)
+		}
+		pos += n
+		prev += int16(d)
+		b.Samples[i] = prev
+	}
+	return b, nil
+}
+
+// muLawBias and companding parameters (ITU G.711-style, simplified).
+const mu = 255.0
+
+// EncodeMuLaw compresses 16-bit samples to 8 bits by µ-law companding —
+// the "eliminating aurally imperceptible information" family [Kra79]:
+// quantization noise is shaped to track the ear's logarithmic amplitude
+// response.  The encoding is lossy; DecodeMuLaw returns an
+// approximation.
+func EncodeMuLaw(b *Buffer) []byte {
+	out := make([]byte, 0, len(b.Samples)+10)
+	out = binary.AppendUvarint(out, uint64(b.Rate))
+	out = binary.AppendUvarint(out, uint64(len(b.Samples)))
+	for _, s := range b.Samples {
+		out = append(out, muEncode(s))
+	}
+	return out
+}
+
+// DecodeMuLaw expands µ-law bytes back to 16-bit samples.
+func DecodeMuLaw(data []byte) (*Buffer, error) {
+	rate, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("sound: mulaw: bad rate")
+	}
+	pos := n
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, errors.New("sound: mulaw: bad count")
+	}
+	pos += n
+	if uint64(len(data)-pos) < count {
+		return nil, errors.New("sound: mulaw: truncated")
+	}
+	b := &Buffer{Rate: int(rate), Samples: make([]int16, count)}
+	for i := range b.Samples {
+		b.Samples[i] = muDecode(data[pos+i])
+	}
+	return b, nil
+}
+
+func muEncode(s int16) byte {
+	f := float64(s) / 32768
+	sign := byte(0)
+	if f < 0 {
+		sign = 0x80
+		f = -f
+	}
+	v := logCompand(f)
+	q := byte(v * 127)
+	return sign | q
+}
+
+func muDecode(c byte) int16 {
+	sign := c&0x80 != 0
+	v := float64(c&0x7F) / 127
+	f := logExpand(v)
+	if sign {
+		f = -f
+	}
+	return int16(f * 32767)
+}
+
+func logCompand(x float64) float64 {
+	return math.Log1p(mu*x) / math.Log1p(mu)
+}
+
+func logExpand(y float64) float64 {
+	return (math.Pow(1+mu, y) - 1) / mu
+}
+
+// SNR returns the signal-to-noise ratio in dB of decoded against
+// original, the quality metric for the perceptual codec.
+func SNR(original, decoded *Buffer) (float64, error) {
+	if len(original.Samples) != len(decoded.Samples) {
+		return 0, fmt.Errorf("sound: SNR: length mismatch %d vs %d",
+			len(original.Samples), len(decoded.Samples))
+	}
+	var sig, noise float64
+	for i := range original.Samples {
+		s := float64(original.Samples[i])
+		n := float64(decoded.Samples[i]) - s
+		sig += s * s
+		noise += n * n
+	}
+	if noise == 0 {
+		return 200, nil // lossless
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// CompressionRatio returns raw size / encoded size.
+func CompressionRatio(b *Buffer, encoded []byte) float64 {
+	raw := len(b.Samples) * BytesPerSample
+	if len(encoded) == 0 {
+		return 0
+	}
+	return float64(raw) / float64(len(encoded))
+}

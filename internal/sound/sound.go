@@ -1,0 +1,170 @@
+// Package sound implements the sound-representation layer of §4.1 of the
+// paper: digitized audio buffers ("merely an array of numbers"), the
+// storage arithmetic the paper quotes (16-bit samples at 48 kHz: ten
+// minutes of music is 57.6 megabytes), a small additive synthesizer that
+// renders MIDI sequences to samples (substituting for the professional
+// digital audio the paper assumes), and the two §4.1 compaction
+// families:
+//
+//   - redundancy elimination (Wilson): a delta + variable-length codec
+//     exploiting sample-to-sample correlation, lossless;
+//   - perceptual reduction (Krasner): µ-law companding to 8 bits,
+//     exploiting the ear's logarithmic amplitude sensitivity, lossy.
+package sound
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/midi"
+)
+
+// Professional digital audio parameters quoted in §4.1.
+const (
+	ProfessionalRate = 48000 // samples per second
+	BytesPerSample   = 2     // 16-bit integers
+)
+
+// Buffer is a mono PCM sample buffer.
+type Buffer struct {
+	Rate    int // samples per second
+	Samples []int16
+}
+
+// NewBuffer allocates a silent buffer of the given duration.
+func NewBuffer(rate int, seconds float64) *Buffer {
+	return &Buffer{Rate: rate, Samples: make([]int16, int(float64(rate)*seconds))}
+}
+
+// Duration returns the buffer length in seconds.
+func (b *Buffer) Duration() float64 { return float64(len(b.Samples)) / float64(b.Rate) }
+
+// StorageBytes returns the §4.1 storage requirement for a duration of
+// sound at a rate: duration × rate × 2 bytes.
+func StorageBytes(seconds float64, rate int) int64 {
+	return int64(seconds * float64(rate) * BytesPerSample)
+}
+
+// RMS returns the root-mean-square amplitude (0..1 of full scale).
+func (b *Buffer) RMS() float64 {
+	if len(b.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range b.Samples {
+		f := float64(s) / 32768
+		sum += f * f
+	}
+	return math.Sqrt(sum / float64(len(b.Samples)))
+}
+
+// Peak returns the maximum absolute sample value (0..1 of full scale).
+func (b *Buffer) Peak() float64 {
+	var peak int32
+	for _, s := range b.Samples {
+		v := int32(s)
+		if v < 0 {
+			v = -v
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	return float64(peak) / 32768
+}
+
+// Patch is an instrument timbre for the additive synthesizer: harmonic
+// amplitudes and an ADSR envelope.  It is the "instrument definition"
+// entity of figure 11 in executable form.
+type Patch struct {
+	Name      string
+	Harmonics []float64 // amplitude of partial k+1 (fundamental first)
+	Attack    float64   // seconds
+	Decay     float64   // seconds
+	Sustain   float64   // level 0..1
+	Release   float64   // seconds
+}
+
+// Organ is a simple pipe-organ-like patch (strong odd harmonics, boxy
+// envelope) — the Besetzung of figure 2's fugue.
+var Organ = Patch{
+	Name:      "organ",
+	Harmonics: []float64{1, 0.5, 0.33, 0.2, 0.14, 0.11},
+	Attack:    0.01, Decay: 0.0, Sustain: 1.0, Release: 0.05,
+}
+
+// Piano is a decaying bright patch.
+var Piano = Patch{
+	Name:      "piano",
+	Harmonics: []float64{1, 0.4, 0.2, 0.1, 0.05},
+	Attack:    0.002, Decay: 0.6, Sustain: 0.25, Release: 0.1,
+}
+
+// envelope returns the ADSR gain at time t within a note of duration d.
+func (p Patch) envelope(t, d float64) float64 {
+	switch {
+	case t < 0 || t >= d+p.Release:
+		return 0
+	case t < p.Attack && p.Attack > 0:
+		return t / p.Attack
+	case t < p.Attack+p.Decay && p.Decay > 0:
+		frac := (t - p.Attack) / p.Decay
+		return 1 - frac*(1-p.Sustain)
+	case t < d:
+		return p.Sustain
+	default: // release tail
+		if p.Release <= 0 {
+			return 0
+		}
+		return p.Sustain * (1 - (t-d)/p.Release)
+	}
+}
+
+// Synthesize renders a MIDI sequence to PCM with the given patch — the
+// software substitute for the paper's audio hardware.  Amplitude scales
+// with velocity; concurrent notes mix additively with clipping
+// protection.
+func Synthesize(seq *midi.Sequence, patch Patch, rate int) (*Buffer, error) {
+	if rate <= 0 {
+		return nil, errors.New("sound: rate must be positive")
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	totalSec := float64(seq.DurationUs())/1e6 + patch.Release
+	mix := make([]float64, int(totalSec*float64(rate))+1)
+	for _, n := range seq.Notes {
+		freq := 440 * math.Pow(2, float64(n.Key-69)/12)
+		amp := float64(n.Velocity) / 127 * 0.3
+		start := float64(n.StartUs) / 1e6
+		dur := float64(n.DurUs) / 1e6
+		s0 := int(start * float64(rate))
+		s1 := int((start + dur + patch.Release) * float64(rate))
+		if s1 > len(mix) {
+			s1 = len(mix)
+		}
+		for s := s0; s < s1; s++ {
+			t := float64(s)/float64(rate) - start
+			env := patch.envelope(t, dur)
+			if env == 0 {
+				continue
+			}
+			var v float64
+			for k, h := range patch.Harmonics {
+				f := freq * float64(k+1)
+				if f*2 >= float64(rate) {
+					break // respect Nyquist
+				}
+				v += h * math.Sin(2*math.Pi*f*t)
+			}
+			mix[s] += amp * env * v
+		}
+	}
+	out := &Buffer{Rate: rate, Samples: make([]int16, len(mix))}
+	for i, v := range mix {
+		// Soft clip.
+		v = math.Tanh(v)
+		out.Samples[i] = int16(v * 32767)
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package sound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/midi"
+)
+
+// TestPaperStorageArithmetic checks §4.1's quoted figure exactly: ten
+// minutes of 48 kHz / 16-bit sound is 57.6 megabytes.
+func TestPaperStorageArithmetic(t *testing.T) {
+	got := StorageBytes(10*60, ProfessionalRate)
+	if got != 57_600_000 {
+		t.Fatalf("10 min at 48 kHz = %d bytes, want 57,600,000 (57.6 MB)", got)
+	}
+}
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(48000, 0.5)
+	if len(b.Samples) != 24000 || b.Duration() != 0.5 {
+		t.Fatalf("buffer shape: %d %g", len(b.Samples), b.Duration())
+	}
+	if b.RMS() != 0 || b.Peak() != 0 {
+		t.Fatal("silence metrics")
+	}
+	for i := range b.Samples {
+		b.Samples[i] = 16384 // half scale
+	}
+	if math.Abs(b.RMS()-0.5) > 0.001 || math.Abs(b.Peak()-0.5) > 0.001 {
+		t.Fatalf("metrics: rms %g peak %g", b.RMS(), b.Peak())
+	}
+	empty := &Buffer{Rate: 48000}
+	if empty.RMS() != 0 {
+		t.Fatal("empty RMS")
+	}
+}
+
+func testSequence() *midi.Sequence {
+	return &midi.Sequence{Notes: []midi.NoteEvent{
+		{Key: 60, Velocity: 100, StartUs: 0, DurUs: 250_000},
+		{Key: 64, Velocity: 100, StartUs: 250_000, DurUs: 250_000},
+		{Key: 67, Velocity: 100, StartUs: 500_000, DurUs: 500_000},
+	}}
+}
+
+func TestSynthesize(t *testing.T) {
+	buf, err := Synthesize(testSequence(), Organ, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Duration() < 1.0 {
+		t.Fatalf("too short: %g s", buf.Duration())
+	}
+	if buf.RMS() < 0.01 {
+		t.Fatal("synthesized silence")
+	}
+	if buf.Peak() > 1.0 {
+		t.Fatal("clipping")
+	}
+	// Sound present during the notes, none well after release.
+	early := buf.Samples[len(buf.Samples)/4]
+	_ = early
+	tail := buf.Samples[len(buf.Samples)-1]
+	if tail != 0 {
+		t.Fatalf("tail not silent: %d", tail)
+	}
+	// Errors.
+	if _, err := Synthesize(testSequence(), Organ, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	bad := &midi.Sequence{Notes: []midi.NoteEvent{{Key: 999}}}
+	if _, err := Synthesize(bad, Organ, 16000); err == nil {
+		t.Fatal("invalid sequence accepted")
+	}
+}
+
+func TestSynthesizeFundamentalFrequency(t *testing.T) {
+	// A4 (440 Hz) synthesized with only the fundamental: count zero
+	// crossings to estimate frequency.
+	pure := Patch{Name: "sine", Harmonics: []float64{1}, Attack: 0, Sustain: 1, Release: 0}
+	seq := &midi.Sequence{Notes: []midi.NoteEvent{{Key: 69, Velocity: 127, StartUs: 0, DurUs: 1_000_000}}}
+	buf, err := Synthesize(seq, pure, 48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	n := 48000 // one second worth
+	for i := 1; i < n && i < len(buf.Samples); i++ {
+		if (buf.Samples[i-1] < 0) != (buf.Samples[i] < 0) {
+			crossings++
+		}
+	}
+	freq := float64(crossings) / 2
+	if math.Abs(freq-440) > 5 {
+		t.Fatalf("estimated frequency %g Hz, want ~440", freq)
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	p := Patch{Attack: 0.1, Decay: 0.1, Sustain: 0.5, Release: 0.2}
+	if g := p.envelope(-0.01, 1); g != 0 {
+		t.Fatal("before start")
+	}
+	if g := p.envelope(0.05, 1); math.Abs(g-0.5) > 1e-9 {
+		t.Fatalf("mid attack: %g", g)
+	}
+	if g := p.envelope(0.15, 1); math.Abs(g-0.75) > 1e-9 {
+		t.Fatalf("mid decay: %g", g)
+	}
+	if g := p.envelope(0.5, 1); g != 0.5 {
+		t.Fatalf("sustain: %g", g)
+	}
+	if g := p.envelope(1.1, 1); math.Abs(g-0.25) > 1e-9 {
+		t.Fatalf("mid release: %g", g)
+	}
+	if g := p.envelope(1.3, 1); g != 0 {
+		t.Fatal("after release")
+	}
+}
+
+func TestDeltaCodecLossless(t *testing.T) {
+	buf, _ := Synthesize(testSequence(), Piano, 16000)
+	enc := EncodeDelta(buf)
+	dec, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rate != buf.Rate || len(dec.Samples) != len(buf.Samples) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range buf.Samples {
+		if dec.Samples[i] != buf.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	snr, _ := SNR(buf, dec)
+	if snr != 200 {
+		t.Fatalf("lossless SNR: %g", snr)
+	}
+	// Musical signal compresses.
+	if r := CompressionRatio(buf, enc); r <= 1.0 {
+		t.Fatalf("delta ratio %g not > 1", r)
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	if _, err := DecodeDelta(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	buf := &Buffer{Rate: 8000, Samples: []int16{1, 2, 3}}
+	enc := EncodeDelta(buf)
+	if _, err := DecodeDelta(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestMuLawCodec(t *testing.T) {
+	buf, _ := Synthesize(testSequence(), Organ, 16000)
+	enc := EncodeMuLaw(buf)
+	dec, err := DecodeMuLaw(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 2:1 on the payload (16 → 8 bits).
+	if r := CompressionRatio(buf, enc); r < 1.9 || r > 2.1 {
+		t.Fatalf("µ-law ratio %g", r)
+	}
+	// Lossy but perceptually adequate: SNR above 25 dB for music.
+	snr, err := SNR(buf, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 25 {
+		t.Fatalf("µ-law SNR %g dB too low", snr)
+	}
+	if _, err := DecodeMuLaw(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecodeMuLaw(enc[:5]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestMuLawMonotone(t *testing.T) {
+	// Companding must preserve sample ordering (monotone) and sign.
+	prev := int16(math.MinInt16)
+	prevDec := int16(math.MinInt16)
+	for s := math.MinInt16; s <= math.MaxInt16; s += 257 {
+		d := muDecode(muEncode(int16(s)))
+		if int16(s) > prev && d < prevDec {
+			t.Fatalf("non-monotone at %d: %d < %d", s, d, prevDec)
+		}
+		if (s > 1000 && d <= 0) || (s < -1000 && d >= 0) {
+			t.Fatalf("sign broken at %d → %d", s, d)
+		}
+		prev, prevDec = int16(s), d
+	}
+	if muDecode(muEncode(0)) != 0 {
+		t.Fatal("zero not preserved")
+	}
+}
+
+func TestSNRMismatch(t *testing.T) {
+	a := &Buffer{Samples: make([]int16, 10)}
+	b := &Buffer{Samples: make([]int16, 9)}
+	if _, err := SNR(a, b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	seq := testSequence()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(seq, Organ, 16000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDelta(b *testing.B) {
+	buf, _ := Synthesize(testSequence(), Organ, 48000)
+	b.SetBytes(int64(len(buf.Samples) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeDelta(buf)
+	}
+}
+
+func BenchmarkEncodeMuLaw(b *testing.B) {
+	buf, _ := Synthesize(testSequence(), Organ, 48000)
+	b.SetBytes(int64(len(buf.Samples) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeMuLaw(buf)
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	buf, _ := Synthesize(testSequence(), Piano, 8000)
+	data, err := WriteWAV(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 44+len(buf.Samples)*2 {
+		t.Fatalf("wav size: %d", len(data))
+	}
+	got, err := ReadWAV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate != buf.Rate || len(got.Samples) != len(buf.Samples) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range buf.Samples {
+		if got.Samples[i] != buf.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	// Errors.
+	if _, err := WriteWAV(&Buffer{Rate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := ReadWAV([]byte("not a wav")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadWAV(data[:50]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	// Stereo/float rejections: corrupt the channel count.
+	bad := append([]byte(nil), data...)
+	bad[22] = 2
+	if _, err := ReadWAV(bad); err == nil {
+		t.Fatal("stereo accepted")
+	}
+}

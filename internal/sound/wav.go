@@ -1,0 +1,83 @@
+package sound
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WAV (RIFF) serialization of PCM buffers, so synthesized performances
+// can be written out and audited with ordinary audio tools.
+
+// WriteWAV serializes the buffer as a 16-bit mono PCM WAV file.
+func WriteWAV(b *Buffer) ([]byte, error) {
+	if b.Rate <= 0 {
+		return nil, errors.New("sound: WriteWAV: invalid sample rate")
+	}
+	dataLen := len(b.Samples) * 2
+	out := make([]byte, 0, 44+dataLen)
+	out = append(out, 'R', 'I', 'F', 'F')
+	out = binary.LittleEndian.AppendUint32(out, uint32(36+dataLen))
+	out = append(out, 'W', 'A', 'V', 'E')
+	out = append(out, 'f', 'm', 't', ' ')
+	out = binary.LittleEndian.AppendUint32(out, 16) // fmt chunk size
+	out = binary.LittleEndian.AppendUint16(out, 1)  // PCM
+	out = binary.LittleEndian.AppendUint16(out, 1)  // mono
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Rate))
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Rate*2)) // byte rate
+	out = binary.LittleEndian.AppendUint16(out, 2)                // block align
+	out = binary.LittleEndian.AppendUint16(out, 16)               // bits per sample
+	out = append(out, 'd', 'a', 't', 'a')
+	out = binary.LittleEndian.AppendUint32(out, uint32(dataLen))
+	for _, s := range b.Samples {
+		out = binary.LittleEndian.AppendUint16(out, uint16(s))
+	}
+	return out, nil
+}
+
+// ReadWAV parses a 16-bit mono PCM WAV file produced by WriteWAV (and
+// the common subset of externally produced files).
+func ReadWAV(data []byte) (*Buffer, error) {
+	if len(data) < 44 || string(data[0:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return nil, errors.New("sound: not a WAV file")
+	}
+	pos := 12
+	var rate int
+	var samples []int16
+	gotFmt := false
+	for pos+8 <= len(data) {
+		id := string(data[pos : pos+4])
+		size := int(binary.LittleEndian.Uint32(data[pos+4 : pos+8]))
+		pos += 8
+		if pos+size > len(data) {
+			return nil, errors.New("sound: truncated WAV chunk")
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return nil, errors.New("sound: short fmt chunk")
+			}
+			format := binary.LittleEndian.Uint16(data[pos : pos+2])
+			channels := binary.LittleEndian.Uint16(data[pos+2 : pos+4])
+			bits := binary.LittleEndian.Uint16(data[pos+14 : pos+16])
+			if format != 1 || channels != 1 || bits != 16 {
+				return nil, fmt.Errorf("sound: unsupported WAV format (fmt=%d ch=%d bits=%d)", format, channels, bits)
+			}
+			rate = int(binary.LittleEndian.Uint32(data[pos+4 : pos+8]))
+			gotFmt = true
+		case "data":
+			samples = make([]int16, size/2)
+			for i := range samples {
+				samples[i] = int16(binary.LittleEndian.Uint16(data[pos+2*i : pos+2*i+2]))
+			}
+		}
+		pos += size
+		if size%2 == 1 {
+			pos++ // chunks are word-aligned
+		}
+	}
+	if !gotFmt || samples == nil {
+		return nil, errors.New("sound: missing fmt or data chunk")
+	}
+	return &Buffer{Rate: rate, Samples: samples}, nil
+}

@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Options configure a DB.
+type Options struct {
+	// Dir is the database directory.  Empty means fully in-memory (no
+	// durability), which is what most tests and benchmarks use.
+	Dir string
+	// SyncCommits fsyncs the log on every commit.  When false, commits
+	// are buffered and made durable by the next Sync/Checkpoint/Close
+	// (group-commit style).  Defaults to false.
+	SyncCommits bool
+	// CheckpointBytes triggers an automatic checkpoint when the log
+	// exceeds this size.  Zero disables automatic checkpoints.
+	CheckpointBytes int64
+	// NoWAL disables logging entirely (used by the ablation benchmarks
+	// that measure WAL overhead).  Implies no durability.
+	NoWAL bool
+}
+
+// DB is the storage engine: a set of relations plus the transaction
+// machinery (locks, log, snapshots).
+type DB struct {
+	opts Options
+
+	mu        sync.RWMutex
+	relations map[string]*Relation
+
+	logMu sync.Mutex
+	log   *wal.Log // nil when in-memory or NoWAL
+	locks *txn.LockManager
+	ids   *txn.IDSource
+
+	seqMu sync.Mutex
+	seqs  map[string]uint64
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("storage: database is closed")
+
+// Open opens or creates a database with the given options.  If a snapshot
+// and log exist in opts.Dir, the database state is recovered from them.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		opts:      opts,
+		relations: make(map[string]*Relation),
+		locks:     txn.NewLockManager(),
+		ids:       txn.NewIDSource(0),
+		seqs:      make(map[string]uint64),
+	}
+	if opts.Dir == "" || opts.NoWAL {
+		if opts.Dir != "" {
+			if err := db.recover(); err != nil {
+				return nil, err
+			}
+		}
+		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir: %w", err)
+	}
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(db.logPath())
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	return db, nil
+}
+
+func (db *DB) logPath() string      { return filepath.Join(db.opts.Dir, "mdm.wal") }
+func (db *DB) snapshotPath() string { return filepath.Join(db.opts.Dir, "mdm.snapshot") }
+
+// recover loads the snapshot (if any) and replays the committed suffix of
+// the log on top of it.
+func (db *DB) recover() error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	if err := db.loadSnapshot(db.snapshotPath()); err != nil {
+		return err
+	}
+	return wal.Replay(db.logPath(), func(r *wal.Record) error {
+		switch r.Type {
+		case wal.RecCreateRelation:
+			if db.relations[r.Relation] != nil {
+				return nil // already in the snapshot
+			}
+			schema, err := decodeSchema(r.New)
+			if err != nil {
+				return err
+			}
+			db.relations[r.Relation] = newRelation(r.Relation, schema)
+			return nil
+		case wal.RecDropRelation:
+			delete(db.relations, r.Relation)
+			return nil
+		case wal.RecCreateIndex:
+			rel := db.relations[r.Relation]
+			if rel == nil {
+				return fmt.Errorf("storage: replay: index on unknown relation %q", r.Relation)
+			}
+			spec, err := decodeIndexSpec(r.New)
+			if err != nil {
+				return err
+			}
+			if rel.findIndex(spec.Name) != nil {
+				return nil // already in the snapshot
+			}
+			return rel.addIndex(spec)
+		}
+		rel := db.relations[r.Relation]
+		if rel == nil {
+			return fmt.Errorf("storage: replay: data for unknown relation %q", r.Relation)
+		}
+		switch r.Type {
+		case wal.RecInsert:
+			_, err := rel.insertRow(r.RowID, r.New)
+			return err
+		case wal.RecDelete:
+			_, err := rel.deleteRow(r.RowID)
+			return err
+		case wal.RecUpdate:
+			_, err := rel.updateRow(r.RowID, r.New)
+			return err
+		}
+		return nil
+	})
+}
+
+// CreateRelation defines a new relation.  Relation creation is a schema
+// operation performed outside transactions; the model layer serializes
+// DDL.  The definition is logged (RecCreateRelation) so relations
+// created after the last checkpoint survive a crash.
+func (db *DB) CreateRelation(name string, schema *value.Schema) (*Relation, error) {
+	db.mu.Lock()
+	if _, exists := db.relations[name]; exists {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("storage: relation %q already exists", name)
+	}
+	rel := newRelation(name, schema)
+	db.relations[name] = rel
+	db.mu.Unlock()
+	db.appendLog(&wal.Record{Type: wal.RecCreateRelation, Relation: name, New: encodeSchema(schema)})
+	return rel, nil
+}
+
+// encodeSchema flattens a schema as a tuple of (name, kind, refType)
+// triples for the WAL schema records.
+func encodeSchema(s *value.Schema) value.Tuple {
+	t := make(value.Tuple, 0, 3*s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f := s.Field(i)
+		t = append(t, value.Str(f.Name), value.Int(int64(f.Kind)), value.Str(f.RefType))
+	}
+	return t
+}
+
+func decodeSchema(t value.Tuple) (*value.Schema, error) {
+	if len(t)%3 != 0 {
+		return nil, fmt.Errorf("storage: malformed schema record (%d values)", len(t))
+	}
+	fields := make([]value.Field, 0, len(t)/3)
+	for i := 0; i < len(t); i += 3 {
+		fields = append(fields, value.Field{
+			Name:    t[i].AsString(),
+			Kind:    value.Kind(t[i+1].AsInt()),
+			RefType: t[i+2].AsString(),
+		})
+	}
+	return value.NewSchema(fields...), nil
+}
+
+// encodeIndexSpec flattens an index spec for RecCreateIndex.
+func encodeIndexSpec(spec IndexSpec) value.Tuple {
+	t := value.Tuple{value.Str(spec.Name), value.Bool(spec.Unique)}
+	for _, c := range spec.Columns {
+		t = append(t, value.Str(c))
+	}
+	return t
+}
+
+func decodeIndexSpec(t value.Tuple) (IndexSpec, error) {
+	if len(t) < 3 {
+		return IndexSpec{}, fmt.Errorf("storage: malformed index record (%d values)", len(t))
+	}
+	spec := IndexSpec{Name: t[0].AsString(), Unique: t[1].AsBool()}
+	for _, v := range t[2:] {
+		spec.Columns = append(spec.Columns, v.AsString())
+	}
+	return spec, nil
+}
+
+// DropRelation removes a relation and its data.  Like creation, the
+// drop is logged for crash recovery.
+func (db *DB) DropRelation(name string) error {
+	db.mu.Lock()
+	if _, exists := db.relations[name]; !exists {
+		db.mu.Unlock()
+		return fmt.Errorf("storage: no relation %q", name)
+	}
+	delete(db.relations, name)
+	db.mu.Unlock()
+	db.appendLog(&wal.Record{Type: wal.RecDropRelation, Relation: name})
+	return nil
+}
+
+// Relation returns the named relation, or nil.
+func (db *DB) Relation(name string) *Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.relations[name]
+}
+
+// Relations returns the names of all relations, unordered.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	return names
+}
+
+// CreateIndex adds a secondary index to a relation and backfills it.
+// The definition is logged so indexes created after the last checkpoint
+// survive a crash.
+func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
+	rel := db.Relation(relName)
+	if rel == nil {
+		return fmt.Errorf("storage: no relation %q", relName)
+	}
+	if err := rel.addIndex(spec); err != nil {
+		return err
+	}
+	db.appendLog(&wal.Record{Type: wal.RecCreateIndex, Relation: relName, New: encodeIndexSpec(spec)})
+	return nil
+}
+
+// NextSeq returns the next value of the named persistent sequence
+// (starting at 1).  Sequences are made durable via snapshots; after a
+// crash the sequence resumes past any value observed in replayed data
+// because the model layer re-derives its counters from surrogate maxima.
+func (db *DB) NextSeq(name string) uint64 {
+	db.seqMu.Lock()
+	defer db.seqMu.Unlock()
+	db.seqs[name]++
+	return db.seqs[name]
+}
+
+// BumpSeq raises the named sequence to at least floor.
+func (db *DB) BumpSeq(name string, floor uint64) {
+	db.seqMu.Lock()
+	defer db.seqMu.Unlock()
+	if db.seqs[name] < floor {
+		db.seqs[name] = floor
+	}
+}
+
+// Checkpoint writes a full snapshot and truncates the log.  All committed
+// work becomes durable in the snapshot.
+func (db *DB) Checkpoint() error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	if db.log != nil {
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := db.writeSnapshot(db.snapshotPath()); err != nil {
+		return err
+	}
+	if db.log != nil {
+		return db.log.Reset()
+	}
+	return nil
+}
+
+// Sync makes all committed transactions durable without checkpointing.
+func (db *DB) Sync() error {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Sync()
+}
+
+// Close checkpoints (if durable) and closes the database.
+func (db *DB) Close() error {
+	if db.log == nil {
+		return nil
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.log.Close()
+		return err
+	}
+	err := db.log.Close()
+	db.log = nil
+	return err
+}
+
+// maybeCheckpoint runs an automatic checkpoint if the log has outgrown
+// the configured threshold.
+func (db *DB) maybeCheckpoint() error {
+	if db.log == nil || db.opts.CheckpointBytes <= 0 {
+		return nil
+	}
+	if db.log.Size() < db.opts.CheckpointBytes {
+		return nil
+	}
+	return db.Checkpoint()
+}

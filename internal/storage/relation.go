@@ -1,0 +1,270 @@
+// Package storage implements the relational kernel of the music data
+// manager: named relations of typed tuples, secondary B-tree indexes,
+// snapshot persistence, and ACID transactions built from the write-ahead
+// log (package wal) and two-phase locking (package txn).
+//
+// The paper layers its music data model on the INGRES relational system;
+// this package is the corresponding substrate.  Relations live in memory
+// for query execution; durability is write-ahead logging plus checkpoint
+// snapshots, and recovery replays committed work (redo-only, §2's
+// "standard" recovery duty).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/value"
+)
+
+// RowID identifies a tuple within one relation.  RowIDs are assigned by
+// an ever-increasing counter and never reused, so they are stable handles
+// for entity surrogates.
+type RowID = uint64
+
+// IndexSpec describes a secondary index over a relation.
+type IndexSpec struct {
+	Name    string
+	Columns []string // indexed attribute names, in key order
+	Unique  bool
+}
+
+// index is a live secondary index.
+type index struct {
+	spec IndexSpec
+	cols []int // resolved column positions
+	tree *btree.Tree
+}
+
+// Relation is a named collection of tuples sharing a schema, with zero or
+// more secondary indexes.  Relations are manipulated through a DB
+// transaction; the methods here are internal and assume the caller holds
+// appropriate locks.
+type Relation struct {
+	name    string
+	schema  *value.Schema
+	mu      sync.RWMutex
+	rows    map[RowID]value.Tuple
+	nextRow RowID
+	indexes []*index
+}
+
+func newRelation(name string, schema *value.Schema) *Relation {
+	return &Relation{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[RowID]value.Tuple),
+		nextRow: 1,
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *value.Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+// addIndex creates and backfills a secondary index.
+func (r *Relation) addIndex(spec IndexSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ix := range r.indexes {
+		if ix.spec.Name == spec.Name {
+			return fmt.Errorf("storage: index %q already exists on %s", spec.Name, r.name)
+		}
+	}
+	cols := make([]int, len(spec.Columns))
+	for i, c := range spec.Columns {
+		pos, ok := r.schema.Index(c)
+		if !ok {
+			return fmt.Errorf("storage: index %q: no column %q in %s%s", spec.Name, c, r.name, r.schema)
+		}
+		cols[i] = pos
+	}
+	ix := &index{spec: spec, cols: cols, tree: btree.New()}
+	for id, t := range r.rows {
+		if err := ix.insert(id, t); err != nil {
+			return fmt.Errorf("storage: backfill index %q: %w", spec.Name, err)
+		}
+	}
+	r.indexes = append(r.indexes, ix)
+	return nil
+}
+
+// key builds the index key for tuple t with row id: the order-preserving
+// encoding of the indexed columns, suffixed with the row id for
+// non-unique indexes so that duplicate attribute values remain distinct
+// tree keys.
+func (ix *index) key(id RowID, t value.Tuple) []byte {
+	var k []byte
+	for _, c := range ix.cols {
+		k = value.AppendKey(k, t[c])
+	}
+	if !ix.spec.Unique {
+		k = appendRowID(k, id)
+	}
+	return k
+}
+
+func appendRowID(k []byte, id RowID) []byte {
+	return append(k, byte(id>>56), byte(id>>48), byte(id>>40), byte(id>>32),
+		byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+}
+
+func (ix *index) insert(id RowID, t value.Tuple) error {
+	k := ix.key(id, t)
+	if ix.spec.Unique {
+		if _, exists := ix.tree.Get(k); exists {
+			return fmt.Errorf("unique index %q violation on key %s", ix.spec.Name, tupleKeyString(ix, t))
+		}
+	}
+	ix.tree.Set(k, id)
+	return nil
+}
+
+func (ix *index) remove(id RowID, t value.Tuple) {
+	ix.tree.Delete(ix.key(id, t))
+}
+
+func tupleKeyString(ix *index, t value.Tuple) string {
+	parts := make([]string, len(ix.cols))
+	for i, c := range ix.cols {
+		parts[i] = t[c].Quoted()
+	}
+	return fmt.Sprint(parts)
+}
+
+// insertRow stores t (already validated) under a fresh row id, updating
+// indexes.  If id is non-zero, that specific id is used (recovery path).
+func (r *Relation) insertRow(id RowID, t value.Tuple) (RowID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == 0 {
+		id = r.nextRow
+	}
+	if _, exists := r.rows[id]; exists {
+		return 0, fmt.Errorf("storage: %s: row %d already exists", r.name, id)
+	}
+	for i, ix := range r.indexes {
+		if err := ix.insert(id, t); err != nil {
+			for _, undo := range r.indexes[:i] {
+				undo.remove(id, t)
+			}
+			return 0, fmt.Errorf("storage: %s: %w", r.name, err)
+		}
+	}
+	r.rows[id] = t
+	if id >= r.nextRow {
+		r.nextRow = id + 1
+	}
+	return id, nil
+}
+
+// deleteRow removes row id, returning the old tuple.
+func (r *Relation) deleteRow(id RowID) (value.Tuple, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
+	}
+	for _, ix := range r.indexes {
+		ix.remove(id, old)
+	}
+	delete(r.rows, id)
+	return old, nil
+}
+
+// updateRow replaces row id with t, returning the old tuple.
+func (r *Relation) updateRow(id RowID, t value.Tuple) (value.Tuple, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
+	}
+	for _, ix := range r.indexes {
+		ix.remove(id, old)
+	}
+	for i, ix := range r.indexes {
+		if err := ix.insert(id, t); err != nil {
+			// Roll the index changes back.
+			for _, redo := range r.indexes[:i] {
+				redo.remove(id, t)
+			}
+			for _, redo := range r.indexes {
+				redo.insert(id, old) //nolint:errcheck // restoring prior state
+			}
+			return nil, fmt.Errorf("storage: %s: %w", r.name, err)
+		}
+	}
+	r.rows[id] = t
+	return old, nil
+}
+
+// get returns the tuple stored under id.
+func (r *Relation) get(id RowID) (value.Tuple, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.rows[id]
+	return t, ok
+}
+
+// scan invokes fn for every row in ascending row-id order.  Iteration
+// stops if fn returns false.
+func (r *Relation) scan(fn func(id RowID, t value.Tuple) bool) {
+	r.mu.RLock()
+	ids := make([]RowID, 0, len(r.rows))
+	for id := range r.rows {
+		ids = append(ids, id)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r.mu.RLock()
+		t, ok := r.rows[id]
+		r.mu.RUnlock()
+		if ok && !fn(id, t) {
+			return
+		}
+	}
+}
+
+// findIndex returns the index with the given name.
+func (r *Relation) findIndex(name string) *index {
+	for _, ix := range r.indexes {
+		if ix.spec.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// indexFor returns an index whose leading columns match cols, if any.
+func (r *Relation) indexFor(cols []int) *index {
+	for _, ix := range r.indexes {
+		if len(ix.cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Snapshot format: a checkpoint writes the complete database image to a
+// temporary file which is atomically renamed over the previous snapshot.
+//
+//	magic "MDMSNAP1"
+//	uvarint sequence count, then (name, value) pairs
+//	uvarint relation count, then per relation:
+//	    name, nextRow
+//	    schema: uvarint field count, then (name, kind, reftype)
+//	    indexes: uvarint count, then (name, unique, columns)
+//	    rows: uvarint count, then (rowid, tuple)
+//	crc32c of everything after the magic
+
+const snapshotMagic = "MDMSNAP1"
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeSnapshot writes the full database image atomically.
+func (db *DB) writeSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	defer os.Remove(tmp)
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		f.Close()
+		return err
+	}
+	crc := uint32(0)
+	emit := func(buf []byte) error {
+		crc = crc32.Update(crc, castagnoli, buf)
+		_, err := w.Write(buf)
+		return err
+	}
+
+	var buf []byte
+
+	// Sequences.
+	db.seqMu.Lock()
+	seqNames := make([]string, 0, len(db.seqs))
+	for n := range db.seqs {
+		seqNames = append(seqNames, n)
+	}
+	sort.Strings(seqNames)
+	buf = binary.AppendUvarint(buf[:0], uint64(len(seqNames)))
+	for _, n := range seqNames {
+		buf = appendString(buf, n)
+		buf = binary.AppendUvarint(buf, db.seqs[n])
+	}
+	db.seqMu.Unlock()
+	if err := emit(buf); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Relations.
+	db.mu.RLock()
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rels := make([]*Relation, len(names))
+	for i, n := range names {
+		rels[i] = db.relations[n]
+	}
+	db.mu.RUnlock()
+
+	buf = binary.AppendUvarint(buf[:0], uint64(len(rels)))
+	if err := emit(buf); err != nil {
+		f.Close()
+		return err
+	}
+	for _, rel := range rels {
+		rel.mu.RLock()
+		buf = appendString(buf[:0], rel.name)
+		buf = binary.AppendUvarint(buf, rel.nextRow)
+		buf = binary.AppendUvarint(buf, uint64(rel.schema.Len()))
+		for i := 0; i < rel.schema.Len(); i++ {
+			fl := rel.schema.Field(i)
+			buf = appendString(buf, fl.Name)
+			buf = append(buf, byte(fl.Kind))
+			buf = appendString(buf, fl.RefType)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rel.indexes)))
+		for _, ix := range rel.indexes {
+			buf = appendString(buf, ix.spec.Name)
+			if ix.spec.Unique {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(ix.spec.Columns)))
+			for _, c := range ix.spec.Columns {
+				buf = appendString(buf, c)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rel.rows)))
+		if err := emit(buf); err != nil {
+			rel.mu.RUnlock()
+			f.Close()
+			return err
+		}
+		ids := make([]RowID, 0, len(rel.rows))
+		for id := range rel.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			buf = binary.AppendUvarint(buf[:0], id)
+			buf = value.AppendTuple(buf, rel.rows[id])
+			if err := emit(buf); err != nil {
+				rel.mu.RUnlock()
+				f.Close()
+				return err
+			}
+		}
+		rel.mu.RUnlock()
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(tail[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores the database image from path.  A missing file is
+// an empty database.
+func (db *DB) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: load snapshot: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return errors.New("storage: snapshot: bad magic")
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return errors.New("storage: snapshot: checksum mismatch")
+	}
+
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		u, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, errors.New("storage: snapshot: bad varint")
+		}
+		pos += n
+		return u, nil
+	}
+	readStr := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(body)-pos) < n {
+			return "", errors.New("storage: snapshot: short string")
+		}
+		s := string(body[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+
+	nseq, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nseq; i++ {
+		name, err := readStr()
+		if err != nil {
+			return err
+		}
+		val, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		db.seqs[name] = val
+	}
+
+	nrel, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nrel; i++ {
+		name, err := readStr()
+		if err != nil {
+			return err
+		}
+		nextRow, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		nfields, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		fields := make([]value.Field, nfields)
+		for j := range fields {
+			fn, err := readStr()
+			if err != nil {
+				return err
+			}
+			if pos >= len(body) {
+				return errors.New("storage: snapshot: short field kind")
+			}
+			kind := value.Kind(body[pos])
+			pos++
+			rt, err := readStr()
+			if err != nil {
+				return err
+			}
+			fields[j] = value.Field{Name: fn, Kind: kind, RefType: rt}
+		}
+		rel := newRelation(name, value.NewSchema(fields...))
+		rel.nextRow = nextRow
+		nix, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		specs := make([]IndexSpec, nix)
+		for j := range specs {
+			ixName, err := readStr()
+			if err != nil {
+				return err
+			}
+			if pos >= len(body) {
+				return errors.New("storage: snapshot: short index flag")
+			}
+			unique := body[pos] == 1
+			pos++
+			ncols, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			cols := make([]string, ncols)
+			for k := range cols {
+				if cols[k], err = readStr(); err != nil {
+					return err
+				}
+			}
+			specs[j] = IndexSpec{Name: ixName, Unique: unique, Columns: cols}
+		}
+		nrows, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nrows; j++ {
+			id, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			t, n, err := value.DecodeTuple(body[pos:])
+			if err != nil {
+				return fmt.Errorf("storage: snapshot: relation %s row %d: %w", name, id, err)
+			}
+			pos += n
+			rel.rows[id] = t
+			if id >= rel.nextRow {
+				rel.nextRow = id + 1
+			}
+		}
+		for _, spec := range specs {
+			if err := rel.addIndex(spec); err != nil {
+				return err
+			}
+		}
+		db.relations[name] = rel
+	}
+	return nil
+}

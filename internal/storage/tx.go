@@ -1,0 +1,344 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Tx is an in-flight transaction.  All data access goes through a Tx;
+// strict two-phase locking at relation granularity provides isolation,
+// write-ahead logging provides durability, and an in-memory undo list
+// provides atomicity of aborts.
+//
+// A Tx is not safe for concurrent use by multiple goroutines; each client
+// session runs its transactions sequentially (the concurrency is between
+// transactions, per §2's multi-client MDM).
+type Tx struct {
+	db   *DB
+	id   uint64
+	done bool
+	undo []undoRec
+}
+
+type undoOp uint8
+
+const (
+	undoInsert undoOp = iota // compensate by delete
+	undoDelete               // compensate by insert
+	undoUpdate               // compensate by restoring old image
+)
+
+type undoRec struct {
+	op  undoOp
+	rel string
+	id  RowID
+	old value.Tuple
+}
+
+// ErrTxDone is returned by operations on a committed or aborted Tx.
+var ErrTxDone = errors.New("storage: transaction already finished")
+
+// Begin starts a new transaction.
+func (db *DB) Begin() *Tx {
+	tx := &Tx{db: db, id: db.ids.Next()}
+	db.appendLog(&wal.Record{Type: wal.RecBegin, TxID: tx.id})
+	return tx
+}
+
+// appendLog writes a record to the WAL if logging is enabled.
+func (db *DB) appendLog(r *wal.Record) {
+	if db.log == nil {
+		return
+	}
+	db.logMu.Lock() // serialize appends; the log buffer is not concurrent-safe
+	defer db.logMu.Unlock()
+	if _, err := db.log.Append(r); err != nil {
+		// A failed log append leaves the in-memory state untouched for
+		// data ops (callers append before applying); surfacing the
+		// error everywhere would complicate every call site for a
+		// condition (disk full) the engine cannot repair.  Panic, as an
+		// embedded engine's invariant violation.
+		panic(fmt.Sprintf("storage: WAL append failed: %v", err))
+	}
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// lock acquires a lock for this transaction, translating deadlock victims
+// into an automatic abort.
+func (tx *Tx) lock(resource string, mode txn.Mode) error {
+	if err := tx.db.locks.Acquire(tx.id, resource, mode); err != nil {
+		if errors.Is(err, txn.ErrDeadlock) {
+			tx.Abort()
+		}
+		return err
+	}
+	return nil
+}
+
+// rel resolves a relation by name.
+func (tx *Tx) rel(name string) (*Relation, error) {
+	r := tx.db.Relation(name)
+	if r == nil {
+		return nil, fmt.Errorf("storage: no relation %q", name)
+	}
+	return r, nil
+}
+
+// Insert validates t against the relation schema and inserts it,
+// returning the new row id.
+func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return 0, err
+	}
+	vt, err := t.Validate(r.schema)
+	if err != nil {
+		return 0, fmt.Errorf("storage: insert into %s: %w", relName, err)
+	}
+	if err := tx.lock(relName, txn.Exclusive); err != nil {
+		return 0, err
+	}
+	id, err := r.insertRow(0, vt)
+	if err != nil {
+		return 0, err
+	}
+	tx.db.appendLog(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt})
+	tx.undo = append(tx.undo, undoRec{op: undoInsert, rel: relName, id: id})
+	return id, nil
+}
+
+// Delete removes row id from the relation.
+func (tx *Tx) Delete(relName string, id RowID) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lock(relName, txn.Exclusive); err != nil {
+		return err
+	}
+	old, err := r.deleteRow(id)
+	if err != nil {
+		return err
+	}
+	tx.db.appendLog(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old})
+	tx.undo = append(tx.undo, undoRec{op: undoDelete, rel: relName, id: id, old: old})
+	return nil
+}
+
+// Update replaces row id with t.
+func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	vt, err := t.Validate(r.schema)
+	if err != nil {
+		return fmt.Errorf("storage: update %s: %w", relName, err)
+	}
+	if err := tx.lock(relName, txn.Exclusive); err != nil {
+		return err
+	}
+	old, err := r.updateRow(id, vt)
+	if err != nil {
+		return err
+	}
+	tx.db.appendLog(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt})
+	tx.undo = append(tx.undo, undoRec{op: undoUpdate, rel: relName, id: id, old: old})
+	return nil
+}
+
+// UpdateField replaces one attribute of row id.
+func (tx *Tx) UpdateField(relName string, id RowID, field string, v value.Value) error {
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	pos, ok := r.schema.Index(field)
+	if !ok {
+		return fmt.Errorf("storage: %s has no attribute %q", relName, field)
+	}
+	t, err := tx.Get(relName, id)
+	if err != nil {
+		return err
+	}
+	nt := t.Clone()
+	nt[pos] = v
+	return tx.Update(relName, id, nt)
+}
+
+// Get returns the tuple stored under id.
+func (tx *Tx) Get(relName string, id RowID) (value.Tuple, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lock(relName, txn.Shared); err != nil {
+		return nil, err
+	}
+	t, ok := r.get(id)
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no row %d", relName, id)
+	}
+	return t, nil
+}
+
+// Scan iterates all rows of the relation in row-id order.
+func (tx *Tx) Scan(relName string, fn func(id RowID, t value.Tuple) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lock(relName, txn.Shared); err != nil {
+		return err
+	}
+	r.scan(fn)
+	return nil
+}
+
+// IndexScan iterates rows of the named index in key order over the range
+// [lo, hi) of encoded keys; nil bounds mean unbounded.  This is the
+// "ordering as a performance optimization" path of §5.2.
+func (tx *Tx) IndexScan(relName, indexName string, lo, hi []byte, fn func(id RowID, t value.Tuple) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	ix := r.findIndex(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: no index %q on %s", indexName, relName)
+	}
+	if err := tx.lock(relName, txn.Shared); err != nil {
+		return err
+	}
+	ix.tree.Ascend(lo, hi, func(_ []byte, id uint64) bool {
+		t, ok := r.get(id)
+		if !ok {
+			return true
+		}
+		return fn(id, t)
+	})
+	return nil
+}
+
+// IndexPrefixScan iterates rows whose index key starts with the encoded
+// prefix of vals (a leading-column equality lookup).
+func (tx *Tx) IndexPrefixScan(relName, indexName string, vals value.Tuple, fn func(id RowID, t value.Tuple) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	r, err := tx.rel(relName)
+	if err != nil {
+		return err
+	}
+	ix := r.findIndex(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: no index %q on %s", indexName, relName)
+	}
+	if err := tx.lock(relName, txn.Shared); err != nil {
+		return err
+	}
+	prefix := value.AppendKeyTuple(nil, vals)
+	ix.tree.AscendPrefix(prefix, func(_ []byte, id uint64) bool {
+		t, ok := r.get(id)
+		if !ok {
+			return true
+		}
+		return fn(id, t)
+	})
+	return nil
+}
+
+// Commit makes the transaction's effects permanent and releases its locks.
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	tx.db.appendLog(&wal.Record{Type: wal.RecCommit, TxID: tx.id})
+	if tx.db.opts.SyncCommits && tx.db.log != nil {
+		if err := tx.db.log.Sync(); err != nil {
+			tx.db.locks.ReleaseAll(tx.id)
+			return err
+		}
+	}
+	tx.db.locks.ReleaseAll(tx.id)
+	tx.undo = nil
+	return tx.db.maybeCheckpoint()
+}
+
+// Abort rolls back the transaction's in-memory effects (in reverse
+// order), logs the abort, and releases its locks.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		r := tx.db.Relation(u.rel)
+		if r == nil {
+			continue
+		}
+		switch u.op {
+		case undoInsert:
+			r.deleteRow(u.id) //nolint:errcheck // compensations cannot fail
+		case undoDelete:
+			r.insertRow(u.id, u.old) //nolint:errcheck
+		case undoUpdate:
+			r.updateRow(u.id, u.old) //nolint:errcheck
+		}
+	}
+	tx.db.appendLog(&wal.Record{Type: wal.RecAbort, TxID: tx.id})
+	tx.db.locks.ReleaseAll(tx.id)
+	tx.undo = nil
+}
+
+// Run executes fn inside a transaction, committing on nil error and
+// aborting otherwise.  Deadlock victims are retried up to three times.
+func (db *DB) Run(fn func(tx *Tx) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			return tx.Commit()
+		}
+		tx.Abort()
+		if !errors.Is(err, txn.ErrDeadlock) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}

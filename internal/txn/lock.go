@@ -1,0 +1,313 @@
+// Package txn provides transaction identity and two-phase locking for the
+// music data manager.
+//
+// §2 of the paper requires the MDM to provide standard concurrency
+// control so that many clients (editors, typesetters, composition tools,
+// analysis programs) can share one database.  This package implements a
+// strict two-phase locking protocol: shared and exclusive locks on named
+// resources (relations or individual entities), FIFO fairness among
+// waiters, lock upgrade, and deadlock detection by cycle search in the
+// waits-for graph.  A transaction chosen as deadlock victim receives
+// ErrDeadlock and is expected to abort and release its locks.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// The lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to a transaction chosen as a deadlock victim.
+var ErrDeadlock = errors.New("txn: deadlock detected; transaction must abort")
+
+// ErrTimeout is returned when a lock wait exceeds the manager's timeout.
+var ErrTimeout = errors.New("txn: lock wait timeout")
+
+// waiter is a blocked lock request.
+type waiter struct {
+	tx    uint64
+	mode  Mode
+	ready chan error // closed with nil on grant, error on victim/timeout
+}
+
+// lockState tracks one resource's holders and wait queue.
+type lockState struct {
+	holders map[uint64]Mode // txid → strongest held mode
+	queue   []*waiter
+}
+
+// LockManager grants and releases locks.  All state is guarded by one
+// mutex; grant/release are short critical sections and blocking happens
+// on per-waiter channels outside the lock.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	// waitsFor[a][b] means transaction a waits for a lock held by b.
+	waitsFor map[uint64]map[uint64]bool
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:    make(map[string]*lockState),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Acquire obtains a lock on resource for transaction tx in the given
+// mode, blocking until granted.  Re-acquiring an already-held lock is a
+// no-op; acquiring Exclusive while holding Shared upgrades.  Returns
+// ErrDeadlock if granting would deadlock and tx is chosen as victim.
+func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[resource]
+	if ls == nil {
+		ls = &lockState{holders: make(map[uint64]Mode)}
+		m.locks[resource] = ls
+	}
+	if held, ok := ls.holders[tx]; ok && (held == Exclusive || mode == Shared) {
+		m.mu.Unlock()
+		return nil // already strong enough
+	}
+	if m.grantable(ls, tx, mode) {
+		ls.holders[tx] = mode
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait.  Record waits-for edges and check for a cycle before
+	// blocking: if adding this wait creates a cycle, this requester is
+	// the victim.
+	w := &waiter{tx: tx, mode: mode, ready: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	m.addWaitEdges(ls, tx)
+	if m.cycleFrom(tx) {
+		m.removeWaiter(ls, w)
+		m.clearWaitEdges(tx)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.mu.Unlock()
+
+	err := <-w.ready
+	m.mu.Lock()
+	m.clearWaitEdges(tx)
+	m.mu.Unlock()
+	return err
+}
+
+// grantable reports whether tx may be granted mode on ls right now.
+// FIFO fairness: a request must also not jump ahead of incompatible
+// queued waiters (except for upgrades, which take priority to avoid
+// self-blocking).
+func (m *LockManager) grantable(ls *lockState, tx uint64, mode Mode) bool {
+	upgrading := false
+	if held, ok := ls.holders[tx]; ok && held == Shared && mode == Exclusive {
+		upgrading = true
+	}
+	for holder, hm := range ls.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	if upgrading {
+		return true // sole remaining holder; upgrade immediately
+	}
+	// Respect the queue: do not overtake waiting incompatible requests.
+	for _, w := range ls.queue {
+		if w.tx == tx {
+			continue
+		}
+		if mode == Exclusive || w.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// addWaitEdges records that tx waits for every incompatible holder of ls.
+func (m *LockManager) addWaitEdges(ls *lockState, tx uint64) {
+	edges := m.waitsFor[tx]
+	if edges == nil {
+		edges = make(map[uint64]bool)
+		m.waitsFor[tx] = edges
+	}
+	for holder := range ls.holders {
+		if holder != tx {
+			edges[holder] = true
+		}
+	}
+	// Also wait for earlier queued waiters (they will be granted first).
+	for _, w := range ls.queue {
+		if w.tx != tx {
+			edges[w.tx] = true
+		}
+	}
+}
+
+func (m *LockManager) clearWaitEdges(tx uint64) {
+	delete(m.waitsFor, tx)
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable
+// from start (i.e. start transitively waits for itself).
+func (m *LockManager) cycleFrom(start uint64) bool {
+	seen := make(map[uint64]bool)
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		for v := range m.waitsFor[u] {
+			if v == start {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+func (m *LockManager) removeWaiter(ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll releases every lock held by tx and removes it from all wait
+// queues, then grants any newly compatible waiters.  Called at commit or
+// abort (strict 2PL releases everything at transaction end).
+func (m *LockManager) ReleaseAll(tx uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clearWaitEdges(tx)
+	for res, ls := range m.locks {
+		delete(ls.holders, tx)
+		for i := 0; i < len(ls.queue); {
+			if ls.queue[i].tx == tx {
+				ls.queue[i].ready <- ErrDeadlock // should not happen; defensive
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		m.grantWaiters(ls)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, res)
+		}
+	}
+}
+
+// grantWaiters grants queued requests, in order, while they remain
+// compatible with the holders.
+func (m *LockManager) grantWaiters(ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		compatible := true
+		for holder, hm := range ls.holders {
+			if holder == w.tx {
+				if hm == Shared && w.mode == Exclusive && len(ls.holders) == 1 {
+					continue // upgrade
+				}
+				continue
+			}
+			if w.mode == Exclusive || hm == Exclusive {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return
+		}
+		ls.holders[w.tx] = maxMode(ls.holders[w.tx], w.mode, ls.holders, w.tx)
+		ls.queue = ls.queue[1:]
+		w.ready <- nil
+	}
+}
+
+// maxMode returns the stronger of the currently-held and requested modes.
+func maxMode(held, requested Mode, holders map[uint64]Mode, tx uint64) Mode {
+	if _, ok := holders[tx]; ok && held == Exclusive {
+		return Exclusive
+	}
+	if requested == Exclusive {
+		return Exclusive
+	}
+	if _, ok := holders[tx]; ok {
+		return held
+	}
+	return requested
+}
+
+// Held reports the mode tx holds on resource, if any.
+func (m *LockManager) Held(tx uint64, resource string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[resource]
+	if ls == nil {
+		return 0, false
+	}
+	mode, ok := ls.holders[tx]
+	return mode, ok
+}
+
+// Stats returns the current number of locked resources and blocked
+// waiters, for monitoring and tests.
+func (m *LockManager) Stats() (resources, waiters int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ls := range m.locks {
+		resources++
+		waiters += len(ls.queue)
+	}
+	return resources, waiters
+}
+
+// IDSource allocates monotonically increasing transaction identifiers.
+type IDSource struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewIDSource returns an IDSource starting after the given last-used id.
+func NewIDSource(lastUsed uint64) *IDSource { return &IDSource{next: lastUsed + 1} }
+
+// Next returns a fresh transaction id.
+func (s *IDSource) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	return id
+}
+
+// String renders a lock manager summary for debugging.
+func (m *LockManager) String() string {
+	r, w := m.Stats()
+	return fmt.Sprintf("lockmgr[%d resources, %d waiters]", r, w)
+}

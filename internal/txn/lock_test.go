@@ -1,0 +1,298 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := NewLockManager()
+	if err := m.Acquire(1, "NOTE", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- m.Acquire(2, "NOTE", Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shared lock blocked by shared lock")
+	}
+	if mode, ok := m.Held(2, "NOTE"); !ok || mode != Shared {
+		t.Fatal("lock not recorded")
+	}
+}
+
+func TestExclusiveBlocksAndReleases(t *testing.T) {
+	m := NewLockManager()
+	if err := m.Acquire(1, "SCORE", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- m.Acquire(2, "SCORE", Exclusive) }()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive lock granted while held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not granted after release")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := NewLockManager()
+	for i := 0; i < 3; i++ {
+		if err := m.Acquire(1, "R", Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Acquire(1, "R", Shared); err != nil {
+		t.Fatal("shared under exclusive should be free")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewLockManager()
+	if err := m.Acquire(1, "R", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "R", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Held(1, "R"); mode != Exclusive {
+		t.Fatal("upgrade not recorded")
+	}
+	// Another tx must now block.
+	granted := make(chan error, 1)
+	go func() { granted <- m.Acquire(2, "R", Shared) }()
+	select {
+	case <-granted:
+		t.Fatal("shared granted under exclusive")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-granted; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeWaitsForOtherSharers(t *testing.T) {
+	m := NewLockManager()
+	m.Acquire(1, "R", Shared)
+	m.Acquire(2, "R", Shared)
+	granted := make(chan error, 1)
+	go func() { granted <- m.Acquire(1, "R", Exclusive) }()
+	select {
+	case <-granted:
+		t.Fatal("upgrade granted while another sharer holds")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade never granted")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewLockManager()
+	m.Acquire(1, "A", Exclusive)
+	m.Acquire(2, "B", Exclusive)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, "B", Exclusive) }() // 1 waits for 2
+	time.Sleep(50 * time.Millisecond)
+	go func() { errs <- m.Acquire(2, "A", Exclusive) }() // 2 waits for 1: cycle
+	var deadlocks, grants int
+	for i := 0; i < 1; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				deadlocks++
+				// Victim aborts.
+				if err == ErrDeadlock {
+					m.ReleaseAll(2)
+				}
+			} else if err == nil {
+				grants++
+			} else {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if deadlocks != 1 {
+		t.Fatalf("expected 1 deadlock victim, got %d (grants %d)", deadlocks, grants)
+	}
+	// The survivor should now be granted.
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("survivor got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two sharers both trying to upgrade is the classic upgrade deadlock.
+	m := NewLockManager()
+	m.Acquire(1, "R", Shared)
+	m.Acquire(2, "R", Shared)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, "R", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	go func() { errs <- m.Acquire(2, "R", Exclusive) }()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("expected deadlock, got %v", err)
+		}
+		m.ReleaseAll(2) // victim aborts (either order; release 2 covers both)
+		m.ReleaseAll(1)
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade deadlock not detected")
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A stream of shared lockers must not starve a queued exclusive
+	// request: once X is queued, later S requests queue behind it.
+	m := NewLockManager()
+	m.Acquire(1, "R", Shared)
+	xGranted := make(chan error, 1)
+	go func() { xGranted <- m.Acquire(2, "R", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	sGranted := make(chan error, 1)
+	go func() { sGranted <- m.Acquire(3, "R", Shared) }()
+	select {
+	case <-sGranted:
+		t.Fatal("late shared overtook queued exclusive")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-xGranted; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-sGranted; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCounterSerialized(t *testing.T) {
+	// N goroutines increment a shared counter under an exclusive lock;
+	// the result must be exact.
+	m := NewLockManager()
+	var counter int64
+	var wg sync.WaitGroup
+	const workers, incs = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				id := tx*100000 + uint64(i)
+				if err := m.Acquire(id, "counter", Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				c := atomic.LoadInt64(&counter)
+				atomic.StoreInt64(&counter, c+1)
+				m.ReleaseAll(id)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if counter != workers*incs {
+		t.Fatalf("counter = %d want %d", counter, workers*incs)
+	}
+	if r, w := m.Stats(); r != 0 || w != 0 {
+		t.Fatalf("leaked lock state: %d resources, %d waiters", r, w)
+	}
+}
+
+func TestIDSource(t *testing.T) {
+	s := NewIDSource(10)
+	if s.Next() != 11 || s.Next() != 12 {
+		t.Fatal("id sequence")
+	}
+	var wg sync.WaitGroup
+	seen := sync.Map{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				id := s.Next()
+				if _, dup := seen.LoadOrStore(id, true); dup {
+					t.Errorf("duplicate id %d", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	m := NewLockManager()
+	m.Acquire(1, "A", Shared)
+	m.Acquire(1, "B", Exclusive)
+	if r, _ := m.Stats(); r != 2 {
+		t.Fatalf("resources = %d", r)
+	}
+	if got := m.String(); got != "lockmgr[2 resources, 0 waiters]" {
+		t.Errorf("String = %q", got)
+	}
+	m.ReleaseAll(1)
+	if r, _ := m.Stats(); r != 0 {
+		t.Fatal("release did not clean up")
+	}
+}
+
+func BenchmarkUncontendedAcquireRelease(b *testing.B) {
+	m := NewLockManager()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		m.Acquire(id, "R", Exclusive)
+		m.ReleaseAll(id)
+	}
+}
+
+func BenchmarkContendedAcquire(b *testing.B) {
+	m := NewLockManager()
+	var next uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := atomic.AddUint64(&next, 1)
+			if err := m.Acquire(id, "hot", Exclusive); err == nil {
+				m.ReleaseAll(id)
+			}
+		}
+	})
+}

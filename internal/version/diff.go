@@ -1,0 +1,91 @@
+package version
+
+import (
+	"fmt"
+
+	"repro/internal/cmn"
+)
+
+// Change is one musical difference between two snapshots.
+type Change struct {
+	Kind string // "meter", "measure-count", "voice-count", "item", "item-count", "dynamics", "groups", "ties"
+	Desc string
+}
+
+// Diff compares two snapshots and reports their musical differences.
+// It is positional (like the paper's ordered model): content is compared
+// index by index within each voice.
+func Diff(a, b *Snapshot) []Change {
+	var out []Change
+	add := func(kind, format string, args ...any) {
+		out = append(out, Change{Kind: kind, Desc: fmt.Sprintf(format, args...)})
+	}
+	if len(a.Movements) != len(b.Movements) {
+		add("measure-count", "movements: %d → %d", len(a.Movements), len(b.Movements))
+	}
+	for i := 0; i < min(len(a.Movements), len(b.Movements)); i++ {
+		ma, mb := a.Movements[i], b.Movements[i]
+		if len(ma.Meters) != len(mb.Meters) {
+			add("measure-count", "movement %d: %d → %d measures", i+1, len(ma.Meters), len(mb.Meters))
+		}
+		for j := 0; j < min(len(ma.Meters), len(mb.Meters)); j++ {
+			if ma.Meters[j] != mb.Meters[j] {
+				add("meter", "movement %d measure %d: %d/%d → %d/%d", i+1, j+1,
+					ma.Meters[j][0], ma.Meters[j][1], mb.Meters[j][0], mb.Meters[j][1])
+			}
+		}
+	}
+	if len(a.Voices) != len(b.Voices) {
+		add("voice-count", "voices: %d → %d", len(a.Voices), len(b.Voices))
+	}
+	for i := 0; i < min(len(a.Voices), len(b.Voices)); i++ {
+		va, vb := a.Voices[i], b.Voices[i]
+		if va.Clef != vb.Clef || va.Key != vb.Key {
+			add("item", "voice %d: clef/key %d/%d → %d/%d", i+1, va.Clef, va.Key, vb.Clef, vb.Key)
+		}
+		if len(va.Items) != len(vb.Items) {
+			add("item-count", "voice %d: %d → %d items", i+1, len(va.Items), len(vb.Items))
+		}
+		for j := 0; j < min(len(va.Items), len(vb.Items)); j++ {
+			ia, ib := va.Items[j], vb.Items[j]
+			switch {
+			case ia.IsRest != ib.IsRest:
+				add("item", "voice %d item %d: rest/chord changed", i+1, j)
+			case ia.Duration != ib.Duration:
+				add("item", "voice %d item %d: duration %s → %s", i+1, j,
+					cmn.DecodeRTime(ia.Duration), cmn.DecodeRTime(ib.Duration))
+			case !notesEqual(ia.Notes, ib.Notes):
+				add("item", "voice %d item %d: notes changed", i+1, j)
+			}
+		}
+		if len(va.Groups) != len(vb.Groups) {
+			add("groups", "voice %d: %d → %d groups", i+1, len(va.Groups), len(vb.Groups))
+		}
+		if len(va.Ties) != len(vb.Ties) {
+			add("ties", "voice %d: %d → %d ties", i+1, len(va.Ties), len(vb.Ties))
+		}
+		if len(va.Dynamics) != len(vb.Dynamics) {
+			add("dynamics", "voice %d: %d → %d dynamics", i+1, len(va.Dynamics), len(vb.Dynamics))
+		}
+	}
+	return out
+}
+
+func notesEqual(a, b []NoteSnap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

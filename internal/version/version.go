@@ -1,0 +1,688 @@
+// Package version adds score version control to the music data manager —
+// the extension the paper points at through [Dan86] (a score structure
+// with "versions and multiple views") and [KaL82] (storage structures
+// for versions and alternatives).
+//
+// A version is an immutable snapshot of a score's musical text: its
+// movements and meters, each voice's clef/key and ordered content
+// (chords with their notes, rests), ties, melodic groups, and dynamics.
+// Snapshots are serialized into a compact binary payload stored as a
+// SCORE_VERSION entity, with a parent reference forming a history chain.
+// Checkout materializes any version as a fresh, fully aligned and
+// pitched score; Diff reports the musical changes between two versions.
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/cmn"
+	"repro/internal/ddl"
+	"repro/internal/model"
+	"repro/internal/value"
+)
+
+// SchemaDDL defines the version store.
+const SchemaDDL = `
+define entity SCORE_VERSION (label = string, score_title = string,
+    seq = integer, parent_seq = integer, payload = bytes)
+`
+
+// Store is a handle on the version layer.
+type Store struct {
+	m *cmn.Music
+}
+
+// Open ensures the version schema exists.
+func Open(m *cmn.Music) (*Store, error) {
+	if _, ok := m.DB.EntityType("SCORE_VERSION"); !ok {
+		if _, err := ddl.Exec(m.DB, SchemaDDL); err != nil {
+			return nil, fmt.Errorf("version: defining schema: %w", err)
+		}
+	}
+	return &Store{m: m}, nil
+}
+
+// Snapshot is the decoded form of a version payload.
+type Snapshot struct {
+	Title     string
+	CatalogID string
+	Movements []MovementSnap
+	Voices    []VoiceSnap
+}
+
+// MovementSnap is one movement's measures.
+type MovementSnap struct {
+	Name   string
+	Meters [][2]int32 // (num, den) per measure
+}
+
+// VoiceSnap is one voice's musical text.
+type VoiceSnap struct {
+	Number        int32
+	Clef          int32
+	Key           int32
+	Items         []ItemSnap
+	Groups        []GroupSnap
+	Ties          [][2]int32 // content-index pairs (chord i tied to chord j)
+	Dynamics      []DynamicSnap
+	Articulations []DynamicSnap // beat + marking, same shape as dynamics
+}
+
+// ItemSnap is one voice-content element.
+type ItemSnap struct {
+	IsRest   bool
+	Duration int64 // RTime.Encode
+	Stem     int32
+	Notes    []NoteSnap // empty for rests
+}
+
+// NoteSnap is one note of a chord.
+type NoteSnap struct {
+	Degree     int32
+	Accidental int32
+}
+
+// GroupSnap is one melodic group over content indexes.
+type GroupSnap struct {
+	Kind      string
+	TupletNum int32
+	TupletDen int32
+	Members   []int32 // content indexes, in order
+}
+
+// DynamicSnap is one dynamic mark.
+type DynamicSnap struct {
+	Beat    int64 // RTime.Encode
+	Marking string
+}
+
+// Commit snapshots the score (with the given voices, in voice order) as
+// a new version with the given label, chained to the score's previous
+// latest version.  It returns the new version's sequence number.
+func (s *Store) Commit(score *cmn.Score, voices []*cmn.Voice, label string) (int64, error) {
+	snap, err := s.capture(score, voices)
+	if err != nil {
+		return 0, err
+	}
+	payload := encodeSnapshot(snap)
+	latest, _ := s.latestSeq(snap.Title)
+	seq := latest + 1
+	_, err = s.m.DB.NewEntity("SCORE_VERSION", model.Attrs{
+		"label":       value.Str(label),
+		"score_title": value.Str(snap.Title),
+		"seq":         value.Int(seq),
+		"parent_seq":  value.Int(latest),
+		"payload":     value.Bytes(payload),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// latestSeq returns the highest committed sequence for a title (0 when
+// none).
+func (s *Store) latestSeq(title string) (int64, error) {
+	var latest int64
+	err := s.m.DB.Instances("SCORE_VERSION", func(_ value.Ref, attrs value.Tuple) bool {
+		if attrs[1].AsString() == title && attrs[2].AsInt() > latest {
+			latest = attrs[2].AsInt()
+		}
+		return true
+	})
+	return latest, err
+}
+
+// History lists the versions of a score title in sequence order.
+type HistoryEntry struct {
+	Seq       int64
+	ParentSeq int64
+	Label     string
+}
+
+// History returns the committed versions of the titled score.
+func (s *Store) History(title string) ([]HistoryEntry, error) {
+	var out []HistoryEntry
+	err := s.m.DB.Instances("SCORE_VERSION", func(_ value.Ref, attrs value.Tuple) bool {
+		if attrs[1].AsString() == title {
+			out = append(out, HistoryEntry{
+				Seq: attrs[2].AsInt(), ParentSeq: attrs[3].AsInt(),
+				Label: attrs[0].AsString(),
+			})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// Load returns the decoded snapshot of a version.
+func (s *Store) Load(title string, seq int64) (*Snapshot, error) {
+	var payload []byte
+	found := false
+	err := s.m.DB.Instances("SCORE_VERSION", func(_ value.Ref, attrs value.Tuple) bool {
+		if attrs[1].AsString() == title && attrs[2].AsInt() == seq {
+			payload = attrs[4].AsBytes()
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("version: no version %d of %q", seq, title)
+	}
+	return decodeSnapshot(payload)
+}
+
+// capture walks the live score into a snapshot.
+func (s *Store) capture(score *cmn.Score, voices []*cmn.Voice) (*Snapshot, error) {
+	snap := &Snapshot{Title: score.Title(), CatalogID: score.CatalogID()}
+	movements, err := score.Movements()
+	if err != nil {
+		return nil, err
+	}
+	for _, mv := range movements {
+		ms := MovementSnap{Name: movementName(s.m, mv)}
+		measures, err := mv.Measures()
+		if err != nil {
+			return nil, err
+		}
+		for _, me := range measures {
+			num, den, err := meterOf(s.m, me)
+			if err != nil {
+				return nil, err
+			}
+			ms.Meters = append(ms.Meters, [2]int32{num, den})
+		}
+		snap.Movements = append(snap.Movements, ms)
+	}
+	for vi, v := range voices {
+		vs := VoiceSnap{Number: int32(vi + 1)}
+		if inst, ok := v.Instrument(); ok {
+			staves, err := s.m.DB.Children("staff_in_instrument", inst.Ref)
+			if err == nil && len(staves) > 0 {
+				st, err := s.m.StaffByRef(staves[0])
+				if err == nil {
+					vs.Clef = int32(st.Clef())
+					vs.Key = int32(st.Key())
+				}
+			}
+		}
+		content, err := v.Content()
+		if err != nil {
+			return nil, err
+		}
+		indexOf := make(map[value.Ref]int32, len(content))
+		for i, item := range content {
+			indexOf[item.Ref] = int32(i)
+			is := ItemSnap{IsRest: item.IsRest, Duration: item.Duration.Encode()}
+			if !item.IsRest {
+				chord, err := s.m.ChordByRef(item.Ref)
+				if err != nil {
+					return nil, err
+				}
+				is.Stem = int32(chord.StemDirection())
+				notes, err := chord.Notes()
+				if err != nil {
+					return nil, err
+				}
+				for _, n := range notes {
+					is.Notes = append(is.Notes, NoteSnap{
+						Degree: int32(n.Degree()), Accidental: int32(n.Accidental()),
+					})
+				}
+			}
+			vs.Items = append(vs.Items, is)
+		}
+		// Ties: consecutive chords whose notes share an event.
+		vs.Ties, err = s.captureTies(content, indexOf)
+		if err != nil {
+			return nil, err
+		}
+		// Groups under this voice (flat: members must be voice content).
+		groups, err := s.m.DB.Children("group_in_voice", v.Ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			gh, err := s.m.GroupByRef(g)
+			if err != nil {
+				continue
+			}
+			tn, _ := s.m.DB.Attr(g, "tuplet_num")
+			td, _ := s.m.DB.Attr(g, "tuplet_den")
+			gs := GroupSnap{Kind: gh.Kind(), TupletNum: int32(tn.AsInt()), TupletDen: int32(td.AsInt())}
+			members, err := s.m.DB.Children("group_content", g)
+			if err != nil {
+				return nil, err
+			}
+			for _, mref := range members {
+				if idx, ok := indexOf[mref]; ok {
+					gs.Members = append(gs.Members, idx)
+				}
+			}
+			vs.Groups = append(vs.Groups, gs)
+		}
+		// Dynamics.
+		dyns, err := s.m.DB.Children("dynamic_in_voice", v.Ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dyns {
+			mk, _ := s.m.DB.Attr(d, "marking")
+			at, _ := s.m.DB.Attr(d, "at_beat")
+			vs.Dynamics = append(vs.Dynamics, DynamicSnap{Beat: at.AsInt(), Marking: mk.AsString()})
+		}
+		// Articulation contexts (stored as ANNOTATION entities with an
+		// "articulation:" kind prefix and the encoded beat in text).
+		arts, err := s.m.DB.Children("articulation_in_voice", v.Ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range arts {
+			kind, _ := s.m.DB.Attr(a, "kind")
+			text, _ := s.m.DB.Attr(a, "text")
+			const prefix = "articulation:"
+			ks := kind.AsString()
+			if len(ks) <= len(prefix) || ks[:len(prefix)] != prefix {
+				continue
+			}
+			var enc int64
+			fmt.Sscanf(text.AsString(), "%d", &enc)
+			vs.Articulations = append(vs.Articulations, DynamicSnap{Beat: enc, Marking: ks[len(prefix):]})
+		}
+		snap.Voices = append(snap.Voices, vs)
+	}
+	return snap, nil
+}
+
+// captureTies records pairs of content indexes joined by a tie (notes
+// sharing an EVENT).
+func (s *Store) captureTies(content []cmn.VoiceItem, indexOf map[value.Ref]int32) ([][2]int32, error) {
+	eventFirst := map[value.Ref]int32{}
+	var ties [][2]int32
+	for _, item := range content {
+		if item.IsRest {
+			continue
+		}
+		chord, err := s.m.ChordByRef(item.Ref)
+		if err != nil {
+			return nil, err
+		}
+		notes, err := chord.Notes()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range notes {
+			ev, ok := n.EventOf()
+			if !ok {
+				continue
+			}
+			idx := indexOf[item.Ref]
+			if first, seen := eventFirst[ev.Ref]; seen {
+				if first != idx {
+					ties = append(ties, [2]int32{first, idx})
+				}
+			} else {
+				eventFirst[ev.Ref] = idx
+			}
+		}
+	}
+	return ties, nil
+}
+
+func movementName(m *cmn.Music, mv *cmn.Movement) string {
+	v, err := m.DB.Attr(mv.Ref, "name")
+	if err != nil {
+		return ""
+	}
+	return v.AsString()
+}
+
+func meterOf(m *cmn.Music, me *cmn.Measure) (int32, int32, error) {
+	num, err := m.DB.Attr(me.Ref, "meter_num")
+	if err != nil {
+		return 0, 0, err
+	}
+	den, err := m.DB.Attr(me.Ref, "meter_den")
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(num.AsInt()), int32(den.AsInt()), nil
+}
+
+// Checkout materializes a version as a fresh score (with its own
+// orchestra/part/voice scaffolding), aligned and pitched.  The new
+// score's title is "<title> @<seq>".
+func (s *Store) Checkout(title string, seq int64) (*cmn.Score, []*cmn.Voice, error) {
+	snap, err := s.Load(title, seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Materialize(snap, fmt.Sprintf("%s @%d", title, seq))
+}
+
+// Materialize rebuilds a snapshot as a live score under the given title.
+func (s *Store) Materialize(snap *Snapshot, title string) (*cmn.Score, []*cmn.Voice, error) {
+	m := s.m
+	score, err := m.NewScore(title, snap.CatalogID)
+	if err != nil {
+		return nil, nil, err
+	}
+	var movements []*cmn.Movement
+	for _, ms := range snap.Movements {
+		mv, err := score.AddMovement(ms.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, meter := range ms.Meters {
+			if _, err := mv.AddMeasure(int(meter[0]), int(meter[1])); err != nil {
+				return nil, nil, err
+			}
+		}
+		movements = append(movements, mv)
+	}
+	orch, err := m.NewOrchestra("checkout " + title)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := orch.Performs(score); err != nil {
+		return nil, nil, err
+	}
+	sec, err := orch.AddSection("voices")
+	if err != nil {
+		return nil, nil, err
+	}
+	var voices []*cmn.Voice
+	for _, vs := range snap.Voices {
+		inst, err := sec.AddInstrument(fmt.Sprintf("voice %d", vs.Number), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		staff, err := inst.AddStaff(1, cmn.Clef(vs.Clef), cmn.KeySignature(vs.Key))
+		if err != nil {
+			return nil, nil, err
+		}
+		part, err := inst.AddPart(fmt.Sprintf("part %d", vs.Number))
+		if err != nil {
+			return nil, nil, err
+		}
+		voice, err := part.AddVoice(int(vs.Number))
+		if err != nil {
+			return nil, nil, err
+		}
+		itemRefs := make([]value.Ref, len(vs.Items))
+		noteRefs := make([][]*cmn.Note, len(vs.Items))
+		for i, item := range vs.Items {
+			dur := cmn.DecodeRTime(item.Duration)
+			if item.IsRest {
+				r, err := voice.AppendRest(dur)
+				if err != nil {
+					return nil, nil, err
+				}
+				itemRefs[i] = r.Ref
+				continue
+			}
+			chord, err := voice.AppendChord(dur, int(item.Stem))
+			if err != nil {
+				return nil, nil, err
+			}
+			itemRefs[i] = chord.Ref
+			for _, ns := range item.Notes {
+				n, err := chord.AddNote(int(ns.Degree), cmn.Accidental(ns.Accidental))
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := n.OnStaff(staff); err != nil {
+					return nil, nil, err
+				}
+				noteRefs[i] = append(noteRefs[i], n)
+			}
+		}
+		for _, gs := range vs.Groups {
+			members := make([]value.Ref, 0, len(gs.Members))
+			for _, idx := range gs.Members {
+				if int(idx) < len(itemRefs) {
+					members = append(members, itemRefs[idx])
+				}
+			}
+			if _, err := voice.NewGroup(gs.Kind, int(gs.TupletNum), int(gs.TupletDen), members...); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, tie := range vs.Ties {
+			a, b := tie[0], tie[1]
+			if int(a) < len(noteRefs) && int(b) < len(noteRefs) &&
+				len(noteRefs[a]) > 0 && len(noteRefs[b]) > 0 {
+				if _, err := m.Tie(noteRefs[a][0], noteRefs[b][0]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for _, d := range vs.Dynamics {
+			if err := voice.AddDynamic(cmn.DecodeRTime(d.Beat), d.Marking); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, a := range vs.Articulations {
+			if err := voice.AddArticulation(cmn.DecodeRTime(a.Beat), a.Marking); err != nil {
+				return nil, nil, err
+			}
+		}
+		voices = append(voices, voice)
+	}
+	if len(movements) > 0 {
+		if err := movements[0].Align(voices); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Resolve pitches per voice with its own staff.
+	for i, v := range voices {
+		inst, ok := v.Instrument()
+		if !ok {
+			continue
+		}
+		staves, err := m.DB.Children("staff_in_instrument", inst.Ref)
+		if err != nil || len(staves) == 0 {
+			continue
+		}
+		st, err := m.StaffByRef(staves[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := v.ResolvePitches(st); err != nil {
+			return nil, nil, err
+		}
+		_ = i
+	}
+	return score, voices, nil
+}
+
+// errShortPayload reports malformed payloads.
+var errShortPayload = errors.New("version: truncated payload")
+
+// Binary payload encoding: a versioned tag followed by the snapshot
+// fields, all integers as varints, strings length-prefixed.
+const payloadMagic = 0x4D56 // "MV"
+
+func encodeSnapshot(s *Snapshot) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, payloadMagic)
+	b = appendStr(b, s.Title)
+	b = appendStr(b, s.CatalogID)
+	b = binary.AppendUvarint(b, uint64(len(s.Movements)))
+	for _, mv := range s.Movements {
+		b = appendStr(b, mv.Name)
+		b = binary.AppendUvarint(b, uint64(len(mv.Meters)))
+		for _, meter := range mv.Meters {
+			b = binary.AppendVarint(b, int64(meter[0]))
+			b = binary.AppendVarint(b, int64(meter[1]))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Voices)))
+	for _, v := range s.Voices {
+		b = binary.AppendVarint(b, int64(v.Number))
+		b = binary.AppendVarint(b, int64(v.Clef))
+		b = binary.AppendVarint(b, int64(v.Key))
+		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			flag := uint64(0)
+			if it.IsRest {
+				flag = 1
+			}
+			b = binary.AppendUvarint(b, flag)
+			b = binary.AppendVarint(b, it.Duration)
+			b = binary.AppendVarint(b, int64(it.Stem))
+			b = binary.AppendUvarint(b, uint64(len(it.Notes)))
+			for _, n := range it.Notes {
+				b = binary.AppendVarint(b, int64(n.Degree))
+				b = binary.AppendVarint(b, int64(n.Accidental))
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Groups)))
+		for _, g := range v.Groups {
+			b = appendStr(b, g.Kind)
+			b = binary.AppendVarint(b, int64(g.TupletNum))
+			b = binary.AppendVarint(b, int64(g.TupletDen))
+			b = binary.AppendUvarint(b, uint64(len(g.Members)))
+			for _, mref := range g.Members {
+				b = binary.AppendVarint(b, int64(mref))
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Ties)))
+		for _, t := range v.Ties {
+			b = binary.AppendVarint(b, int64(t[0]))
+			b = binary.AppendVarint(b, int64(t[1]))
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Dynamics)))
+		for _, d := range v.Dynamics {
+			b = binary.AppendVarint(b, d.Beat)
+			b = appendStr(b, d.Marking)
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Articulations)))
+		for _, a := range v.Articulations {
+			b = binary.AppendVarint(b, a.Beat)
+			b = appendStr(b, a.Marking)
+		}
+	}
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = errShortPayload
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = errShortPayload
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)-r.pos) < n {
+		r.err = errShortPayload
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	r := &reader{b: b}
+	if r.uvarint() != payloadMagic {
+		return nil, errors.New("version: bad payload magic")
+	}
+	s := &Snapshot{Title: r.str(), CatalogID: r.str()}
+	nmv := r.uvarint()
+	for i := uint64(0); i < nmv && r.err == nil; i++ {
+		mv := MovementSnap{Name: r.str()}
+		nme := r.uvarint()
+		for j := uint64(0); j < nme && r.err == nil; j++ {
+			mv.Meters = append(mv.Meters, [2]int32{int32(r.varint()), int32(r.varint())})
+		}
+		s.Movements = append(s.Movements, mv)
+	}
+	nv := r.uvarint()
+	for i := uint64(0); i < nv && r.err == nil; i++ {
+		v := VoiceSnap{Number: int32(r.varint()), Clef: int32(r.varint()), Key: int32(r.varint())}
+		ni := r.uvarint()
+		for j := uint64(0); j < ni && r.err == nil; j++ {
+			it := ItemSnap{IsRest: r.uvarint() == 1, Duration: r.varint(), Stem: int32(r.varint())}
+			nn := r.uvarint()
+			for k := uint64(0); k < nn && r.err == nil; k++ {
+				it.Notes = append(it.Notes, NoteSnap{Degree: int32(r.varint()), Accidental: int32(r.varint())})
+			}
+			v.Items = append(v.Items, it)
+		}
+		ng := r.uvarint()
+		for j := uint64(0); j < ng && r.err == nil; j++ {
+			g := GroupSnap{Kind: r.str(), TupletNum: int32(r.varint()), TupletDen: int32(r.varint())}
+			nm := r.uvarint()
+			for k := uint64(0); k < nm && r.err == nil; k++ {
+				g.Members = append(g.Members, int32(r.varint()))
+			}
+			v.Groups = append(v.Groups, g)
+		}
+		nt := r.uvarint()
+		for j := uint64(0); j < nt && r.err == nil; j++ {
+			v.Ties = append(v.Ties, [2]int32{int32(r.varint()), int32(r.varint())})
+		}
+		nd := r.uvarint()
+		for j := uint64(0); j < nd && r.err == nil; j++ {
+			v.Dynamics = append(v.Dynamics, DynamicSnap{Beat: r.varint(), Marking: r.str()})
+		}
+		na := r.uvarint()
+		for j := uint64(0); j < na && r.err == nil; j++ {
+			v.Articulations = append(v.Articulations, DynamicSnap{Beat: r.varint(), Marking: r.str()})
+		}
+		s.Voices = append(s.Voices, v)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}

@@ -1,0 +1,306 @@
+package version
+
+import (
+	"testing"
+
+	"repro/internal/cmn"
+	"repro/internal/demo"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func newStore(t testing.TB) (*cmn.Music, *Store) {
+	t.Helper()
+	sdb, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := model.Open(sdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cmn.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, vs
+}
+
+func TestCommitCheckoutRoundTrip(t *testing.T) {
+	m, vs := newStore(t)
+	score, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := voice.AddDynamic(cmn.Zero, "mf"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := vs.Commit(score, []*cmn.Voice{voice}, "initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first seq: %d", seq)
+	}
+
+	co, coVoices, err := vs.Checkout(score.Title(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Title() != "Fuge g-moll (subject) @1" {
+		t.Fatalf("checkout title: %q", co.Title())
+	}
+	if len(coVoices) != 1 {
+		t.Fatalf("voices: %d", len(coVoices))
+	}
+	// The checked-out score performs identically.
+	orig, err := voice.PerformedNotes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coVoices[0].PerformedNotes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("notes: %d want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Pitch != orig[i].Pitch || got[i].Start.Cmp(orig[i].Start) != 0 ||
+			got[i].Duration.Cmp(orig[i].Duration) != 0 || got[i].Velocity != orig[i].Velocity {
+			t.Fatalf("note %d: %+v want %+v", i, got[i], orig[i])
+		}
+	}
+	// Durations/meters carried over.
+	d1, _ := score.Duration()
+	d2, _ := co.Duration()
+	if d1.Cmp(d2) != 0 {
+		t.Fatalf("durations: %s vs %s", d1, d2)
+	}
+}
+
+func TestHistoryChain(t *testing.T) {
+	m, vs := newStore(t)
+	score, voice, staff, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Commit(score, []*cmn.Voice{voice}, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Edit: append a closing note (D4 whole) in a new measure.
+	movements, _ := score.Movements()
+	movements[0].AddMeasure(4, 4)
+	chord, err := voice.AppendChord(cmn.Whole, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := chord.AddNote(-1, cmn.AccNone)
+	n.OnStaff(staff)
+	movements[0].ClearAlignment()
+	if err := movements[0].Align([]*cmn.Voice{voice}); err != nil {
+		t.Fatal(err)
+	}
+	voice.ResolvePitches(staff)
+	seq, err := vs.Commit(score, []*cmn.Voice{voice}, "v2: final note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("second seq: %d", seq)
+	}
+	hist, err := vs.History(score.Title())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Seq != 1 || hist[1].Seq != 2 || hist[1].ParentSeq != 1 {
+		t.Fatalf("history: %+v", hist)
+	}
+	if hist[1].Label != "v2: final note" {
+		t.Fatalf("label: %q", hist[1].Label)
+	}
+	// Both versions check out with their own content.
+	_, v1Voices, err := vs.Checkout(score.Title(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v2Voices, err := vs.Checkout(score.Title(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := v1Voices[0].PerformedNotes()
+	n2, _ := v2Voices[0].PerformedNotes()
+	if len(n2) != len(n1)+1 {
+		t.Fatalf("v1 %d notes, v2 %d", len(n1), len(n2))
+	}
+}
+
+func TestDiff(t *testing.T) {
+	m, vs := newStore(t)
+	score, voice, staff, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs.Commit(score, []*cmn.Voice{voice}, "v1")
+	// Change: transpose the first note's degree and add a dynamic.
+	content, _ := voice.Content()
+	notes, _ := m.ChordByRef(content[0].Ref)
+	ns, _ := notes.Notes()
+	m.DB.SetAttr(ns[0].Ref, "degree", value.Int(int64(ns[0].Degree()+2)))
+	voice.AddDynamic(cmn.Zero, "ff")
+	_ = staff
+	vs.Commit(score, []*cmn.Voice{voice}, "v2")
+
+	s1, err := vs.Load(score.Title(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := vs.Load(score.Title(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(s1, s2)
+	if len(changes) != 2 {
+		t.Fatalf("changes: %+v", changes)
+	}
+	kinds := map[string]bool{}
+	for _, c := range changes {
+		kinds[c.Kind] = true
+	}
+	if !kinds["item"] || !kinds["dynamics"] {
+		t.Fatalf("change kinds: %+v", changes)
+	}
+	// Identical snapshots: no changes.
+	if d := Diff(s2, s2); len(d) != 0 {
+		t.Fatalf("self diff: %+v", d)
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	m, vs := newStore(t)
+	score, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a tie to exercise that path.
+	content, _ := voice.Content()
+	var chords []*cmn.Chord
+	for _, it := range content {
+		if !it.IsRest {
+			c, _ := m.ChordByRef(it.Ref)
+			chords = append(chords, c)
+		}
+	}
+	na, _ := chords[0].Notes()
+	nb, _ := chords[1].Notes()
+	if _, err := m.Tie(na[0], nb[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := vs.capture(score, []*cmn.Voice{voice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeSnapshot(snap)
+	dec, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Title != snap.Title || len(dec.Voices) != len(snap.Voices) {
+		t.Fatal("shape mismatch")
+	}
+	v0, w0 := snap.Voices[0], dec.Voices[0]
+	if len(v0.Items) != len(w0.Items) || len(v0.Groups) != len(w0.Groups) ||
+		len(v0.Ties) != len(w0.Ties) || v0.Clef != w0.Clef || v0.Key != w0.Key {
+		t.Fatalf("voice mismatch: %+v vs %+v", v0, w0)
+	}
+	if len(w0.Ties) != 1 {
+		t.Fatalf("ties: %+v", w0.Ties)
+	}
+	// Corruption errors.
+	if _, err := decodeSnapshot(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := decodeSnapshot([]byte{0x99}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := decodeSnapshot(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	_, vs := newStore(t)
+	if _, err := vs.Load("nope", 1); err == nil {
+		t.Fatal("missing version accepted")
+	}
+	if _, _, err := vs.Checkout("nope", 1); err == nil {
+		t.Fatal("missing checkout accepted")
+	}
+	if hist, err := vs.History("nope"); err != nil || len(hist) != 0 {
+		t.Fatal("empty history")
+	}
+}
+
+func TestVersionsPersist(t *testing.T) {
+	dir := t.TempDir()
+	sdb, _ := storage.Open(storage.Options{Dir: dir})
+	db, _ := model.Open(sdb)
+	m, _ := cmn.Open(db)
+	vs, err := Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Commit(score, []*cmn.Voice{voice}, "durable"); err != nil {
+		t.Fatal(err)
+	}
+	title := score.Title()
+	sdb.Close()
+
+	sdb2, _ := storage.Open(storage.Options{Dir: dir})
+	db2, _ := model.Open(sdb2)
+	m2, _ := cmn.Open(db2)
+	vs2, err := Open(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb2.Close()
+	_, voices, err := vs2.Checkout(title, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes, _ := voices[0].PerformedNotes()
+	if len(notes) != 11 {
+		t.Fatalf("notes after reopen: %d", len(notes))
+	}
+}
+
+func TestArticulationsVersioned(t *testing.T) {
+	m, vs := newStore(t)
+	score, voice, _, err := demo.LoadFugue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := voice.AddArticulation(cmn.Zero, "staccato"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Commit(score, []*cmn.Voice{voice}, "with staccato"); err != nil {
+		t.Fatal(err)
+	}
+	_, coVoices, err := vs.Checkout(score.Title(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pns, _ := coVoices[0].PerformedNotes()
+	if pns[0].Articulation != "staccato" || pns[0].Duration.Cmp(cmn.Eighth) != 0 {
+		t.Fatalf("articulation lost in checkout: %+v", pns[0])
+	}
+}

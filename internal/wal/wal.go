@@ -1,0 +1,358 @@
+// Package wal implements the write-ahead log of the music data manager.
+//
+// The paper (§2) requires the MDM to provide "typical database
+// operations, some standard, such as concurrency control and recovery".
+// This package is the recovery half: an append-only redo log with CRC32C
+// framing and torn-tail tolerance.  The storage engine keeps relations in
+// memory and durability is log + snapshot: every mutation is logged before
+// it is applied, checkpoints write a full snapshot and truncate the log,
+// and recovery replays the operations of committed transactions in log
+// order (a redo-only, two-pass scheme: pass one collects commit records,
+// pass two reapplies).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/value"
+)
+
+// RecordType identifies a log record.
+type RecordType uint8
+
+// The log record types.
+const (
+	RecBegin RecordType = iota + 1
+	RecCommit
+	RecAbort
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecCheckpoint
+	// Schema records: relation and index creation.  They carry no
+	// transaction and are replayed unconditionally, in log order, so
+	// that data records for relations created after the last checkpoint
+	// can be reapplied.  The definition is encoded in the New tuple.
+	RecCreateRelation
+	RecCreateIndex
+	RecDropRelation
+)
+
+// String returns the record type name.
+func (rt RecordType) String() string {
+	switch rt {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	case RecCreateRelation:
+		return "CREATE_RELATION"
+	case RecCreateIndex:
+		return "CREATE_INDEX"
+	case RecDropRelation:
+		return "DROP_RELATION"
+	}
+	return fmt.Sprintf("RecordType(%d)", uint8(rt))
+}
+
+// Record is one log record.  Which fields are meaningful depends on Type:
+// data-change records carry the relation name, row id, and before/after
+// tuple images.
+type Record struct {
+	Type     RecordType
+	TxID     uint64
+	Relation string
+	RowID    uint64
+	Old      value.Tuple // DELETE, UPDATE
+	New      value.Tuple // INSERT, UPDATE
+}
+
+// encode appends the record payload (excluding framing) to dst.
+func (r *Record) encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.AppendUvarint(dst, r.TxID)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Relation)))
+	dst = append(dst, r.Relation...)
+	dst = binary.AppendUvarint(dst, r.RowID)
+	dst = appendMaybeTuple(dst, r.Old)
+	dst = appendMaybeTuple(dst, r.New)
+	return dst
+}
+
+func appendMaybeTuple(dst []byte, t value.Tuple) []byte {
+	if t == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return value.AppendTuple(dst, t)
+}
+
+// decodeRecord parses a record payload.
+func decodeRecord(buf []byte) (*Record, error) {
+	if len(buf) < 1 {
+		return nil, errors.New("wal: empty record")
+	}
+	r := &Record{Type: RecordType(buf[0])}
+	pos := 1
+	var n int
+	u, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, errors.New("wal: bad txid")
+	}
+	r.TxID = u
+	pos += n
+	ln, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || uint64(len(buf)-pos-n) < ln {
+		return nil, errors.New("wal: bad relation name")
+	}
+	pos += n
+	r.Relation = string(buf[pos : pos+int(ln)])
+	pos += int(ln)
+	u, n = binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, errors.New("wal: bad rowid")
+	}
+	r.RowID = u
+	pos += n
+	var err error
+	r.Old, pos, err = decodeMaybeTuple(buf, pos)
+	if err != nil {
+		return nil, err
+	}
+	r.New, pos, err = decodeMaybeTuple(buf, pos)
+	if err != nil {
+		return nil, err
+	}
+	_ = pos
+	return r, nil
+}
+
+func decodeMaybeTuple(buf []byte, pos int) (value.Tuple, int, error) {
+	if pos >= len(buf) {
+		return nil, 0, errors.New("wal: truncated tuple flag")
+	}
+	flag := buf[pos]
+	pos++
+	if flag == 0 {
+		return nil, pos, nil
+	}
+	t, n, err := value.DecodeTuple(buf[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, pos + n, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only write-ahead log backed by a single file.
+type Log struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	off  int64 // current end offset (next LSN)
+	buf  []byte
+}
+
+// Open opens (creating if necessary) the log at path.  The returned log
+// is positioned at the end of the existing valid records; a torn tail
+// left by a crash is truncated away.
+func Open(path string) (*Log, error) {
+	end, err := validPrefix(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 64<<10), off: end}, nil
+}
+
+// validPrefix scans the file and returns the byte offset of the end of the
+// last complete, checksum-valid record.
+func validPrefix(path string) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln > 1<<28 {
+			return off, nil // implausible length: torn
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, nil
+		}
+		off += 8 + int64(ln)
+	}
+}
+
+// Append writes a record to the log buffer and returns its LSN (the byte
+// offset at which it begins).  The record is durable only after Sync.
+func (l *Log) Append(r *Record) (int64, error) {
+	l.buf = l.buf[:0]
+	l.buf = r.encode(l.buf)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(l.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(l.buf, castagnoli))
+	lsn := l.off
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(l.buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += 8 + int64(len(l.buf))
+	return lsn, nil
+}
+
+// Sync flushes buffered records and fsyncs the file, making all appended
+// records durable.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes (including buffered records).
+func (l *Log) Size() int64 { return l.off }
+
+// Reset truncates the log to empty.  Called after a checkpoint snapshot
+// has been made durable.
+func (l *Log) Reset() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.off = 0
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Scan reads all valid records from the log file at path, invoking fn for
+// each in order.  Scanning stops silently at the first torn or corrupt
+// record (the valid prefix property).
+func Scan(path string, fn func(lsn int64, r *Record) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln > 1<<28 {
+			return nil
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil // corrupt but checksummed record: treat as end
+		}
+		if err := fn(off, rec); err != nil {
+			return err
+		}
+		off += 8 + int64(ln)
+	}
+}
+
+// Replay performs redo-only recovery: it scans the log twice, first
+// collecting the set of committed transactions, then invoking apply for
+// each data-change record belonging to a committed transaction, in log
+// order.  Records of unfinished or aborted transactions are skipped.
+func Replay(path string, apply func(r *Record) error) error {
+	committed := make(map[uint64]bool)
+	err := Scan(path, func(_ int64, r *Record) error {
+		if r.Type == RecCommit {
+			committed[r.TxID] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return Scan(path, func(_ int64, r *Record) error {
+		switch r.Type {
+		case RecInsert, RecDelete, RecUpdate:
+			if committed[r.TxID] {
+				return apply(r)
+			}
+		case RecCreateRelation, RecCreateIndex, RecDropRelation:
+			return apply(r)
+		}
+		return nil
+	})
+}
