@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race torture bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short torture run: the crash-recovery sweep at reduced depth, as a
+# quick fault-coverage gate for every PR.
+torture:
+	$(GO) test -short -count=1 -run 'Torture|Fault|Poison' ./internal/storage/ ./internal/wal/
+	$(GO) test -short -count=1 ./internal/fault/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: vet build race torture

@@ -9,7 +9,8 @@
 // With -e the statements are executed and the program exits; otherwise
 // an interactive prompt reads statements terminated by \g (go) on a
 // line of their own or by a blank line, in the INGRES tradition.
-// Meta-commands: \schema lists the schema, \figures N prints a paper
+// Meta-commands: \schema lists the schema, \status reports store health
+// (degraded read-only mode) and retry counts, \figure N prints a paper
 // figure, \quit exits.
 package main
 
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	fmt.Println("music data manager — define / retrieve / append / replace / delete")
-	fmt.Println(`end statements with a blank line; \schema, \figure N, \quit`)
+	fmt.Println(`end statements with a blank line; \schema, \status, \figure N, \quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder
 	prompt := func() { fmt.Print("mdm> ") }
@@ -62,6 +63,10 @@ func main() {
 			return
 		case trimmed == `\schema`:
 			printSchema(m)
+			prompt()
+			continue
+		case trimmed == `\status`:
+			printStatus(m, session)
 			prompt()
 			continue
 		case strings.HasPrefix(trimmed, `\figure`):
@@ -92,6 +97,23 @@ func main() {
 		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
+	}
+}
+
+// printStatus reports store health and the session's retry activity, so
+// a degraded database explains itself instead of failing opaquely.
+func printStatus(m *mdm.MDM, s *mdm.Session) {
+	if h := m.Health(); h.ReadOnly {
+		fmt.Printf("store:      DEGRADED (read-only): %v\n", h.Cause)
+		fmt.Println("            reads keep working; restart to recover from disk")
+	} else {
+		fmt.Println("store:      healthy (read-write)")
+	}
+	st := s.Stats()
+	fmt.Printf("statements: %d\n", st.Statements)
+	fmt.Printf("retries:    %d transparently retried after deadlock/timeout\n", st.Retries)
+	if st.Exhausted > 0 {
+		fmt.Printf("exhausted:  %d statements failed after all retry attempts\n", st.Exhausted)
 	}
 }
 

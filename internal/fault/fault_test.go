@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegistryArmFiresOnNthHit(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("sync:f", 3, Outcome{Err: io.ErrUnexpectedEOF})
+	for i := 1; i <= 2; i++ {
+		if _, fired := r.Hit("sync:f"); fired {
+			t.Fatalf("fired early on hit %d", i)
+		}
+	}
+	o, fired := r.Hit("sync:f")
+	if !fired || !errors.Is(o.Err, io.ErrUnexpectedEOF) {
+		t.Fatalf("hit 3: fired=%v err=%v", fired, o.Err)
+	}
+	// One-shot: disarmed after firing.
+	if _, fired := r.Hit("sync:f"); fired {
+		t.Fatal("fired twice")
+	}
+	if r.Hits("sync:f") != 4 || r.Fired("sync:f") != 1 {
+		t.Fatalf("hits=%d fired=%d", r.Hits("sync:f"), r.Fired("sync:f"))
+	}
+}
+
+func TestRegistryNilNeverFires(t *testing.T) {
+	var r *Registry
+	if _, fired := r.Hit("anything"); fired {
+		t.Fatal("nil registry fired")
+	}
+}
+
+func TestPoint(t *testing.T) {
+	if got := Point(OpWrite, "/tmp/x/mdm.wal"); got != "write:mdm.wal" {
+		t.Fatalf("Point = %q", got)
+	}
+}
+
+func TestInjectorPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, NewRegistry())
+	path := filepath.Join(dir, "f")
+	f, err := in.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := in.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}
+
+func TestInjectedWriteError(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	in := NewInjector(Disk{}, reg)
+	path := filepath.Join(dir, "f")
+	f, _ := in.Create(path)
+	reg.Arm(Point(OpWrite, path), 1, Outcome{})
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// Disarmed: next write succeeds.
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	in := NewInjector(Disk{}, reg)
+	path := filepath.Join(dir, "f")
+	f, _ := in.Create(path)
+	reg.Arm(Point(OpWrite, path), 1, Outcome{Partial: 0.5})
+	n, err := f.Write([]byte("12345678"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	f.Sync()
+	f.Close()
+	data, _ := in.ReadFile(path)
+	if string(data) != "1234" {
+		t.Fatalf("on disk: %q", data)
+	}
+}
+
+func TestCrashDropsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, NewRegistry())
+	path := filepath.Join(dir, "f")
+	f, _ := in.Create(path)
+	f.Write([]byte("durable."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	in.Crash()
+	// The dead process cannot keep writing.
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if err := in.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable." {
+		t.Fatalf("after crash: %q", data)
+	}
+}
+
+func TestCrashRollsBackUnsyncedRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, NewRegistry())
+	oldSnap := filepath.Join(dir, "snap")
+	if err := writeWhole(Disk{}, oldSnap, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "snap.tmp")
+	f, _ := in.Create(tmp)
+	f.Write([]byte("v2"))
+	f.Sync()
+	f.Close()
+	if err := in.Rename(tmp, oldSnap); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: the rename is volatile.
+	in.Crash()
+	in.Recover()
+	data, _ := os.ReadFile(oldSnap)
+	if string(data) != "v1" {
+		t.Fatalf("snapshot after crash: %q (rename should have rolled back)", data)
+	}
+	tmpData, _ := os.ReadFile(tmp)
+	if string(tmpData) != "v2" {
+		t.Fatalf("tmp after crash: %q", tmpData)
+	}
+}
+
+func TestSyncDirMakesRenameDurable(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, NewRegistry())
+	oldSnap := filepath.Join(dir, "snap")
+	writeWhole(Disk{}, oldSnap, []byte("v1"))
+	tmp := filepath.Join(dir, "snap.tmp")
+	f, _ := in.Create(tmp)
+	f.Write([]byte("v2"))
+	f.Sync()
+	f.Close()
+	in.Rename(tmp, oldSnap)
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	in.Crash()
+	in.Recover()
+	data, _ := os.ReadFile(oldSnap)
+	if string(data) != "v2" {
+		t.Fatalf("snapshot after crash: %q (rename was fsynced)", data)
+	}
+}
+
+func TestCrashPanicSentinel(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	in := NewInjector(Disk{}, reg)
+	path := filepath.Join(dir, "f")
+	f, _ := in.Create(path)
+	reg.Arm(Point(OpSync, path), 1, Outcome{Crash: true})
+	func() {
+		defer func() {
+			c, ok := AsCrash(recover())
+			if !ok {
+				t.Fatal("no crash panic")
+			}
+			if c.Point != Point(OpSync, path) {
+				t.Fatalf("crash point %q", c.Point)
+			}
+		}()
+		f.Write([]byte("x"))
+		f.Sync()
+		t.Fatal("sync did not crash")
+	}()
+	if !in.Crashed() {
+		t.Fatal("injector not frozen after crash")
+	}
+	if err := in.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("unsynced bytes survived: %q", data)
+	}
+}
+
+func TestTruncateLowersWatermark(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, NewRegistry())
+	path := filepath.Join(dir, "f")
+	f, _ := in.Create(path)
+	f.Write([]byte("12345678"))
+	f.Sync()
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	f.Write([]byte("zz")) // unsynced tail at offset... end of file
+	in.Crash()
+	in.Recover()
+	data, _ := os.ReadFile(path)
+	if string(data) != "1234" {
+		t.Fatalf("after truncate+crash: %q", data)
+	}
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage engine needs.  Disk files
+// are real *os.File; Injector files wrap them with failpoints.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface of the storage engine: every durable-path
+// operation the WAL, snapshotter, and recovery code perform.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making preceding renames and file
+	// creations in it durable (the POSIX rename-durability rule).
+	SyncDir(dir string) error
+}
+
+// Disk is the real filesystem: a pass-through to the os package.
+type Disk struct{}
+
+// Create implements FS.
+func (Disk) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (Disk) Open(name string) (File, error) { return os.Open(name) }
+
+// OpenFile implements FS.
+func (Disk) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (Disk) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (Disk) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (Disk) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (Disk) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements FS: open the directory and fsync it.
+func (Disk) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,483 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Injector is a fault-injecting FS.  Every operation passes through a
+// named failpoint (see Point) before reaching the base filesystem, so a
+// Registry can make any single I/O step fail, tear, or "crash the
+// process".
+//
+// Beyond failpoints, the Injector models what a real crash does to a
+// filesystem's volatile state:
+//
+//   - bytes written but not fsynced live in the kernel page cache and are
+//     lost: each file carries a durability watermark (its size at the
+//     last successful Sync), and Recover truncates the real file back to
+//     it;
+//   - a rename is not durable until the containing directory is fsynced:
+//     renames are tracked per directory and rolled back by Recover unless
+//     a SyncDir intervened.
+//
+// File creation and removal are treated as immediately durable — a mild
+// simplification (POSIX also requires a directory fsync for those) that
+// keeps the model small; the rename rule is the one the snapshot
+// protocol's correctness hinges on.
+//
+// After a crash (a fired Crash outcome, or an explicit Crash call) the
+// Injector freezes: every operation, including those on files opened
+// earlier, returns ErrCrashed until Recover is called.  This matters
+// because a simulated crash is a panic that unwinds through the engine's
+// defers — a dead process must not be able to "tidy up" the disk.
+type Injector struct {
+	base FS
+	reg  *Registry
+
+	mu      sync.Mutex
+	crashed bool
+	files   map[string]*trackedFile
+	renames []renameOp
+	open    map[*injFile]bool
+}
+
+// trackedFile is the injector's durability model of one file.
+type trackedFile struct {
+	synced int64 // size at last successful fsync
+}
+
+// renameOp records a rename pending directory fsync, with enough state
+// to roll it back.
+type renameOp struct {
+	dir      string
+	from, to string
+	hadOld   bool   // the destination existed
+	oldData  []byte // ... with this content
+}
+
+// NewInjector wraps base with failpoints from reg.  A nil reg never
+// fires (pure pass-through with crash-loss tracking).
+func NewInjector(base FS, reg *Registry) *Injector {
+	return &Injector{
+		base:  base,
+		reg:   reg,
+		files: make(map[string]*trackedFile),
+		open:  make(map[*injFile]bool),
+	}
+}
+
+// Registry returns the injector's failpoint registry.
+func (in *Injector) Registry() *Registry { return in.reg }
+
+// hit passes through the failpoint for (op, name).  It returns ErrCrashed
+// when frozen, otherwise the outcome to apply, if one fired.
+func (in *Injector) hit(op, name string) (Outcome, bool, error) {
+	in.mu.Lock()
+	crashed := in.crashed
+	in.mu.Unlock()
+	if crashed {
+		return Outcome{}, false, ErrCrashed
+	}
+	o, fired := in.reg.Hit(Point(op, name))
+	return o, fired, nil
+}
+
+// crashPanic freezes the injector and panics with the crash sentinel.
+func (in *Injector) crashPanic(point string) {
+	in.Crash()
+	panic(CrashError{Point: point})
+}
+
+// Crash freezes the injector, as if the process died now.  All
+// subsequent operations return ErrCrashed until Recover.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	in.crashed = true
+	in.mu.Unlock()
+}
+
+// Crashed reports whether the injector is frozen.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Recover applies crash-loss semantics to the real filesystem and
+// unfreezes the injector: open handles are discarded, un-fsynced renames
+// are rolled back (newest first), and every file is truncated to its
+// durability watermark.  The filesystem is then exactly what a process
+// restarting after the crash would observe.
+func (in *Injector) Recover() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for fl := range in.open {
+		fl.f.Close() // the handle died with the process
+	}
+	in.open = make(map[*injFile]bool)
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := len(in.renames) - 1; i >= 0; i-- {
+		rn := in.renames[i]
+		keep(in.base.Rename(rn.to, rn.from))
+		if rn.hadOld {
+			keep(writeWhole(in.base, rn.to, rn.oldData))
+		}
+		if tf := in.files[rn.to]; tf != nil {
+			in.files[rn.from] = tf
+			delete(in.files, rn.to)
+		}
+	}
+	in.renames = nil
+	for path, tf := range in.files {
+		f, err := in.base.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			continue // never became durable at this path
+		}
+		if st, err := f.Stat(); err == nil && st.Size() > tf.synced {
+			keep(f.Truncate(tf.synced))
+		}
+		keep(f.Close())
+	}
+	in.files = make(map[string]*trackedFile)
+	in.crashed = false
+	return firstErr
+}
+
+// writeWhole replaces the content of path via base.
+func writeWhole(base FS, path string, data []byte) error {
+	f, err := base.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// track records (or keeps) the durability watermark for path.
+func (in *Injector) track(path string, synced int64, fresh bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.files[path]; ok && !fresh {
+		return // keep the existing watermark
+	}
+	in.files[path] = &trackedFile{synced: synced}
+}
+
+// Create implements FS.
+func (in *Injector) Create(name string) (File, error) {
+	o, fired, err := in.hit(OpCreate, name)
+	if err != nil {
+		return nil, err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpCreate, name))
+		}
+		return nil, orInjected(o.Err)
+	}
+	f, err := in.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	in.track(name, 0, true)
+	return in.newFile(f, name), nil
+}
+
+// Open implements FS.
+func (in *Injector) Open(name string) (File, error) {
+	return in.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	o, fired, err := in.hit(OpOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpOpen, name))
+		}
+		return nil, orInjected(o.Err)
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	in.track(name, size, false)
+	return in.newFile(f, name), nil
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	o, fired, err := in.hit(OpReadFile, name)
+	if err != nil {
+		return nil, err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpReadFile, name))
+		}
+		return nil, orInjected(o.Err)
+	}
+	return in.base.ReadFile(name)
+}
+
+// Rename implements FS.  The rename is recorded as volatile until the
+// containing directory is fsynced.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	o, fired, err := in.hit(OpRename, oldpath)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpRename, oldpath))
+		}
+		return orInjected(o.Err)
+	}
+	rn := renameOp{dir: filepath.Dir(newpath), from: oldpath, to: newpath}
+	if data, err := in.base.ReadFile(newpath); err == nil {
+		rn.hadOld = true
+		rn.oldData = data
+	}
+	if err := in.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.renames = append(in.renames, rn)
+	if tf := in.files[oldpath]; tf != nil {
+		in.files[newpath] = tf
+		delete(in.files, oldpath)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	o, fired, err := in.hit(OpRemove, name)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpRemove, name))
+		}
+		return orInjected(o.Err)
+	}
+	err = in.base.Remove(name)
+	if err == nil {
+		in.mu.Lock()
+		delete(in.files, name)
+		in.mu.Unlock()
+	}
+	return err
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	o, fired, err := in.hit(OpMkdir, path)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpMkdir, path))
+		}
+		return orInjected(o.Err)
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS: on success, renames in dir become durable.
+func (in *Injector) SyncDir(dir string) error {
+	o, fired, err := in.hit(OpSyncDir, dir)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			in.crashPanic(Point(OpSyncDir, dir))
+		}
+		return orInjected(o.Err)
+	}
+	if err := in.base.SyncDir(dir); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	kept := in.renames[:0]
+	for _, rn := range in.renames {
+		if rn.dir != dir {
+			kept = append(kept, rn)
+		}
+	}
+	in.renames = kept
+	in.mu.Unlock()
+	return nil
+}
+
+func orInjected(err error) error {
+	if err == nil {
+		return ErrInjected
+	}
+	return err
+}
+
+// injFile wraps a base file with failpoints and watermark tracking.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (in *Injector) newFile(f File, name string) *injFile {
+	fl := &injFile{in: in, f: f, name: name}
+	in.mu.Lock()
+	in.open[fl] = true
+	in.mu.Unlock()
+	return fl
+}
+
+// Read implements File.
+func (fl *injFile) Read(p []byte) (int, error) {
+	o, fired, err := fl.in.hit(OpRead, fl.name)
+	if err != nil {
+		return 0, err
+	}
+	if fired {
+		if o.Crash {
+			fl.in.crashPanic(Point(OpRead, fl.name))
+		}
+		return 0, orInjected(o.Err)
+	}
+	return fl.f.Read(p)
+}
+
+// Write implements File.  A fired outcome with Partial > 0 writes that
+// fraction of p to the underlying file first — a torn write.
+func (fl *injFile) Write(p []byte) (int, error) {
+	o, fired, err := fl.in.hit(OpWrite, fl.name)
+	if err != nil {
+		return 0, err
+	}
+	if fired {
+		n := 0
+		if o.Partial > 0 {
+			n = int(o.Partial * float64(len(p)))
+			if n > len(p) {
+				n = len(p)
+			}
+			n, _ = fl.f.Write(p[:n])
+		}
+		if o.Crash {
+			fl.in.crashPanic(Point(OpWrite, fl.name))
+		}
+		return n, orInjected(o.Err)
+	}
+	return fl.f.Write(p)
+}
+
+// Seek implements File (no failpoint: seeks do not touch the medium).
+func (fl *injFile) Seek(offset int64, whence int) (int64, error) {
+	if fl.in.Crashed() {
+		return 0, ErrCrashed
+	}
+	return fl.f.Seek(offset, whence)
+}
+
+// Sync implements File.  On success the durability watermark advances to
+// the current file size.
+func (fl *injFile) Sync() error {
+	o, fired, err := fl.in.hit(OpSync, fl.name)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			fl.in.crashPanic(Point(OpSync, fl.name))
+		}
+		return orInjected(o.Err)
+	}
+	if err := fl.f.Sync(); err != nil {
+		return err
+	}
+	if st, err := fl.f.Stat(); err == nil {
+		fl.in.mu.Lock()
+		if tf := fl.in.files[fl.name]; tf != nil {
+			tf.synced = st.Size()
+		}
+		fl.in.mu.Unlock()
+	}
+	return nil
+}
+
+// Truncate implements File.  Truncation discards data irreversibly, so
+// the watermark can only move down.
+func (fl *injFile) Truncate(size int64) error {
+	o, fired, err := fl.in.hit(OpTruncate, fl.name)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			fl.in.crashPanic(Point(OpTruncate, fl.name))
+		}
+		return orInjected(o.Err)
+	}
+	if err := fl.f.Truncate(size); err != nil {
+		return err
+	}
+	fl.in.mu.Lock()
+	if tf := fl.in.files[fl.name]; tf != nil && tf.synced > size {
+		tf.synced = size
+	}
+	fl.in.mu.Unlock()
+	return nil
+}
+
+// Close implements File.
+func (fl *injFile) Close() error {
+	fl.in.mu.Lock()
+	crashed := fl.in.crashed
+	delete(fl.in.open, fl)
+	fl.in.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	o, fired, err := fl.in.hit(OpClose, fl.name)
+	if err != nil {
+		return err
+	}
+	if fired {
+		if o.Crash {
+			fl.in.crashPanic(Point(OpClose, fl.name))
+		}
+		return orInjected(o.Err)
+	}
+	return fl.f.Close()
+}
+
+// Stat implements File (no failpoint; used internally by the injector).
+func (fl *injFile) Stat() (os.FileInfo, error) { return fl.f.Stat() }
+
+// Name implements File.
+func (fl *injFile) Name() string { return fl.name }

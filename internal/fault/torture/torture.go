@@ -1,0 +1,91 @@
+// Package torture orchestrates crash-recovery torture runs over the
+// fault package: open the system under test on a fault-injecting
+// filesystem, arm one failpoint to crash the "process" at its nth hit,
+// run a workload, catch the crash, apply crash-loss semantics, and hand
+// control back so the caller can reopen and verify invariants.
+//
+// The harness is deliberately engine-agnostic: the storage package's
+// torture tests drive it against the WAL + snapshot engine, asserting
+// that committed transactions survive every crash, uncommitted work
+// never resurfaces, sequences stay monotonic, and indexes stay
+// consistent with the heap.
+package torture
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// Runner drives crash cycles against one fault-injecting filesystem.
+type Runner struct {
+	Reg *fault.Registry
+	FS  *fault.Injector
+
+	// Cycles counts completed crash-recovery cycles (a crash fired and
+	// Recover ran).  CrashesAt breaks the count down by failpoint.
+	Cycles    int
+	CrashesAt map[string]int
+
+	tb testing.TB
+}
+
+// New returns a Runner over a fresh registry and injector on the real
+// filesystem.
+func New(tb testing.TB) *Runner {
+	reg := fault.NewRegistry()
+	return &Runner{
+		Reg:       reg,
+		FS:        fault.NewInjector(fault.Disk{}, reg),
+		CrashesAt: make(map[string]int),
+		tb:        tb,
+	}
+}
+
+// CrashCycle arms point to crash the process at its nth hit (counting
+// from arming), runs body — one simulated process lifetime: open, work,
+// close — and reports what happened:
+//
+//   - crashed=true: the failpoint fired; crash-loss semantics have been
+//     applied to the filesystem and the injector is live again.  The
+//     caller should now reopen and verify.
+//   - crashed=false, err=nil: the workload ran to completion without
+//     reaching the nth hit — the caller has exhausted this failpoint.
+//   - err != nil: body failed for a non-crash reason (a real bug).
+//
+// Write-path crashes tear the final write: a deterministic fraction of
+// the buffer (varying with nth) reaches the file before the crash, so
+// recovery is also exercised against partial records.
+func (r *Runner) CrashCycle(point string, nth int, body func() error) (crashed bool, err error) {
+	r.Reg.Arm(point, nth, fault.Outcome{Crash: true, Partial: float64(nth%4) * 0.25})
+	defer r.Reg.Disarm(point)
+
+	crashed, err = r.runRecovering(body)
+	if crashed {
+		if rerr := r.FS.Recover(); rerr != nil {
+			r.tb.Fatalf("torture: filesystem recovery after crash at %s (hit %d): %v", point, nth, rerr)
+		}
+		r.Cycles++
+		r.CrashesAt[point]++
+	}
+	return crashed, err
+}
+
+// runRecovering runs body, converting a CrashError panic into
+// crashed=true and re-panicking on any other panic.
+func (r *Runner) runRecovering(body func() error) (crashed bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := fault.AsCrash(v); !ok {
+				panic(v)
+			}
+			crashed = true
+			err = nil
+		}
+	}()
+	return false, body()
+}
+
+// Hits returns how many times the workload passes point when no fault is
+// armed; useful for sizing nth sweeps.
+func (r *Runner) Hits(point string) int { return r.Reg.Hits(point) }

@@ -83,14 +83,22 @@ func (m *MDM) Close() error { return m.Store.Close() }
 func (m *MDM) Checkpoint() error { return m.Store.Checkpoint() }
 
 // Session is one client connection: a QUEL workspace plus DDL access.
+// Sessions self-heal: statements that lose a deadlock or time out on a
+// lock wait are retried transparently with backoff (see retry.go), so
+// clients see serializable results instead of raw txn errors.
 type Session struct {
-	mdm  *MDM
-	quel *quel.Session
+	mdm    *MDM
+	quel   *quel.Session
+	policy RetryPolicy
+
+	statements uint64
+	retries    uint64
+	exhausted  uint64
 }
 
-// NewSession opens a client session.
+// NewSession opens a client session with the default retry policy.
 func (m *MDM) NewSession() *Session {
-	return &Session{mdm: m, quel: quel.NewSession(m.Model)}
+	return &Session{mdm: m, quel: quel.NewSession(m.Model), policy: DefaultRetryPolicy}
 }
 
 // ddlKeywords begin DDL statements.
@@ -104,6 +112,16 @@ func (s *Session) Exec(src string) (string, error) {
 	if trimmed == "" {
 		return "", nil
 	}
+	var out string
+	err := s.withRetry(func() error {
+		var err error
+		out, err = s.execOnce(trimmed)
+		return err
+	})
+	return out, err
+}
+
+func (s *Session) execOnce(trimmed string) (string, error) {
 	first := strings.ToLower(firstWord(trimmed))
 	for _, kw := range ddlKeywords {
 		if first == kw {
@@ -125,9 +143,16 @@ func (s *Session) Exec(src string) (string, error) {
 }
 
 // Query executes QUEL and returns the structured result (for clients
-// that process rows programmatically rather than as text).
+// that process rows programmatically rather than as text).  Like Exec,
+// transient transaction failures are retried per the session policy.
 func (s *Session) Query(src string) (*quel.Result, error) {
-	return s.quel.Exec(src)
+	var res *quel.Result
+	err := s.withRetry(func() error {
+		var err error
+		res, err = s.quel.Exec(src)
+		return err
+	})
+	return res, err
 }
 
 func firstWord(s string) string {

@@ -1,0 +1,119 @@
+package mdm
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// RetryPolicy bounds the automatic retry of transient transaction
+// failures (deadlock victims, lock-wait timeouts).  Each retry sleeps a
+// capped exponential backoff with jitter so colliding clients desynchronize
+// instead of re-deadlocking in lockstep.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries, including the first
+	BaseDelay   time.Duration // backoff before the first retry
+	MaxDelay    time.Duration // backoff cap
+}
+
+// DefaultRetryPolicy suits interactive clients: quick first retries (a
+// deadlock victim usually succeeds immediately once the other side
+// commits), bounded total stall.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 8,
+	BaseDelay:   500 * time.Microsecond,
+	MaxDelay:    50 * time.Millisecond,
+}
+
+// SessionStats counts a session's statements and retry activity.
+type SessionStats struct {
+	Statements uint64 // statements executed
+	Retries    uint64 // transparent re-executions after a transient error
+	Exhausted  uint64 // statements that failed even after all attempts
+}
+
+// Stats returns a snapshot of the session's retry counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Statements: atomic.LoadUint64(&s.statements),
+		Retries:    atomic.LoadUint64(&s.retries),
+		Exhausted:  atomic.LoadUint64(&s.exhausted),
+	}
+}
+
+// SetRetryPolicy replaces the session's retry policy (not concurrency-safe
+// with in-flight statements; configure before use).
+func (s *Session) SetRetryPolicy(p RetryPolicy) { s.policy = p }
+
+// transient reports whether err is worth retrying: the transaction was
+// aborted cleanly (deadlock victim or lock-wait timeout) and a re-run has
+// every chance of succeeding.
+func transient(err error) bool {
+	return errors.Is(err, txn.ErrDeadlock) || errors.Is(err, txn.ErrTimeout)
+}
+
+// withRetry runs fn, transparently retrying transient failures per the
+// session policy.  Statement execution is statement-atomic (the model
+// layer runs each statement in its own transaction, fully aborted on a
+// transient error), so re-running is safe.
+func (s *Session) withRetry(fn func() error) error {
+	atomic.AddUint64(&s.statements, 1)
+	attempts := s.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			atomic.AddUint64(&s.retries, 1)
+			time.Sleep(s.policy.backoff(attempt))
+		}
+		if err = fn(); err == nil || !transient(err) {
+			return err
+		}
+	}
+	atomic.AddUint64(&s.exhausted, 1)
+	return err
+}
+
+// backoff returns the sleep before retry number attempt (1-based):
+// exponential in the attempt, capped, with ±50% jitter.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(int64(d))) //nolint:gosec // jitter, not crypto
+}
+
+// Health describes the manager's availability for new work.
+type Health struct {
+	ReadOnly bool  // degraded: mutations refused, reads still served
+	Cause    error // the I/O failure that degraded the store, if any
+}
+
+// Health reports whether the underlying store has degraded to read-only
+// mode (fsyncgate: a failed WAL fsync poisons the log and the store stops
+// accepting writes rather than acknowledging unrecoverable commits).
+func (m *MDM) Health() Health {
+	cause := m.Store.ReadOnlyCause()
+	return Health{ReadOnly: cause != nil, Cause: cause}
+}
+
+// ErrReadOnly re-exports the store's degraded-mode sentinel so clients
+// can match it without importing the storage layer.
+var ErrReadOnly = storage.ErrReadOnly

@@ -3,10 +3,11 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wal"
@@ -27,12 +28,21 @@ type Options struct {
 	// NoWAL disables logging entirely (used by the ablation benchmarks
 	// that measure WAL overhead).  Implies no durability.
 	NoWAL bool
+	// FS is the filesystem the engine performs durable I/O through.
+	// Nil means the real filesystem; tests substitute a fault.Injector
+	// to exercise crash recovery.
+	FS fault.FS
+	// LockWaitTimeout bounds how long a transaction waits for a lock
+	// before receiving txn.ErrTimeout (retried like a deadlock victim).
+	// Zero waits indefinitely, relying on deadlock detection alone.
+	LockWaitTimeout time.Duration
 }
 
 // DB is the storage engine: a set of relations plus the transaction
 // machinery (locks, log, snapshots).
 type DB struct {
 	opts Options
+	fs   fault.FS
 
 	mu        sync.RWMutex
 	relations map[string]*Relation
@@ -44,21 +54,37 @@ type DB struct {
 
 	seqMu sync.Mutex
 	seqs  map[string]uint64
+
+	stateMu sync.Mutex
+	roCause error // non-nil: degraded read-only, with the poisoning cause
 }
 
 // ErrClosed is returned by operations on a closed database.
 var ErrClosed = errors.New("storage: database is closed")
 
+// ErrReadOnly is returned by mutating operations after the database has
+// degraded to read-only mode.  Degradation happens when the WAL is
+// poisoned (a failed append or fsync): the durable prefix of the log is
+// then ambiguous, and accepting further writes could acknowledge
+// transactions that can never be made durable.  Reads keep working;
+// reopening the database recovers from the durable state on disk.
+var ErrReadOnly = errors.New("storage: database is read-only (degraded after I/O failure)")
+
 // Open opens or creates a database with the given options.  If a snapshot
 // and log exist in opts.Dir, the database state is recovered from them.
 func Open(opts Options) (*DB, error) {
+	if opts.FS == nil {
+		opts.FS = fault.Disk{}
+	}
 	db := &DB{
 		opts:      opts,
+		fs:        opts.FS,
 		relations: make(map[string]*Relation),
 		locks:     txn.NewLockManager(),
 		ids:       txn.NewIDSource(0),
 		seqs:      make(map[string]uint64),
 	}
+	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	if opts.Dir == "" || opts.NoWAL {
 		if opts.Dir != "" {
 			if err := db.recover(); err != nil {
@@ -67,13 +93,13 @@ func Open(opts Options) (*DB, error) {
 		}
 		return db, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
 	if err := db.recover(); err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(db.logPath())
+	log, err := wal.OpenFS(db.fs, db.logPath())
 	if err != nil {
 		return nil, err
 	}
@@ -81,11 +107,44 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
+// degrade puts the database into read-only mode with the given cause.
+// Only the first cause is kept.
+func (db *DB) degrade(cause error) {
+	db.stateMu.Lock()
+	if db.roCause == nil {
+		db.roCause = cause
+	}
+	db.stateMu.Unlock()
+}
+
+// ReadOnly reports whether the database has degraded to read-only mode.
+func (db *DB) ReadOnly() bool { return db.ReadOnlyCause() != nil }
+
+// ReadOnlyCause returns the error that degraded the database, or nil.
+func (db *DB) ReadOnlyCause() error {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.roCause
+}
+
+// writable returns an ErrReadOnly-wrapped error when degraded.
+func (db *DB) writable() error {
+	if cause := db.ReadOnlyCause(); cause != nil {
+		return fmt.Errorf("%w: %v", ErrReadOnly, cause)
+	}
+	return nil
+}
+
 func (db *DB) logPath() string      { return filepath.Join(db.opts.Dir, "mdm.wal") }
 func (db *DB) snapshotPath() string { return filepath.Join(db.opts.Dir, "mdm.snapshot") }
 
 // recover loads the snapshot (if any) and replays the committed suffix of
 // the log on top of it.
+//
+// Replay is idempotent: a crash between the checkpoint's snapshot rename
+// and its log truncation leaves a log whose records are already in the
+// snapshot, so re-applying an insert over an existing row (or a delete
+// of an absent one) must converge on the logged state, not fail.
 func (db *DB) recover() error {
 	if db.opts.Dir == "" {
 		return nil
@@ -93,7 +152,7 @@ func (db *DB) recover() error {
 	if err := db.loadSnapshot(db.snapshotPath()); err != nil {
 		return err
 	}
-	return wal.Replay(db.logPath(), func(r *wal.Record) error {
+	return wal.ReplayFS(db.fs, db.logPath(), func(r *wal.Record) error {
 		switch r.Type {
 		case wal.RecCreateRelation:
 			if db.relations[r.Relation] != nil {
@@ -128,12 +187,23 @@ func (db *DB) recover() error {
 		}
 		switch r.Type {
 		case wal.RecInsert:
+			if _, ok := rel.get(r.RowID); ok {
+				_, err := rel.updateRow(r.RowID, r.New)
+				return err
+			}
 			_, err := rel.insertRow(r.RowID, r.New)
 			return err
 		case wal.RecDelete:
+			if _, ok := rel.get(r.RowID); !ok {
+				return nil
+			}
 			_, err := rel.deleteRow(r.RowID)
 			return err
 		case wal.RecUpdate:
+			if _, ok := rel.get(r.RowID); !ok {
+				_, err := rel.insertRow(r.RowID, r.New)
+				return err
+			}
 			_, err := rel.updateRow(r.RowID, r.New)
 			return err
 		}
@@ -146,6 +216,9 @@ func (db *DB) recover() error {
 // DDL.  The definition is logged (RecCreateRelation) so relations
 // created after the last checkpoint survive a crash.
 func (db *DB) CreateRelation(name string, schema *value.Schema) (*Relation, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	if _, exists := db.relations[name]; exists {
 		db.mu.Unlock()
@@ -154,7 +227,12 @@ func (db *DB) CreateRelation(name string, schema *value.Schema) (*Relation, erro
 	rel := newRelation(name, schema)
 	db.relations[name] = rel
 	db.mu.Unlock()
-	db.appendLog(&wal.Record{Type: wal.RecCreateRelation, Relation: name, New: encodeSchema(schema)})
+	if err := db.appendLog(&wal.Record{Type: wal.RecCreateRelation, Relation: name, New: encodeSchema(schema)}); err != nil {
+		db.mu.Lock()
+		delete(db.relations, name)
+		db.mu.Unlock()
+		return nil, err
+	}
 	return rel, nil
 }
 
@@ -207,14 +285,23 @@ func decodeIndexSpec(t value.Tuple) (IndexSpec, error) {
 // DropRelation removes a relation and its data.  Like creation, the
 // drop is logged for crash recovery.
 func (db *DB) DropRelation(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
-	if _, exists := db.relations[name]; !exists {
+	rel, exists := db.relations[name]
+	if !exists {
 		db.mu.Unlock()
 		return fmt.Errorf("storage: no relation %q", name)
 	}
 	delete(db.relations, name)
 	db.mu.Unlock()
-	db.appendLog(&wal.Record{Type: wal.RecDropRelation, Relation: name})
+	if err := db.appendLog(&wal.Record{Type: wal.RecDropRelation, Relation: name}); err != nil {
+		db.mu.Lock()
+		db.relations[name] = rel
+		db.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -240,6 +327,9 @@ func (db *DB) Relations() []string {
 // The definition is logged so indexes created after the last checkpoint
 // survive a crash.
 func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	rel := db.Relation(relName)
 	if rel == nil {
 		return fmt.Errorf("storage: no relation %q", relName)
@@ -247,7 +337,10 @@ func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
 	if err := rel.addIndex(spec); err != nil {
 		return err
 	}
-	db.appendLog(&wal.Record{Type: wal.RecCreateIndex, Relation: relName, New: encodeIndexSpec(spec)})
+	if err := db.appendLog(&wal.Record{Type: wal.RecCreateIndex, Relation: relName, New: encodeIndexSpec(spec)}); err != nil {
+		rel.dropIndex(spec.Name)
+		return err
+	}
 	return nil
 }
 
@@ -273,12 +366,21 @@ func (db *DB) BumpSeq(name string, floor uint64) {
 
 // Checkpoint writes a full snapshot and truncates the log.  All committed
 // work becomes durable in the snapshot.
+//
+// Failure handling: a failed snapshot write leaves the previous
+// snapshot + full log intact (the checkpoint simply did not happen); a
+// failed log sync or truncation poisons the WAL and degrades the
+// database, because the log's durable state is then unknown.
 func (db *DB) Checkpoint() error {
 	if db.opts.Dir == "" {
 		return nil
 	}
+	if err := db.writable(); err != nil {
+		return err
+	}
 	if db.log != nil {
 		if err := db.log.Sync(); err != nil {
+			db.degrade(err)
 			return err
 		}
 	}
@@ -286,7 +388,16 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	if db.log != nil {
-		return db.log.Reset()
+		if err := db.log.Reset(); err != nil {
+			db.degrade(err)
+			return err
+		}
+		// Make the truncation durable at the directory level too, so
+		// the snapshot+empty-log pair is what any post-crash open sees.
+		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+			db.degrade(err)
+			return err
+		}
 	}
 	return nil
 }
@@ -296,16 +407,28 @@ func (db *DB) Sync() error {
 	if db.log == nil {
 		return nil
 	}
-	return db.log.Sync()
+	if err := db.log.Sync(); err != nil {
+		db.degrade(err)
+		return err
+	}
+	return nil
 }
 
-// Close checkpoints (if durable) and closes the database.
+// Close checkpoints (if durable and healthy) and closes the database.  A
+// degraded database skips the checkpoint — its WAL is poisoned and the
+// in-memory state must not be trusted onto disk — and reports the cause.
 func (db *DB) Close() error {
 	if db.log == nil {
 		return nil
 	}
+	if cause := db.ReadOnlyCause(); cause != nil {
+		db.log.Close()
+		db.log = nil
+		return fmt.Errorf("%w: %v", ErrReadOnly, cause)
+	}
 	if err := db.Checkpoint(); err != nil {
 		db.log.Close()
+		db.log = nil
 		return err
 	}
 	err := db.log.Close()
@@ -316,7 +439,7 @@ func (db *DB) Close() error {
 // maybeCheckpoint runs an automatic checkpoint if the log has outgrown
 // the configured threshold.
 func (db *DB) maybeCheckpoint() error {
-	if db.log == nil || db.opts.CheckpointBytes <= 0 {
+	if db.log == nil || db.opts.CheckpointBytes <= 0 || db.ReadOnly() {
 		return nil
 	}
 	if db.log.Size() < db.opts.CheckpointBytes {

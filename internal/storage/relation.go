@@ -11,6 +11,7 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -237,6 +238,53 @@ func (r *Relation) scan(fn func(id RowID, t value.Tuple) bool) {
 			return
 		}
 	}
+}
+
+// dropIndex removes the named index (used to back out an index whose
+// creation could not be logged).
+func (r *Relation) dropIndex(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, ix := range r.indexes {
+		if ix.spec.Name == name {
+			r.indexes = append(r.indexes[:i], r.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
+// CheckIndexes verifies that every secondary index agrees exactly with
+// the heap: same cardinality, every entry pointing at a live row, every
+// key matching the row it indexes, and the underlying B-tree structurally
+// sound.  Used by the crash-recovery torture harness after every reopen.
+func (r *Relation) CheckIndexes() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ix := range r.indexes {
+		if err := ix.tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("storage: %s index %q: %w", r.name, ix.spec.Name, err)
+		}
+		if got, want := ix.tree.Len(), len(r.rows); got != want {
+			return fmt.Errorf("storage: %s index %q: %d entries for %d rows", r.name, ix.spec.Name, got, want)
+		}
+		var bad error
+		ix.tree.Ascend(nil, nil, func(key []byte, id uint64) bool {
+			t, ok := r.rows[id]
+			if !ok {
+				bad = fmt.Errorf("storage: %s index %q: entry for dead row %d", r.name, ix.spec.Name, id)
+				return false
+			}
+			if want := ix.key(id, t); !bytes.Equal(key, want) {
+				bad = fmt.Errorf("storage: %s index %q: stale key for row %d", r.name, ix.spec.Name, id)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
 }
 
 // findIndex returns the index with the given name.

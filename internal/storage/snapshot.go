@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/value"
@@ -33,14 +34,18 @@ func appendString(dst []byte, s string) []byte {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// writeSnapshot writes the full database image atomically.
+// writeSnapshot writes the full database image atomically: temp file,
+// fsync, rename over the old snapshot, fsync of the directory.  The
+// final directory fsync is what makes the rename itself durable — a
+// crash before it may legally yield the previous snapshot, which is why
+// the log is only truncated after this function returns.
 func (db *DB) writeSnapshot(path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := db.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("storage: snapshot: %w", err)
 	}
-	defer os.Remove(tmp)
+	defer db.fs.Remove(tmp)
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.WriteString(snapshotMagic); err != nil {
 		f.Close()
@@ -154,13 +159,16 @@ func (db *DB) writeSnapshot(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := db.fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return db.fs.SyncDir(filepath.Dir(path))
 }
 
 // loadSnapshot restores the database image from path.  A missing file is
 // an empty database.
 func (db *DB) loadSnapshot(path string) error {
-	data, err := os.ReadFile(path)
+	data, err := db.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}

@@ -42,28 +42,33 @@ type undoRec struct {
 // ErrTxDone is returned by operations on a committed or aborted Tx.
 var ErrTxDone = errors.New("storage: transaction already finished")
 
-// Begin starts a new transaction.
+// Begin starts a new transaction.  If the database is degraded the
+// BEGIN record is not logged; the transaction can still read, and any
+// write will fail with ErrReadOnly.
 func (db *DB) Begin() *Tx {
 	tx := &Tx{db: db, id: db.ids.Next()}
-	db.appendLog(&wal.Record{Type: wal.RecBegin, TxID: tx.id})
+	_ = db.appendLog(&wal.Record{Type: wal.RecBegin, TxID: tx.id})
 	return tx
 }
 
-// appendLog writes a record to the WAL if logging is enabled.
-func (db *DB) appendLog(r *wal.Record) {
+// appendLog writes a record to the WAL if logging is enabled.  A failed
+// append poisons the log (wal keeps the sticky error) and degrades the
+// database to read-only; the caller must undo any in-memory change the
+// record was describing.
+func (db *DB) appendLog(r *wal.Record) error {
 	if db.log == nil {
-		return
+		return nil
+	}
+	if err := db.writable(); err != nil {
+		return err
 	}
 	db.logMu.Lock() // serialize appends; the log buffer is not concurrent-safe
 	defer db.logMu.Unlock()
 	if _, err := db.log.Append(r); err != nil {
-		// A failed log append leaves the in-memory state untouched for
-		// data ops (callers append before applying); surfacing the
-		// error everywhere would complicate every call site for a
-		// condition (disk full) the engine cannot repair.  Panic, as an
-		// embedded engine's invariant violation.
-		panic(fmt.Sprintf("storage: WAL append failed: %v", err))
+		db.degrade(err)
+		return fmt.Errorf("storage: wal append: %w", err)
 	}
+	return nil
 }
 
 // ID returns the transaction identifier.
@@ -118,7 +123,10 @@ func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
 	if err != nil {
 		return 0, err
 	}
-	tx.db.appendLog(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt})
+	if err := tx.db.appendLog(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt}); err != nil {
+		r.deleteRow(id) //nolint:errcheck // compensating an unlogged insert
+		return 0, err
+	}
 	tx.undo = append(tx.undo, undoRec{op: undoInsert, rel: relName, id: id})
 	return id, nil
 }
@@ -139,7 +147,10 @@ func (tx *Tx) Delete(relName string, id RowID) error {
 	if err != nil {
 		return err
 	}
-	tx.db.appendLog(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old})
+	if err := tx.db.appendLog(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old}); err != nil {
+		r.insertRow(id, old) //nolint:errcheck // compensating an unlogged delete
+		return err
+	}
 	tx.undo = append(tx.undo, undoRec{op: undoDelete, rel: relName, id: id, old: old})
 	return nil
 }
@@ -164,7 +175,10 @@ func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
 	if err != nil {
 		return err
 	}
-	tx.db.appendLog(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt})
+	if err := tx.db.appendLog(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt}); err != nil {
+		r.updateRow(id, old) //nolint:errcheck // compensating an unlogged update
+		return err
+	}
 	tx.undo = append(tx.undo, undoRec{op: undoUpdate, rel: relName, id: id, old: old})
 	return nil
 }
@@ -280,16 +294,38 @@ func (tx *Tx) IndexPrefixScan(relName, indexName string, vals value.Tuple, fn fu
 }
 
 // Commit makes the transaction's effects permanent and releases its locks.
+//
+// If the COMMIT record cannot be appended, the transaction never reached
+// the log: its in-memory effects are rolled back and the error returned.
+// If the record is appended but the commit fsync fails (SyncCommits),
+// the outcome is ambiguous — the record may or may not be on stable
+// storage — so the in-memory state keeps the commit, the database
+// degrades to read-only, and the error tells the client durability is
+// unknown; a restart resolves it from whatever the disk actually holds.
 func (tx *Tx) Commit() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tx.done = true
-	tx.db.appendLog(&wal.Record{Type: wal.RecCommit, TxID: tx.id})
+	if len(tx.undo) == 0 {
+		// Read-only transaction: nothing to make durable, so no COMMIT
+		// record and no fsync — and no reason to fail on a degraded
+		// (read-only) database.
+		tx.db.locks.ReleaseAll(tx.id)
+		return nil
+	}
+	if err := tx.db.appendLog(&wal.Record{Type: wal.RecCommit, TxID: tx.id}); err != nil {
+		tx.rollbackMemory()
+		tx.db.locks.ReleaseAll(tx.id)
+		tx.undo = nil
+		return err
+	}
 	if tx.db.opts.SyncCommits && tx.db.log != nil {
 		if err := tx.db.log.Sync(); err != nil {
+			tx.db.degrade(err)
 			tx.db.locks.ReleaseAll(tx.id)
-			return err
+			tx.undo = nil
+			return fmt.Errorf("storage: commit %d durability unknown: %w", tx.id, err)
 		}
 	}
 	tx.db.locks.ReleaseAll(tx.id)
@@ -297,13 +333,9 @@ func (tx *Tx) Commit() error {
 	return tx.db.maybeCheckpoint()
 }
 
-// Abort rolls back the transaction's in-memory effects (in reverse
-// order), logs the abort, and releases its locks.
-func (tx *Tx) Abort() {
-	if tx.done {
-		return
-	}
-	tx.done = true
+// rollbackMemory undoes the transaction's in-memory effects in reverse
+// order.
+func (tx *Tx) rollbackMemory() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
 		r := tx.db.Relation(u.rel)
@@ -319,13 +351,27 @@ func (tx *Tx) Abort() {
 			r.updateRow(u.id, u.old) //nolint:errcheck
 		}
 	}
-	tx.db.appendLog(&wal.Record{Type: wal.RecAbort, TxID: tx.id})
+}
+
+// Abort rolls back the transaction's in-memory effects (in reverse
+// order), logs the abort, and releases its locks.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.rollbackMemory()
+	if len(tx.undo) > 0 {
+		_ = tx.db.appendLog(&wal.Record{Type: wal.RecAbort, TxID: tx.id}) // redo-only recovery ignores unfinished txns anyway
+	}
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.undo = nil
 }
 
 // Run executes fn inside a transaction, committing on nil error and
-// aborting otherwise.  Deadlock victims are retried up to three times.
+// aborting otherwise.  Deadlock victims and lock-wait timeouts are
+// retried up to three times; client layers (mdm.Session) add further
+// retry with backoff on top.
 func (db *DB) Run(fn func(tx *Tx) error) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -335,7 +381,7 @@ func (db *DB) Run(fn func(tx *Tx) error) error {
 			return tx.Commit()
 		}
 		tx.Abort()
-		if !errors.Is(err, txn.ErrDeadlock) {
+		if !errors.Is(err, txn.ErrDeadlock) && !errors.Is(err, txn.ErrTimeout) {
 			return err
 		}
 		lastErr = err

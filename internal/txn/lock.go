@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -61,6 +62,10 @@ type LockManager struct {
 	locks map[string]*lockState
 	// waitsFor[a][b] means transaction a waits for a lock held by b.
 	waitsFor map[uint64]map[uint64]bool
+	// waitTimeout bounds how long Acquire blocks; zero waits forever.
+	// Timeouts are the backstop for stalls the waits-for graph cannot
+	// see (e.g. a client that holds locks but never finishes).
+	waitTimeout time.Duration
 }
 
 // NewLockManager returns an empty lock manager.
@@ -103,13 +108,60 @@ func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
 		m.mu.Unlock()
 		return ErrDeadlock
 	}
+	timeout := m.waitTimeout
 	m.mu.Unlock()
 
-	err := <-w.ready
+	if timeout <= 0 {
+		err := <-w.ready
+		m.mu.Lock()
+		m.clearWaitEdges(tx)
+		m.mu.Unlock()
+		return err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		m.mu.Lock()
+		m.clearWaitEdges(tx)
+		m.mu.Unlock()
+		return err
+	case <-timer.C:
+	}
+	// The grant races the timer: grants happen under m.mu, so once we
+	// hold it the outcome is settled — either the ready channel has a
+	// verdict (take it) or we are still queued (dequeue and time out).
 	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case err := <-w.ready:
+		m.clearWaitEdges(tx)
+		return err
+	default:
+	}
+	m.removeWaiter(ls, w)
 	m.clearWaitEdges(tx)
+	// Waiters queued behind the departed request may have been blocked
+	// only by FIFO order (e.g. readers behind a timed-out writer).
+	m.grantWaiters(ls)
+	return ErrTimeout
+}
+
+// SetWaitTimeout bounds future Acquire waits; d <= 0 restores unbounded
+// waiting.  A timed-out waiter receives ErrTimeout, which callers treat
+// like a deadlock victim: abort, release, retry.
+func (m *LockManager) SetWaitTimeout(d time.Duration) {
+	m.mu.Lock()
+	m.waitTimeout = d
 	m.mu.Unlock()
-	return err
+}
+
+// WaitTimeout returns the current lock-wait timeout (zero = unbounded).
+func (m *LockManager) WaitTimeout() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waitTimeout
 }
 
 // grantable reports whether tx may be granted mode on ls right now.

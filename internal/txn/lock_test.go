@@ -296,3 +296,133 @@ func BenchmarkContendedAcquire(b *testing.B) {
 		}
 	})
 }
+
+func TestWaitTimeout(t *testing.T) {
+	m := NewLockManager()
+	m.SetWaitTimeout(50 * time.Millisecond)
+	if d := m.WaitTimeout(); d != 50*time.Millisecond {
+		t.Fatalf("WaitTimeout = %v", d)
+	}
+	m.Acquire(1, "R", Exclusive)
+	start := time.Now()
+	if err := m.Acquire(2, "R", Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("timed out early")
+	}
+	// The timed-out waiter must leave no trace: after the holder
+	// releases, a fresh request is granted instantly and state is clean.
+	m.ReleaseAll(1)
+	if err := m.Acquire(3, "R", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+	if r, w := m.Stats(); r != 0 || w != 0 {
+		t.Fatalf("leaked lock state: %d resources, %d waiters", r, w)
+	}
+}
+
+func TestTimeoutUnblocksQueuedReaders(t *testing.T) {
+	// T1 holds S.  T2 queues for X and will time out; T3's S request is
+	// queued behind T2 purely by FIFO order.  When T2's wait expires the
+	// manager must re-grant the queue, releasing T3 before its own
+	// deadline — a dequeued waiter must not keep blocking those behind it.
+	m := NewLockManager()
+	m.SetWaitTimeout(150 * time.Millisecond)
+	m.Acquire(1, "R", Shared)
+	xDone := make(chan error, 1)
+	go func() { xDone <- m.Acquire(2, "R", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	sDone := make(chan error, 1)
+	go func() { sDone <- m.Acquire(3, "R", Shared) }()
+	if err := <-xDone; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("writer: want ErrTimeout, got %v", err)
+	}
+	select {
+	case err := <-sDone:
+		if err != nil {
+			t.Fatalf("reader behind timed-out writer: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader still blocked after writer timed out")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(3)
+}
+
+func TestTimeoutVsVictimOrdering(t *testing.T) {
+	// A genuine waits-for cycle must be answered by immediate deadlock
+	// detection, not by waiting out the (much longer) lock timeout; a
+	// plain conflict with no cycle must time out, never report deadlock.
+	m := NewLockManager()
+	m.SetWaitTimeout(5 * time.Second)
+	m.Acquire(1, "A", Exclusive)
+	m.Acquire(2, "B", Exclusive)
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.Acquire(1, "B", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	err := m.Acquire(2, "A", Exclusive) // closes the cycle: 2 is the victim
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cycle: want ErrDeadlock, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadlock answered by timeout instead of detection")
+	}
+	m.ReleaseAll(2) // victim aborts; T1 now gets B
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+
+	// No cycle: a short timeout expires with ErrTimeout.
+	m.SetWaitTimeout(40 * time.Millisecond)
+	if err := m.Acquire(3, "A", Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("plain conflict: want ErrTimeout, got %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestFIFOFairnessUnderContention(t *testing.T) {
+	// A writer queued into a continuous stream of overlapping readers
+	// must be granted once the readers present at queue time drain —
+	// FIFO ordering makes later readers wait behind it, so the writer
+	// cannot starve no matter how fast new readers arrive.
+	m := NewLockManager()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(1000*(g+1) + i)
+				if err := m.Acquire(id, "R", Shared); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				m.ReleaseAll(id)
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond) // readers are flowing
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Acquire(1, "R", Exclusive) }()
+	select {
+	case err := <-writerDone:
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer starved by reader stream")
+	}
+	m.ReleaseAll(1)
+	close(stop)
+	wg.Wait()
+}

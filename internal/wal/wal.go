@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/value"
 )
 
@@ -162,23 +163,36 @@ func decodeMaybeTuple(buf []byte, pos int) (value.Tuple, int, error) {
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log is an append-only write-ahead log backed by a single file.
+//
+// The log is fail-stop: after any I/O error (a failed append flush or —
+// critically — a failed fsync), it poisons itself and every subsequent
+// Append/Sync/Reset returns the sticky first error.  A failed fsync
+// leaves the kernel page state unknowable (the error may have been
+// reported once and the dirty pages dropped), so continuing to append
+// past it would build durable-looking records on an undurable prefix;
+// the only safe recovery is to reopen and rescan (fsyncgate semantics).
 type Log struct {
+	fs   fault.FS
 	path string
-	f    *os.File
+	f    fault.File
 	w    *bufio.Writer
 	off  int64 // current end offset (next LSN)
 	buf  []byte
+	err  error // sticky poison; nil while healthy
 }
 
-// Open opens (creating if necessary) the log at path.  The returned log
-// is positioned at the end of the existing valid records; a torn tail
-// left by a crash is truncated away.
-func Open(path string) (*Log, error) {
-	end, err := validPrefix(path)
+// Open opens (creating if necessary) the log at path on the real
+// filesystem.  The returned log is positioned at the end of the existing
+// valid records; a torn tail left by a crash is truncated away.
+func Open(path string) (*Log, error) { return OpenFS(fault.Disk{}, path) }
+
+// OpenFS is Open over an explicit filesystem (fault injection point).
+func OpenFS(fs fault.FS, path string) (*Log, error) {
+	end, err := validPrefix(fs, path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -190,13 +204,24 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 64<<10), off: end}, nil
+	return &Log{fs: fs, path: path, f: f, w: bufio.NewWriterSize(f, 64<<10), off: end}, nil
 }
+
+// poison records the first I/O failure and returns the sticky error.
+func (l *Log) poison(op string, err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %s: %w", op, err)
+	}
+	return l.err
+}
+
+// Err returns the poisoning error, or nil while the log is healthy.
+func (l *Log) Err() error { return l.err }
 
 // validPrefix scans the file and returns the byte offset of the end of the
 // last complete, checksum-valid record.
-func validPrefix(path string) (int64, error) {
-	f, err := os.Open(path)
+func validPrefix(fs fault.FS, path string) (int64, error) {
+	f, err := fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
@@ -229,7 +254,11 @@ func validPrefix(path string) (int64, error) {
 
 // Append writes a record to the log buffer and returns its LSN (the byte
 // offset at which it begins).  The record is durable only after Sync.
+// A poisoned log refuses to append.
 func (l *Log) Append(r *Record) (int64, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
 	l.buf = l.buf[:0]
 	l.buf = r.encode(l.buf)
 	var hdr [8]byte
@@ -237,23 +266,28 @@ func (l *Log) Append(r *Record) (int64, error) {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(l.buf, castagnoli))
 	lsn := l.off
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		return 0, l.poison("append", err)
 	}
 	if _, err := l.w.Write(l.buf); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		return 0, l.poison("append", err)
 	}
 	l.off += 8 + int64(len(l.buf))
 	return lsn, nil
 }
 
 // Sync flushes buffered records and fsyncs the file, making all appended
-// records durable.
+// records durable.  A flush or fsync failure poisons the log: the write
+// may or may not have reached stable storage, and no further appends are
+// accepted over that ambiguity.
 func (l *Log) Sync() error {
+	if l.err != nil {
+		return l.err
+	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+		return l.poison("flush", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return l.poison("fsync", err)
 	}
 	return nil
 }
@@ -262,24 +296,36 @@ func (l *Log) Sync() error {
 func (l *Log) Size() int64 { return l.off }
 
 // Reset truncates the log to empty.  Called after a checkpoint snapshot
-// has been made durable.
+// has been made durable.  Any failure poisons the log (the on-disk state
+// is then unknown).
 func (l *Log) Reset() error {
+	if l.err != nil {
+		return l.err
+	}
 	if err := l.w.Flush(); err != nil {
-		return err
+		return l.poison("flush", err)
 	}
 	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: reset: %w", err)
+		return l.poison("reset", err)
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
+		return l.poison("reset", err)
 	}
 	l.w.Reset(l.f)
 	l.off = 0
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return l.poison("fsync", err)
+	}
+	return nil
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log.  A poisoned log closes the file
+// without attempting the sync and reports the poisoning error.
 func (l *Log) Close() error {
+	if l.err != nil {
+		l.f.Close()
+		return l.err
+	}
 	if err := l.Sync(); err != nil {
 		l.f.Close()
 		return err
@@ -287,11 +333,16 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// Scan reads all valid records from the log file at path, invoking fn for
-// each in order.  Scanning stops silently at the first torn or corrupt
-// record (the valid prefix property).
+// Scan reads all valid records from the log file at path on the real
+// filesystem, invoking fn for each in order.  Scanning stops silently at
+// the first torn or corrupt record (the valid prefix property).
 func Scan(path string, fn func(lsn int64, r *Record) error) error {
-	f, err := os.Open(path)
+	return ScanFS(fault.Disk{}, path, fn)
+}
+
+// ScanFS is Scan over an explicit filesystem.
+func ScanFS(fs fault.FS, path string, fn func(lsn int64, r *Record) error) error {
+	f, err := fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -334,8 +385,13 @@ func Scan(path string, fn func(lsn int64, r *Record) error) error {
 // each data-change record belonging to a committed transaction, in log
 // order.  Records of unfinished or aborted transactions are skipped.
 func Replay(path string, apply func(r *Record) error) error {
+	return ReplayFS(fault.Disk{}, path, apply)
+}
+
+// ReplayFS is Replay over an explicit filesystem.
+func ReplayFS(fs fault.FS, path string, apply func(r *Record) error) error {
 	committed := make(map[uint64]bool)
-	err := Scan(path, func(_ int64, r *Record) error {
+	err := ScanFS(fs, path, func(_ int64, r *Record) error {
 		if r.Type == RecCommit {
 			committed[r.TxID] = true
 		}
@@ -344,7 +400,7 @@ func Replay(path string, apply func(r *Record) error) error {
 	if err != nil {
 		return err
 	}
-	return Scan(path, func(_ int64, r *Record) error {
+	return ScanFS(fs, path, func(_ int64, r *Record) error {
 		switch r.Type {
 		case RecInsert, RecDelete, RecUpdate:
 			if committed[r.TxID] {

@@ -1,11 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/value"
 )
 
@@ -323,5 +326,75 @@ func TestSchemaRecordTypes(t *testing.T) {
 	Replay(path, func(r *Record) error { seen = append(seen, r.Type); return nil })
 	if len(seen) != 2 || seen[0] != RecCreateRelation || seen[1] != RecDropRelation {
 		t.Fatalf("schema replay: %v", seen)
+	}
+}
+
+// TestPoisonAfterSyncFailure pins the fsyncgate rule: after a failed
+// fsync the log must refuse further appends and syncs with the sticky
+// first error, never silently continuing over unknown kernel page state.
+func TestPoisonAfterSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.NewRegistry()
+	fs := fault.NewInjector(fault.Disk{}, reg)
+	path := filepath.Join(dir, "mdm.wal")
+	l, err := OpenFS(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: RecBegin, TxID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm(fault.Point(fault.OpSync, path), 1, fault.Outcome{})
+	serr := l.Sync()
+	if !errors.Is(serr, fault.ErrInjected) {
+		t.Fatalf("sync: want injected error, got %v", serr)
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after fsync failure")
+	}
+	// The fault has disarmed; a healthy log would sync fine now.  A
+	// poisoned one must keep failing with the same sticky error.
+	if _, err := l.Append(&Record{Type: RecCommit, TxID: 1}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append after poison: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("sync after poison: %v", err)
+	}
+	if err := l.Reset(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("reset after poison: %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("close after poison: %v", err)
+	}
+	// Reopening rescans the durable prefix and starts healthy.
+	l2, err := OpenFS(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Err() != nil {
+		t.Fatal("fresh log should be healthy")
+	}
+}
+
+// TestPoisonAfterAppendFlushFailure poisons via the buffered-write path:
+// a record larger than the buffer forces a flush inside Append.
+func TestPoisonAfterAppendFlushFailure(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.NewRegistry()
+	fs := fault.NewInjector(fault.Disk{}, reg)
+	path := filepath.Join(dir, "mdm.wal")
+	l, err := OpenFS(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	reg.Arm(fault.Point(fault.OpWrite, path), 1, fault.Outcome{Partial: 0.5})
+	big := &Record{Type: RecInsert, TxID: 1, Relation: "R", New: value.Tuple{value.Str(strings.Repeat("x", 128<<10))}}
+	if _, err := l.Append(big); err == nil {
+		t.Fatal("append over failing write should error")
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after torn append")
 	}
 }
