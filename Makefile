@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race torture bench ci
+.PHONY: all build vet test race torture bench bench-smoke ci
 
 all: ci
 
@@ -25,4 +25,9 @@ torture:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: vet build race torture
+# Observability baseline: run the demo workload, emit BENCH_obs.json,
+# and fail if the snapshot document is malformed or missing key metrics.
+bench-smoke:
+	$(GO) run ./cmd/mdmbench -obs -out BENCH_obs.json
+
+ci: vet build race torture bench-smoke

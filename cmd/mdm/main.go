@@ -4,31 +4,42 @@
 //
 // Usage:
 //
-//	mdm [-dir DIR] [-e STATEMENTS]
+//	mdm [-dir DIR] [-metrics ADDR] [-e STATEMENTS]
 //
 // With -e the statements are executed and the program exits; otherwise
 // an interactive prompt reads statements terminated by \g (go) on a
 // line of their own or by a blank line, in the INGRES tradition.
+// Ctrl-C cancels the statement currently executing (including one
+// blocked on a lock) without leaving the shell.  With -metrics the
+// observability snapshot is served as JSON on ADDR (e.g. :6060).
+//
 // Meta-commands: \schema lists the schema, \status reports store health
-// (degraded read-only mode) and retry counts, \figure N prints a paper
-// figure, \quit exits.
+// (degraded read-only mode) and retry counts, \stats dumps the metrics
+// registry, \trace on|off toggles engine event tracing (events print
+// after each statement), \figure N prints a paper figure, \quit exits.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro/internal/figuregen"
 	"repro/internal/mdm"
+	"repro/internal/obs"
 )
 
 func main() {
 	dir := flag.String("dir", "", "database directory (empty: in-memory)")
 	exec := flag.String("e", "", "execute statements and exit")
+	metrics := flag.String("metrics", "", "serve the metrics snapshot as JSON on this address")
 	flag.Parse()
 
 	m, err := mdm.Open(mdm.Options{Dir: *dir})
@@ -39,18 +50,71 @@ func main() {
 	defer m.Close()
 	session := m.NewSession()
 
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/mdm/metrics", m.Obs().Handler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "mdm: metrics endpoint: %v\n", err)
+			}
+		}()
+	}
+
 	if *exec != "" {
-		out, err := session.Exec(*exec)
+		res, err := session.ExecContext(context.Background(), *exec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdm: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		fmt.Println(res.Output)
 		return
 	}
 
-	fmt.Println("music data manager — define / retrieve / append / replace / delete")
-	fmt.Println(`end statements with a blank line; \schema, \status, \figure N, \quit`)
+	// Ctrl-C cancels the running statement rather than killing the
+	// shell; at the prompt it is ignored (use \quit).
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
+
+	trace := m.Obs().Trace()
+	lastSeq := trace.LastSeq()
+	runStmt := func(stmt string) {
+		// Drop any interrupt delivered while idle so it doesn't
+		// cancel this statement spuriously.
+		select {
+		case <-sigCh:
+		default:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-sigCh:
+				cancel()
+			case <-done:
+			}
+		}()
+		res, err := session.ExecContext(ctx, stmt)
+		close(done)
+		cancel()
+		switch {
+		case errors.Is(err, mdm.ErrCanceled):
+			fmt.Println("canceled")
+		case err != nil:
+			fmt.Printf("error: %v\n", err)
+		case res.Output != "":
+			fmt.Println(res.Output)
+		}
+		if trace.Enabled() {
+			for _, e := range trace.Events(lastSeq) {
+				fmt.Println(e)
+			}
+			lastSeq = trace.LastSeq()
+		}
+	}
+
+	fmt.Println("music data manager — define / retrieve / append / replace / delete / explain")
+	fmt.Println(`end statements with a blank line; \schema, \status, \stats, \trace on|off, \figure N, \quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder
 	prompt := func() { fmt.Print("mdm> ") }
@@ -69,6 +133,24 @@ func main() {
 			printStatus(m, session)
 			prompt()
 			continue
+		case trimmed == `\stats`:
+			printStats(m.Obs())
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, `\trace`):
+			switch strings.TrimSpace(strings.TrimPrefix(trimmed, `\trace`)) {
+			case "on":
+				lastSeq = trace.LastSeq()
+				trace.SetEnabled(true)
+				fmt.Println("tracing on: engine events print after each statement")
+			case "off":
+				trace.SetEnabled(false)
+				fmt.Println("tracing off")
+			default:
+				fmt.Println("usage: \\trace on|off")
+			}
+			prompt()
+			continue
 		case strings.HasPrefix(trimmed, `\figure`):
 			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\figure`))
 			n, err := strconv.Atoi(arg)
@@ -85,12 +167,7 @@ func main() {
 			stmt := strings.TrimSpace(buf.String())
 			buf.Reset()
 			if stmt != "" {
-				out, err := session.Exec(stmt)
-				if err != nil {
-					fmt.Printf("error: %v\n", err)
-				} else if out != "" {
-					fmt.Println(out)
-				}
+				runStmt(stmt)
 			}
 			prompt()
 			continue
@@ -115,6 +192,64 @@ func printStatus(m *mdm.MDM, s *mdm.Session) {
 	if st.Exhausted > 0 {
 		fmt.Printf("exhausted:  %d statements failed after all retry attempts\n", st.Exhausted)
 	}
+	if st.Canceled > 0 {
+		fmt.Printf("canceled:   %d statements aborted by cancellation\n", st.Canceled)
+	}
+	reg := m.Obs()
+	if c, ok := reg.Get("storage.txn.commit"); ok {
+		fmt.Printf("commits:    %d", c.Value)
+		if a, ok := reg.Get("storage.txn.abort"); ok {
+			fmt.Printf(" (%d aborted)", a.Value)
+		}
+		fmt.Println()
+	}
+	if h, ok := reg.Get("wal.fsync.ns"); ok && h.Count > 0 {
+		fmt.Printf("wal fsyncs: %d (p99 %s)\n", h.Count, nsString(h.P99))
+	}
+}
+
+// printStats dumps the metrics registry: counters as name=value,
+// histograms with count and quantiles.
+func printStats(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		fmt.Println("(no metrics)")
+		return
+	}
+	w := 0
+	for _, m := range snap {
+		if len(m.Name) > w {
+			w = len(m.Name)
+		}
+	}
+	for _, m := range snap {
+		switch m.Kind {
+		case "counter":
+			fmt.Printf("%-*s  %d\n", w, m.Name, m.Value)
+		case "histogram":
+			human := func(v int64) string {
+				if strings.HasSuffix(m.Name, ".ns") {
+					return nsString(v)
+				}
+				return strconv.FormatInt(v, 10)
+			}
+			fmt.Printf("%-*s  count=%d p50=%s p99=%s min=%s max=%s\n",
+				w, m.Name, m.Count, human(m.P50), human(m.P99), human(m.Min), human(m.Max))
+		}
+	}
+}
+
+// nsString renders a nanosecond quantity at a human scale.
+func nsString(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
 }
 
 func printSchema(m *mdm.MDM) {

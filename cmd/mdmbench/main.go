@@ -5,24 +5,153 @@
 // Usage:
 //
 //	mdmbench [-quick]
+//	mdmbench -obs [-out BENCH_obs.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
+// -obs runs a small demo workload against a durable store and writes
+// the observability baseline (the versioned metrics snapshot) to -out,
+// then re-reads and validates it; the exit status is nonzero if the
+// document is malformed.  CI's bench-smoke target runs this mode.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mdm"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
+	obsMode := flag.Bool("obs", false, "emit and validate the observability baseline")
+	out := flag.String("out", "BENCH_obs.json", "output path for -obs")
 	flag.Parse()
+
+	if *obsMode {
+		if err := runObs(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	sz := experiments.Full()
 	if *quick {
 		sz = experiments.Quick()
 	}
 	rows := experiments.RunAllExtended(sz)
 	fmt.Print(experiments.Render(rows))
+}
+
+// runObs drives a small demo workload through every instrumented layer
+// (DDL, appends, joins, ordering operators, checkpoint) on a durable
+// store so the snapshot contains nonzero WAL and storage metrics, then
+// writes, re-reads, and validates the baseline document.
+func runObs(path string) error {
+	dir, err := os.MkdirTemp("", "mdmbench-obs-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	m, err := mdm.Open(mdm.Options{Dir: dir, SyncCommits: true})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	sess := m.NewSession()
+	ctx := context.Background()
+
+	stmts := []string{
+		`define entity work (title = string, year = int)`,
+		`define entity movement (name = string, idx = int, part_of = work)`,
+		`define ordering movement_order (movement) under work`,
+	}
+	for i := 0; i < 8; i++ {
+		stmts = append(stmts, fmt.Sprintf(`append to work (title = "work %d", year = %d)`, i, 1900+i))
+	}
+	stmts = append(stmts,
+		`retrieve (work.title, work.year) where work.year > 1903`,
+		`retrieve unique (work.year) sort by year`,
+		`explain retrieve (work.title) where work.year >= 1900`,
+		`replace work (year = work.year + 1) where work.title = "work 0"`,
+		`delete work where work.year > 1906`,
+	)
+	for _, src := range stmts {
+		if _, err := sess.ExecContext(ctx, src); err != nil {
+			return fmt.Errorf("workload %q: %w", src, err)
+		}
+	}
+
+	// A moment of contention so the lock-wait histogram is nonzero: a
+	// raw reader transaction holds a shared lock on the work relation
+	// while a session append (exclusive) arrives and must wait.
+	holder := m.Store.Begin()
+	if err := holder.Scan(m.Model.InstanceRelation("work"),
+		func(storage.RowID, value.Tuple) bool { return false }); err != nil {
+		holder.Abort()
+		return err
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := sess.ExecContext(ctx, `append to work (title = "contended", year = 1999)`)
+		blocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	holder.Abort()
+	if err := <-blocked; err != nil {
+		return fmt.Errorf("contended append: %w", err)
+	}
+
+	if err := m.Checkpoint(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Obs().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Re-read and validate what was actually written: the whole point
+	// of the baseline is that downstream consumers can trust it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc obs.SnapshotDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := obs.ValidateDoc(doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, name := range []string{"wal.fsync.ns", "storage.txn.commit", "quel.stmt.ns", "txn.lock.wait.ns"} {
+		found := false
+		for _, mt := range doc.Metrics {
+			if mt.Name == name && (mt.Value > 0 || mt.Count > 0) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: expected nonzero metric %s", path, name)
+		}
+	}
+	fmt.Printf("wrote %s: %d metrics, schema v%d\n", path, len(doc.Metrics), doc.SchemaVersion)
+	return nil
 }

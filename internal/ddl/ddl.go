@@ -15,6 +15,7 @@
 package ddl
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,10 @@ import (
 	"repro/internal/storage"
 	"repro/internal/value"
 )
+
+// ErrParse is the sentinel wrapped by every syntax error this parser
+// reports, so clients can classify failures with errors.Is.
+var ErrParse = errors.New("ddl: parse error")
 
 // Statement is one parsed DDL statement.
 type Statement interface{ ddlStmt() }
@@ -74,7 +79,7 @@ func (p *parser) next() {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("ddl: line %d: %s", p.tok.Line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w: line %d: %s", ErrParse, p.tok.Line, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) expectPunct(punct string) error {
@@ -106,11 +111,11 @@ func Parse(src string) ([]Statement, error) {
 		}
 		stmts = append(stmts, s)
 		if err := p.lx.Err(); err != nil {
-			return nil, fmt.Errorf("ddl: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrParse, err)
 		}
 	}
 	if err := p.lx.Err(); err != nil {
-		return nil, fmt.Errorf("ddl: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	return stmts, nil
 }

@@ -11,6 +11,7 @@
 package mdm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/ddl"
 	"repro/internal/meta"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/quel"
 	"repro/internal/storage"
 )
@@ -82,6 +84,11 @@ func (m *MDM) Close() error { return m.Store.Close() }
 // Checkpoint forces a snapshot.
 func (m *MDM) Checkpoint() error { return m.Store.Checkpoint() }
 
+// Obs returns the manager's metrics registry (see internal/obs): every
+// layer — storage, WAL, locking, query execution, sessions — publishes
+// counters, latency histograms, and trace events there.
+func (m *MDM) Obs() *obs.Registry { return m.Store.Obs() }
+
 // Session is one client connection: a QUEL workspace plus DDL access.
 // Sessions self-heal: statements that lose a deadlock or time out on a
 // lock wait are retried transparently with backoff (see retry.go), so
@@ -90,69 +97,120 @@ type Session struct {
 	mdm    *MDM
 	quel   *quel.Session
 	policy RetryPolicy
+	obs    sessionObs
 
 	statements uint64
 	retries    uint64
 	exhausted  uint64
+	canceled   uint64
+}
+
+// sessionObs mirrors the per-session counters into the manager-wide
+// registry (all handles nil-safe).
+type sessionObs struct {
+	statements *obs.Counter // mdm.statements
+	retries    *obs.Counter // mdm.retries
+	exhausted  *obs.Counter // mdm.exhausted
+	canceled   *obs.Counter // mdm.canceled
 }
 
 // NewSession opens a client session with the default retry policy.
 func (m *MDM) NewSession() *Session {
-	return &Session{mdm: m, quel: quel.NewSession(m.Model), policy: DefaultRetryPolicy}
+	s := &Session{mdm: m, quel: quel.NewSession(m.Model), policy: DefaultRetryPolicy}
+	if reg := m.Obs(); reg != nil {
+		s.obs = sessionObs{
+			statements: reg.Counter("mdm.statements"),
+			retries:    reg.Counter("mdm.retries"),
+			exhausted:  reg.Counter("mdm.exhausted"),
+			canceled:   reg.Counter("mdm.canceled"),
+		}
+	}
+	return s
 }
 
 // ddlKeywords begin DDL statements.
 var ddlKeywords = []string{"define"}
 
-// Exec executes DDL or QUEL source, dispatching on the first keyword,
-// and returns a printable result.  After DDL, the meta-catalog is
-// refreshed so the new schema is immediately queryable (§6).
-func (s *Session) Exec(src string) (string, error) {
+// ExecResult is the outcome of one ExecContext call.
+type ExecResult struct {
+	// Output is the printable form: a table for retrieves, affected
+	// counts for updates, schema messages for DDL.
+	Output string
+	// Result holds the structured rows when the source was QUEL (nil
+	// after DDL).
+	Result *quel.Result
+	// DDL reports that the statement was schema definition.
+	DDL bool
+}
+
+// ExecContext executes DDL or QUEL source, dispatching on the first
+// keyword.  After DDL, the meta-catalog is refreshed so the new schema
+// is immediately queryable (§6).  Canceling ctx aborts the statement —
+// including any lock wait it is blocked in — with an error matching
+// errors.Is(err, ErrCanceled); errors are classified per errors.go.
+func (s *Session) ExecContext(ctx context.Context, src string) (ExecResult, error) {
 	trimmed := strings.TrimSpace(src)
 	if trimmed == "" {
-		return "", nil
+		return ExecResult{}, nil
 	}
-	var out string
-	err := s.withRetry(func() error {
+	var out ExecResult
+	err := s.withRetry(ctx, func() error {
 		var err error
-		out, err = s.execOnce(trimmed)
+		out, err = s.execOnce(ctx, trimmed)
 		return err
 	})
 	return out, err
 }
 
-func (s *Session) execOnce(trimmed string) (string, error) {
+// Exec executes DDL or QUEL source and returns the printable result.
+//
+// Deprecated: use ExecContext, which supports cancellation and returns
+// the structured result alongside the text.
+func (s *Session) Exec(src string) (string, error) {
+	res, err := s.ExecContext(context.Background(), src)
+	return res.Output, err
+}
+
+func (s *Session) execOnce(ctx context.Context, trimmed string) (ExecResult, error) {
 	first := strings.ToLower(firstWord(trimmed))
 	for _, kw := range ddlKeywords {
 		if first == kw {
 			msgs, err := ddl.Exec(s.mdm.Model, trimmed)
 			if err != nil {
-				return strings.Join(msgs, "\n"), err
+				return ExecResult{Output: strings.Join(msgs, "\n"), DDL: true}, err
 			}
 			if err := s.mdm.Catalog.Refresh(); err != nil {
-				return "", fmt.Errorf("mdm: refreshing catalog: %w", err)
+				return ExecResult{DDL: true}, fmt.Errorf("mdm: refreshing catalog: %w", err)
 			}
-			return strings.Join(msgs, "\n"), nil
+			return ExecResult{Output: strings.Join(msgs, "\n"), DDL: true}, nil
 		}
 	}
-	res, err := s.quel.Exec(trimmed)
+	res, err := s.quel.ExecCtx(ctx, trimmed)
 	if err != nil {
-		return "", err
+		return ExecResult{}, err
 	}
-	return res.String(), nil
+	return ExecResult{Output: res.String(), Result: res}, nil
 }
 
-// Query executes QUEL and returns the structured result (for clients
-// that process rows programmatically rather than as text).  Like Exec,
-// transient transaction failures are retried per the session policy.
-func (s *Session) Query(src string) (*quel.Result, error) {
+// QueryContext executes QUEL and returns the structured result (for
+// clients that process rows programmatically rather than as text).
+// Like ExecContext, transient transaction failures are retried per the
+// session policy and ctx cancellation aborts lock waits.
+func (s *Session) QueryContext(ctx context.Context, src string) (*quel.Result, error) {
 	var res *quel.Result
-	err := s.withRetry(func() error {
+	err := s.withRetry(ctx, func() error {
 		var err error
-		res, err = s.quel.Exec(src)
+		res, err = s.quel.ExecCtx(ctx, src)
 		return err
 	})
 	return res, err
+}
+
+// Query executes QUEL and returns the structured result.
+//
+// Deprecated: use QueryContext, which supports cancellation.
+func (s *Session) Query(src string) (*quel.Result, error) {
+	return s.QueryContext(context.Background(), src)
 }
 
 func firstWord(s string) string {

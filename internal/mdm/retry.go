@@ -1,12 +1,12 @@
 package mdm
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/storage"
 	"repro/internal/txn"
 )
 
@@ -34,6 +34,7 @@ type SessionStats struct {
 	Statements uint64 // statements executed
 	Retries    uint64 // transparent re-executions after a transient error
 	Exhausted  uint64 // statements that failed even after all attempts
+	Canceled   uint64 // statements aborted by context cancellation
 }
 
 // Stats returns a snapshot of the session's retry counters.
@@ -42,6 +43,7 @@ func (s *Session) Stats() SessionStats {
 		Statements: atomic.LoadUint64(&s.statements),
 		Retries:    atomic.LoadUint64(&s.retries),
 		Exhausted:  atomic.LoadUint64(&s.exhausted),
+		Canceled:   atomic.LoadUint64(&s.canceled),
 	}
 }
 
@@ -59,9 +61,12 @@ func transient(err error) bool {
 // withRetry runs fn, transparently retrying transient failures per the
 // session policy.  Statement execution is statement-atomic (the model
 // layer runs each statement in its own transaction, fully aborted on a
-// transient error), so re-running is safe.
-func (s *Session) withRetry(fn func() error) error {
+// transient error), so re-running is safe.  Cancellation is never
+// transient: a canceled statement returns immediately, classified as
+// ErrCanceled, and backoff sleeps are cut short by ctx.
+func (s *Session) withRetry(ctx context.Context, fn func() error) error {
 	atomic.AddUint64(&s.statements, 1)
+	s.obs.statements.Inc()
 	attempts := s.policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -70,14 +75,46 @@ func (s *Session) withRetry(fn func() error) error {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			atomic.AddUint64(&s.retries, 1)
-			time.Sleep(s.policy.backoff(attempt))
+			s.obs.retries.Inc()
+			if err := sleepCtx(ctx, s.policy.backoff(attempt)); err != nil {
+				return s.finish(err)
+			}
 		}
 		if err = fn(); err == nil || !transient(err) {
-			return err
+			return s.finish(err)
 		}
 	}
 	atomic.AddUint64(&s.exhausted, 1)
+	s.obs.exhausted.Inc()
+	return s.finish(err)
+}
+
+// finish classifies the statement's final error and counts
+// cancellations.
+func (s *Session) finish(err error) error {
+	err = classify(err)
+	if errors.Is(err, ErrCanceled) {
+		atomic.AddUint64(&s.canceled, 1)
+		s.obs.canceled.Inc()
+	}
 	return err
+}
+
+// sleepCtx sleeps for d or until ctx is canceled, whichever comes
+// first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // backoff returns the sleep before retry number attempt (1-based):
@@ -114,6 +151,3 @@ func (m *MDM) Health() Health {
 	return Health{ReadOnly: cause != nil, Cause: cause}
 }
 
-// ErrReadOnly re-exports the store's degraded-mode sentinel so clients
-// can match it without importing the storage layer.
-var ErrReadOnly = storage.ErrReadOnly

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/storage"
@@ -14,12 +15,19 @@ type Attrs map[string]value.Value
 // attribute values (missing attributes are null) and returns its
 // surrogate reference.
 func (db *Database) NewEntity(typeName string, attrs Attrs) (value.Ref, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.newEntityLocked(typeName, attrs)
+	return db.NewEntityCtx(context.Background(), typeName, attrs)
 }
 
-func (db *Database) newEntityLocked(typeName string, attrs Attrs) (value.Ref, error) {
+// NewEntityCtx is NewEntity under a context: a blocked lock wait in the
+// underlying transaction aborts with txn.ErrCanceled when ctx is
+// canceled or its deadline passes.
+func (db *Database) NewEntityCtx(ctx context.Context, typeName string, attrs Attrs) (value.Ref, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.newEntityLocked(ctx, typeName, attrs)
+}
+
+func (db *Database) newEntityLocked(ctx context.Context, typeName string, attrs Attrs) (value.Ref, error) {
 	et, ok := db.entities[typeName]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
@@ -40,7 +48,7 @@ func (db *Database) newEntityLocked(typeName string, attrs Attrs) (value.Ref, er
 		}
 	}
 	var rowID storage.RowID
-	err := db.store.Run(func(tx *storage.Tx) error {
+	err := db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		var err error
 		rowID, err = tx.Insert(entPrefix+typeName, t)
 		return err
@@ -181,6 +189,11 @@ func (db *Database) SetAttr(ref value.Ref, attr string, v value.Value) error {
 
 // SetAttrs updates several attributes of an entity in one transaction.
 func (db *Database) SetAttrs(ref value.Ref, attrs Attrs) error {
+	return db.SetAttrsCtx(context.Background(), ref, attrs)
+}
+
+// SetAttrsCtx is SetAttrs under a context (see NewEntityCtx).
+func (db *Database) SetAttrsCtx(ctx context.Context, ref value.Ref, attrs Attrs) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	loc, ok := db.directory[ref]
@@ -188,7 +201,7 @@ func (db *Database) SetAttrs(ref value.Ref, attrs Attrs) error {
 		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
 	}
 	et := db.entities[loc.typeName]
-	return db.store.Run(func(tx *storage.Tx) error {
+	return db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		t, err := tx.Get(entPrefix+loc.typeName, loc.rowID)
 		if err != nil {
 			return err
@@ -211,12 +224,17 @@ func (db *Database) SetAttrs(ref value.Ref, attrs Attrs) error {
 // any orderings in which it is a child, and relationship instances that
 // reference it are deleted.
 func (db *Database) DeleteEntity(ref value.Ref) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.deleteEntityLocked(ref)
+	return db.DeleteEntityCtx(context.Background(), ref)
 }
 
-func (db *Database) deleteEntityLocked(ref value.Ref) error {
+// DeleteEntityCtx is DeleteEntity under a context (see NewEntityCtx).
+func (db *Database) DeleteEntityCtx(ctx context.Context, ref value.Ref) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteEntityLocked(ctx, ref)
+}
+
+func (db *Database) deleteEntityLocked(ctx context.Context, ref value.Ref) error {
 	loc, ok := db.directory[ref]
 	if !ok {
 		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
@@ -229,7 +247,7 @@ func (db *Database) deleteEntityLocked(ref value.Ref) error {
 	// Detach from orderings where ref is a child.
 	for name, rt := range db.orders {
 		if _, ok := rt.child[ref]; ok {
-			if err := db.removeChildLocked(name, ref); err != nil {
+			if err := db.removeChildLockedCtx(ctx, name, ref); err != nil {
 				return err
 			}
 		}
@@ -238,7 +256,7 @@ func (db *Database) deleteEntityLocked(ref value.Ref) error {
 	for rname, rt := range db.relationships {
 		relName := relPrefix + rname
 		var doomed []storage.RowID
-		err := db.store.Run(func(tx *storage.Tx) error {
+		err := db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 			for ri := range rt.Roles {
 				if err := tx.IndexPrefixScan(relName, "by_"+rt.Roles[ri].Name,
 					value.Tuple{value.RefVal(ref)},
@@ -260,7 +278,7 @@ func (db *Database) deleteEntityLocked(ref value.Ref) error {
 			return err
 		}
 	}
-	err := db.store.Run(func(tx *storage.Tx) error {
+	err := db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Delete(entPrefix+loc.typeName, loc.rowID)
 	})
 	if err != nil {
@@ -275,31 +293,36 @@ func (db *Database) deleteEntityLocked(ref value.Ref) error {
 func (db *Database) DeleteSubtree(ref value.Ref) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.deleteSubtreeLocked(ref)
+	return db.deleteSubtreeLocked(context.Background(), ref)
 }
 
-func (db *Database) deleteSubtreeLocked(ref value.Ref) error {
+func (db *Database) deleteSubtreeLocked(ctx context.Context, ref value.Ref) error {
 	for _, rt := range db.orders {
 		for _, child := range rt.childrenOf(ref) {
-			if err := db.deleteSubtreeLocked(child); err != nil {
+			if err := db.deleteSubtreeLocked(ctx, child); err != nil {
 				return err
 			}
 		}
 	}
-	return db.deleteEntityLocked(ref)
+	return db.deleteEntityLocked(ctx, ref)
 }
 
 // Instances calls fn for every instance of the named entity type, in
 // creation order, passing the surrogate and the attribute tuple
 // (excluding the surrogate).  Iteration stops if fn returns false.
 func (db *Database) Instances(typeName string, fn func(ref value.Ref, attrs value.Tuple) bool) error {
+	return db.InstancesCtx(context.Background(), typeName, fn)
+}
+
+// InstancesCtx is Instances under a context (see NewEntityCtx).
+func (db *Database) InstancesCtx(ctx context.Context, typeName string, fn func(ref value.Ref, attrs value.Tuple) bool) error {
 	db.mu.RLock()
 	if _, ok := db.entities[typeName]; !ok {
 		db.mu.RUnlock()
 		return fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
 	}
 	db.mu.RUnlock()
-	return db.store.Run(func(tx *storage.Tx) error {
+	return db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Scan(entPrefix+typeName, func(_ storage.RowID, t value.Tuple) bool {
 			return fn(t[0].AsRef(), t[1:])
 		})

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -328,6 +329,10 @@ func (db *Database) RemoveChild(ordering string, child value.Ref) error {
 }
 
 func (db *Database) removeChildLocked(ordering string, child value.Ref) error {
+	return db.removeChildLockedCtx(context.Background(), ordering, child)
+}
+
+func (db *Database) removeChildLockedCtx(ctx context.Context, ordering string, child value.Ref) error {
 	rt, ok := db.orders[ordering]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
@@ -336,7 +341,7 @@ func (db *Database) removeChildLocked(ordering string, child value.Ref) error {
 	if !ok {
 		return fmt.Errorf("model: @%d is not a child in ordering %s", child, ordering)
 	}
-	err := db.store.Run(func(tx *storage.Tx) error {
+	err := db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Delete(ordPrefix+ordering, cp.rowID)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/storage"
@@ -170,17 +171,34 @@ func (rt *RelationshipType) Fields() []value.Field {
 // RelationshipTuples calls fn with the raw tuple (role refs then
 // attributes) of every instance of the relationship.
 func (db *Database) RelationshipTuples(name string, fn func(t value.Tuple) bool) error {
+	return db.RelationshipTuplesCtx(context.Background(), name, fn)
+}
+
+// RelationshipTuplesCtx is RelationshipTuples under a context (see
+// NewEntityCtx).
+func (db *Database) RelationshipTuplesCtx(ctx context.Context, name string, fn func(t value.Tuple) bool) error {
 	db.mu.RLock()
 	_, ok := db.relationships[name]
 	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoRelationship, name)
 	}
-	return db.store.Run(func(tx *storage.Tx) error {
+	return db.store.RunCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Scan(relPrefix+name, func(_ storage.RowID, t value.Tuple) bool {
 			return fn(t)
 		})
 	})
+}
+
+// RelationshipCount returns the number of instances of the named
+// relationship (0 when undefined).  Used by the query layer for plan
+// cardinality estimates.
+func (db *Database) RelationshipCount(name string) int {
+	rel := db.store.Relation(relPrefix + name)
+	if rel == nil {
+		return 0
+	}
+	return rel.Len()
 }
 
 // EachRelated calls fn for every instance of the relationship.

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// SnapshotDoc is the JSON document served by the HTTP endpoint and
+// written by `mdmbench -obs` as BENCH_obs.json.  SchemaVersion guards
+// downstream consumers against silent format drift.
+type SnapshotDoc struct {
+	SchemaVersion int      `json:"schema_version"`
+	Metrics       []Metric `json:"metrics"`
+}
+
+// SnapshotSchemaVersion is the current SnapshotDoc format version.
+const SnapshotSchemaVersion = 1
+
+// Doc returns the registry's snapshot wrapped in a versioned document.
+func (r *Registry) Doc() SnapshotDoc {
+	return SnapshotDoc{SchemaVersion: SnapshotSchemaVersion, Metrics: r.Snapshot()}
+}
+
+// WriteJSON writes the versioned snapshot document as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Doc())
+}
+
+// Handler returns an expvar-style HTTP handler serving the registry
+// snapshot as JSON (mount it wherever the embedding process serves
+// debug endpoints, e.g. /debug/mdm/metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ValidateDoc checks a decoded snapshot document for structural sanity:
+// correct schema version, non-empty metric names, known kinds, and
+// histogram bucket counts consistent with the total count.  It is the
+// check `make bench-smoke` applies to BENCH_obs.json.
+func ValidateDoc(d SnapshotDoc) error {
+	if d.SchemaVersion != SnapshotSchemaVersion {
+		return &ValidationError{Reason: "unsupported schema_version"}
+	}
+	if len(d.Metrics) == 0 {
+		return &ValidationError{Reason: "no metrics"}
+	}
+	for _, m := range d.Metrics {
+		if m.Name == "" {
+			return &ValidationError{Reason: "metric with empty name"}
+		}
+		switch m.Kind {
+		case "counter":
+		case "histogram":
+			var n uint64
+			for _, b := range m.Buckets {
+				n += b.N
+			}
+			if n != m.Count {
+				return &ValidationError{Reason: "histogram " + m.Name + ": bucket counts do not sum to count"}
+			}
+		default:
+			return &ValidationError{Reason: "metric " + m.Name + ": unknown kind " + m.Kind}
+		}
+	}
+	return nil
+}
+
+// ValidationError reports a malformed snapshot document.
+type ValidationError struct{ Reason string }
+
+func (e *ValidationError) Error() string { return "obs: invalid snapshot: " + e.Reason }

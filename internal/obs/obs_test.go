@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if c2 := r.Counter("a.b"); c2 != c {
+		t.Fatalf("Counter handle not stable")
+	}
+	// Nil registry and nil counter are no-ops.
+	var nr *Registry
+	nc := nr.Counter("x")
+	nc.Inc()
+	if nc.Value() != 0 {
+		t.Fatalf("nil counter counted")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1110 {
+		t.Fatalf("Sum = %d, want 1110", h.Sum())
+	}
+	if h.min.Load() != 1 || h.max.Load() != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", h.min.Load(), h.max.Load())
+	}
+	// p50 upper bound must cover the 3rd smallest value (3 → bucket le 4).
+	if q := h.Quantile(0.5); q < 3 || q > 4 {
+		t.Fatalf("p50 = %d, want in [3,4]", q)
+	}
+	if q := h.Quantile(0.99); q < 1000 {
+		t.Fatalf("p99 = %d, want ≥ 1000", q)
+	}
+	// Empty histogram quantile.
+	if q := NewHistogram().Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %d, want 0", q)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1 << 40: 40}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if h.min.Load() != 0 || h.max.Load() != 7999 {
+		t.Fatalf("min/max = %d/%d, want 0/7999", h.min.Load(), h.max.Load())
+	}
+}
+
+func TestSnapshotAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(3)
+	r.Histogram("a.lat.ns").Observe(500)
+	r.Histogram("a.lat.ns").Observe(7)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a.lat.ns" || snap[1].Name != "z.count" {
+		t.Fatalf("snapshot order/content wrong: %+v", snap)
+	}
+	if snap[0].Kind != "histogram" || snap[0].Count != 2 || snap[0].Sum != 507 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap[0])
+	}
+	if snap[1].Kind != "counter" || snap[1].Value != 3 {
+		t.Fatalf("counter snapshot wrong: %+v", snap[1])
+	}
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+	if m, ok := r.Get("z.count"); !ok || m.Value != 3 {
+		t.Fatalf("Get(z.count) = %+v, %v", m, ok)
+	}
+
+	bad := r.Doc()
+	bad.SchemaVersion = 99
+	if err := ValidateDoc(bad); err == nil {
+		t.Fatalf("ValidateDoc accepted wrong schema version")
+	}
+	bad2 := r.Doc()
+	bad2.Metrics[0].Buckets = nil
+	if err := ValidateDoc(bad2); err == nil {
+		t.Fatalf("ValidateDoc accepted inconsistent histogram buckets")
+	}
+}
+
+func TestJSONRoundTripAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.append.records").Add(10)
+	r.Histogram("wal.fsync.ns").Observe(12345)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc SnapshotDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if err := ValidateDoc(doc); err != nil {
+		t.Fatalf("round-trip validate: %v", err)
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("handler status %d", rec.Code)
+	}
+	var doc2 SnapshotDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc2); err != nil {
+		t.Fatalf("handler body: %v", err)
+	}
+	if len(doc2.Metrics) != 2 {
+		t.Fatalf("handler metrics = %d, want 2", len(doc2.Metrics))
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Trace()
+	tr.Point("x", "dropped while disabled")
+	if got := tr.Events(0); len(got) != 0 {
+		t.Fatalf("disabled trace recorded %d events", len(got))
+	}
+	tr.SetEnabled(true)
+	if !tr.Enabled() {
+		t.Fatal("not enabled")
+	}
+	start := time.Now()
+	tr.Emit("wal.fsync", "mdm.wal", start, 42*time.Microsecond)
+	tr.Point("txn.deadlock", "victim=7")
+	evs := tr.Events(0)
+	if len(evs) != 2 || evs[0].Name != "wal.fsync" || evs[1].Name != "txn.deadlock" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatalf("seq not increasing")
+	}
+	// Events(after) filters.
+	if got := tr.Events(evs[0].Seq); len(got) != 1 || got[0].Name != "txn.deadlock" {
+		t.Fatalf("Events(after) = %+v", got)
+	}
+	if tr.LastSeq() != evs[1].Seq {
+		t.Fatalf("LastSeq = %d, want %d", tr.LastSeq(), evs[1].Seq)
+	}
+	// Overflow keeps the most recent traceCap events.
+	for i := 0; i < traceCap+10; i++ {
+		tr.Point("spin", "")
+	}
+	evs = tr.Events(0)
+	if len(evs) != traceCap {
+		t.Fatalf("ring kept %d events, want %d", len(evs), traceCap)
+	}
+	// A nil trace is a no-op.
+	var nt *Trace
+	nt.Point("x", "")
+	nt.SetEnabled(true)
+	if nt.Enabled() || nt.Events(0) != nil || nt.LastSeq() != 0 {
+		t.Fatal("nil trace misbehaved")
+	}
+}

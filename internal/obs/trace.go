@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceCap is the ring capacity: the most recent traceCap events are
+// retained, older ones are overwritten.
+const traceCap = 1024
+
+// Event is one traced engine event.
+type Event struct {
+	Seq   uint64        `json:"seq"`   // monotonically increasing id
+	Time  time.Time     `json:"time"`  // event start
+	Dur   time.Duration `json:"dur"`   // duration (0 for point events)
+	Name  string        `json:"name"`  // e.g. "wal.fsync", "txn.lock.wait"
+	Extra string        `json:"extra"` // free-form detail, e.g. the resource name
+}
+
+// String renders an event as one log-style line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d %-22s %12s", e.Seq, e.Name, e.Dur)
+	if e.Extra != "" {
+		b.WriteString("  ")
+		b.WriteString(e.Extra)
+	}
+	return b.String()
+}
+
+// Trace is a fixed-size ring buffer of events with a global on/off
+// switch.  Emitting while disabled is a single atomic load; enabling
+// costs nothing to in-flight emitters.  A nil *Trace is a valid no-op.
+type Trace struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu   sync.Mutex
+	ring [traceCap]Event
+	n    uint64 // total events written
+}
+
+// SetEnabled turns event recording on or off.
+func (t *Trace) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Trace) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Emit records an event that started at start and lasted dur.  It is a
+// no-op when tracing is disabled.
+func (t *Trace) Emit(name, extra string, start time.Time, dur time.Duration) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	e := Event{Seq: t.seq.Add(1), Time: start, Dur: dur, Name: name, Extra: extra}
+	t.mu.Lock()
+	t.ring[t.n%traceCap] = e
+	t.n++
+	t.mu.Unlock()
+}
+
+// Point records an instantaneous event.
+func (t *Trace) Point(name, extra string) { t.Emit(name, extra, time.Now(), 0) }
+
+// Events returns the retained events with Seq > afterSeq, oldest first.
+// Pass 0 for everything retained.
+func (t *Trace) Events(afterSeq uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := uint64(0)
+	if t.n > traceCap {
+		start = t.n - traceCap
+	}
+	var out []Event
+	for i := start; i < t.n; i++ {
+		if e := t.ring[i%traceCap]; e.Seq > afterSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LastSeq returns the sequence number of the most recent event (0 when
+// none have been emitted).
+func (t *Trace) LastSeq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}

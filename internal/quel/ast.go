@@ -76,6 +76,13 @@ type Delete struct {
 	Where Expr
 }
 
+// Explain wraps a statement whose execution plan (with estimated vs.
+// actual row counts and timings) is to be reported instead of its
+// result rows.  Currently only retrieve statements can be explained.
+type Explain struct {
+	Stmt Stmt
+}
+
 // Assign is one "attr = expr" assignment.
 type Assign struct {
 	Attr string
@@ -87,6 +94,7 @@ func (Retrieve) quelStmt()  {}
 func (Append) quelStmt()    {}
 func (Replace) quelStmt()   {}
 func (Delete) quelStmt()    {}
+func (Explain) quelStmt()   {}
 
 // Expr is an expression node.
 type Expr interface{ quelExpr() }

@@ -2,6 +2,7 @@ package quel
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/value"
 )
@@ -210,6 +211,20 @@ func arith(op string, l, r value.Value) (value.Value, error) {
 // range variables; the ordering is resolved by the `in` clause or
 // inferred from the operand types.
 func (s *Session) evalOrderOp(x OrderOp, en env) (value.Value, error) {
+	switch x.Op {
+	case "before":
+		s.m.opBefore.Inc()
+	case "after":
+		s.m.opAfter.Inc()
+	case "under":
+		s.m.opUnder.Inc()
+	}
+	if s.ps != nil {
+		defer func(start time.Time) {
+			s.ps.OrderEvals++
+			s.ps.OrderDur += time.Since(start)
+		}(time.Now())
+	}
 	lv, ok := x.L.(VarRef)
 	if !ok {
 		return value.Null, fmt.Errorf("quel: %s requires range variables as operands", x.Op)

@@ -1,11 +1,15 @@
 package quel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/txn"
 	"repro/internal/value"
 )
 
@@ -63,24 +67,60 @@ func (r *Result) String() string {
 type Session struct {
 	db     *model.Database
 	ranges map[string]string // var → entity type
+	m      sessMetrics
+	ps     *planStats // live stats for the statement being executed
+}
+
+// sessMetrics holds the query layer's observability handles, resolved
+// once per session from the storage registry (all nil-safe).
+type sessMetrics struct {
+	stmt     *obs.Histogram // quel.stmt.ns
+	scanRows *obs.Counter   // quel.scan.rows
+	combos   *obs.Counter   // quel.join.combos
+	opBefore *obs.Counter   // quel.op.before
+	opAfter  *obs.Counter   // quel.op.after
+	opUnder  *obs.Counter   // quel.op.under
+	trace    *obs.Trace
 }
 
 // NewSession returns a session over the model database.
 func NewSession(db *model.Database) *Session {
-	return &Session{db: db, ranges: make(map[string]string)}
+	s := &Session{db: db, ranges: make(map[string]string)}
+	if reg := db.Store().Obs(); reg != nil {
+		s.m = sessMetrics{
+			stmt:     reg.Histogram("quel.stmt.ns"),
+			scanRows: reg.Counter("quel.scan.rows"),
+			combos:   reg.Counter("quel.join.combos"),
+			opBefore: reg.Counter("quel.op.before"),
+			opAfter:  reg.Counter("quel.op.after"),
+			opUnder:  reg.Counter("quel.op.under"),
+			trace:    reg.Trace(),
+		}
+	}
+	return s
 }
 
 // Exec parses and executes QUEL statements.  It returns the result of the
 // last retrieve (or a Result with Affected set for updates); range
 // statements persist in the session.
 func (s *Session) Exec(src string) (*Result, error) {
+	return s.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec under a context: cancellation aborts lock waits and
+// long joins between statements with an error satisfying
+// errors.Is(err, txn.ErrCanceled).
+func (s *Session) ExecCtx(ctx context.Context, src string) (*Result, error) {
 	stmts, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, st := range stmts {
-		r, err := s.execOne(st)
+		start := time.Now()
+		r, err := s.execOne(ctx, st)
+		s.m.stmt.ObserveSince(start)
+		s.m.trace.Emit("quel.stmt", stmtKind(st), start, time.Since(start))
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +134,26 @@ func (s *Session) Exec(src string) (*Result, error) {
 	return last, nil
 }
 
-func (s *Session) execOne(st Stmt) (*Result, error) {
+// stmtKind names a statement for trace events.
+func stmtKind(st Stmt) string {
+	switch st.(type) {
+	case RangeStmt:
+		return "range"
+	case Retrieve:
+		return "retrieve"
+	case Append:
+		return "append"
+	case Replace:
+		return "replace"
+	case Delete:
+		return "delete"
+	case Explain:
+		return "explain"
+	}
+	return "?"
+}
+
+func (s *Session) execOne(ctx context.Context, st Stmt) (*Result, error) {
 	switch q := st.(type) {
 	case RangeStmt:
 		if _, ok := s.db.EntityType(q.EntityType); !ok {
@@ -105,13 +164,15 @@ func (s *Session) execOne(st Stmt) (*Result, error) {
 		}
 		return nil, nil
 	case Retrieve:
-		return s.retrieve(q)
+		return s.retrieve(ctx, q)
 	case Append:
-		return s.appendStmt(q)
+		return s.appendStmt(ctx, q)
 	case Replace:
-		return s.replace(q)
+		return s.replace(ctx, q)
 	case Delete:
-		return s.delete(q)
+		return s.delete(ctx, q)
+	case Explain:
+		return s.explain(ctx, q)
 	}
 	return nil, fmt.Errorf("quel: unknown statement %T", st)
 }
@@ -153,14 +214,28 @@ func (s *Session) varInfo(v string) (varInfo, error) {
 
 // scanVar iterates the instances the variable ranges over.
 func (s *Session) scanVar(info varInfo, fn func(b binding) bool) error {
+	return s.scanVarCtx(context.Background(), info, fn)
+}
+
+// scanVarCtx is scanVar under a context.
+func (s *Session) scanVarCtx(ctx context.Context, info varInfo, fn func(b binding) bool) error {
 	if info.isRel {
-		return s.db.RelationshipTuples(info.typ, func(t value.Tuple) bool {
+		return s.db.RelationshipTuplesCtx(ctx, info.typ, func(t value.Tuple) bool {
 			return fn(binding{attrs: t, fields: info.fields, typ: info.typ})
 		})
 	}
-	return s.db.Instances(info.typ, func(ref value.Ref, attrs value.Tuple) bool {
+	return s.db.InstancesCtx(ctx, info.typ, func(ref value.Ref, attrs value.Tuple) bool {
 		return fn(binding{ref: ref, attrs: attrs, fields: info.fields, typ: info.typ})
 	})
+}
+
+// estimate returns the planner's cardinality estimate for a variable:
+// the relation's current row count, read without scanning.
+func (s *Session) estimate(info varInfo) int {
+	if info.isRel {
+		return s.db.RelationshipCount(info.typ)
+	}
+	return s.db.Count(info.typ)
 }
 
 // fieldIndex finds a field by name, case-insensitively.
@@ -285,7 +360,11 @@ func sargMatches(ss []sarg, fields []value.Field, attrs value.Tuple) bool {
 
 // bindAll materializes the instances of each variable (after sarg
 // filtering) and invokes fn for every combination (nested-loop join).
-func (s *Session) bindAll(vars []string, where Expr, fn func(env) error) error {
+// When the session's planStats is live it records per-variable scan
+// statistics and join combination counts.  The context is checked
+// periodically inside the join loop so a canceled statement stops
+// promptly even when the bindings are already in memory.
+func (s *Session) bindAll(ctx context.Context, vars []string, where Expr, fn func(env) error) error {
 	sargs := map[string][]sarg{}
 	if where != nil {
 		extractSargs(where, sargs)
@@ -296,24 +375,43 @@ func (s *Session) bindAll(vars []string, where Expr, fn func(env) error) error {
 		if err != nil {
 			return err
 		}
+		st := scanStats{Var: v, Rel: info.typ, Est: s.estimate(info)}
+		for _, sg := range sargs[v] {
+			st.Sargs = append(st.Sargs, fmt.Sprintf("%s.%s %s %s", v, sg.attr, sg.op, sg.v))
+		}
+		start := time.Now()
 		var list []binding
-		err = s.scanVar(info, func(b binding) bool {
+		err = s.scanVarCtx(ctx, info, func(b binding) bool {
+			st.Scanned++
 			if !sargMatches(sargs[v], b.fields, b.attrs) {
 				return true
 			}
+			st.Kept++
 			b.attrs = b.attrs.Clone()
 			list = append(list, b)
 			return true
 		})
+		st.Dur = time.Since(start)
+		s.m.scanRows.Add(uint64(st.Scanned))
+		if s.ps != nil {
+			s.ps.Scans = append(s.ps.Scans, st)
+		}
 		if err != nil {
 			return err
 		}
 		lists[i] = list
 	}
 	e := make(env, len(vars))
+	combos := 0
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(vars) {
+			combos++
+			if combos&1023 == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("%w: %w", txn.ErrCanceled, err)
+				}
+			}
 			return fn(e)
 		}
 		for _, b := range lists[i] {
@@ -324,10 +422,27 @@ func (s *Session) bindAll(vars []string, where Expr, fn func(env) error) error {
 		}
 		return nil
 	}
-	return rec(0)
+	err := rec(0)
+	s.m.combos.Add(uint64(combos))
+	if s.ps != nil {
+		s.ps.Combos = combos
+	}
+	return err
 }
 
-func (s *Session) retrieve(q Retrieve) (*Result, error) {
+func (s *Session) retrieve(ctx context.Context, q Retrieve) (*Result, error) {
+	res, _, err := s.retrieveStats(ctx, q)
+	return res, err
+}
+
+// retrieveStats executes a retrieve and returns the plan statistics
+// gathered along the way (used by explain).
+func (s *Session) retrieveStats(ctx context.Context, q Retrieve) (*Result, *planStats, error) {
+	ps := &planStats{}
+	s.ps = ps
+	defer func() { s.ps = nil }()
+	start := time.Now()
+
 	varSet := map[string]bool{}
 	for _, t := range q.Targets {
 		if t.All {
@@ -347,7 +462,7 @@ func (s *Session) retrieve(q Retrieve) (*Result, error) {
 		if t.All {
 			info, err := s.varInfo(t.Var)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			for _, a := range info.fields {
 				label := a.Name
@@ -362,8 +477,9 @@ func (s *Session) retrieve(q Retrieve) (*Result, error) {
 	}
 
 	seen := map[string]bool{}
-	err := s.bindAll(vars, q.Where, func(e env) error {
+	err := s.bindAll(ctx, vars, q.Where, func(e env) error {
 		if q.Where != nil {
+			ps.FilterIn++
 			ok, err := s.evalBool(q.Where, e)
 			if err != nil {
 				return err
@@ -371,6 +487,7 @@ func (s *Session) retrieve(q Retrieve) (*Result, error) {
 			if !ok {
 				return nil
 			}
+			ps.FilterOut++
 		}
 		var row value.Tuple
 		for _, t := range q.Targets {
@@ -387,6 +504,7 @@ func (s *Session) retrieve(q Retrieve) (*Result, error) {
 		if q.Unique {
 			key := string(value.AppendKeyTuple(nil, row))
 			if seen[key] {
+				ps.UniqueDropped++
 				return nil
 			}
 			seen[key] = true
@@ -395,14 +513,18 @@ func (s *Session) retrieve(q Retrieve) (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(q.SortBy) > 0 {
+		sortStart := time.Now()
 		if err := sortRows(res, q.SortBy); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		ps.SortDur = time.Since(sortStart)
 	}
-	return res, nil
+	ps.Emitted = len(res.Rows)
+	ps.Total = time.Since(start)
+	return res, ps, nil
 }
 
 // sortRows orders the result by the named columns (the sort by clause).
@@ -437,7 +559,7 @@ func sortRows(res *Result, keys []SortKey) error {
 	return nil
 }
 
-func (s *Session) appendStmt(q Append) (*Result, error) {
+func (s *Session) appendStmt(ctx context.Context, q Append) (*Result, error) {
 	if _, ok := s.db.EntityType(q.EntityType); !ok {
 		return nil, fmt.Errorf("quel: append: %w: %s", model.ErrNoEntityType, q.EntityType)
 	}
@@ -449,13 +571,13 @@ func (s *Session) appendStmt(q Append) (*Result, error) {
 		}
 		attrs[a.Attr] = v
 	}
-	if _, err := s.db.NewEntity(q.EntityType, attrs); err != nil {
+	if _, err := s.db.NewEntityCtx(ctx, q.EntityType, attrs); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: 1}, nil
 }
 
-func (s *Session) replace(q Replace) (*Result, error) {
+func (s *Session) replace(ctx context.Context, q Replace) (*Result, error) {
 	varSet := map[string]bool{q.Var: true}
 	if q.Where != nil {
 		collectVars(q.Where, varSet)
@@ -470,7 +592,7 @@ func (s *Session) replace(q Replace) (*Result, error) {
 	}
 	var updates []update
 	seen := map[value.Ref]bool{}
-	err := s.bindAll(vars, q.Where, func(e env) error {
+	err := s.bindAll(ctx, vars, q.Where, func(e env) error {
 		if q.Where != nil {
 			ok, err := s.evalBool(q.Where, e)
 			if err != nil {
@@ -500,14 +622,14 @@ func (s *Session) replace(q Replace) (*Result, error) {
 		return nil, err
 	}
 	for _, u := range updates {
-		if err := s.db.SetAttrs(u.ref, u.attrs); err != nil {
+		if err := s.db.SetAttrsCtx(ctx, u.ref, u.attrs); err != nil {
 			return nil, err
 		}
 	}
 	return &Result{Affected: len(updates)}, nil
 }
 
-func (s *Session) delete(q Delete) (*Result, error) {
+func (s *Session) delete(ctx context.Context, q Delete) (*Result, error) {
 	varSet := map[string]bool{q.Var: true}
 	if q.Where != nil {
 		collectVars(q.Where, varSet)
@@ -515,7 +637,7 @@ func (s *Session) delete(q Delete) (*Result, error) {
 	vars := sortedKeys(varSet)
 	var doomed []value.Ref
 	seen := map[value.Ref]bool{}
-	err := s.bindAll(vars, q.Where, func(e env) error {
+	err := s.bindAll(ctx, vars, q.Where, func(e env) error {
 		if q.Where != nil {
 			ok, err := s.evalBool(q.Where, e)
 			if err != nil {
@@ -536,7 +658,7 @@ func (s *Session) delete(q Delete) (*Result, error) {
 		return nil, err
 	}
 	for _, ref := range doomed {
-		if err := s.db.DeleteEntity(ref); err != nil {
+		if err := s.db.DeleteEntityCtx(ctx, ref); err != nil {
 			return nil, err
 		}
 	}

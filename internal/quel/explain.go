@@ -1,0 +1,160 @@
+package quel
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/value"
+)
+
+// planStats collects estimated and actual cardinalities plus timings
+// while a retrieve executes.  The explain statement runs the query and
+// renders this as a plan tree; normal execution gathers it too (the
+// overhead is a handful of integer increments per row).
+type planStats struct {
+	Scans         []scanStats
+	Combos        int // nested-loop combinations produced
+	FilterIn      int // bindings entering the qualification
+	FilterOut     int // bindings passing it
+	OrderEvals    int // before/after/under evaluations
+	OrderDur      time.Duration
+	UniqueDropped int
+	SortDur       time.Duration
+	Emitted       int
+	Total         time.Duration
+}
+
+// scanStats describes one range variable's scan.
+type scanStats struct {
+	Var     string
+	Rel     string // entity or relationship type scanned
+	Est     int    // estimated rows (relation row count)
+	Scanned int    // rows visited
+	Kept    int    // rows surviving pushed-down sargs
+	Sargs   []string
+	Dur     time.Duration
+}
+
+// estCombos is the join-size estimate: the product of per-scan
+// estimates, saturating instead of overflowing.
+func (ps *planStats) estCombos() int {
+	est := 1
+	for _, sc := range ps.Scans {
+		if sc.Est > 0 && est > int(^uint(0)>>1)/sc.Est {
+			return int(^uint(0) >> 1)
+		}
+		est *= sc.Est
+	}
+	return est
+}
+
+// explain executes the wrapped statement and returns its plan tree as a
+// one-column result instead of the query's own rows.
+func (s *Session) explain(ctx context.Context, q Explain) (*Result, error) {
+	ret, ok := q.Stmt.(Retrieve)
+	if !ok {
+		return nil, fmt.Errorf("quel: explain supports only retrieve statements, not %s", stmtKind(q.Stmt))
+	}
+	_, ps, err := s.retrieveStats(ctx, ret)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"QUERY PLAN"}}
+	for _, line := range renderPlan(ret, ps) {
+		res.Rows = append(res.Rows, value.Tuple{value.Str(line)})
+	}
+	return res, nil
+}
+
+// renderPlan formats the plan tree bottom-up: scans feed the join, the
+// join feeds the filter, then unique/sort, then the retrieve root.
+// Timings are wall-clock and therefore nondeterministic; tests redact
+// the "time=..." fields.
+func renderPlan(q Retrieve, ps *planStats) []string {
+	var lines []string
+	add := func(depth int, format string, args ...any) {
+		lines = append(lines, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
+	}
+	root := "Retrieve"
+	if q.Unique {
+		root = "Retrieve Unique"
+	}
+	add(0, "%s (rows=%d) (time=%s)", root, ps.Emitted, ps.Total)
+	depth := 1
+	if len(q.SortBy) > 0 {
+		keys := make([]string, len(q.SortBy))
+		for i, k := range q.SortBy {
+			keys[i] = k.Label
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		add(depth, "Sort: %s (time=%s)", strings.Join(keys, ", "), ps.SortDur)
+		depth++
+	}
+	if q.Unique {
+		add(depth, "Unique (dropped=%d)", ps.UniqueDropped)
+		depth++
+	}
+	if q.Where != nil {
+		add(depth, "Filter: %s (in=%d, out=%d)", exprString(q.Where), ps.FilterIn, ps.FilterOut)
+		depth++
+		if ps.OrderEvals > 0 {
+			add(depth, "OrderOps: %d evals (time=%s)", ps.OrderEvals, ps.OrderDur)
+		}
+	}
+	if len(ps.Scans) > 1 {
+		add(depth, "NestedLoopJoin (est=%d, actual=%d)", ps.estCombos(), ps.Combos)
+		depth++
+	}
+	for _, sc := range ps.Scans {
+		add(depth, "Scan %s on %s (est=%d, scanned=%d, kept=%d) (time=%s)",
+			sc.Var, sc.Rel, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
+		if len(sc.Sargs) > 0 {
+			add(depth+1, "Sarg: %s", strings.Join(sc.Sargs, " and "))
+		}
+	}
+	return lines
+}
+
+// exprString renders an expression roughly as it was written, for plan
+// display.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "true"
+	case Lit:
+		return x.V.String()
+	case AttrRef:
+		return x.Var + "." + x.Attr
+	case VarRef:
+		return x.Var
+	case Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.L), x.Op, exprString(x.R))
+	case Unary:
+		if x.Op == "not" {
+			return "not " + exprString(x.X)
+		}
+		return x.Op + exprString(x.X)
+	case IsOp:
+		return fmt.Sprintf("(%s is %s)", exprString(x.L), exprString(x.R))
+	case OrderOp:
+		s := fmt.Sprintf("(%s %s %s", exprString(x.L), x.Op, exprString(x.R))
+		if x.Order != "" {
+			s += " in " + x.Order
+		}
+		return s + ")"
+	case Agg:
+		arg := x.Var + ".all"
+		if x.Attr != "" {
+			arg = x.Var + "." + x.Attr
+		}
+		if x.Where != nil {
+			return fmt.Sprintf("%s(%s where %s)", x.Fn, arg, exprString(x.Where))
+		}
+		return fmt.Sprintf("%s(%s)", x.Fn, arg)
+	}
+	return fmt.Sprintf("%T", e)
+}

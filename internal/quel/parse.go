@@ -1,12 +1,18 @@
 package quel
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/lex"
 	"repro/internal/value"
 )
+
+// ErrParse is the sentinel wrapped by every syntax error this parser
+// reports, so clients can classify failures with errors.Is without
+// string matching.
+var ErrParse = errors.New("quel: parse error")
 
 type parser struct {
 	lx  *lex.Lexer
@@ -16,7 +22,7 @@ type parser struct {
 func (p *parser) next() { p.tok = p.lx.Next() }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("quel: line %d: %s", p.tok.Line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w: line %d: %s", ErrParse, p.tok.Line, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) expectPunct(punct string) error {
@@ -61,17 +67,27 @@ func Parse(src string) ([]Stmt, error) {
 		}
 		stmts = append(stmts, s)
 		if err := p.lx.Err(); err != nil {
-			return nil, fmt.Errorf("quel: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrParse, err)
 		}
 	}
 	if err := p.lx.Err(); err != nil {
-		return nil, fmt.Errorf("quel: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	return stmts, nil
 }
 
 func (p *parser) statement() (Stmt, error) {
 	switch {
+	case p.tok.IsKeyword("explain"):
+		p.next()
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(Explain); nested {
+			return nil, p.errf("explain cannot be nested")
+		}
+		return Explain{Stmt: inner}, nil
 	case p.tok.IsKeyword("range"):
 		p.next()
 		return p.rangeStmt()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wal"
@@ -36,6 +37,11 @@ type Options struct {
 	// before receiving txn.ErrTimeout (retried like a deadlock victim).
 	// Zero waits indefinitely, relying on deadlock detection alone.
 	LockWaitTimeout time.Duration
+	// Obs is the observability registry the engine reports metrics
+	// into (row counts, transaction outcomes, WAL and lock latencies,
+	// checkpoint durations).  Nil allocates a fresh registry, so a DB
+	// always has one; share a registry across components to aggregate.
+	Obs *obs.Registry
 }
 
 // DB is the storage engine: a set of relations plus the transaction
@@ -43,6 +49,8 @@ type Options struct {
 type DB struct {
 	opts Options
 	fs   fault.FS
+	obs  *obs.Registry
+	m    dbMetrics
 
 	mu        sync.RWMutex
 	relations map[string]*Relation
@@ -57,6 +65,17 @@ type DB struct {
 
 	stateMu sync.Mutex
 	roCause error // non-nil: degraded read-only, with the poisoning cause
+}
+
+// dbMetrics holds the engine's resolved obs handles.
+type dbMetrics struct {
+	begins      *obs.Counter   // storage.txn.begin
+	commits     *obs.Counter   // storage.txn.commit
+	aborts      *obs.Counter   // storage.txn.abort
+	rowsRead    *obs.Counter   // storage.rows.read
+	rowsWritten *obs.Counter   // storage.rows.written
+	checkpoint  *obs.Histogram // storage.checkpoint.ns
+	trace       *obs.Trace
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -76,15 +95,29 @@ func Open(opts Options) (*DB, error) {
 	if opts.FS == nil {
 		opts.FS = fault.Disk{}
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	db := &DB{
 		opts:      opts,
 		fs:        opts.FS,
+		obs:       opts.Obs,
 		relations: make(map[string]*Relation),
 		locks:     txn.NewLockManager(),
 		ids:       txn.NewIDSource(0),
 		seqs:      make(map[string]uint64),
 	}
+	db.m = dbMetrics{
+		begins:      db.obs.Counter("storage.txn.begin"),
+		commits:     db.obs.Counter("storage.txn.commit"),
+		aborts:      db.obs.Counter("storage.txn.abort"),
+		rowsRead:    db.obs.Counter("storage.rows.read"),
+		rowsWritten: db.obs.Counter("storage.rows.written"),
+		checkpoint:  db.obs.Histogram("storage.checkpoint.ns"),
+		trace:       db.obs.Trace(),
+	}
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
+	db.locks.SetObserver(db.obs)
 	if opts.Dir == "" || opts.NoWAL {
 		if opts.Dir != "" {
 			if err := db.recover(); err != nil {
@@ -103,9 +136,13 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	log.SetObserver(db.obs)
 	db.log = log
 	return db, nil
 }
+
+// Obs returns the database's observability registry (never nil).
+func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // degrade puts the database into read-only mode with the given cause.
 // Only the first cause is kept.
@@ -378,6 +415,13 @@ func (db *DB) Checkpoint() error {
 	if err := db.writable(); err != nil {
 		return err
 	}
+	start := time.Now()
+	defer func() {
+		db.m.checkpoint.ObserveSince(start)
+		if db.m.trace.Enabled() {
+			db.m.trace.Emit("storage.checkpoint", db.opts.Dir, start, time.Since(start))
+		}
+	}()
 	if db.log != nil {
 		if err := db.log.Sync(); err != nil {
 			db.degrade(err)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,6 +21,7 @@ import (
 type Tx struct {
 	db   *DB
 	id   uint64
+	ctx  context.Context // cancels lock waits; never nil
 	done bool
 	undo []undoRec
 }
@@ -45,11 +47,25 @@ var ErrTxDone = errors.New("storage: transaction already finished")
 // Begin starts a new transaction.  If the database is degraded the
 // BEGIN record is not logged; the transaction can still read, and any
 // write will fail with ErrReadOnly.
-func (db *DB) Begin() *Tx {
-	tx := &Tx{db: db, id: db.ids.Next()}
+func (db *DB) Begin() *Tx { return db.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction whose lock waits are bounded by ctx:
+// cancellation (or deadline expiry) while blocked on a lock returns
+// txn.ErrCanceled from the blocked operation.  The context does not
+// otherwise interrupt in-flight work; statement layers check it between
+// rows.
+func (db *DB) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tx := &Tx{db: db, id: db.ids.Next(), ctx: ctx}
+	db.m.begins.Inc()
 	_ = db.appendLog(&wal.Record{Type: wal.RecBegin, TxID: tx.id})
 	return tx
 }
+
+// Context returns the context the transaction was begun with.
+func (tx *Tx) Context() context.Context { return tx.ctx }
 
 // appendLog writes a record to the WAL if logging is enabled.  A failed
 // append poisons the log (wal keeps the sticky error) and degrades the
@@ -82,9 +98,10 @@ func (tx *Tx) check() error {
 }
 
 // lock acquires a lock for this transaction, translating deadlock victims
-// into an automatic abort.
+// into an automatic abort.  The wait is bounded by the transaction's
+// context (BeginCtx) as well as the manager's wait timeout.
 func (tx *Tx) lock(resource string, mode txn.Mode) error {
-	if err := tx.db.locks.Acquire(tx.id, resource, mode); err != nil {
+	if err := tx.db.locks.AcquireCtx(tx.ctx, tx.id, resource, mode); err != nil {
 		if errors.Is(err, txn.ErrDeadlock) {
 			tx.Abort()
 		}
@@ -128,6 +145,7 @@ func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
 		return 0, err
 	}
 	tx.undo = append(tx.undo, undoRec{op: undoInsert, rel: relName, id: id})
+	tx.db.m.rowsWritten.Inc()
 	return id, nil
 }
 
@@ -152,6 +170,7 @@ func (tx *Tx) Delete(relName string, id RowID) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoRec{op: undoDelete, rel: relName, id: id, old: old})
+	tx.db.m.rowsWritten.Inc()
 	return nil
 }
 
@@ -180,6 +199,7 @@ func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoRec{op: undoUpdate, rel: relName, id: id, old: old})
+	tx.db.m.rowsWritten.Inc()
 	return nil
 }
 
@@ -218,6 +238,7 @@ func (tx *Tx) Get(relName string, id RowID) (value.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: %s: no row %d", relName, id)
 	}
+	tx.db.m.rowsRead.Inc()
 	return t, nil
 }
 
@@ -233,7 +254,12 @@ func (tx *Tx) Scan(relName string, fn func(id RowID, t value.Tuple) bool) error 
 	if err := tx.lock(relName, txn.Shared); err != nil {
 		return err
 	}
-	r.scan(fn)
+	var n uint64
+	r.scan(func(id RowID, t value.Tuple) bool {
+		n++
+		return fn(id, t)
+	})
+	tx.db.m.rowsRead.Add(n)
 	return nil
 }
 
@@ -255,13 +281,16 @@ func (tx *Tx) IndexScan(relName, indexName string, lo, hi []byte, fn func(id Row
 	if err := tx.lock(relName, txn.Shared); err != nil {
 		return err
 	}
+	var n uint64
 	ix.tree.Ascend(lo, hi, func(_ []byte, id uint64) bool {
 		t, ok := r.get(id)
 		if !ok {
 			return true
 		}
+		n++
 		return fn(id, t)
 	})
+	tx.db.m.rowsRead.Add(n)
 	return nil
 }
 
@@ -283,13 +312,16 @@ func (tx *Tx) IndexPrefixScan(relName, indexName string, vals value.Tuple, fn fu
 		return err
 	}
 	prefix := value.AppendKeyTuple(nil, vals)
+	var n uint64
 	ix.tree.AscendPrefix(prefix, func(_ []byte, id uint64) bool {
 		t, ok := r.get(id)
 		if !ok {
 			return true
 		}
+		n++
 		return fn(id, t)
 	})
+	tx.db.m.rowsRead.Add(n)
 	return nil
 }
 
@@ -307,6 +339,7 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.done = true
+	tx.db.m.commits.Inc()
 	if len(tx.undo) == 0 {
 		// Read-only transaction: nothing to make durable, so no COMMIT
 		// record and no fsync — and no reason to fail on a degraded
@@ -360,6 +393,7 @@ func (tx *Tx) Abort() {
 		return
 	}
 	tx.done = true
+	tx.db.m.aborts.Inc()
 	tx.rollbackMemory()
 	if len(tx.undo) > 0 {
 		_ = tx.db.appendLog(&wal.Record{Type: wal.RecAbort, TxID: tx.id}) // redo-only recovery ignores unfinished txns anyway
@@ -373,9 +407,19 @@ func (tx *Tx) Abort() {
 // retried up to three times; client layers (mdm.Session) add further
 // retry with backoff on top.
 func (db *DB) Run(fn func(tx *Tx) error) error {
+	return db.RunCtx(context.Background(), fn)
+}
+
+// RunCtx is Run under a context: transactions are begun with BeginCtx
+// so blocked lock waits abort with txn.ErrCanceled when ctx is
+// canceled, and no retry is attempted once the context is done.
+func (db *DB) RunCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		tx := db.Begin()
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("%w: %w", txn.ErrCanceled, ctx.Err())
+		}
+		tx := db.BeginCtx(ctx)
 		err := fn(tx)
 		if err == nil {
 			return tx.Commit()

@@ -12,10 +12,14 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -40,6 +44,12 @@ var ErrDeadlock = errors.New("txn: deadlock detected; transaction must abort")
 
 // ErrTimeout is returned when a lock wait exceeds the manager's timeout.
 var ErrTimeout = errors.New("txn: lock wait timeout")
+
+// ErrCanceled is returned when a lock wait is abandoned because the
+// requester's context was canceled or its deadline passed.  Unlike
+// ErrDeadlock/ErrTimeout it is not transient: the client asked the
+// statement to stop, so retry layers must not re-run it.
+var ErrCanceled = errors.New("txn: lock wait canceled")
 
 // waiter is a blocked lock request.
 type waiter struct {
@@ -66,6 +76,66 @@ type LockManager struct {
 	// Timeouts are the backstop for stalls the waits-for graph cannot
 	// see (e.g. a client that holds locks but never finishes).
 	waitTimeout time.Duration
+
+	// metrics, when set, receives lock-wait latencies and outcome
+	// counters (see SetObserver).
+	metrics atomic.Pointer[lockMetrics]
+}
+
+// lockMetrics holds the resolved obs handles for the lock manager.
+type lockMetrics struct {
+	acquires  *obs.Counter   // txn.lock.acquire: every granted request
+	waits     *obs.Histogram // txn.lock.wait.ns: latency of blocked requests
+	deadlocks *obs.Counter   // txn.deadlock: requests refused as deadlock victims
+	timeouts  *obs.Counter   // txn.lock.timeout: waits abandoned by timeout
+	cancels   *obs.Counter   // txn.lock.canceled: waits abandoned by context
+	trace     *obs.Trace
+}
+
+// SetObserver wires the lock manager's metrics into reg: the
+// txn.lock.acquire counter, the txn.lock.wait.ns histogram of blocked
+// waits, and the txn.deadlock / txn.lock.timeout / txn.lock.canceled
+// outcome counters.  Passing nil detaches.
+func (m *LockManager) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		m.metrics.Store(nil)
+		return
+	}
+	m.metrics.Store(&lockMetrics{
+		acquires:  reg.Counter("txn.lock.acquire"),
+		waits:     reg.Histogram("txn.lock.wait.ns"),
+		deadlocks: reg.Counter("txn.deadlock"),
+		timeouts:  reg.Counter("txn.lock.timeout"),
+		cancels:   reg.Counter("txn.lock.canceled"),
+		trace:     reg.Trace(),
+	})
+}
+
+// observeWait records the outcome of a blocked lock request.
+func (m *LockManager) observeWait(tx uint64, resource string, mode Mode, start time.Time, err error) {
+	lm := m.metrics.Load()
+	if lm == nil {
+		return
+	}
+	dur := time.Since(start)
+	lm.waits.Observe(dur.Nanoseconds())
+	switch {
+	case err == nil:
+		lm.acquires.Inc()
+	case errors.Is(err, ErrDeadlock):
+		lm.deadlocks.Inc()
+	case errors.Is(err, ErrTimeout):
+		lm.timeouts.Inc()
+	case errors.Is(err, ErrCanceled):
+		lm.cancels.Inc()
+	}
+	if lm.trace.Enabled() {
+		outcome := "granted"
+		if err != nil {
+			outcome = err.Error()
+		}
+		lm.trace.Emit("txn.lock.wait", fmt.Sprintf("tx=%d %s %s: %s", tx, mode, resource, outcome), start, dur)
+	}
 }
 
 // NewLockManager returns an empty lock manager.
@@ -81,6 +151,16 @@ func NewLockManager() *LockManager {
 // no-op; acquiring Exclusive while holding Shared upgrades.  Returns
 // ErrDeadlock if granting would deadlock and tx is chosen as victim.
 func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
+	return m.AcquireCtx(context.Background(), tx, resource, mode)
+}
+
+// AcquireCtx is Acquire with a cancelable wait: if ctx is canceled (or
+// its deadline passes) while the request is blocked, the request is
+// dequeued and ErrCanceled returned, wrapping ctx.Err() so callers can
+// also match context.Canceled / context.DeadlineExceeded.  Cancellation
+// uses the same wakeup machinery as the lock-wait timeout; an already
+// grantable request is never refused by a canceled context.
+func (m *LockManager) AcquireCtx(ctx context.Context, tx uint64, resource string, mode Mode) error {
 	m.mu.Lock()
 	ls := m.locks[resource]
 	if ls == nil {
@@ -94,6 +174,9 @@ func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
 	if m.grantable(ls, tx, mode) {
 		ls.holders[tx] = mode
 		m.mu.Unlock()
+		if lm := m.metrics.Load(); lm != nil {
+			lm.acquires.Inc()
+		}
 		return nil
 	}
 	// Must wait.  Record waits-for edges and check for a cycle before
@@ -106,37 +189,46 @@ func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
 		m.removeWaiter(ls, w)
 		m.clearWaitEdges(tx)
 		m.mu.Unlock()
+		if lm := m.metrics.Load(); lm != nil {
+			lm.deadlocks.Inc()
+		}
 		return ErrDeadlock
 	}
 	timeout := m.waitTimeout
 	m.mu.Unlock()
 
-	if timeout <= 0 {
-		err := <-w.ready
-		m.mu.Lock()
-		m.clearWaitEdges(tx)
-		m.mu.Unlock()
-		return err
+	start := time.Now()
+	// Nil channels block forever, so the one select covers every
+	// combination of timeout/ctx configuration.
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
 	}
-
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	select {
 	case err := <-w.ready:
 		m.mu.Lock()
 		m.clearWaitEdges(tx)
 		m.mu.Unlock()
+		m.observeWait(tx, resource, mode, start, err)
 		return err
-	case <-timer.C:
+	case <-timerC:
+	case <-done:
 	}
-	// The grant races the timer: grants happen under m.mu, so once we
+	// The grant races the wakeup: grants happen under m.mu, so once we
 	// hold it the outcome is settled — either the ready channel has a
-	// verdict (take it) or we are still queued (dequeue and time out).
+	// verdict (take it) or we are still queued (dequeue and fail).
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	select {
 	case err := <-w.ready:
 		m.clearWaitEdges(tx)
+		m.mu.Unlock()
+		m.observeWait(tx, resource, mode, start, err)
 		return err
 	default:
 	}
@@ -145,7 +237,13 @@ func (m *LockManager) Acquire(tx uint64, resource string, mode Mode) error {
 	// Waiters queued behind the departed request may have been blocked
 	// only by FIFO order (e.g. readers behind a timed-out writer).
 	m.grantWaiters(ls)
-	return ErrTimeout
+	m.mu.Unlock()
+	err := ErrTimeout
+	if ctx != nil && ctx.Err() != nil {
+		err = fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+	m.observeWait(tx, resource, mode, start, err)
+	return err
 }
 
 // SetWaitTimeout bounds future Acquire waits; d <= 0 restores unbounded

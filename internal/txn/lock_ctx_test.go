@@ -1,0 +1,83 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAcquireCtxCancel: canceling the context while blocked dequeues
+// the waiter and returns ErrCanceled wrapping ctx.Err().
+func TestAcquireCtxCancel(t *testing.T) {
+	m := NewLockManager()
+	reg := obs.NewRegistry()
+	m.SetObserver(reg)
+	if err := m.Acquire(1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.AcquireCtx(ctx, 2, "r", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err chain lost context.Canceled: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	if c, _ := reg.Get("txn.lock.canceled"); c.Value != 1 {
+		t.Errorf("txn.lock.canceled = %d, want 1", c.Value)
+	}
+	if h, _ := reg.Get("txn.lock.wait.ns"); h.Count != 1 {
+		t.Errorf("txn.lock.wait.ns count = %d, want 1", h.Count)
+	}
+
+	// The canceled waiter must be fully dequeued: releasing tx 1 lets a
+	// fresh request through, and tx 2 can come back for the lock.
+	m.ReleaseAll(1)
+	if err := m.AcquireCtx(context.Background(), 2, "r", Exclusive); err != nil {
+		t.Fatalf("reacquire after cancel: %v", err)
+	}
+	m.ReleaseAll(2)
+}
+
+// TestAcquireCtxGrantableIgnoresCancel: a request that can be granted
+// immediately succeeds even under a canceled context (the context
+// bounds waiting, not acquisition).
+func TestAcquireCtxGrantableIgnoresCancel(t *testing.T) {
+	m := NewLockManager()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.AcquireCtx(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatalf("grantable acquire under canceled ctx: %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+// TestAcquireCtxDeadline: deadline expiry behaves like cancellation.
+func TestAcquireCtxDeadline(t *testing.T) {
+	m := NewLockManager()
+	if err := m.Acquire(1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	defer m.ReleaseAll(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := m.AcquireCtx(ctx, 2, "r", Shared)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("deadline wait took %v", d)
+	}
+}

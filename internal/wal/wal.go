@@ -19,8 +19,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -179,6 +181,32 @@ type Log struct {
 	off  int64 // current end offset (next LSN)
 	buf  []byte
 	err  error // sticky poison; nil while healthy
+
+	m *logMetrics // nil when unobserved
+}
+
+// logMetrics holds the resolved obs handles for a log.
+type logMetrics struct {
+	records *obs.Counter   // wal.append.records
+	bytes   *obs.Counter   // wal.append.bytes (framing included)
+	fsync   *obs.Histogram // wal.fsync.ns
+	trace   *obs.Trace
+}
+
+// SetObserver wires the log's metrics into reg: the wal.append.records
+// and wal.append.bytes counters and the wal.fsync.ns latency histogram.
+// Call once after Open, before concurrent use; nil detaches.
+func (l *Log) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		l.m = nil
+		return
+	}
+	l.m = &logMetrics{
+		records: reg.Counter("wal.append.records"),
+		bytes:   reg.Counter("wal.append.bytes"),
+		fsync:   reg.Histogram("wal.fsync.ns"),
+		trace:   reg.Trace(),
+	}
 }
 
 // Open opens (creating if necessary) the log at path on the real
@@ -272,6 +300,10 @@ func (l *Log) Append(r *Record) (int64, error) {
 		return 0, l.poison("append", err)
 	}
 	l.off += 8 + int64(len(l.buf))
+	if l.m != nil {
+		l.m.records.Inc()
+		l.m.bytes.Add(uint64(8 + len(l.buf)))
+	}
 	return lsn, nil
 }
 
@@ -286,8 +318,15 @@ func (l *Log) Sync() error {
 	if err := l.w.Flush(); err != nil {
 		return l.poison("flush", err)
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return l.poison("fsync", err)
+	}
+	if l.m != nil {
+		l.m.fsync.ObserveSince(start)
+		if l.m.trace.Enabled() {
+			l.m.trace.Emit("wal.fsync", l.path, start, time.Since(start))
+		}
 	}
 	return nil
 }
