@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race torture bench bench-smoke ci
+.PHONY: all build vet test race torture bench bench-smoke bench-quel ci
 
 all: ci
 
@@ -30,4 +30,10 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/mdmbench -obs -out BENCH_obs.json
 
-ci: vet build race torture bench-smoke
+# Query-planner benchmark: planner vs. retained naive executor over
+# scan-, join-, and ordering-heavy workloads; emits BENCH_quel.json and
+# fails if the join-heavy speedup drops below 5x.
+bench-quel:
+	$(GO) run ./cmd/mdmbench -quel -out BENCH_quel.json
+
+ci: vet build race torture bench-smoke bench-quel

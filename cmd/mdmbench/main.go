@@ -6,12 +6,18 @@
 //
 //	mdmbench [-quick]
 //	mdmbench -obs [-out BENCH_obs.json]
+//	mdmbench -quel [-quick] [-out BENCH_quel.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
 // the observability baseline (the versioned metrics snapshot) to -out,
 // then re-reads and validates it; the exit status is nonzero if the
 // document is malformed.  CI's bench-smoke target runs this mode.
+// -quel benchmarks the cost-based query planner against the retained
+// naive executor (scan-, join-, and ordering-heavy workloads) and
+// writes BENCH_quel.json; at full scale the exit status is nonzero if
+// the join-heavy speedup falls below 5x.  CI's bench-quel target runs
+// this mode.
 package main
 
 import (
@@ -32,11 +38,27 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	obsMode := flag.Bool("obs", false, "emit and validate the observability baseline")
-	out := flag.String("out", "BENCH_obs.json", "output path for -obs")
+	quelMode := flag.Bool("quel", false, "benchmark the query planner and emit BENCH_quel.json")
+	out := flag.String("out", "", "output path for -obs / -quel")
 	flag.Parse()
 
 	if *obsMode {
-		if err := runObs(*out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_obs.json"
+		}
+		if err := runObs(path); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *quelMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_quel.json"
+		}
+		if err := runQuel(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,6 +96,7 @@ func runObs(path string) error {
 		`define entity work (title = string, year = int)`,
 		`define entity movement (name = string, idx = int, part_of = work)`,
 		`define ordering movement_order (movement) under work`,
+		`define index on work (year)`,
 	}
 	for i := 0; i < 8; i++ {
 		stmts = append(stmts, fmt.Sprintf(`append to work (title = "work %d", year = %d)`, i, 1900+i))
@@ -140,7 +163,7 @@ func runObs(path string) error {
 	if err := obs.ValidateDoc(doc); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	for _, name := range []string{"wal.fsync.ns", "storage.txn.commit", "quel.stmt.ns", "txn.lock.wait.ns"} {
+	for _, name := range []string{"wal.fsync.ns", "storage.txn.commit", "quel.stmt.ns", "txn.lock.wait.ns", "quel.plan.scan.index"} {
 		found := false
 		for _, mt := range doc.Metrics {
 			if mt.Name == name && (mt.Value > 0 || mt.Count > 0) {

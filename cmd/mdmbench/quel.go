@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mdm"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// quelBenchDoc is the BENCH_quel.json document: per-workload timings for
+// the cost-based planner against the retained naive executor, plus the
+// planner's choice counters from the metrics registry.
+type quelBenchDoc struct {
+	SchemaVersion int               `json:"schema_version"`
+	Scale         quelScale         `json:"scale"`
+	Workloads     []quelWorkload    `json:"workloads"`
+	PlanCounters  map[string]uint64 `json:"plan_counters"`
+}
+
+type quelScale struct {
+	Notes  int `json:"notes"`
+	Chords int `json:"chords"`
+}
+
+type quelWorkload struct {
+	Name             string  `json:"name"`
+	Query            string  `json:"query"`
+	Rows             int     `json:"rows"`
+	NaiveNsPerStmt   int64   `json:"naive_ns_per_stmt"`
+	PlannerNsPerStmt int64   `json:"planner_ns_per_stmt"`
+	PlannerRowsPerS  float64 `json:"planner_rows_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+const quelBenchSchemaVersion = 1
+
+// runQuel benchmarks the query planner: it loads a chord/note corpus,
+// runs scan-heavy, join-heavy, and ordering-operator workloads through
+// both executors, writes BENCH_quel.json, and fails if the join-heavy
+// speedup regresses below 5x (skipped under -quick, whose scale is too
+// small for stable ratios) or if the snapshot's planner counters are
+// malformed.
+func runQuel(path string, quick bool) error {
+	scale := quelScale{Notes: 10000, Chords: 100}
+	if quick {
+		scale = quelScale{Notes: 1000, Chords: 20}
+	}
+
+	m, err := mdm.Open(mdm.Options{SkipCMN: true})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	sess := m.NewSession()
+	naive := m.NewSession()
+	naive.SetNaivePlanner(true)
+	ctx := context.Background()
+
+	for _, src := range []string{
+		`define entity CHORD (name = integer)`,
+		`define entity NOTE (name = integer, pitch = integer, chord = integer)`,
+		`define ordering note_in_chord (NOTE) under CHORD`,
+		`define index on NOTE (pitch)`,
+	} {
+		if _, err := sess.ExecContext(ctx, src); err != nil {
+			return fmt.Errorf("ddl %q: %w", src, err)
+		}
+	}
+	chords := make([]value.Ref, scale.Chords)
+	for i := range chords {
+		chords[i], err = m.Model.NewEntity("CHORD", model.Attrs{"name": value.Int(int64(i))})
+		if err != nil {
+			return err
+		}
+	}
+	for i := 0; i < scale.Notes; i++ {
+		ci := i % scale.Chords
+		n, err := m.Model.NewEntity("NOTE", model.Attrs{
+			"name":  value.Int(int64(i)),
+			"pitch": value.Int(int64(i % 128)),
+			"chord": value.Int(int64(ci)),
+		})
+		if err != nil {
+			return err
+		}
+		if err := m.Model.InsertChild("note_in_chord", chords[ci], n, model.Last()); err != nil {
+			return err
+		}
+	}
+
+	workloads := []struct{ name, query string }{
+		{"scan-index-point", `retrieve (n.name) where n.pitch = 64`},
+		{"scan-index-range", `retrieve (n.name) where n.pitch >= 60 and n.pitch < 64`},
+		{"join-heavy", `retrieve (n.name, c.name) where n.chord = c.name`},
+		{"ordering-probe", fmt.Sprintf(`retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = %d`, scale.Notes-1)},
+		{"sort-elide", `retrieve (p = n.pitch) where n.pitch >= 120 sort by p desc`},
+	}
+	decls := `range of n, n1, n2 is NOTE
+range of c is CHORD`
+	if _, err := sess.ExecContext(ctx, decls); err != nil {
+		return err
+	}
+	if _, err := naive.ExecContext(ctx, decls); err != nil {
+		return err
+	}
+
+	doc := quelBenchDoc{SchemaVersion: quelBenchSchemaVersion, Scale: scale}
+	for _, w := range workloads {
+		pRows, pNs, err := timeQuery(ctx, sess, w.query)
+		if err != nil {
+			return fmt.Errorf("%s (planner): %w", w.name, err)
+		}
+		nRows, nNs, err := timeQuery(ctx, naive, w.query)
+		if err != nil {
+			return fmt.Errorf("%s (naive): %w", w.name, err)
+		}
+		if pRows != nRows {
+			return fmt.Errorf("%s: planner returned %d rows, naive %d", w.name, pRows, nRows)
+		}
+		wl := quelWorkload{
+			Name: w.name, Query: w.query, Rows: pRows,
+			NaiveNsPerStmt: nNs, PlannerNsPerStmt: pNs,
+		}
+		if pNs > 0 {
+			wl.Speedup = float64(nNs) / float64(pNs)
+			wl.PlannerRowsPerS = float64(pRows) / (float64(pNs) / 1e9)
+		}
+		doc.Workloads = append(doc.Workloads, wl)
+		fmt.Printf("%-18s rows=%-6d naive=%-12s planner=%-12s speedup=%.1fx\n",
+			w.name, pRows, time.Duration(nNs), time.Duration(pNs), wl.Speedup)
+	}
+
+	// Snapshot and sanity-check the planner counters: the workloads above
+	// must have exercised index scans, hash joins, and ordering probes.
+	snap := m.Obs().Doc()
+	if err := obs.ValidateDoc(snap); err != nil {
+		return err
+	}
+	doc.PlanCounters = map[string]uint64{}
+	for _, mt := range snap.Metrics {
+		if len(mt.Name) > 10 && mt.Name[:10] == "quel.plan." {
+			doc.PlanCounters[mt.Name] = mt.Value
+		}
+	}
+	for _, name := range []string{"quel.plan.scan.index", "quel.plan.join.hash", "quel.plan.join.probe", "quel.plan.hash.hits"} {
+		if doc.PlanCounters[name] == 0 {
+			return fmt.Errorf("expected nonzero planner counter %s", name)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if !quick {
+		for _, wl := range doc.Workloads {
+			if wl.Name == "join-heavy" && wl.Speedup < 5 {
+				return fmt.Errorf("join-heavy speedup %.2fx below the 5x floor", wl.Speedup)
+			}
+		}
+	}
+	return nil
+}
+
+// timeQuery measures one query's per-statement latency: a warm-up run
+// (whose row count is returned), then repeated runs until 300ms or 50
+// iterations, whichever comes first.
+func timeQuery(ctx context.Context, sess *mdm.Session, query string) (rows int, nsPerStmt int64, err error) {
+	res, err := sess.QueryContext(ctx, query)
+	if err != nil {
+		return 0, 0, err
+	}
+	rows = len(res.Rows)
+	var iters int
+	start := time.Now()
+	for iters = 0; iters < 50 && time.Since(start) < 300*time.Millisecond; iters++ {
+		if _, err := sess.QueryContext(ctx, query); err != nil {
+			return 0, 0, err
+		}
+	}
+	return rows, time.Since(start).Nanoseconds() / int64(iters), nil
+}

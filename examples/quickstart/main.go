@@ -22,11 +22,13 @@ func main() {
 	defer m.Close()
 	s := m.NewSession()
 
-	// The schema of §5.4: notes ordered within chords.
+	// The schema of §5.4: notes ordered within chords, with a secondary
+	// index so pitch predicates become B-tree range scans.
 	if _, err := s.Exec(`
 define entity CHORD (name = integer)
-define entity NOTE (name = integer, pitch = integer)
+define entity NOTE (name = integer, pitch = integer, chord = integer)
 define ordering note_in_chord (NOTE) under CHORD
+define index on NOTE (pitch)
 `); err != nil {
 		log.Fatal(err)
 	}
@@ -40,6 +42,7 @@ define ordering note_in_chord (NOTE) under CHORD
 	for i, pitch := range []int64{60, 64, 67, 72} { // C major
 		note, err := db.NewEntity("NOTE", model.Attrs{
 			"name": value.Int(int64(i + 1)), "pitch": value.Int(pitch),
+			"chord": value.Int(1),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -65,6 +68,20 @@ define ordering note_in_chord (NOTE) under CHORD
 		`range of c1 is CHORD
 		 retrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 1`,
 		`retrieve (c1.name) where n1 under c1 in note_in_chord and n1.name = 4`,
+	} {
+		out, err := s.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	// The cost-based planner at work: explain shows the pitch predicate
+	// running as an IndexScan key range, and the chord/note equi-join as
+	// a HashJoin instead of a nested loop.
+	for _, q := range []string{
+		`explain retrieve (n1.name) where n1.pitch >= 64 and n1.pitch < 70`,
+		`explain retrieve (n1.name, c1.name) where n1.chord = c1.name`,
 	} {
 		out, err := s.Exec(q)
 		if err != nil {

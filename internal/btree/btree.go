@@ -453,6 +453,50 @@ func (t *Tree) Ascend(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 	}
 }
 
+// Descend calls fn for each entry with lo <= key < hi in descending key
+// order.  A nil hi means from the largest entry; a nil lo means down to
+// the smallest.  Iteration stops if fn returns false.  This is the
+// reverse companion of Ascend, used for descending index range scans.
+func (t *Tree) Descend(hi, lo []byte, fn func(key []byte, val uint64) bool) {
+	it := t.Max()
+	if hi != nil {
+		it = t.Seek(hi) // first entry >= hi
+		if it.Valid() {
+			it.Prev() // last entry < hi
+		} else {
+			it = t.Max()
+		}
+	}
+	for it.n != nil && it.i >= 0 && it.i < len(it.n.keys) {
+		if lo != nil && bytes.Compare(it.Key(), lo) < 0 {
+			return
+		}
+		if !fn(it.Key(), it.Val()) {
+			return
+		}
+		it.Prev()
+	}
+}
+
+// CountRange returns the number of entries with lo <= key < hi without
+// iterating them, using the order-statistics counts (two O(log n) rank
+// computations).  Nil bounds are unbounded.  Query planners use this to
+// estimate index-range selectivity before choosing an access path.
+func (t *Tree) CountRange(lo, hi []byte) int {
+	upper := t.size
+	if hi != nil {
+		upper = t.Rank(hi)
+	}
+	lower := 0
+	if lo != nil {
+		lower = t.Rank(lo)
+	}
+	if upper < lower {
+		return 0
+	}
+	return upper - lower
+}
+
 // AscendPrefix calls fn for each entry whose key begins with prefix.
 func (t *Tree) AscendPrefix(prefix []byte, fn func(key []byte, val uint64) bool) {
 	it := t.Seek(prefix)

@@ -270,6 +270,91 @@ func TestAscendRange(t *testing.T) {
 	}
 }
 
+func TestDescendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	var got []uint64
+	tr.Descend(key(110), key(100), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 109 || got[9] != 100 {
+		t.Fatalf("descending range scan: %v", got)
+	}
+	// Open bounds: full reverse iteration.
+	got = got[:0]
+	tr.Descend(nil, nil, func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 1000 || got[0] != 999 || got[999] != 0 {
+		t.Fatalf("full descend: len=%d first=%v last=%v", len(got), got[0], got[len(got)-1])
+	}
+	// hi beyond the largest key starts at the maximum.
+	got = got[:0]
+	tr.Descend(key(5000), key(997), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 3 || got[0] != 999 {
+		t.Fatalf("hi past end: %v", got)
+	}
+	// Early termination.
+	calls := 0
+	tr.Descend(nil, nil, func(k []byte, v uint64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop: %d", calls)
+	}
+	// Empty tree is a no-op.
+	empty := New()
+	empty.Descend(nil, nil, func(k []byte, v uint64) bool {
+		t.Fatal("callback on empty tree")
+		return false
+	})
+}
+
+func TestCountRange(t *testing.T) {
+	tr := New()
+	if tr.CountRange(nil, nil) != 0 {
+		t.Fatal("empty tree count")
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+	cases := []struct {
+		lo, hi []byte
+		want   int
+	}{
+		{nil, nil, 1000},
+		{key(100), key(110), 10},
+		{key(0), key(1000), 1000},
+		{key(500), nil, 500},
+		{nil, key(500), 500},
+		{key(700), key(700), 0},
+		{key(800), key(700), 0}, // inverted range
+		{key(2000), nil, 0},     // past the end
+	}
+	for _, c := range cases {
+		if got := tr.CountRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("CountRange(%v, %v) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+	// Counts agree with an actual scan on random subranges.
+	for i := 0; i < 50; i++ {
+		lo, hi := key(i*13%997), key(i*31%997)
+		n := 0
+		tr.Ascend(lo, hi, func([]byte, uint64) bool { n++; return true })
+		if got := tr.CountRange(lo, hi); got != n {
+			t.Fatalf("CountRange(%x, %x) = %d, scan says %d", lo, hi, got, n)
+		}
+	}
+}
+
 func TestAscendPrefix(t *testing.T) {
 	tr := New()
 	names := []string{"bach/578", "bach/579", "bach/1080", "beethoven/5", "brahms/4"}

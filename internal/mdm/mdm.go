@@ -143,6 +143,11 @@ type ExecResult struct {
 	DDL bool
 }
 
+// SetNaivePlanner switches the session's QUEL executor to the retained
+// pre-planner nested-loop path.  Benchmarks and differential tests use
+// it to compare against the cost-based planner.
+func (s *Session) SetNaivePlanner(on bool) { s.quel.SetNaive(on) }
+
 // ExecContext executes DDL or QUEL source, dispatching on the first
 // keyword.  After DDL, the meta-catalog is refreshed so the new schema
 // is immediately queryable (§6).  Canceling ctx aborts the statement —

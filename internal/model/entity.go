@@ -329,6 +329,61 @@ func (db *Database) InstancesCtx(ctx context.Context, typeName string, fn func(r
 	})
 }
 
+// AttrIndexName returns the name of a secondary index on typeName whose
+// leading key column is attr, if one exists.  The query planner uses it
+// to turn a sargable predicate into an index range scan (§5.2's
+// "ordering as a performance optimization").
+func (db *Database) AttrIndexName(typeName, attr string) (string, bool) {
+	rel := db.store.Relation(entPrefix + typeName)
+	if rel == nil {
+		return "", false
+	}
+	spec, ok := rel.IndexByColumn(attr)
+	if !ok {
+		return "", false
+	}
+	return spec.Name, true
+}
+
+// InstancesRangeCount returns the number of index entries of the named
+// index on typeName within the encoded key range [lo, hi), computed from
+// order statistics without scanning.  It returns -1 if the type or index
+// does not exist.
+func (db *Database) InstancesRangeCount(typeName, indexName string, lo, hi []byte) int {
+	rel := db.store.Relation(entPrefix + typeName)
+	if rel == nil {
+		return -1
+	}
+	n, ok := rel.IndexRangeCount(indexName, lo, hi)
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// InstancesRange calls fn for instances of the named entity type whose
+// index key falls in [lo, hi), in index key order (descending when
+// reverse is set).  Like Instances it passes the surrogate and the
+// attribute tuple; iteration stops if fn returns false.
+func (db *Database) InstancesRange(typeName, indexName string, lo, hi []byte, reverse bool, fn func(ref value.Ref, attrs value.Tuple) bool) error {
+	return db.InstancesRangeCtx(context.Background(), typeName, indexName, lo, hi, reverse, fn)
+}
+
+// InstancesRangeCtx is InstancesRange under a context (see NewEntityCtx).
+func (db *Database) InstancesRangeCtx(ctx context.Context, typeName, indexName string, lo, hi []byte, reverse bool, fn func(ref value.Ref, attrs value.Tuple) bool) error {
+	db.mu.RLock()
+	if _, ok := db.entities[typeName]; !ok {
+		db.mu.RUnlock()
+		return fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	db.mu.RUnlock()
+	return db.store.RunCtx(ctx, func(tx *storage.Tx) error {
+		return tx.IndexRange(entPrefix+typeName, indexName, lo, hi, reverse, func(_ storage.RowID, t value.Tuple) bool {
+			return fn(t[0].AsRef(), t[1:])
+		})
+	})
+}
+
 // Count returns the number of instances of the named entity type.
 func (db *Database) Count(typeName string) int {
 	rel := db.store.Relation(entPrefix + typeName)

@@ -470,6 +470,69 @@ func (db *Database) UnderIn(ordering string, child, parent value.Ref) (bool, err
 	return ok && cp.parent == parent, nil
 }
 
+// ChildPosition returns child's P-edge parent and rank in the named
+// ordering, with ok false if child is not placed in it.  Unlike
+// BeforeIn/IndexOf this is a single map lookup: the query layer caches
+// positions per statement and compares ranks directly, so one join does
+// not re-walk the sibling structures for every binding pair.
+func (db *Database) ChildPosition(ordering string, child value.Ref) (parent value.Ref, rank int64, ok bool, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, exists := db.orders[ordering]
+	if !exists {
+		return 0, 0, false, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	return cp.parent, cp.rank, ok, nil
+}
+
+// SiblingsBefore returns, in sibling order, the children that precede
+// child under its parent in the named ordering — exactly the refs x for
+// which `x before child` holds.  It is a rank-key range scan over the
+// sibling B-tree, so the query planner can probe `before` conjuncts
+// instead of testing every candidate pair.  A ref that is not a child in
+// the ordering has no siblings.
+func (db *Database) SiblingsBefore(ordering string, child value.Ref) ([]value.Ref, error) {
+	return db.siblingRange(ordering, child, true)
+}
+
+// SiblingsAfter returns, in sibling order, the children that follow
+// child under its parent in the named ordering (the refs x for which
+// `x after child` holds).
+func (db *Database) SiblingsAfter(ordering string, child value.Ref) ([]value.Ref, error) {
+	return db.siblingRange(ordering, child, false)
+}
+
+func (db *Database) siblingRange(ordering string, child value.Ref, before bool) ([]value.Ref, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, ok := db.orders[ordering]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoOrdering, ordering)
+	}
+	cp, ok := rt.child[child]
+	if !ok {
+		return nil, nil
+	}
+	tr := rt.siblings[cp.parent]
+	if tr == nil {
+		return nil, nil
+	}
+	var out []value.Ref
+	collect := func(_ []byte, v uint64) bool {
+		out = append(out, value.Ref(v))
+		return true
+	}
+	if before {
+		tr.Ascend(nil, rankKey(cp.rank), collect)
+	} else {
+		// Rank keys are exactly 8 bytes, so appending a zero byte forms
+		// the smallest key strictly greater than child's own.
+		tr.Ascend(append(rankKey(cp.rank), 0), nil, collect)
+	}
+	return out, nil
+}
+
 // NextSibling returns the sibling immediately after child, if any.
 func (db *Database) NextSibling(ordering string, child value.Ref) (value.Ref, bool) {
 	return db.adjacentSibling(ordering, child, +1)

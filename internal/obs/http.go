@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // SnapshotDoc is the JSON document served by the HTTP endpoint and
@@ -42,9 +43,10 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // ValidateDoc checks a decoded snapshot document for structural sanity:
-// correct schema version, non-empty metric names, known kinds, and
-// histogram bucket counts consistent with the total count.  It is the
-// check `make bench-smoke` applies to BENCH_obs.json.
+// correct schema version, non-empty metric names, known kinds, histogram
+// bucket counts consistent with the total count, and coherent query
+// planner counters (quel.plan.*).  It is the check `make bench-smoke`
+// and `mdmbench -quel` apply to their emitted snapshots.
 func ValidateDoc(d SnapshotDoc) error {
 	if d.SchemaVersion != SnapshotSchemaVersion {
 		return &ValidationError{Reason: "unsupported schema_version"}
@@ -52,9 +54,16 @@ func ValidateDoc(d SnapshotDoc) error {
 	if len(d.Metrics) == 0 {
 		return &ValidationError{Reason: "no metrics"}
 	}
+	plan := map[string]uint64{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
+		}
+		if strings.HasPrefix(m.Name, "quel.plan.") {
+			if m.Kind != "counter" {
+				return &ValidationError{Reason: "planner metric " + m.Name + ": must be a counter, not " + m.Kind}
+			}
+			plan[m.Name] = m.Value
 		}
 		switch m.Kind {
 		case "counter":
@@ -68,6 +77,23 @@ func ValidateDoc(d SnapshotDoc) error {
 			}
 		default:
 			return &ValidationError{Reason: "metric " + m.Name + ": unknown kind " + m.Kind}
+		}
+	}
+	// Planner counters are registered as a set; a snapshot carrying some
+	// without the others, or hash hits without probes, indicates a
+	// malformed or truncated emission.
+	if len(plan) > 0 {
+		for _, name := range []string{
+			"quel.plan.scan.full", "quel.plan.scan.index",
+			"quel.plan.join.hash", "quel.plan.join.loop", "quel.plan.join.probe",
+			"quel.plan.hash.probes", "quel.plan.hash.hits",
+		} {
+			if _, ok := plan[name]; !ok {
+				return &ValidationError{Reason: "planner metrics present but " + name + " missing"}
+			}
+		}
+		if plan["quel.plan.hash.hits"] > 0 && plan["quel.plan.hash.probes"] == 0 {
+			return &ValidationError{Reason: "quel.plan.hash.hits > 0 with no probes"}
 		}
 	}
 	return nil

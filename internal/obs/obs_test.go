@@ -120,6 +120,55 @@ func TestSnapshotAndValidate(t *testing.T) {
 	}
 }
 
+func TestValidatePlannerCounters(t *testing.T) {
+	planSet := []string{
+		"quel.plan.scan.full", "quel.plan.scan.index",
+		"quel.plan.join.hash", "quel.plan.join.loop", "quel.plan.join.probe",
+		"quel.plan.hash.probes", "quel.plan.hash.hits",
+	}
+	r := NewRegistry()
+	for _, n := range planSet {
+		r.Counter(n)
+	}
+	r.Counter("quel.plan.hash.probes").Add(4)
+	r.Counter("quel.plan.hash.hits").Add(2)
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+
+	// A planner metric that is not a counter is malformed.
+	bad := NewRegistry()
+	for _, n := range planSet {
+		bad.Counter(n)
+	}
+	doc := bad.Doc()
+	for i := range doc.Metrics {
+		if doc.Metrics[i].Name == "quel.plan.scan.index" {
+			doc.Metrics[i].Kind = "histogram"
+		}
+	}
+	if err := ValidateDoc(doc); err == nil {
+		t.Fatal("ValidateDoc accepted non-counter planner metric")
+	}
+
+	// Hash hits without probes cannot happen in a coherent snapshot.
+	r2 := NewRegistry()
+	for _, n := range planSet {
+		r2.Counter(n)
+	}
+	r2.Counter("quel.plan.hash.hits").Add(1)
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted hash hits with zero probes")
+	}
+
+	// A partial planner set means a truncated emission.
+	r3 := NewRegistry()
+	r3.Counter("quel.plan.scan.full")
+	if err := ValidateDoc(r3.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted partial planner counter set")
+	}
+}
+
 func TestJSONRoundTripAndHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("wal.append.records").Add(10)

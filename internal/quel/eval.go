@@ -241,28 +241,33 @@ func (s *Session) evalOrderOp(x OrderOp, en env) (value.Value, error) {
 	if !ok {
 		return value.Null, fmt.Errorf("quel: unbound variable %q", rv.Var)
 	}
-	var childType, parentType string
-	switch x.Op {
-	case "under":
-		childType, parentType = lb.typ, rb.typ
-	default:
-		childType = lb.typ
-	}
-	o, err := s.db.FindOrdering(x.Order, childType, parentType)
+	o, err := s.resolveOrdering(x, lb.typ, rb.typ)
 	if err != nil {
 		return value.Null, fmt.Errorf("quel: %s: %w", x.Op, err)
 	}
-	var res bool
-	switch x.Op {
-	case "before":
-		res, err = s.db.BeforeIn(o.Name, lb.ref, rb.ref)
-	case "after":
-		res, err = s.db.AfterIn(o.Name, lb.ref, rb.ref)
-	case "under":
-		res, err = s.db.UnderIn(o.Name, lb.ref, rb.ref)
-	}
+	// Compare cached child positions (parent, rank) instead of calling
+	// BeforeIn/AfterIn/UnderIn per pair: inside a join the same refs
+	// recur across combinations, and positions cannot change mid-statement.
+	lp, err := s.childPos(o.Name, lb.ref)
 	if err != nil {
 		return value.Null, err
+	}
+	var res bool
+	switch x.Op {
+	case "before", "after":
+		rp, err := s.childPos(o.Name, rb.ref)
+		if err != nil {
+			return value.Null, err
+		}
+		if lp.ok && rp.ok && lp.parent == rp.parent {
+			if x.Op == "before" {
+				res = lp.rank < rp.rank
+			} else {
+				res = lp.rank > rp.rank
+			}
+		}
+	case "under":
+		res = lp.ok && lp.parent == rb.ref
 	}
 	return value.Bool(res), nil
 }

@@ -68,8 +68,20 @@ type Session struct {
 	db     *model.Database
 	ranges map[string]string // var → entity type
 	m      sessMetrics
+	pm     planMetrics
 	ps     *planStats // live stats for the statement being executed
+	naive  bool       // bypass the cost-based planner (SetNaive)
+	// sortHint and cache live for one statement; retrieveStats and
+	// execOne install and clear them.
+	sortHint *sortHint
+	cache    *stmtCache
 }
+
+// SetNaive switches the session to the retained pre-planner executor:
+// alphabetical variable order, heap scans, pure nested-loop join.
+// Differential tests and benchmarks compare it against the cost-based
+// planner; both paths must produce identical result sets.
+func (s *Session) SetNaive(on bool) { s.naive = on }
 
 // sessMetrics holds the query layer's observability handles, resolved
 // once per session from the storage registry (all nil-safe).
@@ -95,6 +107,15 @@ func NewSession(db *model.Database) *Session {
 			opAfter:  reg.Counter("quel.op.after"),
 			opUnder:  reg.Counter("quel.op.under"),
 			trace:    reg.Trace(),
+		}
+		s.pm = planMetrics{
+			scanFull:   reg.Counter("quel.plan.scan.full"),
+			scanIndex:  reg.Counter("quel.plan.scan.index"),
+			joinHash:   reg.Counter("quel.plan.join.hash"),
+			joinLoop:   reg.Counter("quel.plan.join.loop"),
+			joinProbe:  reg.Counter("quel.plan.join.probe"),
+			hashProbes: reg.Counter("quel.plan.hash.probes"),
+			hashHits:   reg.Counter("quel.plan.hash.hits"),
 		}
 	}
 	return s
@@ -154,6 +175,8 @@ func stmtKind(st Stmt) string {
 }
 
 func (s *Session) execOne(ctx context.Context, st Stmt) (*Result, error) {
+	s.cache = newStmtCache()
+	defer func() { s.cache = nil }()
 	switch q := st.(type) {
 	case RangeStmt:
 		if _, ok := s.db.EntityType(q.EntityType); !ok {
@@ -358,36 +381,61 @@ func sargMatches(ss []sarg, fields []value.Field, attrs value.Tuple) bool {
 	return true
 }
 
-// bindAll materializes the instances of each variable (after sarg
-// filtering) and invokes fn for every combination (nested-loop join).
-// When the session's planStats is live it records per-variable scan
-// statistics and join combination counts.  The context is checked
-// periodically inside the join loop so a canceled statement stops
-// promptly even when the bindings are already in memory.
+// bindAll materializes the instances of each variable and invokes fn
+// for every surviving combination.  The default path plans access and
+// join order (plan.go); SetNaive selects the retained nested-loop
+// executor.  Both record per-variable scan statistics and combination
+// counts when the session's planStats is live, check the context
+// periodically so a canceled statement stops promptly, and stop
+// scanning as soon as any variable has no bindings (zero combinations
+// regardless of the qualification's shape).
 func (s *Session) bindAll(ctx context.Context, vars []string, where Expr, fn func(env) error) error {
-	sargs := map[string][]sarg{}
-	if where != nil {
-		extractSargs(where, sargs)
-	}
-	lists := make([][]binding, len(vars))
-	for i, v := range vars {
+	infos := make(map[string]varInfo, len(vars))
+	for _, v := range vars {
 		info, err := s.varInfo(v)
 		if err != nil {
 			return err
 		}
+		infos[v] = info
+	}
+	sargs := map[string][]sarg{}
+	if where != nil {
+		extractSargs(where, sargs)
+	}
+	if s.naive {
+		return s.bindAllNaive(ctx, vars, infos, sargs, fn)
+	}
+	return s.bindAllPlanned(ctx, vars, infos, sargs, where, fn)
+}
+
+// bindAllNaive is the pre-planner executor: heap scans in alphabetical
+// variable order, sarg filtering, nested-loop cross product.  Bindings
+// alias the stored tuples; the storage layer never mutates tuples in
+// place, so no copies are needed.
+func (s *Session) bindAllNaive(ctx context.Context, vars []string, infos map[string]varInfo, sargs map[string][]sarg, fn func(env) error) error {
+	lists := make([][]binding, len(vars))
+	empty := false
+	for i, v := range vars {
+		info := infos[v]
 		st := scanStats{Var: v, Rel: info.typ, Est: s.estimate(info)}
 		for _, sg := range sargs[v] {
 			st.Sargs = append(st.Sargs, fmt.Sprintf("%s.%s %s %s", v, sg.attr, sg.op, sg.v))
 		}
+		if empty {
+			st.Skipped = true
+			if s.ps != nil {
+				s.ps.Scans = append(s.ps.Scans, st)
+			}
+			continue
+		}
 		start := time.Now()
 		var list []binding
-		err = s.scanVarCtx(ctx, info, func(b binding) bool {
+		err := s.scanVarCtx(ctx, info, func(b binding) bool {
 			st.Scanned++
 			if !sargMatches(sargs[v], b.fields, b.attrs) {
 				return true
 			}
 			st.Kept++
-			b.attrs = b.attrs.Clone()
 			list = append(list, b)
 			return true
 		})
@@ -400,6 +448,15 @@ func (s *Session) bindAll(ctx context.Context, vars []string, where Expr, fn fun
 			return err
 		}
 		lists[i] = list
+		if len(list) == 0 {
+			empty = true
+		}
+	}
+	if empty {
+		if s.ps != nil {
+			s.ps.Combos = 0
+		}
+		return nil
 	}
 	e := make(env, len(vars))
 	combos := 0
@@ -455,6 +512,8 @@ func (s *Session) retrieveStats(ctx context.Context, q Retrieve) (*Result, *plan
 		collectVars(q.Where, varSet)
 	}
 	vars := sortedKeys(varSet)
+	s.sortHint = sortHintFor(q, vars)
+	defer func() { s.sortHint = nil }()
 
 	// Resolve columns.
 	res := &Result{}
@@ -515,7 +574,7 @@ func (s *Session) retrieveStats(ctx context.Context, q Retrieve) (*Result, *plan
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(q.SortBy) > 0 {
+	if len(q.SortBy) > 0 && !ps.SortElided {
 		sortStart := time.Now()
 		if err := sortRows(res, q.SortBy); err != nil {
 			return nil, nil, err
@@ -525,6 +584,35 @@ func (s *Session) retrieveStats(ctx context.Context, q Retrieve) (*Result, *plan
 	ps.Emitted = len(res.Rows)
 	ps.Total = time.Since(start)
 	return res, ps, nil
+}
+
+// sortHintFor detects a retrieve whose sort could be satisfied by index
+// order: one range variable, one sort key, and the sorted column is a
+// plain attribute of that variable.  Rows then leave the index already
+// in output order (ties fall in row-id order, which the stable sort
+// would preserve anyway), so sortRows can be skipped.  The first target
+// matching the label decides, mirroring sortRows' column resolution.
+func sortHintFor(q Retrieve, vars []string) *sortHint {
+	if len(q.SortBy) != 1 || len(vars) != 1 {
+		return nil
+	}
+	for _, t := range q.Targets {
+		if t.All {
+			return nil
+		}
+	}
+	k := q.SortBy[0]
+	for _, t := range q.Targets {
+		if !strings.EqualFold(t.Label, k.Label) {
+			continue
+		}
+		ar, ok := t.Expr.(AttrRef)
+		if !ok || ar.Var != vars[0] {
+			return nil
+		}
+		return &sortHint{v: ar.Var, attr: ar.Attr, desc: k.Desc}
+	}
+	return nil
 }
 
 // sortRows orders the result by the named columns (the sort by clause).

@@ -15,12 +15,15 @@ import (
 // overhead is a handful of integer increments per row).
 type planStats struct {
 	Scans         []scanStats
-	Combos        int // nested-loop combinations produced
-	FilterIn      int // bindings entering the qualification
-	FilterOut     int // bindings passing it
-	OrderEvals    int // before/after/under evaluations
+	Steps         []joinStat // planned join order, one entry per variable
+	Combos        int        // join combinations produced
+	FilterIn      int        // bindings entering the qualification
+	FilterOut     int        // bindings passing it
+	OrderEvals    int        // before/after/under evaluations
 	OrderDur      time.Duration
 	UniqueDropped int
+	SortElided    bool   // sort satisfied by index scan order
+	SortIndex     string // index that satisfied it
 	SortDur       time.Duration
 	Emitted       int
 	Total         time.Duration
@@ -30,11 +33,24 @@ type planStats struct {
 type scanStats struct {
 	Var     string
 	Rel     string // entity or relationship type scanned
-	Est     int    // estimated rows (relation row count)
+	Est     int    // estimated rows (range count for index scans)
 	Scanned int    // rows visited
 	Kept    int    // rows surviving pushed-down sargs
+	Index   string // secondary index used; empty = heap scan
+	Range   string // key-range description for index scans
+	Skipped bool   // not scanned: an earlier variable had no bindings
 	Sargs   []string
 	Dur     time.Duration
+}
+
+// joinStat describes how one variable entered the planned join.
+type joinStat struct {
+	Var    string
+	Method string // "scan", "hash", "probe", "loop"
+	Cond   string // join conjunct(s) driving a hash join or order probe
+	Build  int    // bindings on the step's own side
+	Probes int
+	Hits   int
 }
 
 // estCombos is the join-size estimate: the product of per-scan
@@ -91,7 +107,11 @@ func renderPlan(q Retrieve, ps *planStats) []string {
 				keys[i] += " desc"
 			}
 		}
-		add(depth, "Sort: %s (time=%s)", strings.Join(keys, ", "), ps.SortDur)
+		if ps.SortElided {
+			add(depth, "Sort: %s (satisfied by IndexScan %s)", strings.Join(keys, ", "), ps.SortIndex)
+		} else {
+			add(depth, "Sort: %s (time=%s)", strings.Join(keys, ", "), ps.SortDur)
+		}
 		depth++
 	}
 	if q.Unique {
@@ -105,18 +125,69 @@ func renderPlan(q Retrieve, ps *planStats) []string {
 			add(depth, "OrderOps: %d evals (time=%s)", ps.OrderEvals, ps.OrderDur)
 		}
 	}
+	if len(ps.Steps) > 1 {
+		renderSteps(add, depth, ps, len(ps.Steps)-1)
+		return lines
+	}
+	// Flat layout: single-variable plans, the naive executor, and
+	// short-circuited statements (an empty scan skipped the join).
 	if len(ps.Scans) > 1 {
 		add(depth, "NestedLoopJoin (est=%d, actual=%d)", ps.estCombos(), ps.Combos)
 		depth++
 	}
 	for _, sc := range ps.Scans {
-		add(depth, "Scan %s on %s (est=%d, scanned=%d, kept=%d) (time=%s)",
-			sc.Var, sc.Rel, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
-		if len(sc.Sargs) > 0 {
-			add(depth+1, "Sarg: %s", strings.Join(sc.Sargs, " and "))
-		}
+		renderScan(add, depth, sc)
 	}
 	return lines
+}
+
+// renderSteps renders the planned left-deep join tree: step k joins the
+// tree of steps [0, k) with step k's own scan.
+func renderSteps(add func(int, string, ...any), depth int, ps *planStats, k int) {
+	st := ps.Steps[k]
+	if k == 0 {
+		renderScan(add, depth, scanFor(ps, st.Var))
+		return
+	}
+	switch st.Method {
+	case "hash":
+		add(depth, "HashJoin (%s) (build=%d, probes=%d, hits=%d)", st.Cond, st.Build, st.Probes, st.Hits)
+	case "probe":
+		add(depth, "OrderProbe (%s) (probes=%d, hits=%d)", st.Cond, st.Probes, st.Hits)
+	default:
+		add(depth, "NestedLoopJoin (probes=%d, hits=%d)", st.Probes, st.Hits)
+	}
+	renderSteps(add, depth+1, ps, k-1)
+	renderScan(add, depth+1, scanFor(ps, st.Var))
+}
+
+func scanFor(ps *planStats, v string) scanStats {
+	for _, sc := range ps.Scans {
+		if sc.Var == v {
+			return sc
+		}
+	}
+	return scanStats{Var: v}
+}
+
+// renderScan renders one access-path leaf.
+func renderScan(add func(int, string, ...any), depth int, sc scanStats) {
+	switch {
+	case sc.Skipped:
+		add(depth, "Scan %s on %s (est=%d, skipped: earlier variable empty)", sc.Var, sc.Rel, sc.Est)
+	case sc.Index != "" && sc.Range != "":
+		add(depth, "IndexScan %s on %s using %s [%s] (est=%d, scanned=%d, kept=%d) (time=%s)",
+			sc.Var, sc.Rel, sc.Index, sc.Range, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
+	case sc.Index != "":
+		add(depth, "IndexScan %s on %s using %s (est=%d, scanned=%d, kept=%d) (time=%s)",
+			sc.Var, sc.Rel, sc.Index, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
+	default:
+		add(depth, "Scan %s on %s (est=%d, scanned=%d, kept=%d) (time=%s)",
+			sc.Var, sc.Rel, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
+	}
+	if !sc.Skipped && len(sc.Sargs) > 0 {
+		add(depth+1, "Sarg: %s", strings.Join(sc.Sargs, " and "))
+	}
 }
 
 // exprString renders an expression roughly as it was written, for plan

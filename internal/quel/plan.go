@@ -1,0 +1,701 @@
+package quel
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// This file is the cost-based planning layer over bindAll (§5.2: stored
+// order and access paths are the relational performance lever).  Three
+// optimizations, each visible in explain and in the quel.plan.* metrics:
+//
+//   - index range scans: a sarg on an indexed attribute becomes a
+//     B-tree key range (model.InstancesRange) instead of a full scan;
+//   - hash equi-joins: v1.a = v2.b (and `is`) conjuncts build a hash
+//     table on the new variable's bindings and probe it, instead of
+//     looping the cross product;
+//   - join ordering: variables join smallest post-sarg binding list
+//     first, preferring variables connected to the already-joined set
+//     by an equi- or ordering conjunct.
+//
+// The qualification is still evaluated in full for every emitted
+// combination, so the join conjuncts only prune; they never decide truth
+// on their own.  The pre-planner executor is retained as bindAllNaive
+// (Session.SetNaive) and differential tests assert both agree.
+
+// planMetrics are the planner's observability handles (all nil-safe).
+type planMetrics struct {
+	scanFull   *obs.Counter // quel.plan.scan.full
+	scanIndex  *obs.Counter // quel.plan.scan.index
+	joinHash   *obs.Counter // quel.plan.join.hash
+	joinLoop   *obs.Counter // quel.plan.join.loop
+	joinProbe  *obs.Counter // quel.plan.join.probe
+	hashProbes *obs.Counter // quel.plan.hash.probes
+	hashHits   *obs.Counter // quel.plan.hash.hits
+}
+
+// accessPath describes how one variable's bindings are produced: a heap
+// scan, or a range of a secondary index.
+type accessPath struct {
+	index         string // secondary index name; empty = heap scan
+	lo, hi        []byte // encoded key bounds, nil = open
+	rng           string // bound description for explain
+	est           int    // row estimate (order-statistics count for ranges)
+	reverse       bool   // descending index order (sort by ... desc)
+	satisfiesSort bool   // index order doubles as the output sort order
+}
+
+// sortHint asks the planner to produce one variable's bindings in the
+// order of an attribute, so a trailing sort can be skipped.
+type sortHint struct {
+	v    string
+	attr string
+	desc bool
+}
+
+// varPlan is one range variable's slice of the plan.
+type varPlan struct {
+	name   string
+	info   varInfo
+	sargs  []sarg
+	access accessPath
+	list   []binding
+	byRef  map[value.Ref]int // entity ref → list position (order probes)
+}
+
+// joinKey selects the join-key value of one side of an equi-conjunct: an
+// attribute of the variable or, with idx < 0, the entity itself.
+type joinKey struct {
+	v    string
+	attr string
+	idx  int
+	kind value.Kind
+}
+
+func (k joinKey) value(b binding) value.Value {
+	if k.idx < 0 {
+		return value.RefVal(b.ref)
+	}
+	return b.attrs[k.idx]
+}
+
+func (k joinKey) String() string {
+	if k.idx < 0 {
+		return k.v
+	}
+	return k.v + "." + k.attr
+}
+
+// equiCond is a v1.a = v2.b (or `is`) conjunct usable as a hash-join key.
+type equiCond struct {
+	l, r joinKey
+	desc string
+}
+
+// orderCond is a before/after/under conjunct between two distinct
+// variables, with its ordering resolved at plan time.
+type orderCond struct {
+	op       string
+	l, r     string
+	ordering string
+	desc     string
+}
+
+// extractJoinConds pulls hash-joinable and probe-able conjuncts out of
+// the qualification.  Only top-level `and` arms qualify, mirroring
+// extractSargs: anything under or/not must see the full evaluator.
+func (s *Session) extractJoinConds(e Expr, infos map[string]varInfo, equis *[]equiCond, orders *[]orderCond) {
+	switch x := e.(type) {
+	case Binary:
+		if x.Op == "and" {
+			s.extractJoinConds(x.L, infos, equis, orders)
+			s.extractJoinConds(x.R, infos, equis, orders)
+			return
+		}
+		if x.Op != "=" {
+			return
+		}
+		l, lok := joinKeyOf(x.L, infos)
+		r, rok := joinKeyOf(x.R, infos)
+		// Hashing requires the declared kinds to match exactly: the
+		// order-preserving key encoding is bijective within one kind, so
+		// key equality coincides with Compare == 0; across kinds (int
+		// vs. float) it does not.
+		if lok && rok && l.v != r.v && l.kind == r.kind {
+			*equis = append(*equis, equiCond{l: l, r: r, desc: l.String() + " = " + r.String()})
+		}
+	case IsOp:
+		l, lok := joinKeyOf(x.L, infos)
+		r, rok := joinKeyOf(x.R, infos)
+		if lok && rok && l.v != r.v && l.kind == value.KindRef && r.kind == value.KindRef {
+			*equis = append(*equis, equiCond{l: l, r: r, desc: l.String() + " is " + r.String()})
+		}
+	case OrderOp:
+		lv, lok := x.L.(VarRef)
+		rv, rok := x.R.(VarRef)
+		if !lok || !rok || lv.Var == rv.Var {
+			return
+		}
+		li, lok := infos[lv.Var]
+		ri, rok := infos[rv.Var]
+		if !lok || !rok {
+			return
+		}
+		var childType, parentType string
+		switch x.Op {
+		case "under":
+			childType, parentType = li.typ, ri.typ
+		default:
+			childType = li.typ
+		}
+		o, err := s.db.FindOrdering(x.Order, childType, parentType)
+		if err != nil {
+			return // unresolvable here; full evaluation reports it
+		}
+		*orders = append(*orders, orderCond{op: x.Op, l: lv.Var, r: rv.Var, ordering: o.Name,
+			desc: fmt.Sprintf("%s %s %s in %s", lv.Var, x.Op, rv.Var, o.Name)})
+	}
+}
+
+// joinKeyOf resolves one side of an equi-conjunct to a key extractor.
+func joinKeyOf(e Expr, infos map[string]varInfo) (joinKey, bool) {
+	switch x := e.(type) {
+	case AttrRef:
+		info, ok := infos[x.Var]
+		if !ok {
+			return joinKey{}, false
+		}
+		i, ok := fieldIndex(info.fields, x.Attr)
+		if !ok {
+			return joinKey{}, false
+		}
+		f := info.fields[i]
+		return joinKey{v: x.Var, attr: f.Name, idx: i, kind: f.Kind}, true
+	case VarRef:
+		info, ok := infos[x.Var]
+		if !ok || info.isRel {
+			return joinKey{}, false
+		}
+		return joinKey{v: x.Var, idx: -1, kind: value.KindRef}, true
+	}
+	return joinKey{}, false
+}
+
+// maxKeySuffix exceeds the 8-byte row-id suffix appended to non-unique
+// index keys: enc(v)+maxKeySuffix is greater than every key whose value
+// part is enc(v) and, because one encoded value is never a prefix of
+// another, smaller than every key encoding a larger value.
+var maxKeySuffix = bytes.Repeat([]byte{0xFF}, 9)
+
+func withMaxSuffix(enc []byte) []byte {
+	return append(append([]byte(nil), enc...), maxKeySuffix...)
+}
+
+// indexRange matches attr against a secondary index and converts the
+// variable's sargs on it into encoded key bounds.  Only literals whose
+// kind equals the declared attribute kind contribute bounds (mixed-kind
+// comparisons like int vs. float don't share key space); every sarg
+// stays a residual filter regardless, so bounds only need to be sound
+// supersets.
+func (s *Session) indexRange(rel *storage.Relation, info varInfo, attr string, sargs []sarg) (accessPath, bool) {
+	i, ok := fieldIndex(info.fields, attr)
+	if !ok {
+		return accessPath{}, false
+	}
+	f := info.fields[i]
+	spec, ok := rel.IndexByColumn(f.Name)
+	if !ok {
+		return accessPath{}, false
+	}
+	var lo, hi []byte
+	var parts []string
+	for _, sg := range sargs {
+		if !strings.EqualFold(sg.attr, f.Name) || sg.v.Kind() != f.Kind {
+			continue
+		}
+		enc := value.AppendKey(nil, sg.v)
+		var cl, ch []byte
+		switch sg.op {
+		case "=":
+			cl, ch = enc, withMaxSuffix(enc)
+		case ">=":
+			cl = enc
+		case ">":
+			cl = withMaxSuffix(enc)
+		case "<":
+			ch = enc
+		case "<=":
+			ch = withMaxSuffix(enc)
+		default:
+			continue
+		}
+		if cl != nil && (lo == nil || bytes.Compare(cl, lo) > 0) {
+			lo = cl
+		}
+		if ch != nil && (hi == nil || bytes.Compare(ch, hi) < 0) {
+			hi = ch
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", f.Name, sg.op, sg.v))
+	}
+	est := s.db.InstancesRangeCount(info.typ, spec.Name, lo, hi)
+	if est < 0 {
+		return accessPath{}, false
+	}
+	return accessPath{index: spec.Name, lo: lo, hi: hi, rng: strings.Join(parts, " and "), est: est}, true
+}
+
+// chooseAccess picks the access path for one variable: the most
+// selective sarg-bounded index range (by order-statistics count), the
+// sort attribute's index when that lets the sort be skipped, or a heap
+// scan.
+func (s *Session) chooseAccess(varName string, info varInfo, sargs []sarg) accessPath {
+	full := accessPath{est: s.estimate(info)}
+	if info.isRel {
+		return full
+	}
+	rel := s.db.Store().Relation(s.db.InstanceRelation(info.typ))
+	if rel == nil {
+		return full
+	}
+	if h := s.sortHint; h != nil && h.v == varName {
+		if ap, ok := s.indexRange(rel, info, h.attr, sargs); ok {
+			ap.satisfiesSort = true
+			ap.reverse = h.desc
+			return ap
+		}
+	}
+	best, found := full, false
+	for _, f := range info.fields {
+		ap, ok := s.indexRange(rel, info, f.Name, sargs)
+		if !ok || (ap.lo == nil && ap.hi == nil) {
+			continue // unbounded: no cheaper than the heap scan
+		}
+		if !found || ap.est < best.est {
+			best, found = ap, true
+		}
+	}
+	return best
+}
+
+// scanPlan materializes one variable's binding list through its chosen
+// access path, applying the residual sargs.  Tuples are not cloned: the
+// storage layer never mutates stored tuples in place, so bindings may
+// alias them for the statement's lifetime.
+func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
+	st := scanStats{Var: vp.name, Rel: vp.info.typ, Est: vp.access.est,
+		Index: vp.access.index, Range: vp.access.rng}
+	for _, sg := range vp.sargs {
+		st.Sargs = append(st.Sargs, fmt.Sprintf("%s.%s %s %s", vp.name, sg.attr, sg.op, sg.v))
+	}
+	start := time.Now()
+	collect := func(b binding) bool {
+		st.Scanned++
+		if !sargMatches(vp.sargs, b.fields, b.attrs) {
+			return true
+		}
+		st.Kept++
+		vp.list = append(vp.list, b)
+		return true
+	}
+	var err error
+	if vp.access.index != "" {
+		s.pm.scanIndex.Inc()
+		err = s.db.InstancesRangeCtx(ctx, vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse,
+			func(ref value.Ref, attrs value.Tuple) bool {
+				return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
+			})
+	} else {
+		s.pm.scanFull.Inc()
+		err = s.scanVarCtx(ctx, vp.info, collect)
+	}
+	st.Dur = time.Since(start)
+	s.m.scanRows.Add(uint64(st.Scanned))
+	if s.ps != nil {
+		s.ps.Scans = append(s.ps.Scans, st)
+	}
+	return err
+}
+
+type joinMethod uint8
+
+const (
+	joinScan joinMethod = iota // first variable: plain iteration
+	joinLoop
+	joinHash
+	joinProbe
+)
+
+func (m joinMethod) String() string {
+	switch m {
+	case joinHash:
+		return "hash"
+	case joinProbe:
+		return "probe"
+	case joinScan:
+		return "scan"
+	}
+	return "loop"
+}
+
+// joinStep adds one variable to the left-deep join.
+type joinStep struct {
+	vp     *varPlan
+	method joinMethod
+	cond   string
+	// hash join
+	build []joinKey
+	probe []joinKey
+	table map[string][]int
+	// order probe
+	oc        orderCond
+	newIsLeft bool
+	otherVar  string
+
+	probes, hits int
+}
+
+// appendHashKey encodes v for hash-join key equality.  Within one
+// declared kind the order-preserving encoding is bijective, except that
+// -0.0 and +0.0 compare equal with distinct encodings; fold them.
+func appendHashKey(dst []byte, v value.Value) []byte {
+	if v.Kind() == value.KindFloat && v.AsFloat() == 0 {
+		v = value.Float(0)
+	}
+	return value.AppendKey(dst, v)
+}
+
+func buildHashTable(vp *varPlan, build []joinKey) map[string][]int {
+	h := make(map[string][]int, len(vp.list))
+	var buf []byte
+	for li := range vp.list {
+		buf = buf[:0]
+		for _, k := range build {
+			buf = appendHashKey(buf, k.value(vp.list[li]))
+		}
+		h[string(buf)] = append(h[string(buf)], li)
+	}
+	return h
+}
+
+// orderJoins picks the join order: smallest binding list first, then
+// greedily the smallest remaining variable that an equi- or ordering
+// conjunct connects to the joined set (falling back to the smallest
+// unconnected one).  Ties break on variable name, keeping plans
+// deterministic for golden tests.
+func (s *Session) orderJoins(plans []*varPlan, equis []equiCond, orders []orderCond) []*joinStep {
+	chosen := make(map[string]bool, len(plans))
+	connected := func(name string) bool {
+		for _, ec := range equis {
+			if (ec.l.v == name && chosen[ec.r.v]) || (ec.r.v == name && chosen[ec.l.v]) {
+				return true
+			}
+		}
+		for _, oc := range orders {
+			if (oc.l == name && chosen[oc.r]) || (oc.r == name && chosen[oc.l]) {
+				return true
+			}
+		}
+		return false
+	}
+	steps := make([]*joinStep, 0, len(plans))
+	for len(steps) < len(plans) {
+		var best *varPlan
+		bestConn := false
+		for _, vp := range plans { // plans arrive in sorted-name order
+			if chosen[vp.name] {
+				continue
+			}
+			conn := len(steps) > 0 && connected(vp.name)
+			switch {
+			case best == nil,
+				conn && !bestConn,
+				conn == bestConn && len(vp.list) < len(best.list):
+				best, bestConn = vp, conn
+			}
+		}
+		steps = append(steps, s.makeStep(best, chosen, equis, orders, len(steps) == 0))
+		chosen[best.name] = true
+	}
+	return steps
+}
+
+// makeStep decides how variable vp joins the already-chosen set: a hash
+// join keyed on every connecting equi-conjunct, an ordering probe, or a
+// nested loop.
+func (s *Session) makeStep(vp *varPlan, chosen map[string]bool, equis []equiCond, orders []orderCond, first bool) *joinStep {
+	st := &joinStep{vp: vp, method: joinScan}
+	if first {
+		return st
+	}
+	var parts []string
+	for _, ec := range equis {
+		var b, p joinKey
+		switch {
+		case ec.l.v == vp.name && chosen[ec.r.v]:
+			b, p = ec.l, ec.r
+		case ec.r.v == vp.name && chosen[ec.l.v]:
+			b, p = ec.r, ec.l
+		default:
+			continue
+		}
+		st.build = append(st.build, b)
+		st.probe = append(st.probe, p)
+		parts = append(parts, ec.desc)
+	}
+	if len(st.build) > 0 {
+		st.method = joinHash
+		st.cond = strings.Join(parts, " and ")
+		st.table = buildHashTable(vp, st.build)
+		s.pm.joinHash.Inc()
+		return st
+	}
+	if !vp.info.isRel {
+		for _, oc := range orders {
+			if oc.l == vp.name && chosen[oc.r] {
+				st.method, st.oc, st.newIsLeft, st.otherVar, st.cond = joinProbe, oc, true, oc.r, oc.desc
+				break
+			}
+			if oc.r == vp.name && chosen[oc.l] {
+				st.method, st.oc, st.newIsLeft, st.otherVar, st.cond = joinProbe, oc, false, oc.l, oc.desc
+				break
+			}
+		}
+	}
+	if st.method == joinProbe {
+		vp.byRef = make(map[value.Ref]int, len(vp.list))
+		for li := range vp.list {
+			vp.byRef[vp.list[li].ref] = li
+		}
+		s.pm.joinProbe.Inc()
+		return st
+	}
+	st.method = joinLoop
+	s.pm.joinLoop.Inc()
+	return st
+}
+
+// probeRefs returns the candidate refs for an ordering probe, given the
+// bound binding of the step's other variable.  The sets are exactly the
+// conjunct's satisfying partners (rank-key range scans over the sibling
+// tree, or the P-edge for under), so the residual evaluation only
+// re-confirms them.
+func (s *Session) probeRefs(st *joinStep, other binding) ([]value.Ref, error) {
+	switch st.oc.op {
+	case "under":
+		if st.newIsLeft { // new is the child: the other's children
+			return s.db.Children(st.oc.ordering, other.ref)
+		}
+		parent, _, ok, err := s.db.ChildPosition(st.oc.ordering, other.ref)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return []value.Ref{parent}, nil
+	case "before":
+		if st.newIsLeft {
+			return s.db.SiblingsBefore(st.oc.ordering, other.ref)
+		}
+		return s.db.SiblingsAfter(st.oc.ordering, other.ref)
+	case "after":
+		if st.newIsLeft {
+			return s.db.SiblingsAfter(st.oc.ordering, other.ref)
+		}
+		return s.db.SiblingsBefore(st.oc.ordering, other.ref)
+	}
+	return nil, nil
+}
+
+// bindAllPlanned is the cost-based executor behind bindAll.
+func (s *Session) bindAllPlanned(ctx context.Context, vars []string, infos map[string]varInfo, sargs map[string][]sarg, where Expr, fn func(env) error) error {
+	var equis []equiCond
+	var orders []orderCond
+	if where != nil {
+		s.extractJoinConds(where, infos, &equis, &orders)
+	}
+	plans := make([]*varPlan, len(vars))
+	for i, v := range vars {
+		vp := &varPlan{name: v, info: infos[v], sargs: sargs[v]}
+		vp.access = s.chooseAccess(v, vp.info, vp.sargs)
+		plans[i] = vp
+	}
+	// Materialize binding lists; any empty list means zero combinations
+	// whatever the qualification, so remaining scans are skipped.
+	empty := false
+	for _, vp := range plans {
+		if empty {
+			if s.ps != nil {
+				st := scanStats{Var: vp.name, Rel: vp.info.typ, Est: vp.access.est,
+					Index: vp.access.index, Range: vp.access.rng, Skipped: true}
+				for _, sg := range vp.sargs {
+					st.Sargs = append(st.Sargs, fmt.Sprintf("%s.%s %s %s", vp.name, sg.attr, sg.op, sg.v))
+				}
+				s.ps.Scans = append(s.ps.Scans, st)
+			}
+			continue
+		}
+		if err := s.scanPlan(ctx, vp); err != nil {
+			return err
+		}
+		if len(vp.list) == 0 {
+			empty = true
+		}
+	}
+	if s.ps != nil && len(plans) == 1 && plans[0].access.satisfiesSort {
+		s.ps.SortElided = true
+		s.ps.SortIndex = plans[0].access.index
+	}
+	if empty {
+		return nil
+	}
+	steps := s.orderJoins(plans, equis, orders)
+	e := make(env, len(plans))
+	combos, work := 0, 0
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(steps) {
+			combos++
+			return fn(e)
+		}
+		work++
+		if work&1023 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", txn.ErrCanceled, err)
+			}
+		}
+		st := steps[k]
+		vp := st.vp
+		st.probes++
+		switch st.method {
+		case joinHash:
+			var buf []byte
+			for _, p := range st.probe {
+				buf = appendHashKey(buf, p.value(e[p.v]))
+			}
+			s.pm.hashProbes.Inc()
+			for _, li := range st.table[string(buf)] {
+				st.hits++
+				s.pm.hashHits.Inc()
+				e[vp.name] = vp.list[li]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+			}
+		case joinProbe:
+			refs, err := s.probeRefs(st, e[st.otherVar])
+			if err != nil {
+				return err
+			}
+			for _, ref := range refs {
+				li, ok := vp.byRef[ref]
+				if !ok {
+					continue
+				}
+				st.hits++
+				e[vp.name] = vp.list[li]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+			}
+		default:
+			for li := range vp.list {
+				st.hits++
+				e[vp.name] = vp.list[li]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := rec(0)
+	s.m.combos.Add(uint64(combos))
+	if s.ps != nil {
+		s.ps.Combos = combos
+		for _, st := range steps {
+			s.ps.Steps = append(s.ps.Steps, joinStat{Var: st.vp.name, Method: st.method.String(),
+				Cond: st.cond, Build: len(st.vp.list), Probes: st.probes, Hits: st.hits})
+		}
+	}
+	return err
+}
+
+// stmtCache memoizes ordering resolution and child positions for the
+// duration of one statement, so before/after/under evaluations inside a
+// join don't re-walk internal/model's structures per binding pair.
+// Orderings are not mutated inside a QUEL statement, so the cache cannot
+// go stale before execOne clears it.
+type stmtCache struct {
+	orderings map[string]*model.Ordering
+	pos       map[string]map[value.Ref]posEntry
+}
+
+type posEntry struct {
+	parent value.Ref
+	rank   int64
+	ok     bool
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{
+		orderings: make(map[string]*model.Ordering),
+		pos:       make(map[string]map[value.Ref]posEntry),
+	}
+}
+
+// resolveOrdering resolves the ordering an OrderOp refers to, cached per
+// (name, operand types).
+func (s *Session) resolveOrdering(x OrderOp, ltyp, rtyp string) (*model.Ordering, error) {
+	var childType, parentType string
+	switch x.Op {
+	case "under":
+		childType, parentType = ltyp, rtyp
+	default:
+		childType = ltyp
+	}
+	c := s.cache
+	if c == nil {
+		return s.db.FindOrdering(x.Order, childType, parentType)
+	}
+	key := x.Order + "|" + childType + "|" + parentType
+	if o, ok := c.orderings[key]; ok {
+		return o, nil
+	}
+	o, err := s.db.FindOrdering(x.Order, childType, parentType)
+	if err != nil {
+		return nil, err
+	}
+	c.orderings[key] = o
+	return o, nil
+}
+
+// childPos returns ref's cached position (parent and rank) in ordering.
+func (s *Session) childPos(ordering string, ref value.Ref) (posEntry, error) {
+	c := s.cache
+	if c == nil {
+		parent, rank, ok, err := s.db.ChildPosition(ordering, ref)
+		return posEntry{parent: parent, rank: rank, ok: ok}, err
+	}
+	m := c.pos[ordering]
+	if m == nil {
+		m = make(map[value.Ref]posEntry)
+		c.pos[ordering] = m
+	}
+	if pe, ok := m[ref]; ok {
+		return pe, nil
+	}
+	parent, rank, ok, err := s.db.ChildPosition(ordering, ref)
+	if err != nil {
+		return posEntry{}, err
+	}
+	pe := posEntry{parent: parent, rank: rank, ok: ok}
+	m[ref] = pe
+	return pe, nil
+}

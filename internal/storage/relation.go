@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/btree"
@@ -238,6 +239,74 @@ func (r *Relation) scan(fn func(id RowID, t value.Tuple) bool) {
 			return
 		}
 	}
+}
+
+// Indexes returns the specs of the relation's secondary indexes, in
+// creation order.
+func (r *Relation) Indexes() []IndexSpec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	specs := make([]IndexSpec, len(r.indexes))
+	for i, ix := range r.indexes {
+		specs[i] = ix.spec
+	}
+	return specs
+}
+
+// IndexByColumn returns the spec of the first index whose leading key
+// column is col (case-insensitive).  Query planners use it to match a
+// sargable predicate to an access path.
+func (r *Relation) IndexByColumn(col string) (IndexSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ix := range r.indexes {
+		if len(ix.spec.Columns) > 0 && strings.EqualFold(ix.spec.Columns[0], col) {
+			return ix.spec, true
+		}
+	}
+	return IndexSpec{}, false
+}
+
+// IndexRangeCount returns the number of entries of the named index in
+// the encoded key range [lo, hi), computed from the B-tree's order
+// statistics without iterating.  It reports false if the index does not
+// exist.  All index-tree mutations happen under r.mu (insertRow,
+// deleteRow, updateRow), so the read lock suffices.
+func (r *Relation) IndexRangeCount(indexName string, lo, hi []byte) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ix := r.findIndex(indexName)
+	if ix == nil {
+		return 0, false
+	}
+	return ix.tree.CountRange(lo, hi), true
+}
+
+// ScanRange iterates rows of the named index in key order over the range
+// [lo, hi) of encoded keys; nil bounds mean unbounded.  With reverse set,
+// the same range is visited in descending key order.  Iteration stops if
+// fn returns false.  The relation lock is held for the duration; callers
+// go through Tx.IndexRange for transactional isolation.
+func (r *Relation) ScanRange(indexName string, lo, hi []byte, reverse bool, fn func(id RowID, t value.Tuple) bool) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ix := r.findIndex(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: no index %q on %s", indexName, r.name)
+	}
+	visit := func(_ []byte, id uint64) bool {
+		t, ok := r.rows[id]
+		if !ok {
+			return true
+		}
+		return fn(id, t)
+	}
+	if reverse {
+		ix.tree.Descend(hi, lo, visit)
+	} else {
+		ix.tree.Ascend(lo, hi, visit)
+	}
+	return nil
 }
 
 // dropIndex removes the named index (used to back out an index whose

@@ -267,6 +267,14 @@ func (tx *Tx) Scan(relName string, fn func(id RowID, t value.Tuple) bool) error 
 // [lo, hi) of encoded keys; nil bounds mean unbounded.  This is the
 // "ordering as a performance optimization" path of §5.2.
 func (tx *Tx) IndexScan(relName, indexName string, lo, hi []byte, fn func(id RowID, t value.Tuple) bool) error {
+	return tx.IndexRange(relName, indexName, lo, hi, false, fn)
+}
+
+// IndexRange is IndexScan with an optional direction: with reverse set
+// the range [lo, hi) is visited in descending key order (a backward
+// B-tree walk, used by the query planner to satisfy `sort by ... desc`
+// from index order).
+func (tx *Tx) IndexRange(relName, indexName string, lo, hi []byte, reverse bool, fn func(id RowID, t value.Tuple) bool) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
@@ -274,24 +282,16 @@ func (tx *Tx) IndexScan(relName, indexName string, lo, hi []byte, fn func(id Row
 	if err != nil {
 		return err
 	}
-	ix := r.findIndex(indexName)
-	if ix == nil {
-		return fmt.Errorf("storage: no index %q on %s", indexName, relName)
-	}
 	if err := tx.lock(relName, txn.Shared); err != nil {
 		return err
 	}
 	var n uint64
-	ix.tree.Ascend(lo, hi, func(_ []byte, id uint64) bool {
-		t, ok := r.get(id)
-		if !ok {
-			return true
-		}
+	err = r.ScanRange(indexName, lo, hi, reverse, func(id RowID, t value.Tuple) bool {
 		n++
 		return fn(id, t)
 	})
 	tx.db.m.rowsRead.Add(n)
-	return nil
+	return err
 }
 
 // IndexPrefixScan iterates rows whose index key starts with the encoded
