@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race torture bench bench-smoke bench-quel ci
+.PHONY: all build vet test race torture bench bench-smoke bench-quel bench-commit ci
 
 all: ci
 
@@ -36,4 +36,10 @@ bench-smoke:
 bench-quel:
 	$(GO) run ./cmd/mdmbench -quel -out BENCH_quel.json
 
-ci: vet build race torture bench-smoke bench-quel
+# Group-commit benchmark: concurrent-writer commit throughput, per-txn
+# fsync vs. the group-commit pipeline; emits BENCH_commit.json and fails
+# if the 16-writer speedup drops below 3x.
+bench-commit:
+	$(GO) run ./cmd/mdmbench -commit -out BENCH_commit.json
+
+ci: vet build race torture bench-smoke bench-quel bench-commit

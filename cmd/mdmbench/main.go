@@ -7,6 +7,7 @@
 //	mdmbench [-quick]
 //	mdmbench -obs [-out BENCH_obs.json]
 //	mdmbench -quel [-quick] [-out BENCH_quel.json]
+//	mdmbench -commit [-quick] [-out BENCH_commit.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -18,6 +19,11 @@
 // writes BENCH_quel.json; at full scale the exit status is nonzero if
 // the join-heavy speedup falls below 5x.  CI's bench-quel target runs
 // this mode.
+// -commit benchmarks commit throughput across a 1..64 concurrent-writer
+// sweep, per-transaction fsync against the group-commit pipeline, and
+// writes BENCH_commit.json; at full scale the exit status is nonzero
+// if group commit falls below 3x the baseline at 16 writers.  CI's
+// bench-commit target runs this mode.
 package main
 
 import (
@@ -39,7 +45,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	obsMode := flag.Bool("obs", false, "emit and validate the observability baseline")
 	quelMode := flag.Bool("quel", false, "benchmark the query planner and emit BENCH_quel.json")
-	out := flag.String("out", "", "output path for -obs / -quel")
+	commitMode := flag.Bool("commit", false, "benchmark group commit and emit BENCH_commit.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -commit")
 	flag.Parse()
 
 	if *obsMode {
@@ -59,6 +66,17 @@ func main() {
 			path = "BENCH_quel.json"
 		}
 		if err := runQuel(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *commitMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_commit.json"
+		}
+		if err := runCommit(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -111,6 +111,10 @@ const (
 	OpReadFile = "readfile"
 	OpMkdir    = "mkdir"
 	OpSyncDir  = "syncdir"
+	// OpLogic names failpoints that are not file operations: control-flow
+	// seams (e.g. inside the WAL group-commit flush, between the batched
+	// append and the fsync) that tests crash at via Injector.Logic.
+	OpLogic = "logic"
 )
 
 // Arm schedules the failpoint to fire on the nth hit from now (nth = 1

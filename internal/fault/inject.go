@@ -84,6 +84,30 @@ func (in *Injector) hit(op, name string) (Outcome, bool, error) {
 	return o, fired, nil
 }
 
+// Logic passes through the control-flow failpoint named name (the full
+// point is "logic:"+name).  It lets code inject faults at seams that are
+// not file operations — e.g. the WAL group-commit flush exposes
+// "logic:group.pre-fsync" and "logic:group.wakeup".  Like file
+// operations it returns ErrCrashed while the injector is frozen, panics
+// with a CrashError when an armed Crash outcome fires, and otherwise
+// returns the armed error (or nil when nothing fires).
+func (in *Injector) Logic(name string) error {
+	o, fired, err := in.hit(OpLogic, name)
+	if err != nil {
+		return err
+	}
+	if !fired {
+		return nil
+	}
+	if o.Crash {
+		in.crashPanic(Point(OpLogic, name))
+	}
+	if o.Err != nil {
+		return o.Err
+	}
+	return ErrInjected
+}
+
 // crashPanic freezes the injector and panics with the crash sentinel.
 func (in *Injector) crashPanic(point string) {
 	in.Crash()

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/biblio"
 	"repro/internal/cmn"
@@ -31,6 +32,14 @@ type Options struct {
 	Dir string
 	// SyncCommits makes every commit durable before returning.
 	SyncCommits bool
+	// GroupCommit batches concurrent commits through a shared flush
+	// leader: one buffered write and one fsync per batch instead of per
+	// transaction (see storage.Options.GroupCommit).  Sessions that
+	// commit concurrently then amortize the fsync across the batch.
+	GroupCommit bool
+	// GroupCommitWindow optionally makes the flush leader wait for more
+	// committers before draining the queue; zero flushes immediately.
+	GroupCommitWindow time.Duration
 	// SkipCMN leaves the CMN and bibliographic schemas undefined (for
 	// clients that define their own domain from scratch).
 	SkipCMN bool
@@ -48,9 +57,11 @@ type MDM struct {
 // Open builds (or reopens) a music data manager.
 func Open(opts Options) (*MDM, error) {
 	store, err := storage.Open(storage.Options{
-		Dir:             opts.Dir,
-		SyncCommits:     opts.SyncCommits,
-		CheckpointBytes: 64 << 20,
+		Dir:               opts.Dir,
+		SyncCommits:       opts.SyncCommits,
+		GroupCommit:       opts.GroupCommit,
+		GroupCommitWindow: opts.GroupCommitWindow,
+		CheckpointBytes:   64 << 20,
 	})
 	if err != nil {
 		return nil, err

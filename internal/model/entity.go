@@ -21,14 +21,19 @@ func (db *Database) NewEntity(typeName string, attrs Attrs) (value.Ref, error) {
 // NewEntityCtx is NewEntity under a context: a blocked lock wait in the
 // underlying transaction aborts with txn.ErrCanceled when ctx is
 // canceled or its deadline passes.
+//
+// Unlike the other mutators, entity creation does NOT hold the model
+// mutex across its storage transaction: concurrent sessions appending
+// to different types must be able to reach the group-commit pipeline
+// together, and a commit fsync under db.mu would serialize every
+// session in the manager.  Isolation comes from the storage layer's
+// relation locks; db.mu guards only the schema lookup and the directory
+// update, so the directory entry for a new ref trails its relation row
+// by an instant.
 func (db *Database) NewEntityCtx(ctx context.Context, typeName string, attrs Attrs) (value.Ref, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.newEntityLocked(ctx, typeName, attrs)
-}
-
-func (db *Database) newEntityLocked(ctx context.Context, typeName string, attrs Attrs) (value.Ref, error) {
+	db.mu.RLock()
 	et, ok := db.entities[typeName]
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
 	}
@@ -56,7 +61,9 @@ func (db *Database) newEntityLocked(ctx context.Context, typeName string, attrs 
 	if err != nil {
 		return 0, err
 	}
+	db.mu.Lock()
 	db.directory[ref] = entityLoc{typeName: typeName, rowID: rowID}
+	db.mu.Unlock()
 	return ref, nil
 }
 

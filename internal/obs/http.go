@@ -45,8 +45,8 @@ func (r *Registry) Handler() http.Handler {
 // ValidateDoc checks a decoded snapshot document for structural sanity:
 // correct schema version, non-empty metric names, known kinds, histogram
 // bucket counts consistent with the total count, and coherent query
-// planner counters (quel.plan.*).  It is the check `make bench-smoke`
-// and `mdmbench -quel` apply to their emitted snapshots.
+// planner (quel.plan.*) and group-commit (wal.group.*) metric sets.  It
+// is the check the mdmbench workloads apply to their emitted snapshots.
 func ValidateDoc(d SnapshotDoc) error {
 	if d.SchemaVersion != SnapshotSchemaVersion {
 		return &ValidationError{Reason: "unsupported schema_version"}
@@ -55,6 +55,7 @@ func ValidateDoc(d SnapshotDoc) error {
 		return &ValidationError{Reason: "no metrics"}
 	}
 	plan := map[string]uint64{}
+	group := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -64,6 +65,9 @@ func ValidateDoc(d SnapshotDoc) error {
 				return &ValidationError{Reason: "planner metric " + m.Name + ": must be a counter, not " + m.Kind}
 			}
 			plan[m.Name] = m.Value
+		}
+		if strings.HasPrefix(m.Name, "wal.group.") {
+			group[m.Name] = m
 		}
 		switch m.Kind {
 		case "counter":
@@ -94,6 +98,28 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if plan["quel.plan.hash.hits"] > 0 && plan["quel.plan.hash.probes"] == 0 {
 			return &ValidationError{Reason: "quel.plan.hash.hits > 0 with no probes"}
+		}
+	}
+	// Group-commit metrics (wal.group.*) are likewise registered as a
+	// set by the commit pipeline: two counters and two histograms, with
+	// every flushed transaction accounted to some batch.
+	if len(group) > 0 {
+		for name, kind := range map[string]string{
+			"wal.group.batches": "counter",
+			"wal.group.txns":    "counter",
+			"wal.group.size":    "histogram",
+			"wal.group.wait.ns": "histogram",
+		} {
+			m, ok := group[name]
+			if !ok {
+				return &ValidationError{Reason: "group-commit metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "group-commit metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		if group["wal.group.txns"].Value > 0 && group["wal.group.batches"].Value == 0 {
+			return &ValidationError{Reason: "wal.group.txns > 0 with no batches"}
 		}
 	}
 	return nil

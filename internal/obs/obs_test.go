@@ -169,6 +169,48 @@ func TestValidatePlannerCounters(t *testing.T) {
 	}
 }
 
+func TestValidateGroupCommitMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("wal.group.batches")
+		r.Counter("wal.group.txns")
+		r.Histogram("wal.group.size")
+		r.Histogram("wal.group.wait.ns")
+		return r
+	}
+	r := full()
+	r.Counter("wal.group.batches").Add(2)
+	r.Counter("wal.group.txns").Add(7)
+	r.Histogram("wal.group.size").Observe(128)
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+
+	// A partial group set means a truncated emission.
+	r2 := NewRegistry()
+	r2.Counter("wal.group.batches")
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted partial group-commit metric set")
+	}
+
+	// Wrong kind for a member of the set.
+	r3 := NewRegistry()
+	r3.Counter("wal.group.batches")
+	r3.Counter("wal.group.txns")
+	r3.Counter("wal.group.size") // must be a histogram
+	r3.Histogram("wal.group.wait.ns")
+	if err := ValidateDoc(r3.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted counter-kinded wal.group.size")
+	}
+
+	// Transactions flushed with zero batches cannot happen.
+	r4 := full()
+	r4.Counter("wal.group.txns").Add(3)
+	if err := ValidateDoc(r4.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted txns with zero batches")
+	}
+}
+
 func TestJSONRoundTripAndHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("wal.append.records").Add(10)

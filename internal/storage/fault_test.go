@@ -93,9 +93,11 @@ func TestFsyncFailureDegradesToReadOnly(t *testing.T) {
 	}
 }
 
-// TestAppendFailureRollsBackInMemory pins the compensation path: when a
-// data record cannot be appended to the WAL, the in-memory mutation is
-// undone so memory never runs ahead of what could be logged.
+// TestAppendFailureRollsBackInMemory pins the compensation path: the
+// transaction's records are buffered in the Tx and appended as one
+// batch at commit, so when the batched append fails the WHOLE
+// transaction is rolled back from memory — memory never runs ahead of
+// what could be logged — and the database degrades.
 func TestAppendFailureRollsBackInMemory(t *testing.T) {
 	dir := t.TempDir()
 	db, reg := openFaulty(t, dir, Options{})
@@ -112,19 +114,17 @@ func TestAppendFailureRollsBackInMemory(t *testing.T) {
 
 	reg.Arm(fault.Point(fault.OpWrite, db.logPath()), 1, fault.Outcome{})
 	tx := db.Begin()
-	// Fat rows overflow Append's buffered writer quickly, so the armed
-	// write fault fires inside one of the inserts.
+	// Enough fat rows to overflow the log's buffered writer during the
+	// commit flush, so the armed write fault fires mid-batch.
 	fat := value.Str(strings.Repeat("x", 4096))
-	var insertErr error
 	for i := 0; i < 200; i++ {
-		if _, insertErr = tx.Insert("R", value.Tuple{fat}); insertErr != nil {
-			break
+		if _, err := tx.Insert("R", value.Tuple{fat}); err != nil {
+			t.Fatalf("inserts buffer without I/O; insert %d failed: %v", i, err)
 		}
 	}
-	if insertErr == nil {
-		t.Fatal("expected an insert to fail once the wal write faulted")
+	if err := tx.Commit(); err == nil {
+		t.Fatal("expected commit to fail once the wal write faulted")
 	}
-	tx.Abort()
 	if !db.ReadOnly() {
 		t.Fatal("database should degrade after wal append failure")
 	}

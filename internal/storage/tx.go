@@ -15,15 +15,22 @@ import (
 // write-ahead logging provides durability, and an in-memory undo list
 // provides atomicity of aborts.
 //
+// The transaction's redo records are buffered in the Tx (records) and
+// submitted to the WAL as one batch at commit, through the group-commit
+// pipeline (wal.GroupCommitter): writes never touch the log at
+// operation time, aborted transactions never touch it at all, and
+// concurrent commits share flushes and fsyncs.
+//
 // A Tx is not safe for concurrent use by multiple goroutines; each client
 // session runs its transactions sequentially (the concurrency is between
 // transactions, per §2's multi-client MDM).
 type Tx struct {
-	db   *DB
-	id   uint64
-	ctx  context.Context // cancels lock waits; never nil
-	done bool
-	undo []undoRec
+	db      *DB
+	id      uint64
+	ctx     context.Context // cancels lock waits; never nil
+	done    bool
+	undo    []undoRec
+	records []*wal.Record // buffered redo records; nil on an unlogged or read-only tx
 }
 
 type undoOp uint8
@@ -44,9 +51,8 @@ type undoRec struct {
 // ErrTxDone is returned by operations on a committed or aborted Tx.
 var ErrTxDone = errors.New("storage: transaction already finished")
 
-// Begin starts a new transaction.  If the database is degraded the
-// BEGIN record is not logged; the transaction can still read, and any
-// write will fail with ErrReadOnly.
+// Begin starts a new transaction.  On a degraded database the
+// transaction can still read; any write fails with ErrReadOnly.
 func (db *DB) Begin() *Tx { return db.BeginCtx(context.Background()) }
 
 // BeginCtx starts a transaction whose lock waits are bounded by ctx:
@@ -60,31 +66,51 @@ func (db *DB) BeginCtx(ctx context.Context) *Tx {
 	}
 	tx := &Tx{db: db, id: db.ids.Next(), ctx: ctx}
 	db.m.begins.Inc()
-	_ = db.appendLog(&wal.Record{Type: wal.RecBegin, TxID: tx.id})
 	return tx
 }
 
 // Context returns the context the transaction was begun with.
 func (tx *Tx) Context() context.Context { return tx.ctx }
 
-// appendLog writes a record to the WAL if logging is enabled.  A failed
-// append poisons the log (wal keeps the sticky error) and degrades the
-// database to read-only; the caller must undo any in-memory change the
-// record was describing.
+// appendLog routes a schema record (relation/index DDL) through the
+// commit pipeline as a single-record batch, so its position in the log
+// is ordered with the data batches of transactions that depend on it: a
+// relation's create record is enqueued — and therefore appended —
+// before any commit batch touching the relation can be.  A failure
+// degrades the database; the caller must undo the in-memory schema
+// change the record was describing.
 func (db *DB) appendLog(r *wal.Record) error {
-	if db.log == nil {
+	if db.committer == nil {
 		return nil
 	}
 	if err := db.writable(); err != nil {
 		return err
 	}
-	db.logMu.Lock() // serialize appends; the log buffer is not concurrent-safe
-	defer db.logMu.Unlock()
-	if _, err := db.log.Append(r); err != nil {
-		db.degrade(err)
+	b := &wal.Batch{
+		Records: []*wal.Record{r},
+		OnComplete: func(st wal.BatchState, err error) {
+			switch st {
+			case wal.BatchAppendFailed, wal.BatchSyncFailed, wal.BatchLost:
+				db.degrade(err)
+			}
+		},
+	}
+	if err := db.committer.Commit(context.Background(), b); err != nil {
 		return fmt.Errorf("storage: wal append: %w", err)
 	}
 	return nil
+}
+
+// logRecord buffers a redo record in the transaction (prefixed by its
+// BEGIN on first use).  No I/O happens until commit.
+func (tx *Tx) logRecord(r *wal.Record) {
+	if tx.db.committer == nil {
+		return
+	}
+	if len(tx.records) == 0 {
+		tx.records = append(tx.records, &wal.Record{Type: wal.RecBegin, TxID: tx.id})
+	}
+	tx.records = append(tx.records, r)
 }
 
 // ID returns the transaction identifier.
@@ -133,6 +159,9 @@ func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("storage: insert into %s: %w", relName, err)
 	}
+	if err := tx.db.writable(); err != nil {
+		return 0, err
+	}
 	if err := tx.lock(relName, txn.Exclusive); err != nil {
 		return 0, err
 	}
@@ -140,10 +169,7 @@ func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := tx.db.appendLog(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt}); err != nil {
-		r.deleteRow(id) //nolint:errcheck // compensating an unlogged insert
-		return 0, err
-	}
+	tx.logRecord(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt})
 	tx.undo = append(tx.undo, undoRec{op: undoInsert, rel: relName, id: id})
 	tx.db.m.rowsWritten.Inc()
 	return id, nil
@@ -158,6 +184,9 @@ func (tx *Tx) Delete(relName string, id RowID) error {
 	if err != nil {
 		return err
 	}
+	if err := tx.db.writable(); err != nil {
+		return err
+	}
 	if err := tx.lock(relName, txn.Exclusive); err != nil {
 		return err
 	}
@@ -165,10 +194,7 @@ func (tx *Tx) Delete(relName string, id RowID) error {
 	if err != nil {
 		return err
 	}
-	if err := tx.db.appendLog(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old}); err != nil {
-		r.insertRow(id, old) //nolint:errcheck // compensating an unlogged delete
-		return err
-	}
+	tx.logRecord(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old})
 	tx.undo = append(tx.undo, undoRec{op: undoDelete, rel: relName, id: id, old: old})
 	tx.db.m.rowsWritten.Inc()
 	return nil
@@ -187,6 +213,9 @@ func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
 	if err != nil {
 		return fmt.Errorf("storage: update %s: %w", relName, err)
 	}
+	if err := tx.db.writable(); err != nil {
+		return err
+	}
 	if err := tx.lock(relName, txn.Exclusive); err != nil {
 		return err
 	}
@@ -194,10 +223,7 @@ func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
 	if err != nil {
 		return err
 	}
-	if err := tx.db.appendLog(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt}); err != nil {
-		r.updateRow(id, old) //nolint:errcheck // compensating an unlogged update
-		return err
-	}
+	tx.logRecord(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt})
 	tx.undo = append(tx.undo, undoRec{op: undoUpdate, rel: relName, id: id, old: old})
 	tx.db.m.rowsWritten.Inc()
 	return nil
@@ -327,51 +353,92 @@ func (tx *Tx) IndexPrefixScan(relName, indexName string, vals value.Tuple, fn fu
 
 // Commit makes the transaction's effects permanent and releases its locks.
 //
-// If the COMMIT record cannot be appended, the transaction never reached
-// the log: its in-memory effects are rolled back and the error returned.
-// If the record is appended but the commit fsync fails (SyncCommits),
-// the outcome is ambiguous — the record may or may not be on stable
-// storage — so the in-memory state keeps the commit, the database
-// degrades to read-only, and the error tells the client durability is
-// unknown; a restart resolves it from whatever the disk actually holds.
+// The buffered records (BEGIN, the data changes, COMMIT) go to the WAL
+// as one batch through the group-commit pipeline.  The transaction's
+// locks are released as soon as the batch is appended in log order —
+// before the fsync — because any dependent transaction necessarily
+// commits later in the same log, and a poisoned flush fails them all.
+//
+// If the batch cannot be appended, the transaction never reached the
+// log: its in-memory effects are rolled back and the error returned.
+// If it is appended but the flush fails (SyncCommits), the outcome is
+// ambiguous — the records may or may not be on stable storage — so the
+// in-memory state keeps the commit, the database degrades to read-only,
+// and the error tells the client durability is unknown; a restart
+// resolves it from whatever the disk actually holds.
+//
+// If the transaction's context is canceled while waiting for the flush,
+// Commit stops waiting and returns an error wrapping txn.ErrCanceled;
+// the batch still flushes in order and its failure handling still runs,
+// but this caller no longer learns the outcome.
 func (tx *Tx) Commit() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tx.done = true
 	tx.db.m.commits.Inc()
-	if len(tx.undo) == 0 {
-		// Read-only transaction: nothing to make durable, so no COMMIT
-		// record and no fsync — and no reason to fail on a degraded
-		// (read-only) database.
-		tx.db.locks.ReleaseAll(tx.id)
-		return nil
-	}
-	if err := tx.db.appendLog(&wal.Record{Type: wal.RecCommit, TxID: tx.id}); err != nil {
-		tx.rollbackMemory()
+	if len(tx.records) == 0 {
+		// Read-only transaction — or any transaction on an unlogged
+		// database: nothing to flush, so no batch and no fsync, and no
+		// reason to fail on a degraded (read-only) database.
 		tx.db.locks.ReleaseAll(tx.id)
 		tx.undo = nil
+		return nil
+	}
+	db, id := tx.db, tx.id
+	if err := db.writable(); err != nil {
+		tx.rollbackMemory()
+		db.locks.ReleaseAll(id)
+		tx.undo, tx.records = nil, nil
 		return err
 	}
-	if tx.db.opts.SyncCommits && tx.db.log != nil {
-		if err := tx.db.log.Sync(); err != nil {
-			tx.db.degrade(err)
-			tx.db.locks.ReleaseAll(tx.id)
-			tx.undo = nil
-			return fmt.Errorf("storage: commit %d durability unknown: %w", tx.id, err)
-		}
+	records := append(tx.records, &wal.Record{Type: wal.RecCommit, TxID: id})
+	undo := tx.undo
+	tx.undo, tx.records = nil, nil
+	b := &wal.Batch{
+		Records:  records,
+		Sync:     db.opts.SyncCommits,
+		OnAppend: func() { db.locks.ReleaseAll(id) },
+		OnComplete: func(st wal.BatchState, err error) {
+			// Runs on the flush goroutine whether or not the committer
+			// is still waiting, so failure handling cannot be skipped
+			// by an abandoned wait.
+			switch st {
+			case wal.BatchAppendFailed:
+				// Certainly not in the log: undo memory, then release.
+				rollbackUndo(db, undo)
+				db.degrade(err)
+			case wal.BatchSyncFailed, wal.BatchLost:
+				// Ambiguous: keep the in-memory commit, stop the world.
+				db.degrade(err)
+			}
+			db.locks.ReleaseAll(id) // no-op after OnAppend already ran
+		},
 	}
-	tx.db.locks.ReleaseAll(tx.id)
-	tx.undo = nil
-	return tx.db.maybeCheckpoint()
+	if err := db.committer.Commit(tx.ctx, b); err != nil {
+		if errors.Is(err, wal.ErrAbandoned) {
+			return fmt.Errorf("storage: commit %d abandoned, durability unknown: %w (%v)", id, txn.ErrCanceled, err)
+		}
+		if b.State() == wal.BatchAppendFailed {
+			return fmt.Errorf("storage: wal append: %w", err)
+		}
+		return fmt.Errorf("storage: commit %d durability unknown: %w", id, err)
+	}
+	return db.maybeCheckpoint()
 }
 
 // rollbackMemory undoes the transaction's in-memory effects in reverse
 // order.
-func (tx *Tx) rollbackMemory() {
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		u := tx.undo[i]
-		r := tx.db.Relation(u.rel)
+func (tx *Tx) rollbackMemory() { rollbackUndo(tx.db, tx.undo) }
+
+// rollbackUndo applies an undo list in reverse.  It is standalone
+// (rather than a Tx method) because the commit pipeline must be able to
+// roll back a failed batch from the flush goroutine after the Tx's own
+// fields have been cleared.
+func rollbackUndo(db *DB, undo []undoRec) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		r := db.Relation(u.rel)
 		if r == nil {
 			continue
 		}
@@ -387,7 +454,9 @@ func (tx *Tx) rollbackMemory() {
 }
 
 // Abort rolls back the transaction's in-memory effects (in reverse
-// order), logs the abort, and releases its locks.
+// order) and releases its locks.  Nothing is logged: the redo records
+// were only ever buffered in the Tx, so an aborted transaction leaves
+// no trace in the WAL.
 func (tx *Tx) Abort() {
 	if tx.done {
 		return
@@ -395,11 +464,8 @@ func (tx *Tx) Abort() {
 	tx.done = true
 	tx.db.m.aborts.Inc()
 	tx.rollbackMemory()
-	if len(tx.undo) > 0 {
-		_ = tx.db.appendLog(&wal.Record{Type: wal.RecAbort, TxID: tx.id}) // redo-only recovery ignores unfinished txns anyway
-	}
 	tx.db.locks.ReleaseAll(tx.id)
-	tx.undo = nil
+	tx.undo, tx.records = nil, nil
 }
 
 // Run executes fn inside a transaction, committing on nil error and

@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -178,7 +179,7 @@ type Log struct {
 	path string
 	f    fault.File
 	w    *bufio.Writer
-	off  int64 // current end offset (next LSN)
+	off  atomic.Int64 // current end offset (next LSN); atomic so Size is readable off the flush path
 	buf  []byte
 	err  error // sticky poison; nil while healthy
 
@@ -232,7 +233,9 @@ func OpenFS(fs fault.FS, path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{fs: fs, path: path, f: f, w: bufio.NewWriterSize(f, 64<<10), off: end}, nil
+	l := &Log{fs: fs, path: path, f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	l.off.Store(end)
+	return l, nil
 }
 
 // poison records the first I/O failure and returns the sticky error.
@@ -292,14 +295,14 @@ func (l *Log) Append(r *Record) (int64, error) {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(l.buf)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(l.buf, castagnoli))
-	lsn := l.off
+	lsn := l.off.Load()
 	if _, err := l.w.Write(hdr[:]); err != nil {
 		return 0, l.poison("append", err)
 	}
 	if _, err := l.w.Write(l.buf); err != nil {
 		return 0, l.poison("append", err)
 	}
-	l.off += 8 + int64(len(l.buf))
+	l.off.Add(8 + int64(len(l.buf)))
 	if l.m != nil {
 		l.m.records.Inc()
 		l.m.bytes.Add(uint64(8 + len(l.buf)))
@@ -331,8 +334,10 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// Size returns the current log size in bytes (including buffered records).
-func (l *Log) Size() int64 { return l.off }
+// Size returns the current log size in bytes (including buffered
+// records).  Unlike the other Log methods it is safe to call from any
+// goroutine, even while a group-commit leader is appending.
+func (l *Log) Size() int64 { return l.off.Load() }
 
 // Reset truncates the log to empty.  Called after a checkpoint snapshot
 // has been made durable.  Any failure poisons the log (the on-disk state
@@ -351,7 +356,7 @@ func (l *Log) Reset() error {
 		return l.poison("reset", err)
 	}
 	l.w.Reset(l.f)
-	l.off = 0
+	l.off.Store(0)
 	if err := l.f.Sync(); err != nil {
 		return l.poison("fsync", err)
 	}
