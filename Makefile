@@ -1,11 +1,17 @@
 GO ?= go
+BENCHDIR ?= .bench
 
-.PHONY: all build vet test race torture bench bench-smoke bench-quel bench-commit ci
+.PHONY: all build fmt-check vet test race torture bench bench-smoke bench-quel bench-commit bench-read bench-check ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# Fail if any file needs gofmt; print the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -42,4 +48,22 @@ bench-quel:
 bench-commit:
 	$(GO) run ./cmd/mdmbench -commit -out BENCH_commit.json
 
-ci: vet build race torture bench-smoke bench-quel bench-commit
+# Read-scaling benchmark: concurrent readers against a fixed writer
+# pool, shared-lock reads vs. MVCC snapshot reads; emits BENCH_read.json
+# and fails if snapshots drop below 5x locking throughput at 4 readers.
+bench-read:
+	$(GO) run ./cmd/mdmbench -read -out BENCH_read.json
+
+# Regression gate: rerun every bench into $(BENCHDIR) and diff the fresh
+# documents against the baselines committed in git; fails on a >30%
+# floor-point regression.  To refresh the baselines, run the bench-*
+# targets (which write into the repo root) and commit the result.
+bench-check:
+	mkdir -p $(BENCHDIR)
+	$(GO) run ./cmd/mdmbench -obs -out $(BENCHDIR)/BENCH_obs.json
+	$(GO) run ./cmd/mdmbench -quel -out $(BENCHDIR)/BENCH_quel.json
+	$(GO) run ./cmd/mdmbench -commit -out $(BENCHDIR)/BENCH_commit.json
+	$(GO) run ./cmd/mdmbench -read -out $(BENCHDIR)/BENCH_read.json
+	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
+
+ci: fmt-check vet build race torture bench-smoke bench-quel bench-commit bench-read

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -208,14 +209,34 @@ func printStatus(m *mdm.MDM, s *mdm.Session) {
 	}
 }
 
+// wellKnownCounters are counters every healthy store is expected to
+// carry.  \stats prints them as 0 when a configuration leaves them
+// unregistered (e.g. serial commits never register wal.group.*), so
+// their absence reads as "nothing happened" instead of a missing line.
+var wellKnownCounters = []string{
+	"snap.reads",
+	"snap.gc.reclaimed",
+	"storage.txn.commit",
+	"storage.txn.abort",
+	"wal.group.batches",
+	"wal.group.txns",
+}
+
 // printStats dumps the metrics registry: counters as name=value,
-// histograms with count and quantiles.
+// histograms with count and quantiles.  Well-known counters print as 0
+// rather than being omitted when unregistered.
 func printStats(reg *obs.Registry) {
 	snap := reg.Snapshot()
-	if len(snap) == 0 {
-		fmt.Println("(no metrics)")
-		return
+	have := make(map[string]bool, len(snap))
+	for _, m := range snap {
+		have[m.Name] = true
 	}
+	for _, name := range wellKnownCounters {
+		if !have[name] {
+			snap = append(snap, obs.Metric{Name: name, Kind: "counter"})
+		}
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name })
 	w := 0
 	for _, m := range snap {
 		if len(m.Name) > w {

@@ -8,6 +8,7 @@
 //	mdmbench -obs [-out BENCH_obs.json]
 //	mdmbench -quel [-quick] [-out BENCH_quel.json]
 //	mdmbench -commit [-quick] [-out BENCH_commit.json]
+//	mdmbench -read [-quick] [-out BENCH_read.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -24,6 +25,11 @@
 // writes BENCH_commit.json; at full scale the exit status is nonzero
 // if group commit falls below 3x the baseline at 16 writers.  CI's
 // bench-commit target runs this mode.
+// -read benchmarks read scaling across a 1..8 concurrent-reader sweep
+// under a fixed pool of 4 committing writers, shared-lock reads against
+// MVCC snapshot reads, and writes BENCH_read.json; at full scale the
+// exit status is nonzero if snapshot reads fall below 5x locking
+// throughput at 4 readers.  CI's bench-read target runs this mode.
 package main
 
 import (
@@ -46,7 +52,8 @@ func main() {
 	obsMode := flag.Bool("obs", false, "emit and validate the observability baseline")
 	quelMode := flag.Bool("quel", false, "benchmark the query planner and emit BENCH_quel.json")
 	commitMode := flag.Bool("commit", false, "benchmark group commit and emit BENCH_commit.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -commit")
+	readMode := flag.Bool("read", false, "benchmark snapshot read scaling and emit BENCH_read.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read")
 	flag.Parse()
 
 	if *obsMode {
@@ -77,6 +84,17 @@ func main() {
 			path = "BENCH_commit.json"
 		}
 		if err := runCommit(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *readMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_read.json"
+		}
+		if err := runRead(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -181,7 +199,7 @@ func runObs(path string) error {
 	if err := obs.ValidateDoc(doc); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	for _, name := range []string{"wal.fsync.ns", "storage.txn.commit", "quel.stmt.ns", "txn.lock.wait.ns", "quel.plan.scan.index"} {
+	for _, name := range []string{"wal.fsync.ns", "storage.txn.commit", "quel.stmt.ns", "txn.lock.wait.ns", "quel.plan.scan.index", "snap.reads"} {
 		found := false
 		for _, mt := range doc.Metrics {
 			if mt.Name == name && (mt.Value > 0 || mt.Count > 0) {

@@ -43,7 +43,25 @@ type Options struct {
 	// SkipCMN leaves the CMN and bibliographic schemas undefined (for
 	// clients that define their own domain from scratch).
 	SkipCMN bool
+	// SnapshotReads controls whether read-only statements (retrieve,
+	// explain) run against a pinned MVCC snapshot with zero lock
+	// acquisition.  The zero value (SnapshotAuto) enables them.
+	SnapshotReads SnapshotMode
 }
+
+// SnapshotMode selects how sessions execute read-only statements.
+type SnapshotMode int
+
+const (
+	// SnapshotAuto (the default) runs every read-only statement against
+	// a pinned commit-sequence snapshot: readers never block on — or
+	// block — writers.
+	SnapshotAuto SnapshotMode = iota
+	// SnapshotOff routes reads through shared relation locks, the
+	// pre-MVCC behavior.  Benchmarks and differential tests use it as
+	// the comparison baseline.
+	SnapshotOff
+)
 
 // MDM is the music data manager.
 type MDM struct {
@@ -52,6 +70,8 @@ type MDM struct {
 	Catalog *meta.Catalog
 	Music   *cmn.Music
 	Biblio  *biblio.Index
+
+	snapshotReads SnapshotMode
 }
 
 // Open builds (or reopens) a music data manager.
@@ -71,7 +91,7 @@ func Open(opts Options) (*MDM, error) {
 		store.Close()
 		return nil, err
 	}
-	mgr := &MDM{Store: store, Model: m}
+	mgr := &MDM{Store: store, Model: m, snapshotReads: opts.SnapshotReads}
 	if !opts.SkipCMN {
 		if mgr.Music, err = cmn.Open(m); err != nil {
 			store.Close()
@@ -128,6 +148,7 @@ type sessionObs struct {
 // NewSession opens a client session with the default retry policy.
 func (m *MDM) NewSession() *Session {
 	s := &Session{mdm: m, quel: quel.NewSession(m.Model), policy: DefaultRetryPolicy}
+	s.quel.SetSnapshotReads(m.snapshotReads == SnapshotAuto)
 	if reg := m.Obs(); reg != nil {
 		s.obs = sessionObs{
 			statements: reg.Counter("mdm.statements"),
@@ -158,6 +179,11 @@ type ExecResult struct {
 // pre-planner nested-loop path.  Benchmarks and differential tests use
 // it to compare against the cost-based planner.
 func (s *Session) SetNaivePlanner(on bool) { s.quel.SetNaive(on) }
+
+// SetSnapshotReads overrides the manager-wide Options.SnapshotReads for
+// this session: on runs read-only statements lock-free against a pinned
+// snapshot, off takes shared locks (the comparison baseline).
+func (s *Session) SetSnapshotReads(on bool) { s.quel.SetSnapshotReads(on) }
 
 // ExecContext executes DDL or QUEL source, dispatching on the first
 // keyword.  After DDL, the meta-catalog is refreshed so the new schema

@@ -150,4 +150,3 @@ func (m *MDM) Health() Health {
 	cause := m.Store.ReadOnlyCause()
 	return Health{ReadOnly: cause != nil, Cause: cause}
 }
-

@@ -69,11 +69,13 @@ func (db *Database) NewEntityCtx(ctx context.Context, typeName string, attrs Att
 
 // NewEntities creates n entities of the same type in a single
 // transaction; attrs(i) supplies the attributes of the i'th.  It is the
-// bulk-loading path used by score import.
+// bulk-loading path used by score import.  Like NewEntityCtx it holds
+// the model mutex only around the schema lookup and directory update,
+// never across the commit.
 func (db *Database) NewEntities(typeName string, n int, attrs func(i int) Attrs) ([]value.Ref, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	et, ok := db.entities[typeName]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
 	}
@@ -104,9 +106,11 @@ func (db *Database) NewEntities(typeName string, n int, attrs func(i int) Attrs)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.Lock()
 	for i, ref := range refs {
 		db.directory[ref] = entityLoc{typeName: typeName, rowID: rowIDs[i]}
 	}
+	db.mu.Unlock()
 	return refs, nil
 }
 
@@ -200,15 +204,26 @@ func (db *Database) SetAttrs(ref value.Ref, attrs Attrs) error {
 }
 
 // SetAttrsCtx is SetAttrs under a context (see NewEntityCtx).
+//
+// Like NewEntityCtx it does not hold the model mutex across the storage
+// transaction: the commit (and its fsync) must not serialize every
+// session in the manager.  Isolation comes from the relation locks; the
+// model mutex guards only the directory/schema lookup.
 func (db *Database) SetAttrsCtx(ctx context.Context, ref value.Ref, attrs Attrs) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	loc, ok := db.directory[ref]
+	et := db.entities[loc.typeName]
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: @%d", ErrNoEntity, ref)
 	}
-	et := db.entities[loc.typeName]
 	return db.store.RunCtx(ctx, func(tx *storage.Tx) error {
+		// Declare write intent first: Get-then-Update would upgrade the
+		// shared relation lock to exclusive, and concurrent upgraders on
+		// the same relation deadlock each other every time.
+		if err := tx.LockExclusive(entPrefix + loc.typeName); err != nil {
+			return err
+		}
 		t, err := tx.Get(entPrefix+loc.typeName, loc.rowID)
 		if err != nil {
 			return err

@@ -335,6 +335,25 @@ func (db *Database) load() error {
 		rt := newOrderRuntime()
 		db.orders[name] = rt
 		relName := ordPrefix + name
+		// Databases created before snapshot reads lack the by_parent_rank
+		// index; add it (CreateIndex backfills) so snapshot sibling scans
+		// work against old data directories.
+		if rel := db.store.Relation(relName); rel != nil {
+			has := false
+			for _, spec := range rel.Indexes() {
+				if spec.Name == ixByParentRank {
+					has = true
+					break
+				}
+			}
+			if !has {
+				if err := db.store.CreateIndex(relName, storage.IndexSpec{
+					Name: ixByParentRank, Columns: []string{"parent", "rank"},
+				}); err != nil {
+					return err
+				}
+			}
+		}
 		err := db.store.Run(func(tx *storage.Tx) error {
 			return tx.Scan(relName, func(id storage.RowID, t value.Tuple) bool {
 				rt.attach(t[0].AsRef(), t[1].AsRef(), t[2].AsInt(), id)
@@ -494,6 +513,11 @@ func (db *Database) DefineOrdering(name string, children []string, parent string
 	}
 	if err := db.store.CreateIndex(ordPrefix+name, storage.IndexSpec{
 		Name: "by_child", Columns: []string{"child"}, Unique: true,
+	}); err != nil {
+		return nil, err
+	}
+	if err := db.store.CreateIndex(ordPrefix+name, storage.IndexSpec{
+		Name: ixByParentRank, Columns: []string{"parent", "rank"},
 	}); err != nil {
 		return nil, err
 	}

@@ -45,8 +45,9 @@ func (r *Registry) Handler() http.Handler {
 // ValidateDoc checks a decoded snapshot document for structural sanity:
 // correct schema version, non-empty metric names, known kinds, histogram
 // bucket counts consistent with the total count, and coherent query
-// planner (quel.plan.*) and group-commit (wal.group.*) metric sets.  It
-// is the check the mdmbench workloads apply to their emitted snapshots.
+// planner (quel.plan.*), group-commit (wal.group.*), and snapshot-read
+// (snap.*) metric sets.  It is the check the mdmbench workloads apply to
+// their emitted snapshots.
 func ValidateDoc(d SnapshotDoc) error {
 	if d.SchemaVersion != SnapshotSchemaVersion {
 		return &ValidationError{Reason: "unsupported schema_version"}
@@ -56,6 +57,7 @@ func ValidateDoc(d SnapshotDoc) error {
 	}
 	plan := map[string]uint64{}
 	group := map[string]Metric{}
+	snap := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -68,6 +70,9 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if strings.HasPrefix(m.Name, "wal.group.") {
 			group[m.Name] = m
+		}
+		if strings.HasPrefix(m.Name, "snap.") {
+			snap[m.Name] = m
 		}
 		switch m.Kind {
 		case "counter":
@@ -120,6 +125,27 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if group["wal.group.txns"].Value > 0 && group["wal.group.batches"].Value == 0 {
 			return &ValidationError{Reason: "wal.group.txns > 0 with no batches"}
+		}
+	}
+	// Snapshot-read metrics (snap.*) are registered as a set by the MVCC
+	// store: a read counter, a CSN-lag histogram, and a GC counter.  Lag
+	// observations without any snapshot read indicate a bogus emission.
+	if len(snap) > 0 {
+		for name, kind := range map[string]string{
+			"snap.reads":        "counter",
+			"snap.csn.lag":      "histogram",
+			"snap.gc.reclaimed": "counter",
+		} {
+			m, ok := snap[name]
+			if !ok {
+				return &ValidationError{Reason: "snapshot metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "snapshot metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		if snap["snap.csn.lag"].Count > 0 && snap["snap.reads"].Value == 0 {
+			return &ValidationError{Reason: "snap.csn.lag observed with no snapshot reads"}
 		}
 	}
 	return nil

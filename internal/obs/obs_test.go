@@ -285,3 +285,47 @@ func TestTraceRing(t *testing.T) {
 		t.Fatal("nil trace misbehaved")
 	}
 }
+
+func TestValidateSnapshotMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("snap.reads")
+		r.Histogram("snap.csn.lag")
+		r.Counter("snap.gc.reclaimed")
+		return r
+	}
+	r := full()
+	r.Counter("snap.reads").Add(12)
+	r.Histogram("snap.csn.lag").Observe(3)
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+
+	// A freshly opened store registers the set with everything at zero.
+	if err := ValidateDoc(full().Doc()); err != nil {
+		t.Fatalf("ValidateDoc rejected idle snapshot metric set: %v", err)
+	}
+
+	// A partial set means a truncated emission.
+	r2 := NewRegistry()
+	r2.Counter("snap.reads")
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted partial snapshot metric set")
+	}
+
+	// Wrong kind for a member of the set.
+	r3 := NewRegistry()
+	r3.Counter("snap.reads")
+	r3.Counter("snap.csn.lag") // must be a histogram
+	r3.Counter("snap.gc.reclaimed")
+	if err := ValidateDoc(r3.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted counter-kinded snap.csn.lag")
+	}
+
+	// Lag observations imply at least one snapshot read.
+	r4 := full()
+	r4.Histogram("snap.csn.lag").Observe(1)
+	if err := ValidateDoc(r4.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted csn lag with zero reads")
+	}
+}

@@ -71,10 +71,12 @@ type Session struct {
 	pm     planMetrics
 	ps     *planStats // live stats for the statement being executed
 	naive  bool       // bypass the cost-based planner (SetNaive)
-	// sortHint and cache live for one statement; retrieveStats and
+	noSnap bool       // route read-only statements through locks (SetSnapshotReads)
+	// sortHint, cache, and snap live for one statement; retrieveStats and
 	// execOne install and clear them.
 	sortHint *sortHint
 	cache    *stmtCache
+	snap     *model.Snap // pinned read snapshot; nil = locking reads
 }
 
 // SetNaive switches the session to the retained pre-planner executor:
@@ -82,6 +84,31 @@ type Session struct {
 // Differential tests and benchmarks compare it against the cost-based
 // planner; both paths must produce identical result sets.
 func (s *Session) SetNaive(on bool) { s.naive = on }
+
+// SetSnapshotReads toggles lock-free snapshot reads for read-only
+// statements (retrieve and explain).  On by default; off routes reads
+// through shared relation locks, the pre-MVCC behavior.  Both modes
+// must produce identical results on a quiescent database.
+func (s *Session) SetSnapshotReads(on bool) { s.noSnap = !on }
+
+// beginStmtSnap pins a read snapshot for one read-only statement and
+// returns the function that releases it.  On any failure (disabled, or
+// a canceled context) the session simply falls back to locking reads:
+// s.snap stays nil and every scan takes its shared lock as before.
+func (s *Session) beginStmtSnap(ctx context.Context) func() {
+	if s.noSnap {
+		return func() {}
+	}
+	snap, err := s.db.BeginSnapshot(ctx)
+	if err != nil {
+		return func() {}
+	}
+	s.snap = snap
+	return func() {
+		s.snap = nil
+		snap.Close()
+	}
+}
 
 // sessMetrics holds the query layer's observability handles, resolved
 // once per session from the storage registry (all nil-safe).
@@ -187,6 +214,9 @@ func (s *Session) execOne(ctx context.Context, st Stmt) (*Result, error) {
 		}
 		return nil, nil
 	case Retrieve:
+		// Read-only statements run against a pinned snapshot with zero
+		// lock acquisition; writers keep the 2PL path below.
+		defer s.beginStmtSnap(ctx)()
 		return s.retrieve(ctx, q)
 	case Append:
 		return s.appendStmt(ctx, q)
@@ -195,6 +225,7 @@ func (s *Session) execOne(ctx context.Context, st Stmt) (*Result, error) {
 	case Delete:
 		return s.delete(ctx, q)
 	case Explain:
+		defer s.beginStmtSnap(ctx)()
 		return s.explain(ctx, q)
 	}
 	return nil, fmt.Errorf("quel: unknown statement %T", st)
@@ -240,8 +271,20 @@ func (s *Session) scanVar(info varInfo, fn func(b binding) bool) error {
 	return s.scanVarCtx(context.Background(), info, fn)
 }
 
-// scanVarCtx is scanVar under a context.
+// scanVarCtx is scanVar under a context.  With a statement snapshot
+// pinned it reads version chains lock-free; otherwise it takes shared
+// locks through a storage transaction.
 func (s *Session) scanVarCtx(ctx context.Context, info varInfo, fn func(b binding) bool) error {
+	if snap := s.snap; snap != nil {
+		if info.isRel {
+			return snap.RelationshipTuples(info.typ, func(t value.Tuple) bool {
+				return fn(binding{attrs: t, fields: info.fields, typ: info.typ})
+			})
+		}
+		return snap.Instances(info.typ, func(ref value.Ref, attrs value.Tuple) bool {
+			return fn(binding{ref: ref, attrs: attrs, fields: info.fields, typ: info.typ})
+		})
+	}
 	if info.isRel {
 		return s.db.RelationshipTuplesCtx(ctx, info.typ, func(t value.Tuple) bool {
 			return fn(binding{attrs: t, fields: info.fields, typ: info.typ})

@@ -309,10 +309,14 @@ func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
 	var err error
 	if vp.access.index != "" {
 		s.pm.scanIndex.Inc()
-		err = s.db.InstancesRangeCtx(ctx, vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse,
-			func(ref value.Ref, attrs value.Tuple) bool {
-				return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
-			})
+		emit := func(ref value.Ref, attrs value.Tuple) bool {
+			return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
+		}
+		if snap := s.snap; snap != nil {
+			err = snap.InstancesRange(vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse, emit)
+		} else {
+			err = s.db.InstancesRangeCtx(ctx, vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse, emit)
+		}
 	} else {
 		s.pm.scanFull.Inc()
 		err = s.scanVarCtx(ctx, vp.info, collect)
@@ -483,6 +487,37 @@ func (s *Session) makeStep(vp *varPlan, chosen map[string]bool, equis []equiCond
 	return st
 }
 
+// children, childPosition, siblingsBefore, and siblingsAfter route an
+// ordering read through the statement snapshot when one is pinned, and
+// through the live (locking) runtime otherwise.
+func (s *Session) children(ordering string, parent value.Ref) ([]value.Ref, error) {
+	if snap := s.snap; snap != nil {
+		return snap.Children(ordering, parent)
+	}
+	return s.db.Children(ordering, parent)
+}
+
+func (s *Session) childPosition(ordering string, child value.Ref) (value.Ref, int64, bool, error) {
+	if snap := s.snap; snap != nil {
+		return snap.ChildPosition(ordering, child)
+	}
+	return s.db.ChildPosition(ordering, child)
+}
+
+func (s *Session) siblingsBefore(ordering string, child value.Ref) ([]value.Ref, error) {
+	if snap := s.snap; snap != nil {
+		return snap.SiblingsBefore(ordering, child)
+	}
+	return s.db.SiblingsBefore(ordering, child)
+}
+
+func (s *Session) siblingsAfter(ordering string, child value.Ref) ([]value.Ref, error) {
+	if snap := s.snap; snap != nil {
+		return snap.SiblingsAfter(ordering, child)
+	}
+	return s.db.SiblingsAfter(ordering, child)
+}
+
 // probeRefs returns the candidate refs for an ordering probe, given the
 // bound binding of the step's other variable.  The sets are exactly the
 // conjunct's satisfying partners (rank-key range scans over the sibling
@@ -492,23 +527,23 @@ func (s *Session) probeRefs(st *joinStep, other binding) ([]value.Ref, error) {
 	switch st.oc.op {
 	case "under":
 		if st.newIsLeft { // new is the child: the other's children
-			return s.db.Children(st.oc.ordering, other.ref)
+			return s.children(st.oc.ordering, other.ref)
 		}
-		parent, _, ok, err := s.db.ChildPosition(st.oc.ordering, other.ref)
+		parent, _, ok, err := s.childPosition(st.oc.ordering, other.ref)
 		if err != nil || !ok {
 			return nil, err
 		}
 		return []value.Ref{parent}, nil
 	case "before":
 		if st.newIsLeft {
-			return s.db.SiblingsBefore(st.oc.ordering, other.ref)
+			return s.siblingsBefore(st.oc.ordering, other.ref)
 		}
-		return s.db.SiblingsAfter(st.oc.ordering, other.ref)
+		return s.siblingsAfter(st.oc.ordering, other.ref)
 	case "after":
 		if st.newIsLeft {
-			return s.db.SiblingsAfter(st.oc.ordering, other.ref)
+			return s.siblingsAfter(st.oc.ordering, other.ref)
 		}
-		return s.db.SiblingsBefore(st.oc.ordering, other.ref)
+		return s.siblingsBefore(st.oc.ordering, other.ref)
 	}
 	return nil, nil
 }
@@ -680,7 +715,7 @@ func (s *Session) resolveOrdering(x OrderOp, ltyp, rtyp string) (*model.Ordering
 func (s *Session) childPos(ordering string, ref value.Ref) (posEntry, error) {
 	c := s.cache
 	if c == nil {
-		parent, rank, ok, err := s.db.ChildPosition(ordering, ref)
+		parent, rank, ok, err := s.childPosition(ordering, ref)
 		return posEntry{parent: parent, rank: rank, ok: ok}, err
 	}
 	m := c.pos[ordering]
@@ -691,7 +726,7 @@ func (s *Session) childPos(ordering string, ref value.Ref) (posEntry, error) {
 	if pe, ok := m[ref]; ok {
 		return pe, nil
 	}
-	parent, rank, ok, err := s.db.ChildPosition(ordering, ref)
+	parent, rank, ok, err := s.childPosition(ordering, ref)
 	if err != nil {
 		return posEntry{}, err
 	}

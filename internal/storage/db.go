@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -77,6 +78,13 @@ type DB struct {
 
 	ckptMu sync.Mutex // serializes checkpoints
 
+	// Snapshot-read machinery (mvcc.go): the CSN clock and live-snapshot
+	// registry, plus the vacuum's cadence bookkeeping.
+	snaps     *txn.SnapshotRegistry
+	pubCount  atomic.Uint64 // commits published since open
+	lastVacAt atomic.Uint64 // pubCount at the last vacuum
+	vacMu     sync.Mutex    // at most one vacuum at a time
+
 	seqMu sync.Mutex
 	seqs  map[string]uint64
 
@@ -93,6 +101,10 @@ type dbMetrics struct {
 	rowsWritten *obs.Counter   // storage.rows.written
 	checkpoint  *obs.Histogram // storage.checkpoint.ns
 	trace       *obs.Trace
+
+	snapReads       *obs.Counter   // snap.reads: rows served from snapshots
+	snapCSNLag      *obs.Histogram // snap.csn.lag: commits a snapshot aged past before Close
+	snapGCReclaimed *obs.Counter   // snap.gc.reclaimed: versions + history entries vacuumed
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -122,6 +134,7 @@ func Open(opts Options) (*DB, error) {
 		relations: make(map[string]*Relation),
 		locks:     txn.NewLockManager(),
 		ids:       txn.NewIDSource(0),
+		snaps:     txn.NewSnapshotRegistry(),
 		seqs:      make(map[string]uint64),
 	}
 	db.m = dbMetrics{
@@ -132,6 +145,10 @@ func Open(opts Options) (*DB, error) {
 		rowsWritten: db.obs.Counter("storage.rows.written"),
 		checkpoint:  db.obs.Histogram("storage.checkpoint.ns"),
 		trace:       db.obs.Trace(),
+
+		snapReads:       db.obs.Counter("snap.reads"),
+		snapCSNLag:      db.obs.Histogram("snap.csn.lag"),
+		snapGCReclaimed: db.obs.Counter("snap.gc.reclaimed"),
 	}
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	db.locks.SetObserver(db.obs)
@@ -140,6 +157,7 @@ func Open(opts Options) (*DB, error) {
 			if err := db.recover(); err != nil {
 				return nil, err
 			}
+			db.seedVersions()
 		}
 		return db, nil
 	}
@@ -149,6 +167,7 @@ func Open(opts Options) (*DB, error) {
 	if err := db.recover(); err != nil {
 		return nil, err
 	}
+	db.seedVersions()
 	log, err := wal.OpenFS(db.fs, db.logPath())
 	if err != nil {
 		return nil, err
@@ -400,6 +419,10 @@ func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
 	if err := rel.addIndex(spec); err != nil {
 		return err
 	}
+	// The new index's trees only cover rows as of now: snapshots pinned
+	// before this CSN must not trust them (mvcc.go falls back to a
+	// version-store scan for them).
+	rel.setIndexFloor(spec.Name, db.snaps.Last()+1)
 	if err := db.appendLog(&wal.Record{Type: wal.RecCreateIndex, Relation: relName, New: encodeIndexSpec(spec)}); err != nil {
 		rel.dropIndex(spec.Name)
 		return err

@@ -33,11 +33,17 @@ type IndexSpec struct {
 	Unique  bool
 }
 
-// index is a live secondary index.
+// index is a live secondary index.  Beside the live tree it keeps a
+// history tree of retired keys (see mvcc.go) so snapshot scans can find
+// rows under keys that updates or deletes have since removed, and the
+// CSN it was created at, so snapshots older than the index fall back to
+// a version-store scan instead of trusting trees that cannot cover them.
 type index struct {
-	spec IndexSpec
-	cols []int // resolved column positions
-	tree *btree.Tree
+	spec      IndexSpec
+	cols      []int // resolved column positions
+	tree      *btree.Tree
+	hist      *btree.Tree // retired keys, always row-id-suffixed; nil until first retire
+	createdAt uint64      // first CSN the index can serve; 0 = since the base state
 }
 
 // Relation is a named collection of tuples sharing a schema, with zero or
@@ -51,14 +57,21 @@ type Relation struct {
 	rows    map[RowID]value.Tuple
 	nextRow RowID
 	indexes []*index
+
+	// Snapshot-read version store (mvcc.go): committed version chains
+	// per row, and the rows whose chains the vacuum should revisit.
+	vers     map[RowID]*rowVersion
+	verDirty map[RowID]struct{}
 }
 
 func newRelation(name string, schema *value.Schema) *Relation {
 	return &Relation{
-		name:    name,
-		schema:  schema,
-		rows:    make(map[RowID]value.Tuple),
-		nextRow: 1,
+		name:     name,
+		schema:   schema,
+		rows:     make(map[RowID]value.Tuple),
+		nextRow:  1,
+		vers:     make(map[RowID]*rowVersion),
+		verDirty: make(map[RowID]struct{}),
 	}
 }
 
@@ -180,6 +193,7 @@ func (r *Relation) deleteRow(id RowID) (value.Tuple, error) {
 		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
 	}
 	for _, ix := range r.indexes {
+		ix.retire(id, old)
 		ix.remove(id, old)
 	}
 	delete(r.rows, id)
@@ -195,6 +209,7 @@ func (r *Relation) updateRow(id RowID, t value.Tuple) (value.Tuple, error) {
 		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
 	}
 	for _, ix := range r.indexes {
+		ix.retire(id, old)
 		ix.remove(id, old)
 	}
 	for i, ix := range r.indexes {

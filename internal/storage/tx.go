@@ -31,6 +31,7 @@ type Tx struct {
 	done    bool
 	undo    []undoRec
 	records []*wal.Record // buffered redo records; nil on an unlogged or read-only tx
+	vops    []verOp       // buffered version-chain mutations, published at commit (mvcc.go)
 }
 
 type undoOp uint8
@@ -136,6 +137,22 @@ func (tx *Tx) lock(resource string, mode txn.Mode) error {
 	return nil
 }
 
+// LockExclusive declares write intent on a relation up front: it takes
+// the exclusive relation lock before any read.  Read-modify-write
+// transactions that Get then Update otherwise upgrade shared to
+// exclusive, and two concurrent upgraders on the same relation deadlock
+// every time; locking for write first makes such transactions
+// wait-only.
+func (tx *Tx) LockExclusive(relName string) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if _, err := tx.rel(relName); err != nil {
+		return err
+	}
+	return tx.lock(relName, txn.Exclusive)
+}
+
 // rel resolves a relation by name.
 func (tx *Tx) rel(name string) (*Relation, error) {
 	r := tx.db.Relation(name)
@@ -171,6 +188,7 @@ func (tx *Tx) Insert(relName string, t value.Tuple) (RowID, error) {
 	}
 	tx.logRecord(&wal.Record{Type: wal.RecInsert, TxID: tx.id, Relation: relName, RowID: id, New: vt})
 	tx.undo = append(tx.undo, undoRec{op: undoInsert, rel: relName, id: id})
+	tx.vops = append(tx.vops, verOp{op: verAdd, rel: relName, id: id, t: vt})
 	tx.db.m.rowsWritten.Inc()
 	return id, nil
 }
@@ -196,6 +214,7 @@ func (tx *Tx) Delete(relName string, id RowID) error {
 	}
 	tx.logRecord(&wal.Record{Type: wal.RecDelete, TxID: tx.id, Relation: relName, RowID: id, Old: old})
 	tx.undo = append(tx.undo, undoRec{op: undoDelete, rel: relName, id: id, old: old})
+	tx.vops = append(tx.vops, verOp{op: verDel, rel: relName, id: id})
 	tx.db.m.rowsWritten.Inc()
 	return nil
 }
@@ -225,6 +244,7 @@ func (tx *Tx) Update(relName string, id RowID, t value.Tuple) error {
 	}
 	tx.logRecord(&wal.Record{Type: wal.RecUpdate, TxID: tx.id, Relation: relName, RowID: id, Old: old, New: vt})
 	tx.undo = append(tx.undo, undoRec{op: undoUpdate, rel: relName, id: id, old: old})
+	tx.vops = append(tx.vops, verOp{op: verSet, rel: relName, id: id, t: vt})
 	tx.db.m.rowsWritten.Inc()
 	return nil
 }
@@ -380,25 +400,35 @@ func (tx *Tx) Commit() error {
 	if len(tx.records) == 0 {
 		// Read-only transaction — or any transaction on an unlogged
 		// database: nothing to flush, so no batch and no fsync, and no
-		// reason to fail on a degraded (read-only) database.
+		// reason to fail on a degraded (read-only) database.  Unlogged
+		// writes still publish their versions (under the held locks) so
+		// snapshot readers see them.
+		tx.db.publish(tx.vops)
 		tx.db.locks.ReleaseAll(tx.id)
-		tx.undo = nil
+		tx.undo, tx.vops = nil, nil
 		return nil
 	}
 	db, id := tx.db, tx.id
 	if err := db.writable(); err != nil {
 		tx.rollbackMemory()
 		db.locks.ReleaseAll(id)
-		tx.undo, tx.records = nil, nil
+		tx.undo, tx.records, tx.vops = nil, nil, nil
 		return err
 	}
 	records := append(tx.records, &wal.Record{Type: wal.RecCommit, TxID: id})
-	undo := tx.undo
-	tx.undo, tx.records = nil, nil
+	undo, vops := tx.undo, tx.vops
+	tx.undo, tx.records, tx.vops = nil, nil, nil
 	b := &wal.Batch{
-		Records:  records,
-		Sync:     db.opts.SyncCommits,
-		OnAppend: func() { db.locks.ReleaseAll(id) },
+		Records: records,
+		Sync:    db.opts.SyncCommits,
+		// OnAppend runs on the flush goroutine in log-append order, so
+		// publishing here (before the lock release) makes CSN order equal
+		// WAL order, and no reader can see the versions before the batch
+		// is in the log.
+		OnAppend: func() {
+			db.publish(vops)
+			db.locks.ReleaseAll(id)
+		},
 		OnComplete: func(st wal.BatchState, err error) {
 			// Runs on the flush goroutine whether or not the committer
 			// is still waiting, so failure handling cannot be skipped
@@ -406,6 +436,7 @@ func (tx *Tx) Commit() error {
 			switch st {
 			case wal.BatchAppendFailed:
 				// Certainly not in the log: undo memory, then release.
+				// OnAppend never ran, so no versions were published.
 				rollbackUndo(db, undo)
 				db.degrade(err)
 			case wal.BatchSyncFailed, wal.BatchLost:
@@ -465,7 +496,7 @@ func (tx *Tx) Abort() {
 	tx.db.m.aborts.Inc()
 	tx.rollbackMemory()
 	tx.db.locks.ReleaseAll(tx.id)
-	tx.undo, tx.records = nil, nil
+	tx.undo, tx.records, tx.vops = nil, nil, nil
 }
 
 // Run executes fn inside a transaction, committing on nil error and

@@ -1,0 +1,143 @@
+package txn
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotRegistryPublishOrder(t *testing.T) {
+	reg := NewSnapshotRegistry()
+	if reg.Last() != 0 {
+		t.Fatalf("fresh registry Last = %d", reg.Last())
+	}
+	var stamped []CSN
+	for i := 0; i < 5; i++ {
+		c := reg.Publish(func(csn CSN) { stamped = append(stamped, csn) })
+		if c != CSN(i+1) {
+			t.Fatalf("publish %d returned CSN %d", i, c)
+		}
+	}
+	for i, c := range stamped {
+		if c != CSN(i+1) {
+			t.Fatalf("stamp %d = %d", i, c)
+		}
+	}
+	if reg.Last() != 5 {
+		t.Fatalf("Last = %d after 5 publishes", reg.Last())
+	}
+}
+
+// TestSnapshotRegistryPublishStampsBeforeAdvance: a concurrent reader
+// must never observe Last at a CSN whose stamping callback has not
+// finished — that is the invariant letting snapshots pin Last without a
+// lock.
+func TestSnapshotRegistryPublishStampsBeforeAdvance(t *testing.T) {
+	reg := NewSnapshotRegistry()
+	var mu sync.Mutex
+	applied := map[CSN]bool{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			last := reg.Last()
+			mu.Lock()
+			for c := CSN(1); c <= last; c++ {
+				if !applied[c] {
+					mu.Unlock()
+					t.Errorf("Last=%d but CSN %d not applied", last, c)
+					return
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		reg.Publish(func(csn CSN) {
+			mu.Lock()
+			applied[csn] = true
+			mu.Unlock()
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotPinAndWatermark(t *testing.T) {
+	reg := NewSnapshotRegistry()
+	for i := 0; i < 3; i++ {
+		reg.Publish(func(CSN) {})
+	}
+	s1, err := reg.BeginSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CSN() != 3 {
+		t.Fatalf("snapshot pinned %d, want 3", s1.CSN())
+	}
+	for i := 0; i < 4; i++ {
+		reg.Publish(func(CSN) {})
+	}
+	s2, err := reg.BeginSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CSN() != 7 {
+		t.Fatalf("second snapshot pinned %d, want 7", s2.CSN())
+	}
+	if got := reg.Watermark(); got != 3 {
+		t.Fatalf("watermark with both open = %d, want 3 (oldest pin)", got)
+	}
+	if got := reg.Live(); got != 2 {
+		t.Fatalf("Live = %d", got)
+	}
+	s1.Close()
+	if got := reg.Watermark(); got != 7 {
+		t.Fatalf("watermark after closing oldest = %d, want 7", got)
+	}
+	s1.Close() // idempotent
+	if got := reg.Live(); got != 1 {
+		t.Fatalf("Live after double close = %d", got)
+	}
+	s2.Close()
+	if got := reg.Watermark(); got != reg.Last() {
+		t.Fatalf("watermark with no pins = %d, want Last = %d", got, reg.Last())
+	}
+}
+
+func TestBeginSnapshotCanceledContext(t *testing.T) {
+	reg := NewSnapshotRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := reg.BeginSnapshot(ctx); err == nil {
+		t.Fatal("BeginSnapshot on a canceled context should fail")
+	}
+	if got := reg.Live(); got != 0 {
+		t.Fatalf("failed begin left %d pins", got)
+	}
+}
+
+// TestSnapshotPinsSameCSNIndependently: two snapshots at the same CSN
+// are reference-counted; closing one keeps the other's pin.
+func TestSnapshotPinsSameCSNIndependently(t *testing.T) {
+	reg := NewSnapshotRegistry()
+	reg.Publish(func(CSN) {})
+	a, _ := reg.BeginSnapshot(context.Background())
+	b, _ := reg.BeginSnapshot(context.Background())
+	reg.Publish(func(CSN) {})
+	a.Close()
+	if got := reg.Watermark(); got != 1 {
+		t.Fatalf("watermark = %d with b still pinned at 1", got)
+	}
+	b.Close()
+	if got := reg.Watermark(); got != 2 {
+		t.Fatalf("watermark = %d after all pins closed", got)
+	}
+}
