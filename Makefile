@@ -1,7 +1,7 @@
 GO ?= go
 BENCHDIR ?= .bench
 
-.PHONY: all build fmt-check vet test race torture bench bench-smoke bench-quel bench-commit bench-read bench-check ci
+.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-commit bench-read bench-repl bench-check ci
 
 all: ci
 
@@ -27,6 +27,12 @@ race:
 torture:
 	$(GO) test -short -count=1 -run 'Torture|Fault|Poison' ./internal/storage/ ./internal/wal/
 	$(GO) test -short -count=1 ./internal/fault/...
+
+# Replication torture: the full crash/ship-failure/promote sweep (leader
+# crash mid-batch, replica crash mid-apply, promote under load), at full
+# depth -- the sweep converges in seconds.
+torture-repl:
+	$(GO) test -count=1 -run 'ReplicationTorture' ./internal/repl/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -54,6 +60,12 @@ bench-commit:
 bench-read:
 	$(GO) run ./cmd/mdmbench -read -out BENCH_read.json
 
+# Read-replica benchmark: aggregate read throughput of a WAL-shipping
+# cluster across a 1/2/4 replica sweep; emits BENCH_repl.json and fails
+# if the 4-replica aggregate drops below 2x single-node throughput.
+bench-repl:
+	$(GO) run ./cmd/mdmbench -repl -out BENCH_repl.json
+
 # Regression gate: rerun every bench into $(BENCHDIR) and diff the fresh
 # documents against the baselines committed in git; fails on a >30%
 # floor-point regression.  To refresh the baselines, run the bench-*
@@ -64,6 +76,7 @@ bench-check:
 	$(GO) run ./cmd/mdmbench -quel -out $(BENCHDIR)/BENCH_quel.json
 	$(GO) run ./cmd/mdmbench -commit -out $(BENCHDIR)/BENCH_commit.json
 	$(GO) run ./cmd/mdmbench -read -out $(BENCHDIR)/BENCH_read.json
+	$(GO) run ./cmd/mdmbench -repl -out $(BENCHDIR)/BENCH_repl.json
 	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
 
-ci: fmt-check vet build race torture bench-smoke bench-quel bench-commit bench-read
+ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-commit bench-read bench-repl

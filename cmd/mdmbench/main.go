@@ -9,6 +9,7 @@
 //	mdmbench -quel [-quick] [-out BENCH_quel.json]
 //	mdmbench -commit [-quick] [-out BENCH_commit.json]
 //	mdmbench -read [-quick] [-out BENCH_read.json]
+//	mdmbench -repl [-quick] [-out BENCH_repl.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -30,6 +31,12 @@
 // MVCC snapshot reads, and writes BENCH_read.json; at full scale the
 // exit status is nonzero if snapshot reads fall below 5x locking
 // throughput at 4 readers.  CI's bench-read target runs this mode.
+// -repl benchmarks read-replica scaling across a 1/2/4 replica sweep:
+// a leader under continuous write load ships its WAL to the replicas
+// and each node's read throughput is measured in turn, and writes
+// BENCH_repl.json; at full scale the exit status is nonzero if the
+// 4-replica aggregate falls below 2x the leader's single-node read
+// throughput.  CI's bench-repl target runs this mode.
 package main
 
 import (
@@ -53,7 +60,8 @@ func main() {
 	quelMode := flag.Bool("quel", false, "benchmark the query planner and emit BENCH_quel.json")
 	commitMode := flag.Bool("commit", false, "benchmark group commit and emit BENCH_commit.json")
 	readMode := flag.Bool("read", false, "benchmark snapshot read scaling and emit BENCH_read.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read")
+	replMode := flag.Bool("repl", false, "benchmark read-replica scaling and emit BENCH_repl.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read / -repl")
 	flag.Parse()
 
 	if *obsMode {
@@ -95,6 +103,17 @@ func main() {
 			path = "BENCH_read.json"
 		}
 		if err := runRead(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_repl.json"
+		}
+		if err := runRepl(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -45,9 +45,9 @@ func (r *Registry) Handler() http.Handler {
 // ValidateDoc checks a decoded snapshot document for structural sanity:
 // correct schema version, non-empty metric names, known kinds, histogram
 // bucket counts consistent with the total count, and coherent query
-// planner (quel.plan.*), group-commit (wal.group.*), and snapshot-read
-// (snap.*) metric sets.  It is the check the mdmbench workloads apply to
-// their emitted snapshots.
+// planner (quel.plan.*), group-commit (wal.group.*), snapshot-read
+// (snap.*), and replication (repl.*) metric sets.  It is the check the
+// mdmbench workloads apply to their emitted snapshots.
 func ValidateDoc(d SnapshotDoc) error {
 	if d.SchemaVersion != SnapshotSchemaVersion {
 		return &ValidationError{Reason: "unsupported schema_version"}
@@ -58,6 +58,7 @@ func ValidateDoc(d SnapshotDoc) error {
 	plan := map[string]uint64{}
 	group := map[string]Metric{}
 	snap := map[string]Metric{}
+	repl := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -73,6 +74,9 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if strings.HasPrefix(m.Name, "snap.") {
 			snap[m.Name] = m
+		}
+		if strings.HasPrefix(m.Name, "repl.") {
+			repl[m.Name] = m
 		}
 		switch m.Kind {
 		case "counter":
@@ -146,6 +150,39 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if snap["snap.csn.lag"].Count > 0 && snap["snap.reads"].Value == 0 {
 			return &ValidationError{Reason: "snap.csn.lag observed with no snapshot reads"}
+		}
+	}
+	// Replication metrics (repl.*) are registered as a set by the WAL
+	// shipper.  A replica cannot apply what was never shipped, a lag
+	// observation is only taken on apply, and transactions are applied
+	// inside batches.
+	if len(repl) > 0 {
+		for name, kind := range map[string]string{
+			"repl.batches.shipped": "counter",
+			"repl.batches.applied": "counter",
+			"repl.txns.applied":    "counter",
+			"repl.lag.csn":         "histogram",
+			"repl.lag.ns":          "histogram",
+			"repl.ship.retries":    "counter",
+			"repl.ship.poisoned":   "counter",
+			"repl.reads.refused":   "counter",
+		} {
+			m, ok := repl[name]
+			if !ok {
+				return &ValidationError{Reason: "replication metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "replication metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		if repl["repl.batches.applied"].Value > repl["repl.batches.shipped"].Value {
+			return &ValidationError{Reason: "repl.batches.applied exceeds repl.batches.shipped"}
+		}
+		if repl["repl.lag.csn"].Count > 0 && repl["repl.batches.applied"].Value == 0 {
+			return &ValidationError{Reason: "repl.lag.csn observed with no applied batches"}
+		}
+		if repl["repl.txns.applied"].Value > 0 && repl["repl.batches.applied"].Value == 0 {
+			return &ValidationError{Reason: "repl.txns.applied > 0 with no applied batches"}
 		}
 	}
 	return nil

@@ -211,6 +211,71 @@ func TestValidateGroupCommitMetrics(t *testing.T) {
 	}
 }
 
+func TestValidateReplicationMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("repl.batches.shipped")
+		r.Counter("repl.batches.applied")
+		r.Counter("repl.txns.applied")
+		r.Histogram("repl.lag.csn")
+		r.Histogram("repl.lag.ns")
+		r.Counter("repl.ship.retries")
+		r.Counter("repl.ship.poisoned")
+		r.Counter("repl.reads.refused")
+		return r
+	}
+	r := full()
+	r.Counter("repl.batches.shipped").Add(5)
+	r.Counter("repl.batches.applied").Add(5)
+	r.Counter("repl.txns.applied").Add(12)
+	r.Histogram("repl.lag.csn").Observe(0)
+	r.Histogram("repl.lag.ns").Observe(1500)
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+
+	// A partial replication set means a truncated emission.
+	r2 := NewRegistry()
+	r2.Counter("repl.batches.shipped")
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted partial replication metric set")
+	}
+
+	// Wrong kind for a member of the set.
+	r3 := full()
+	doc := r3.Doc()
+	for i := range doc.Metrics {
+		if doc.Metrics[i].Name == "repl.lag.csn" {
+			doc.Metrics[i].Kind = "counter"
+		}
+	}
+	if err := ValidateDoc(doc); err == nil {
+		t.Fatal("ValidateDoc accepted counter-kinded repl.lag.csn")
+	}
+
+	// A replica cannot apply more batches than were ever shipped.
+	r4 := full()
+	r4.Counter("repl.batches.shipped").Add(1)
+	r4.Counter("repl.batches.applied").Add(2)
+	if err := ValidateDoc(r4.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted applied > shipped")
+	}
+
+	// Lag is only observed on apply.
+	r5 := full()
+	r5.Histogram("repl.lag.csn").Observe(3)
+	if err := ValidateDoc(r5.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted lag observations with zero applied batches")
+	}
+
+	// Transactions are applied inside batches.
+	r6 := full()
+	r6.Counter("repl.txns.applied").Add(1)
+	if err := ValidateDoc(r6.Doc()); err == nil {
+		t.Fatal("ValidateDoc accepted applied txns with zero applied batches")
+	}
+}
+
 func TestJSONRoundTripAndHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("wal.append.records").Add(10)

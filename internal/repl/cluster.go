@@ -1,0 +1,93 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// BootstrapDir prepares a replica directory from a leader snapshot: the
+// snapshot is copied byte-for-byte under the engine's snapshot name and
+// any stale log from a previous incarnation is removed, so the replica
+// opens at exactly the leader's checkpointed state.  Bootstrap is not
+// crash-atomic — a half-bootstrapped replica is simply bootstrapped
+// again.
+func BootstrapDir(leaderFS fault.FS, snapshotPath string, replicaFS fault.FS, replicaDir string) error {
+	if err := replicaFS.MkdirAll(replicaDir, 0o755); err != nil {
+		return fmt.Errorf("repl: bootstrap mkdir: %w", err)
+	}
+	if err := replicaFS.Remove(filepath.Join(replicaDir, storage.WALFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repl: bootstrap remove stale log: %w", err)
+	}
+	data, err := leaderFS.ReadFile(snapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		// An empty leader has nothing to copy; make sure the replica is
+		// empty too.
+		if err := replicaFS.Remove(filepath.Join(replicaDir, storage.SnapshotFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("repl: bootstrap remove stale snapshot: %w", err)
+		}
+		return replicaFS.SyncDir(replicaDir)
+	}
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap read snapshot: %w", err)
+	}
+	dst := filepath.Join(replicaDir, storage.SnapshotFileName)
+	f, err := replicaFS.Create(dst)
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap create snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: bootstrap copy snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: bootstrap sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return replicaFS.SyncDir(replicaDir)
+}
+
+// AttachReplica performs the whole join dance over an in-process pipe:
+// checkpoint-bootstrap into sopts.Dir, open the directory in replica
+// mode (sopts.Replica is forced on), wire the link, and start the
+// loops.  sopts carries the replica's Dir/FS/Obs — pass the leader's
+// Obs registry for cluster-wide repl.* metrics — and ropts the
+// replication tuning shared with the shipper.
+func AttachReplica(s *Shipper, name string, sopts storage.Options, ropts Options) (*Replica, error) {
+	if sopts.Dir == "" {
+		return nil, errors.New("repl: replica needs a directory")
+	}
+	ropts = ropts.withDefaults()
+	conn := NewPipe(ropts.QueueLen)
+	rfs := sopts.FS
+	if rfs == nil {
+		rfs = fault.Disk{}
+	}
+	if err := s.AddReplica(name, conn, func(snapshotPath string) error {
+		return BootstrapDir(s.db.FS(), snapshotPath, rfs, sopts.Dir)
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sopts.Replica = true
+	db, err := storage.Open(sopts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rep, err := NewReplica(db, conn, ropts)
+	if err != nil {
+		conn.Close()
+		db.Close()
+		return nil, err
+	}
+	rep.Start()
+	return rep, nil
+}

@@ -1,0 +1,127 @@
+// Package repl implements physical WAL-shipping replication for the
+// music data manager: a leader ships every fsynced group-commit round
+// to N replicas, each of which gives the records durable receipt in its
+// own log and applies them through the engine's idempotent replay path,
+// serving MVCC snapshot reads at its applied CSN.
+//
+// The paper's workload (§1-2) is read-dominated — browsing scores,
+// thematic-index lookups, analysis queries — so the scaling unit is the
+// read replica.  The design follows the primary-copy physical-log
+// school (PostgreSQL streaming replication, ARIES log shipping):
+//
+//   - Ship at the durability boundary.  The shipper hooks the group
+//     committer post-fsync (wal.GroupCommitter.SetOnSync), so only
+//     records the leader made durable are ever shipped, and whole
+//     commit batches at that — a replica never sees a torn transaction.
+//
+//   - Bootstrap inside a checkpoint.  AddReplica runs under
+//     storage.CheckpointWith: the replica copies the leader's snapshot
+//     and registers its stream in the same quiesced instant, so the
+//     snapshot plus the stream is exactly the database — nothing lost,
+//     nothing duplicated.  (The one legal duplication window — records
+//     flushed inside the exclusive section — is absorbed by the
+//     idempotent apply path.)
+//
+//   - Ack after durable receipt.  A replica acks a batch only after
+//     appending it to its own WAL, fsyncing, and applying; with
+//     SyncShip the leader's committers do not learn "durable" until
+//     every live replica has acked, which is the no-acked-commit-lost
+//     configuration the torture tests pin.
+//
+//   - Degrade to a smaller cluster.  Ship failures retry with backoff;
+//     a replica that keeps failing is poisoned (repl.ship.poisoned) and
+//     dropped, mirroring the WAL's own degrade-to-read-only discipline:
+//     the leader never blocks forever on a dead peer, and the poisoned
+//     replica must re-bootstrap.
+//
+//   - Promote by recovery.  Promotion closes the replica and reopens
+//     its directory as a leader: ordinary crash recovery replays the
+//     received durable prefix, truncates a torn tail (wal.ErrTornTail),
+//     and refuses interior corruption (wal.ErrCorrupt).
+package repl
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options tune a Shipper and its replicas.
+type Options struct {
+	// SyncShip makes the post-fsync hook ship inline: a leader commit is
+	// not acknowledged until every live replica has durably received and
+	// applied the round.  When false, rounds are enqueued per replica
+	// and shipped by a background sender (bounded lag, minimal commit
+	// latency).
+	SyncShip bool
+	// QueueLen is the per-replica queue depth in async mode (default 64).
+	// A full queue blocks the leader's flush goroutine — backpressure,
+	// not data loss.
+	QueueLen int
+	// MaxRetries is how many times a failing Send is attempted before
+	// the replica is poisoned and dropped (default 3).
+	MaxRetries int
+	// RetryBackoff is the initial inter-attempt backoff, doubling per
+	// retry (default 1ms).
+	RetryBackoff time.Duration
+	// MaxLagCSN bounds replica read admission: BeginSnapshot refuses
+	// with ErrLagging while the replica's applied CSN trails its
+	// received CSN by more than this.  Zero admits at any lag.
+	MaxLagCSN uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 64
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	return o
+}
+
+// ErrLagging is returned by Replica.BeginSnapshot when the replica's
+// applied state trails its received stream beyond Options.MaxLagCSN.
+// Callers route the read to the leader (or another replica) instead.
+var ErrLagging = errors.New("repl: replica lagging beyond max-lag; read refused")
+
+// ErrPoisoned is the terminal state of a replica link after MaxRetries
+// consecutive ship failures: the leader has dropped the replica, which
+// must re-bootstrap to rejoin.
+var ErrPoisoned = errors.New("repl: replica link poisoned after repeated ship failures")
+
+// ErrClosed is returned by transport operations on a closed connection.
+var ErrClosed = errors.New("repl: connection closed")
+
+// metrics holds the repl.* instruments.  The full set is registered
+// whenever any repl component exists, so obs.ValidateDoc can hold the
+// set to its coherence invariants (applied <= shipped, lag implies
+// applies) on any doc that mentions replication.  Leader and replicas
+// should share one registry for those invariants to span the cluster.
+type metrics struct {
+	shipped  *obs.Counter   // repl.batches.shipped: batch deliveries handed to transports
+	applied  *obs.Counter   // repl.batches.applied: batches durably received and applied
+	txns     *obs.Counter   // repl.txns.applied: committed transactions applied
+	lagCSN   *obs.Histogram // repl.lag.csn: received-minus-applied leader CSN per applied batch
+	lagNS    *obs.Histogram // repl.lag.ns: ship-to-apply wall latency per applied batch
+	retries  *obs.Counter   // repl.ship.retries: re-attempted sends
+	poisoned *obs.Counter   // repl.ship.poisoned: replica links dropped
+	refused  *obs.Counter   // repl.reads.refused: snapshot admissions refused for lag
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		shipped:  reg.Counter("repl.batches.shipped"),
+		applied:  reg.Counter("repl.batches.applied"),
+		txns:     reg.Counter("repl.txns.applied"),
+		lagCSN:   reg.Histogram("repl.lag.csn"),
+		lagNS:    reg.Histogram("repl.lag.ns"),
+		retries:  reg.Counter("repl.ship.retries"),
+		poisoned: reg.Counter("repl.ship.poisoned"),
+		refused:  reg.Counter("repl.reads.refused"),
+	}
+}

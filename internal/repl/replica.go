@@ -1,0 +1,239 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Replica is the receiving side of one replication link: a receive loop
+// that takes batches off the connection and an apply loop that gives
+// them durable receipt and applies them (storage.ApplyShipped), acking
+// each batch only after it is both durable and applied.  Reads go
+// through BeginSnapshot, which enforces the max-lag admission bound.
+type Replica struct {
+	db   *storage.DB
+	conn Conn
+	opts Options
+	m    *metrics
+
+	recvCSN  atomic.Uint64 // leader CSN of the newest received batch
+	applyCSN atomic.Uint64 // leader CSN of the newest applied batch
+
+	applyQ  chan *Batch
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	errMu sync.Mutex
+	err   error
+	crash *fault.CrashError // set when a simulated crash unwound the apply loop
+}
+
+// NewReplica wraps an already-open replica-mode database and a
+// connection whose stream begins where the database's bootstrap
+// snapshot ends (see Shipper.AddReplica).  Call Start to begin
+// receiving.  Share the leader's obs registry via
+// storage.Options.Obs for cluster-wide repl.* metrics.
+func NewReplica(db *storage.DB, conn Conn, opts Options) (*Replica, error) {
+	if !db.IsReplica() {
+		return nil, errors.New("repl: NewReplica requires a replica-mode database (storage.Options.Replica)")
+	}
+	return &Replica{
+		db:      db,
+		conn:    conn,
+		opts:    opts.withDefaults(),
+		m:       newMetrics(db.Obs()),
+		applyQ:  make(chan *Batch, 64),
+		stopped: make(chan struct{}),
+	}, nil
+}
+
+// DB returns the underlying replica-mode database (snapshot reads,
+// content hashing).
+func (r *Replica) DB() *storage.DB { return r.db }
+
+// Start launches the receive and apply loops.
+func (r *Replica) Start() {
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.applyLoop()
+}
+
+func (r *Replica) recvLoop() {
+	defer r.wg.Done()
+	defer close(r.applyQ)
+	for {
+		b, err := r.conn.Recv()
+		if err != nil {
+			if !errors.Is(err, ErrClosed) {
+				r.fail(fmt.Errorf("repl: recv: %w", err))
+			}
+			return
+		}
+		r.recvCSN.Store(b.LeaderCSN)
+		select {
+		case r.applyQ <- b:
+		case <-r.stopped:
+			return
+		}
+	}
+}
+
+func (r *Replica) applyLoop() {
+	defer r.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			ce, ok := fault.AsCrash(v)
+			if !ok {
+				panic(v)
+			}
+			// A simulated crash unwound ApplyShipped.  A real process
+			// would be dead; in-process we record the crash so the test
+			// harness can observe it, recover the filesystem, and
+			// promote or re-bootstrap.  No further batch is applied or
+			// acked.
+			r.errMu.Lock()
+			r.crash = &ce
+			if r.err == nil {
+				r.err = fmt.Errorf("repl: apply crashed: %v", ce)
+			}
+			r.errMu.Unlock()
+			r.conn.Close()
+		}
+	}()
+	for b := range r.applyQ {
+		if err := r.db.ApplyShipped(b.Records); err != nil {
+			r.fail(fmt.Errorf("repl: apply: %w", err))
+			r.conn.Close() // refuse further stream; leader will poison
+			return
+		}
+		r.applyCSN.Store(b.LeaderCSN)
+		r.m.applied.Inc()
+		r.m.txns.Add(countCommits(b))
+		if rc := r.recvCSN.Load(); rc > b.LeaderCSN {
+			r.m.lagCSN.Observe(int64(rc - b.LeaderCSN))
+		} else {
+			r.m.lagCSN.Observe(0)
+		}
+		r.m.lagNS.Observe(time.Now().UnixNano() - b.ShippedAt)
+		if err := r.conn.Ack(b.Seq); err != nil {
+			if !errors.Is(err, ErrClosed) {
+				r.fail(fmt.Errorf("repl: ack: %w", err))
+			}
+			return
+		}
+	}
+}
+
+func countCommits(b *Batch) uint64 {
+	var n uint64
+	for _, rec := range b.Records {
+		if rec.Type == wal.RecCommit {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Replica) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+}
+
+// Err returns the replica's terminal error, or nil while healthy.
+func (r *Replica) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// Crashed returns the simulated crash that stopped the apply loop, if
+// any (fault-injection harness support).
+func (r *Replica) Crashed() (fault.CrashError, bool) {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	if r.crash == nil {
+		return fault.CrashError{}, false
+	}
+	return *r.crash, true
+}
+
+// Lag returns how many leader CSNs the applied state trails the
+// received stream.  It measures only what the replica has seen: batches
+// still queued leader-side are invisible until received.
+func (r *Replica) Lag() uint64 {
+	rc, ac := r.recvCSN.Load(), r.applyCSN.Load()
+	if rc > ac {
+		return rc - ac
+	}
+	return 0
+}
+
+// AppliedCSN returns the leader CSN of the newest applied batch.
+func (r *Replica) AppliedCSN() uint64 { return r.applyCSN.Load() }
+
+// WithinLag reports whether the replica currently admits reads under
+// its max-lag bound.
+func (r *Replica) WithinLag() bool {
+	return r.opts.MaxLagCSN == 0 || r.Lag() <= r.opts.MaxLagCSN
+}
+
+// BeginSnapshot pins a snapshot of the applied state, refusing with
+// ErrLagging when the replica trails its received stream beyond
+// Options.MaxLagCSN.  The snapshot serves exactly the applied prefix:
+// CSNs publish inside the apply lock, so a reader can never observe a
+// partially applied batch.
+func (r *Replica) BeginSnapshot(ctx context.Context) (*storage.Snap, error) {
+	if lag := r.Lag(); r.opts.MaxLagCSN > 0 && lag > r.opts.MaxLagCSN {
+		r.m.refused.Inc()
+		return nil, fmt.Errorf("%w (lag %d, max %d)", ErrLagging, lag, r.opts.MaxLagCSN)
+	}
+	return r.db.BeginSnapshot(ctx)
+}
+
+// Stop closes the link and waits for the loops to finish applying
+// every batch already received.  Idempotent.
+func (r *Replica) Stop() {
+	r.once.Do(func() {
+		r.conn.Close()
+		close(r.stopped)
+	})
+	r.wg.Wait()
+}
+
+// Promote turns the replica into a leader: it stops the link, finishes
+// applying the received prefix (Stop waits for the apply loop), closes
+// the replica database, and reopens the directory in normal mode.
+// Reopening runs ordinary crash recovery — the received durable prefix
+// replays, a torn tail truncates (wal.ErrTornTail), interior corruption
+// refuses (wal.ErrCorrupt).  opts should carry the replica's Dir/FS/Obs
+// plus the desired leader settings; Replica is forced off.
+func (r *Replica) Promote(opts storage.Options) (*storage.DB, error) {
+	r.Stop()
+	if _, crashed := r.Crashed(); crashed {
+		// The apply loop died mid-batch: the in-memory state is not
+		// trustworthy and must NOT be checkpointed (Close would snapshot
+		// it over the durable prefix).  Abandon the object — process-death
+		// semantics — and reopen from disk alone.  The caller must have
+		// recovered the filesystem first (fault.Injector.Recover in the
+		// torture harness; a real reboot otherwise).
+	} else if err := r.db.Close(); err != nil && !errors.Is(err, storage.ErrReadOnly) {
+		return nil, fmt.Errorf("repl: promote: close replica: %w", err)
+	}
+	opts.Replica = false
+	if opts.Dir == "" {
+		opts.Dir = r.db.Dir()
+	}
+	return storage.Open(opts)
+}

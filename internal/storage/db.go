@@ -45,6 +45,15 @@ type Options struct {
 	// NoWAL disables logging entirely (used by the ablation benchmarks
 	// that measure WAL overhead).  Implies no durability.
 	NoWAL bool
+	// Replica opens the database in apply-only mode for WAL-shipping
+	// replication: user writes are refused with ErrReplica, there is no
+	// commit pipeline, and state advances only through ApplyShipped,
+	// which appends shipped records to the replica's own log (its
+	// durable receipt) and applies them through the idempotent replay
+	// path, publishing one CSN per committed transaction so snapshot
+	// reads serve the applied prefix.  Requires Dir; incompatible with
+	// NoWAL.
+	Replica bool
 	// FS is the filesystem the engine performs durable I/O through.
 	// Nil means the real filesystem; tests substitute a fault.Injector
 	// to exercise crash recovery.
@@ -76,7 +85,9 @@ type DB struct {
 	locks     *txn.LockManager
 	ids       *txn.IDSource
 
-	ckptMu sync.Mutex // serializes checkpoints
+	ckptMu  sync.Mutex              // serializes checkpoints
+	applyMu sync.Mutex              // replica mode: serializes ApplyShipped / checkpoint
+	logic   func(name string) error // logic failpoints (fault.Injector); nil in production
 
 	// Snapshot-read machinery (mvcc.go): the CSN clock and live-snapshot
 	// registry, plus the vacuum's cadence bookkeeping.
@@ -152,6 +163,12 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	db.locks.SetObserver(db.obs)
+	if lf, ok := db.fs.(interface{ Logic(string) error }); ok {
+		db.logic = lf.Logic
+	}
+	if opts.Replica && (opts.Dir == "" || opts.NoWAL) {
+		return nil, errors.New("storage: replica mode requires a durable, logged database")
+	}
 	if opts.Dir == "" || opts.NoWAL {
 		if opts.Dir != "" {
 			if err := db.recover(); err != nil {
@@ -174,14 +191,19 @@ func Open(opts Options) (*DB, error) {
 	}
 	log.SetObserver(db.obs)
 	db.log = log
+	if opts.Replica {
+		// Apply-only mode: no commit pipeline.  The log receives shipped
+		// records through ApplyShipped, which owns all physical access.
+		return db, nil
+	}
 	db.committer = wal.NewGroupCommitter(log, wal.GroupOptions{
 		Group:    opts.GroupCommit,
 		MaxBytes: opts.GroupCommitMaxBytes,
 		Window:   opts.GroupCommitWindow,
 	})
 	db.committer.SetObserver(db.obs)
-	if lf, ok := db.fs.(interface{ Logic(string) error }); ok {
-		db.committer.SetFailpoints(lf.Logic)
+	if db.logic != nil {
+		db.committer.SetFailpoints(db.logic)
 	}
 	return db, nil
 }
@@ -209,16 +231,20 @@ func (db *DB) ReadOnlyCause() error {
 	return db.roCause
 }
 
-// writable returns an ErrReadOnly-wrapped error when degraded.
+// writable returns an ErrReadOnly-wrapped error when degraded, or
+// ErrReplica in apply-only mode.
 func (db *DB) writable() error {
+	if db.opts.Replica {
+		return ErrReplica
+	}
 	if cause := db.ReadOnlyCause(); cause != nil {
 		return fmt.Errorf("%w: %v", ErrReadOnly, cause)
 	}
 	return nil
 }
 
-func (db *DB) logPath() string      { return filepath.Join(db.opts.Dir, "mdm.wal") }
-func (db *DB) snapshotPath() string { return filepath.Join(db.opts.Dir, "mdm.snapshot") }
+func (db *DB) logPath() string      { return filepath.Join(db.opts.Dir, WALFileName) }
+func (db *DB) snapshotPath() string { return filepath.Join(db.opts.Dir, SnapshotFileName) }
 
 // recover loads the snapshot (if any) and replays the committed suffix of
 // the log on top of it.
@@ -235,62 +261,88 @@ func (db *DB) recover() error {
 		return err
 	}
 	return wal.ReplayFS(db.fs, db.logPath(), func(r *wal.Record) error {
-		switch r.Type {
-		case wal.RecCreateRelation:
-			if db.relations[r.Relation] != nil {
-				return nil // already in the snapshot
-			}
-			schema, err := decodeSchema(r.New)
-			if err != nil {
-				return err
-			}
-			db.relations[r.Relation] = newRelation(r.Relation, schema)
-			return nil
-		case wal.RecDropRelation:
-			delete(db.relations, r.Relation)
-			return nil
-		case wal.RecCreateIndex:
-			rel := db.relations[r.Relation]
-			if rel == nil {
-				return fmt.Errorf("storage: replay: index on unknown relation %q", r.Relation)
-			}
-			spec, err := decodeIndexSpec(r.New)
-			if err != nil {
-				return err
-			}
-			if rel.findIndex(spec.Name) != nil {
-				return nil // already in the snapshot
-			}
-			return rel.addIndex(spec)
-		}
-		rel := db.relations[r.Relation]
-		if rel == nil {
-			return fmt.Errorf("storage: replay: data for unknown relation %q", r.Relation)
-		}
-		switch r.Type {
-		case wal.RecInsert:
-			if _, ok := rel.get(r.RowID); ok {
-				_, err := rel.updateRow(r.RowID, r.New)
-				return err
-			}
-			_, err := rel.insertRow(r.RowID, r.New)
-			return err
-		case wal.RecDelete:
-			if _, ok := rel.get(r.RowID); !ok {
-				return nil
-			}
-			_, err := rel.deleteRow(r.RowID)
-			return err
-		case wal.RecUpdate:
-			if _, ok := rel.get(r.RowID); !ok {
-				_, err := rel.insertRow(r.RowID, r.New)
-				return err
-			}
-			_, err := rel.updateRow(r.RowID, r.New)
-			return err
-		}
-		return nil
+		_, err := db.applyRecord(r)
+		return err
 	})
+}
+
+// applyRecord applies one logged record to the in-memory state,
+// idempotently (see recover).  It is shared by crash recovery and by
+// replica live apply (ApplyShipped); for data records it returns the
+// version-chain mutation the change implies, which recovery discards
+// (seedVersions rebuilds the base state) and live apply publishes under
+// the next CSN.  Schema operations take db.mu; row operations rely on
+// the relation's own lock.
+func (db *DB) applyRecord(r *wal.Record) (*verOp, error) {
+	switch r.Type {
+	case wal.RecCreateRelation:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.relations[r.Relation] != nil {
+			return nil, nil // already present (snapshot, or duplicate shipment)
+		}
+		schema, err := decodeSchema(r.New)
+		if err != nil {
+			return nil, err
+		}
+		db.relations[r.Relation] = newRelation(r.Relation, schema)
+		return nil, nil
+	case wal.RecDropRelation:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		delete(db.relations, r.Relation)
+		return nil, nil
+	case wal.RecCreateIndex:
+		rel := db.Relation(r.Relation)
+		if rel == nil {
+			return nil, fmt.Errorf("storage: replay: index on unknown relation %q", r.Relation)
+		}
+		spec, err := decodeIndexSpec(r.New)
+		if err != nil {
+			return nil, err
+		}
+		if rel.findIndex(spec.Name) != nil {
+			return nil, nil // already present
+		}
+		return nil, rel.addIndex(spec)
+	}
+	rel := db.Relation(r.Relation)
+	if rel == nil {
+		return nil, fmt.Errorf("storage: replay: data for unknown relation %q", r.Relation)
+	}
+	switch r.Type {
+	case wal.RecInsert:
+		if _, ok := rel.get(r.RowID); ok {
+			if _, err := rel.updateRow(r.RowID, r.New); err != nil {
+				return nil, err
+			}
+			return &verOp{op: verSet, rel: r.Relation, id: r.RowID, t: r.New}, nil
+		}
+		if _, err := rel.insertRow(r.RowID, r.New); err != nil {
+			return nil, err
+		}
+		return &verOp{op: verAdd, rel: r.Relation, id: r.RowID, t: r.New}, nil
+	case wal.RecDelete:
+		if _, ok := rel.get(r.RowID); !ok {
+			return nil, nil
+		}
+		if _, err := rel.deleteRow(r.RowID); err != nil {
+			return nil, err
+		}
+		return &verOp{op: verDel, rel: r.Relation, id: r.RowID}, nil
+	case wal.RecUpdate:
+		if _, ok := rel.get(r.RowID); !ok {
+			if _, err := rel.insertRow(r.RowID, r.New); err != nil {
+				return nil, err
+			}
+			return &verOp{op: verAdd, rel: r.Relation, id: r.RowID, t: r.New}, nil
+		}
+		if _, err := rel.updateRow(r.RowID, r.New); err != nil {
+			return nil, err
+		}
+		return &verOp{op: verSet, rel: r.Relation, id: r.RowID, t: r.New}, nil
+	}
+	return nil, nil
 }
 
 // CreateRelation defines a new relation.  Relation creation is a schema
@@ -470,9 +522,24 @@ func (db *DB) Checkpoint() error {
 	return db.checkpoint()
 }
 
-func (db *DB) checkpoint() error {
+func (db *DB) checkpoint() error { return db.checkpointWith(nil) }
+
+// checkpointWith is checkpoint with an optional attach hook: when
+// non-nil, attach runs inside the committer's exclusive section, after
+// the snapshot is durable and the log reset, with no append in flight.
+// Replication bootstrap lives on this hook — the snapshot it copies
+// plus the record stream shipped from that instant is exactly the
+// database, nothing lost and nothing duplicated.
+func (db *DB) checkpointWith(attach func(snapshotPath string) error) error {
 	if db.opts.Dir == "" {
 		return nil
+	}
+	if db.opts.Replica {
+		// Replica checkpoints serialize against ApplyShipped instead of
+		// quiescing writers (there are none).
+		db.applyMu.Lock()
+		defer db.applyMu.Unlock()
+		return db.replicaCheckpointLocked()
 	}
 	if err := db.writable(); err != nil {
 		return err
@@ -490,7 +557,13 @@ func (db *DB) checkpoint() error {
 	}
 	defer release()
 	if db.committer == nil {
-		return db.writeSnapshot(db.snapshotPath())
+		if err := db.writeSnapshot(db.snapshotPath()); err != nil {
+			return err
+		}
+		if attach != nil {
+			return attach(db.snapshotPath())
+		}
+		return nil
 	}
 	// Drain the commit queue (and fsync) before snapshotting, so every
 	// acknowledged commit is on disk in the log the snapshot supersedes.
@@ -513,6 +586,9 @@ func (db *DB) checkpoint() error {
 		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
 			db.degrade(err)
 			return err
+		}
+		if attach != nil {
+			return attach(db.snapshotPath())
 		}
 		return nil
 	})

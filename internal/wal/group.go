@@ -165,6 +165,13 @@ type GroupCommitter struct {
 
 	failpoint func(name string) error // nil outside fault-injection tests
 	m         *groupMetrics           // nil when unobserved
+
+	// Replication ship hook.  unsynced accumulates the records of every
+	// batch appended since the last successful fsync; both fields are
+	// touched only while holding the flush baton (leading or frozen), so
+	// they need no lock of their own.
+	onSync   func(recs []*Record)
+	unsynced []*Record
 }
 
 // NewGroupCommitter wraps log in a commit pipeline.
@@ -198,6 +205,16 @@ func (g *GroupCommitter) SetObserver(reg *obs.Registry) {
 // The hook may panic to simulate a crash.  Call before concurrent use;
 // nil detaches.
 func (g *GroupCommitter) SetFailpoints(fn func(name string) error) { g.failpoint = fn }
+
+// SetOnSync installs fn as the post-fsync ship hook: after every
+// successful fsync, the flush goroutine hands fn all records made
+// durable by that fsync (accumulated across any intervening unsynced
+// rounds), in append order, before any waiter is woken.  That ordering
+// is what lets a synchronous shipper guarantee "acked implies shipped":
+// a committer cannot observe success until fn has returned.  fn must not
+// re-enter the committer.  Install while the pipeline is quiesced — from
+// inside Exclusive, or before concurrent use; nil detaches.
+func (g *GroupCommitter) SetOnSync(fn func(recs []*Record)) { g.onSync = fn }
 
 // Commit enqueues b and waits for its outcome.  The returned error is
 // nil only if the batch completed as BatchSynced or BatchBuffered;
@@ -454,6 +471,9 @@ func (g *GroupCommitter) flushRound(round []*Batch) int {
 			continue
 		}
 		b.appended = true
+		if g.onSync != nil {
+			g.unsynced = append(g.unsynced, b.Records...)
+		}
 		if b.OnAppend != nil {
 			b.OnAppend()
 		}
@@ -467,6 +487,11 @@ func (g *GroupCommitter) flushRound(round []*Batch) int {
 	}
 	if ioErr == nil && needSync {
 		ioErr = g.log.Sync()
+		if ioErr == nil && g.onSync != nil && len(g.unsynced) > 0 {
+			recs := g.unsynced
+			g.unsynced = nil
+			g.onSync(recs)
+		}
 	}
 	txns := uint64(0)
 	for _, b := range consumed {

@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupDrainExclusiveRace hammers a GroupCommitter with concurrent
+// committers while the main goroutine loops Drain and Exclusive —
+// the quiesce pattern the replication shipper's attach path relies on.
+// Under -race this guards the baton handoff and the SetOnSync contract:
+// the hook may be swapped inside Exclusive while commits are in flight,
+// and every record that a successful sync made durable must be delivered
+// to the hook exactly once, in append order.
+func TestGroupDrainExclusiveRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stress.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l, GroupOptions{Group: true})
+
+	var shipped atomic.Uint64
+	hook := func(recs []*Record) { shipped.Add(uint64(len(recs))) }
+	g.SetOnSync(hook)
+
+	const writers = 8
+	const txnsPerWriter = 60
+	var appended atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWriter; i++ {
+				b := &Batch{
+					Records: []*Record{
+						{Type: RecBegin, TxID: uint64(w*1000 + i)},
+						{Type: RecCommit, TxID: uint64(w*1000 + i)},
+					},
+					Sync: i%2 == 0, // mix sync and buffered commits
+				}
+				if err := g.Commit(context.Background(), b); err != nil {
+					t.Errorf("writer %d commit %d: %v", w, i, err)
+					return
+				}
+				if b.appended {
+					appended.Add(uint64(len(b.Records)))
+				}
+			}
+		}(w)
+	}
+
+	// Maintenance loop: Drain and Exclusive racing the committers.  The
+	// Exclusive body re-installs the hook (the shipper attach pattern)
+	// and must observe a pipeline with no in-flight appends.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			if err := g.Drain(); err != nil {
+				t.Errorf("drain %d: %v", i, err)
+				return
+			}
+			err := g.Exclusive(func() error {
+				g.SetOnSync(hook)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("exclusive %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-done
+	// A final drain syncs any buffered tail so the conservation check is
+	// exact: every appended record was handed to the hook exactly once.
+	if err := g.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if shipped.Load() != appended.Load() {
+		t.Fatalf("hook delivered %d records, appended %d", shipped.Load(), appended.Load())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

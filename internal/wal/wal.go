@@ -165,6 +165,31 @@ func decodeMaybeTuple(buf []byte, pos int) (value.Tuple, int, error) {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrTornTail reports that a log file ends mid-record: the bytes after
+// the last complete, checksum-valid record are consistent with a write
+// that a crash interrupted.  A torn tail is legal — OpenFS truncates it
+// and appends over it, and ReplayFS replays the valid prefix — which is
+// exactly why it must be distinguishable from ErrCorrupt: replication
+// promotion truncates torn tails and proceeds, but refuses to serve a
+// log with interior damage.
+var ErrTornTail = errors.New("wal: torn tail (log ends mid-record)")
+
+// ErrCorrupt reports damage that a crashed write cannot explain: a
+// complete record frame whose checksum does not match (with further log
+// content behind it), or a checksum-valid record that does not decode.
+// Consumers must refuse the log rather than silently truncate — interior
+// records past the damage may hold acknowledged commits.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// AppendRecord appends r's wire encoding — the WAL's record payload
+// encoding, without length/CRC framing — to dst.  The replication
+// transport uses it to frame records for shipping.
+func AppendRecord(dst []byte, r *Record) []byte { return r.encode(dst) }
+
+// DecodeRecord parses a record payload produced by AppendRecord (or
+// framed into the log by Append).
+func DecodeRecord(buf []byte) (*Record, error) { return decodeRecord(buf) }
+
 // Log is an append-only write-ahead log backed by a single file.
 //
 // The log is fail-stop: after any I/O error (a failed append flush or —
@@ -212,13 +237,15 @@ func (l *Log) SetObserver(reg *obs.Registry) {
 
 // Open opens (creating if necessary) the log at path on the real
 // filesystem.  The returned log is positioned at the end of the existing
-// valid records; a torn tail left by a crash is truncated away.
+// valid records; a torn tail left by a crash is truncated away, but a
+// log with interior corruption (damage a crash cannot produce) is
+// refused with ErrCorrupt rather than silently truncated.
 func Open(path string) (*Log, error) { return OpenFS(fault.Disk{}, path) }
 
 // OpenFS is Open over an explicit filesystem (fault injection point).
 func OpenFS(fs fault.FS, path string) (*Log, error) {
 	end, err := validPrefix(fs, path)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrTornTail) {
 		return nil, err
 	}
 	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
@@ -249,8 +276,11 @@ func (l *Log) poison(op string, err error) error {
 // Err returns the poisoning error, or nil while the log is healthy.
 func (l *Log) Err() error { return l.err }
 
-// validPrefix scans the file and returns the byte offset of the end of the
-// last complete, checksum-valid record.
+// validPrefix scans the file and returns the byte offset of the end of
+// the last complete, checksum-valid record, plus a classification of
+// whatever follows it: nil for a clean end, ErrTornTail for bytes a
+// crashed write could have left, ErrCorrupt for damage a crash cannot
+// explain (see scanFrames).
 func validPrefix(fs fault.FS, path string) (int64, error) {
 	f, err := fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -260,24 +290,73 @@ func validPrefix(fs fault.FS, path string) (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
+	// Decode each record even though the bytes are not needed: a
+	// checksummed-but-undecodable record must classify as corruption
+	// here too, or Open would accept a log that Replay then refuses.
+	return scanFrames(f, func(int64, *Record) error { return nil })
+}
+
+// scanFrames walks the record frames of an open log file, invoking fn
+// (when non-nil) for each checksum-valid record, and classifies how the
+// walk ended:
+//
+//   - nil: the file ends exactly at a frame boundary.
+//   - ErrTornTail: the file ends mid-frame — a short header, a length
+//     field whose payload runs past EOF, or a CRC-mismatched frame that
+//     is the final thing in the file.  Appends tear as prefixes, so all
+//     of these are what a crashed write leaves behind.
+//   - ErrCorrupt: an invalid frame with log content behind it (a crash
+//     cannot damage the middle of a file), or a checksum-valid record
+//     that does not decode (a tear cannot survive the CRC).
+//
+// The returned offset is the end of the valid prefix in every case.  A
+// callback or I/O error is returned as-is.
+func scanFrames(f fault.File, fn func(lsn int64, r *Record) error) (int64, error) {
+	size := int64(-1) // unknown until needed
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
 	br := bufio.NewReaderSize(f, 64<<10)
 	var off int64
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return off, nil // clean EOF or torn header
+			if err == io.EOF {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: short header at offset %d", ErrTornTail, off)
 		}
 		ln := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		if ln > 1<<28 {
-			return off, nil // implausible length: torn
+			// No legal record is this large.  If the claimed payload
+			// would run past EOF the length field itself is torn; if the
+			// bytes are actually there, this is interior damage.
+			if size >= 0 && off+8+int64(ln) <= size {
+				return off, fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, ln, off)
+			}
+			return off, fmt.Errorf("%w: torn length field at offset %d", ErrTornTail, off)
 		}
 		payload := make([]byte, ln)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return off, nil
+			return off, fmt.Errorf("%w: short payload at offset %d", ErrTornTail, off)
 		}
 		if crc32.Checksum(payload, castagnoli) != sum {
-			return off, nil
+			// A complete frame with a bad checksum: a torn final write if
+			// it is the last thing in the file, corruption otherwise.
+			if _, err := br.ReadByte(); err == io.EOF {
+				return off, fmt.Errorf("%w: checksum mismatch in final record at offset %d", ErrTornTail, off)
+			}
+			return off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		if fn != nil {
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				return off, fmt.Errorf("%w: checksummed record does not decode at offset %d: %v", ErrCorrupt, off, err)
+			}
+			if err := fn(off, rec); err != nil {
+				return off, err
+			}
 		}
 		off += 8 + int64(ln)
 	}
@@ -378,8 +457,11 @@ func (l *Log) Close() error {
 }
 
 // Scan reads all valid records from the log file at path on the real
-// filesystem, invoking fn for each in order.  Scanning stops silently at
-// the first torn or corrupt record (the valid prefix property).
+// filesystem, invoking fn for each in order.  After delivering the valid
+// prefix it reports how the log ends: nil at a clean frame boundary,
+// ErrTornTail for a crash-consistent partial final write, ErrCorrupt for
+// interior damage.  Callers that only want the prefix may ignore
+// ErrTornTail (errors.Is); ErrCorrupt should stop them cold.
 func Scan(path string, fn func(lsn int64, r *Record) error) error {
 	return ScanFS(fault.Disk{}, path, fn)
 }
@@ -394,40 +476,16 @@ func ScanFS(fs fault.FS, path string, fn func(lsn int64, r *Record) error) error
 		return err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 64<<10)
-	var off int64
-	var hdr [8]byte
-	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil
-		}
-		ln := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if ln > 1<<28 {
-			return nil
-		}
-		payload := make([]byte, ln)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
-			return nil
-		}
-		rec, err := decodeRecord(payload)
-		if err != nil {
-			return nil // corrupt but checksummed record: treat as end
-		}
-		if err := fn(off, rec); err != nil {
-			return err
-		}
-		off += 8 + int64(ln)
-	}
+	_, err = scanFrames(f, fn)
+	return err
 }
 
 // Replay performs redo-only recovery: it scans the log twice, first
 // collecting the set of committed transactions, then invoking apply for
 // each data-change record belonging to a committed transaction, in log
 // order.  Records of unfinished or aborted transactions are skipped.
+// A torn tail is normal after a crash and is replayed up to the tear;
+// interior corruption propagates as ErrCorrupt and must refuse recovery.
 func Replay(path string, apply func(r *Record) error) error {
 	return ReplayFS(fault.Disk{}, path, apply)
 }
@@ -441,10 +499,10 @@ func ReplayFS(fs fault.FS, path string, apply func(r *Record) error) error {
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrTornTail) {
 		return err
 	}
-	return ScanFS(fs, path, func(_ int64, r *Record) error {
+	err = ScanFS(fs, path, func(_ int64, r *Record) error {
 		switch r.Type {
 		case RecInsert, RecDelete, RecUpdate:
 			if committed[r.TxID] {
@@ -455,4 +513,8 @@ func ReplayFS(fs fault.FS, path string, apply func(r *Record) error) error {
 		}
 		return nil
 	})
+	if errors.Is(err, ErrTornTail) {
+		return nil
+	}
+	return err
 }

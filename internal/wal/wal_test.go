@@ -98,11 +98,15 @@ func TestTornTailTruncated(t *testing.T) {
 	f.Close()
 
 	count := 0
-	if err := Scan(path, func(_ int64, r *Record) error { count++; return nil }); err != nil {
-		t.Fatal(err)
+	if err := Scan(path, func(_ int64, r *Record) error { count++; return nil }); !errors.Is(err, ErrTornTail) {
+		t.Fatalf("scan over torn tail: want ErrTornTail, got %v", err)
 	}
 	if count != 10 {
 		t.Fatalf("scan after torn tail: %d records, want 10", count)
+	}
+	// Replay treats a torn tail as a normal crash artifact.
+	if err := Replay(path, func(*Record) error { return nil }); err != nil {
+		t.Fatalf("replay over torn tail: %v", err)
 	}
 	// Reopen truncates the tail and can append again.
 	l2, err := Open(path)
@@ -140,9 +144,61 @@ func TestCorruptMiddleStopsScan(t *testing.T) {
 	data[lsn2+9] ^= 0xFF
 	os.WriteFile(path, data, 0o644)
 	count := 0
-	Scan(path, func(_ int64, r *Record) error { count++; return nil })
+	err := Scan(path, func(_ int64, r *Record) error { count++; return nil })
 	if count != 2 {
 		t.Fatalf("scan past corruption: %d records, want 2", count)
+	}
+	// Interior damage (valid frames continue past the bad one) is not a
+	// crash artifact: scanning reports ErrCorrupt, replay refuses, and
+	// reopening refuses rather than silently truncating three records.
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan over interior corruption: want ErrCorrupt, got %v", err)
+	}
+	if err := Replay(path, func(*Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay over interior corruption: want ErrCorrupt, got %v", err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over interior corruption: want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestTornFinalChecksumIsTail pins the boundary case of the taxonomy: a
+// complete final frame whose checksum fails is indistinguishable from a
+// torn last write, so it classifies as ErrTornTail and reopening
+// truncates it away.
+func TestTornFinalChecksumIsTail(t *testing.T) {
+	path := tempLog(t)
+	l, _ := Open(path)
+	for i := 0; i < 4; i++ {
+		l.Append(&Record{Type: RecBegin, TxID: uint64(i)})
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF // damage the last record's payload
+	os.WriteFile(path, data, 0o644)
+	count := 0
+	if err := Scan(path, func(int64, *Record) error { count++; return nil }); !errors.Is(err, ErrTornTail) {
+		t.Fatalf("want ErrTornTail, got %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("valid prefix: %d records, want 3", count)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open should truncate a torn final record: %v", err)
+	}
+	if _, err := l2.Append(&Record{Type: RecCommit, TxID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	if err := Scan(path, func(int64, *Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("after truncate+append: %d records, want 4", count)
 	}
 }
 
