@@ -1,7 +1,7 @@
 GO ?= go
 BENCHDIR ?= .bench
 
-.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-commit bench-read bench-repl bench-check ci
+.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-commit bench-read bench-repl bench-net bench-check ci
 
 all: ci
 
@@ -66,6 +66,15 @@ bench-read:
 bench-repl:
 	$(GO) run ./cmd/mdmbench -repl -out BENCH_repl.json
 
+# Network benchmark: the TCP serving stack (cmd/mdmd's server) under a
+# concurrent-client sweep of prepared appends and indexed probes over
+# loopback, plus an admission-control overload experiment; emits
+# BENCH_net.json and fails if the 16-client write speedup (group commit
+# vs. per-txn fsync, both served) drops below 2x, if overload sheds
+# nothing, or if the burst collapses the server.
+bench-net:
+	$(GO) run ./cmd/mdmbench -net -out BENCH_net.json
+
 # Regression gate: rerun every bench into $(BENCHDIR) and diff the fresh
 # documents against the baselines committed in git; fails on a >30%
 # floor-point regression.  To refresh the baselines, run the bench-*
@@ -77,6 +86,7 @@ bench-check:
 	$(GO) run ./cmd/mdmbench -commit -out $(BENCHDIR)/BENCH_commit.json
 	$(GO) run ./cmd/mdmbench -read -out $(BENCHDIR)/BENCH_read.json
 	$(GO) run ./cmd/mdmbench -repl -out $(BENCHDIR)/BENCH_repl.json
+	$(GO) run ./cmd/mdmbench -net -out $(BENCHDIR)/BENCH_net.json
 	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
 
-ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-commit bench-read bench-repl
+ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-commit bench-read bench-repl bench-net

@@ -37,6 +37,7 @@ var floorKeys = map[string][]string{
 	"BENCH_quel.json":   {"workloads[join-heavy].speedup"},
 	"BENCH_read.json":   {"sweep[readers=4,writers=4].speedup"},
 	"BENCH_repl.json":   {"sweep[replicas=4].scaling"},
+	"BENCH_net.json":    {"sweep[clients=16].write_speedup"},
 	"BENCH_obs.json":    {}, // structural baseline; no perf floor
 }
 
@@ -186,9 +187,8 @@ func flatten(v any, path string, out map[string]float64) {
 }
 
 // elemLabel identifies an array element across runs: by its "name"
-// field, else by its sweep-point coordinates (replicas/readers/writers),
-// else by
-// position.
+// field, else by its sweep-point coordinates
+// (replicas/readers/writers/clients), else by position.
 func elemLabel(v any, i int) string {
 	obj, ok := v.(map[string]any)
 	if !ok {
@@ -198,7 +198,7 @@ func elemLabel(v any, i int) string {
 		return name
 	}
 	var parts []string
-	for _, k := range []string{"replicas", "readers", "writers"} {
+	for _, k := range []string{"replicas", "readers", "writers", "clients"} {
 		if n, ok := obj[k].(float64); ok {
 			parts = append(parts, fmt.Sprintf("%s=%.0f", k, n))
 		}

@@ -10,6 +10,7 @@
 //	mdmbench -commit [-quick] [-out BENCH_commit.json]
 //	mdmbench -read [-quick] [-out BENCH_read.json]
 //	mdmbench -repl [-quick] [-out BENCH_repl.json]
+//	mdmbench -net [-quick] [-out BENCH_net.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -37,6 +38,14 @@
 // BENCH_repl.json; at full scale the exit status is nonzero if the
 // 4-replica aggregate falls below 2x the leader's single-node read
 // throughput.  CI's bench-repl target runs this mode.
+// -net benchmarks the TCP server (cmd/mdmd's serving stack) across a
+// 1..64 concurrent-client sweep — prepared appends and indexed probes
+// over loopback, group commit on — plus an admission-control overload
+// experiment, and writes BENCH_net.json; at full scale the exit status
+// is nonzero if write throughput at 16 clients falls below 2x the
+// 1-client point, if no requests are shed under overload, or if the
+// overload burst collapses the server.  CI's bench-net target runs this
+// mode.
 package main
 
 import (
@@ -61,7 +70,8 @@ func main() {
 	commitMode := flag.Bool("commit", false, "benchmark group commit and emit BENCH_commit.json")
 	readMode := flag.Bool("read", false, "benchmark snapshot read scaling and emit BENCH_read.json")
 	replMode := flag.Bool("repl", false, "benchmark read-replica scaling and emit BENCH_repl.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read / -repl")
+	netMode := flag.Bool("net", false, "benchmark the TCP server and emit BENCH_net.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read / -repl / -net")
 	flag.Parse()
 
 	if *obsMode {
@@ -114,6 +124,17 @@ func main() {
 			path = "BENCH_repl.json"
 		}
 		if err := runRepl(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *netMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_net.json"
+		}
+		if err := runNet(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,113 @@
+// Command mdmd serves a music data manager over TCP: the shared
+// database back end of the paper's figure 1, with the terminals
+// replaced by network clients speaking the internal/wire protocol
+// (internal/client is the Go driver).
+//
+// Usage:
+//
+//	mdmd -addr :7474 [-dir DIR] [-metrics ADDR]
+//	     [-max-sessions N] [-queue N] [-queue-timeout D]
+//	     [-auth-token TOK] [-tls-cert FILE -tls-key FILE]
+//	     [-sync] [-group-commit] [-drain-grace D]
+//
+// Each connection gets its own session; statements on a connection run
+// serially while connections run concurrently, with admission control
+// shedding load past -max-sessions concurrent statements (clients see
+// mdm.ErrOverloaded and can retry with backoff).  SIGINT/SIGTERM drains
+// gracefully: in-flight statements complete, new ones are refused.
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mdm"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7474", "TCP listen address")
+	dir := flag.String("dir", "", "database directory (empty: in-memory)")
+	metrics := flag.String("metrics", "", "serve the metrics snapshot as JSON on this address")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrently executing statements")
+	queue := flag.Int("queue", 0, "max statements queued for a slot (0: 4*max-sessions)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "max time a statement waits for a slot")
+	authToken := flag.String("auth-token", "", "require this token in the client handshake")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key)")
+	tlsKey := flag.String("tls-key", "", "TLS key file (with -tls-cert)")
+	syncCommits := flag.Bool("sync", false, "make every commit durable before acknowledging")
+	groupCommit := flag.Bool("group-commit", true, "batch concurrent commit fsyncs (implies durable commits)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "max time to wait for in-flight statements on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *metrics, *maxSessions, *queue, *queueTimeout,
+		*authToken, *tlsCert, *tlsKey, *syncCommits, *groupCommit, *drainGrace); err != nil {
+		fmt.Fprintf(os.Stderr, "mdmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir, metrics string, maxSessions, queue int, queueTimeout time.Duration,
+	authToken, tlsCert, tlsKey string, syncCommits, groupCommit bool, drainGrace time.Duration) error {
+	var tlsConf *tls.Config
+	if tlsCert != "" || tlsKey != "" {
+		if tlsCert == "" || tlsKey == "" {
+			return fmt.Errorf("-tls-cert and -tls-key must be given together")
+		}
+		cert, err := tls.LoadX509KeyPair(tlsCert, tlsKey)
+		if err != nil {
+			return fmt.Errorf("load TLS keypair: %w", err)
+		}
+		tlsConf = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
+
+	// A server acknowledging remote clients must not ack commits that
+	// are not on disk: group commit (the default) implies durable
+	// commits, with the fsync amortized across concurrent sessions.
+	// Non-durable serving requires both -sync=false -group-commit=false.
+	m, err := mdm.Open(mdm.Options{
+		Dir:         dir,
+		SyncCommits: syncCommits || groupCommit,
+		GroupCommit: groupCommit,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	srv := server.New(m, server.Options{
+		MaxSessions:  maxSessions,
+		MaxQueue:     queue,
+		QueueTimeout: queueTimeout,
+		AuthToken:    authToken,
+		TLS:          tlsConf,
+		DrainGrace:   drainGrace,
+	})
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mdmd: serving on %s (max-sessions=%d)\n", srv.Addr(), maxSessions)
+	if metrics != "" {
+		if err := srv.ServeMetrics(metrics); err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mdmd: metrics on %s/metrics\n", metrics)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	signal.Stop(sigCh)
+	fmt.Fprintf(os.Stderr, "mdmd: %v: draining (in-flight statements complete; grace %v)\n", sig, drainGrace)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "mdmd: drained")
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package client is the Go driver for a served music data manager
+// (cmd/mdmd).  It speaks the internal/wire protocol over a small pool
+// of TCP connections, supports context cancelation over the wire (a
+// canceled context sends a Cancel frame and the server aborts the
+// in-flight statement), and reconstructs server failures as the same
+// mdm.Err* sentinels an in-process caller would see, so
+// errors.Is(err, mdm.ErrOverloaded) works across the network.
+package client
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mdm"
+	"repro/internal/quel"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Options configure a Client.
+type Options struct {
+	// Addr is the server's TCP address, e.g. "127.0.0.1:7474".
+	Addr string
+	// PoolSize caps open connections (and therefore this client's
+	// concurrent statements).  Zero defaults to 4.
+	PoolSize int
+	// DialTimeout bounds connection establishment.  Zero defaults to 5s.
+	DialTimeout time.Duration
+	// Token is presented in the Hello handshake when the server requires
+	// auth.
+	Token string
+	// TLS, when set, wraps every connection.
+	TLS *tls.Config
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.PoolSize <= 0 {
+		out.PoolSize = 4
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// Client is a pooled connection to one mdmd server.  Safe for
+// concurrent use; each call checks out a connection for the duration of
+// one request/response exchange.
+type Client struct {
+	opts Options
+
+	sem chan struct{} // connection permits, cap PoolSize
+
+	mu     sync.Mutex
+	idle   []*cconn
+	closed bool
+}
+
+// cconn is one established, handshaken connection.  It is owned by at
+// most one goroutine at a time (checked out of the pool), except that a
+// context watcher may concurrently write a Cancel frame — wire.Conn
+// serializes writers.
+type cconn struct {
+	nc      net.Conn
+	wc      *wire.Conn
+	nextReq uint64
+	// stmts caches server-side statement ids by source text, so a
+	// client Stmt re-executed on this connection skips the Prepare
+	// round trip.
+	stmts  map[string]wire.StmtOK
+	broken bool
+}
+
+// Dial validates options and returns a Client.  Connections are
+// established lazily; use Ping to verify reachability eagerly.
+func Dial(opts Options) (*Client, error) {
+	if opts.Addr == "" {
+		return nil, fmt.Errorf("client: no server address")
+	}
+	opts = opts.withDefaults()
+	return &Client{
+		opts: opts,
+		sem:  make(chan struct{}, opts.PoolSize),
+	}, nil
+}
+
+// Close closes the client and all pooled connections.  In-flight calls
+// fail as their connections close.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	idle := cl.idle
+	cl.idle = nil
+	cl.mu.Unlock()
+	for _, c := range idle {
+		c.nc.Close()
+	}
+	return nil
+}
+
+// dial establishes and handshakes one connection.
+func (cl *Client) dial(ctx context.Context) (*cconn, error) {
+	d := net.Dialer{Timeout: cl.opts.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", cl.opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", cl.opts.Addr, err)
+	}
+	if cl.opts.TLS != nil {
+		nc = tls.Client(nc, cl.opts.TLS)
+	}
+	c := &cconn{nc: nc, wc: wire.NewConn(nc), stmts: make(map[string]wire.StmtOK)}
+	c.nextReq++
+	if err := c.wc.Write(c.nextReq, wire.Hello{Proto: wire.ProtoVersion, Token: cl.opts.Token}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	_, m, err := c.wc.Read()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch x := m.(type) {
+	case wire.HelloOK:
+		return c, nil
+	case wire.Error:
+		nc.Close()
+		return nil, x.Err()
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply %T", m)
+	}
+}
+
+// acquire checks a connection out of the pool, dialing if none is idle
+// and the pool is under its cap.
+func (cl *Client) acquire(ctx context.Context) (*cconn, error) {
+	select {
+	case cl.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %w", mdm.ErrCanceled, ctx.Err())
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		<-cl.sem
+		return nil, ErrClosed
+	}
+	var c *cconn
+	if n := len(cl.idle); n > 0 {
+		c = cl.idle[n-1]
+		cl.idle = cl.idle[:n-1]
+	}
+	cl.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := cl.dial(ctx)
+	if err != nil {
+		<-cl.sem
+		return nil, err
+	}
+	return c, nil
+}
+
+// release returns a connection to the pool, discarding it if it broke
+// or the client closed.
+func (cl *Client) release(c *cconn) {
+	defer func() { <-cl.sem }()
+	if c.broken {
+		c.nc.Close()
+		return
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		c.nc.Close()
+		return
+	}
+	cl.idle = append(cl.idle, c)
+	cl.mu.Unlock()
+}
+
+// roundTrip sends one request and waits for its response.  While
+// waiting, a context watcher sends a Cancel frame the moment ctx fires;
+// the server then aborts the statement and answers Error{CodeCanceled},
+// so the connection stays usable.
+func (c *cconn) roundTrip(ctx context.Context, m wire.Msg) (wire.Msg, error) {
+	c.nextReq++
+	id := c.nextReq
+	if err := c.wc.Write(id, m); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	done := make(chan struct{})
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			c.wc.Write(id, wire.Cancel{Req: id})
+		case <-done:
+		}
+	}()
+	defer func() {
+		close(done)
+		<-watcher
+	}()
+	for {
+		rid, reply, err := c.wc.Read()
+		if err != nil {
+			c.broken = true
+			return nil, err
+		}
+		if rid != id {
+			continue // stale frame from a prior exchange; skip
+		}
+		if e, ok := reply.(wire.Error); ok {
+			return nil, e.Err()
+		}
+		return reply, nil
+	}
+}
+
+// ExecContext runs DDL or QUEL source on the server and returns the
+// wire-level result.
+func (cl *Client) ExecContext(ctx context.Context, src string) (*wire.Result, error) {
+	c, err := cl.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.release(c)
+	reply, err := c.roundTrip(ctx, wire.Exec{Src: src})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := reply.(wire.Result)
+	if !ok {
+		c.broken = true
+		return nil, fmt.Errorf("client: unexpected reply %T to exec", reply)
+	}
+	return &res, nil
+}
+
+// QueryContext runs a QUEL retrieve and returns its rows as a
+// quel.Result, matching the in-process Session.QueryContext shape.
+func (cl *Client) QueryContext(ctx context.Context, src string) (*quel.Result, error) {
+	res, err := cl.ExecContext(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return &quel.Result{Columns: res.Columns, Rows: res.Rows, Affected: int(res.Affected)}, nil
+}
+
+// Ping round-trips an out-of-band liveness check.
+func (cl *Client) Ping(ctx context.Context) error {
+	c, err := cl.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer cl.release(c)
+	reply, err := c.roundTrip(ctx, wire.Ping{})
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(wire.Pong); !ok {
+		c.broken = true
+		return fmt.Errorf("client: unexpected reply %T to ping", reply)
+	}
+	return nil
+}
+
+// Stmt is a client-side handle on a parameterized statement.  The
+// source is prepared lazily, once per pooled connection, and the
+// server-side statement id is cached on that connection.
+type Stmt struct {
+	cl  *Client
+	src string
+}
+
+// Prepare returns a statement handle for parameterized QUEL source
+// (placeholders $1, $2, ...).  No network traffic happens until the
+// first execution; a parse error therefore surfaces from ExecContext.
+func (cl *Client) Prepare(src string) *Stmt {
+	return &Stmt{cl: cl, src: src}
+}
+
+// ExecContext executes the statement with args bound to its
+// placeholders.
+func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*wire.Result, error) {
+	tup := make(value.Tuple, len(args))
+	for i, a := range args {
+		v, err := value.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: arg %d: %w", mdm.ErrBadParam, i+1, err)
+		}
+		tup[i] = v
+	}
+	c, err := st.cl.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer st.cl.release(c)
+	info, ok := c.stmts[st.src]
+	if !ok {
+		reply, err := c.roundTrip(ctx, wire.Prepare{Src: st.src})
+		if err != nil {
+			return nil, err
+		}
+		info, ok = reply.(wire.StmtOK)
+		if !ok {
+			c.broken = true
+			return nil, fmt.Errorf("client: unexpected reply %T to prepare", reply)
+		}
+		c.stmts[st.src] = info
+	}
+	if uint64(len(tup)) != info.NumParams {
+		return nil, fmt.Errorf("%w: statement wants %d args, got %d", mdm.ErrBadParam, info.NumParams, len(tup))
+	}
+	reply, err := c.roundTrip(ctx, wire.ExecStmt{StmtID: info.StmtID, Args: tup})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := reply.(wire.Result)
+	if !ok {
+		c.broken = true
+		return nil, fmt.Errorf("client: unexpected reply %T to exec-stmt", reply)
+	}
+	return &res, nil
+}
+
+// QueryContext executes the statement and shapes the rows as a
+// quel.Result.
+func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*quel.Result, error) {
+	res, err := st.ExecContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &quel.Result{Columns: res.Columns, Rows: res.Rows, Affected: int(res.Affected)}, nil
+}

@@ -39,6 +39,24 @@ var (
 	// ErrReadOnly re-exports the store's degraded-mode sentinel so
 	// clients can match it without importing the storage layer.
 	ErrReadOnly = storage.ErrReadOnly
+	// ErrBadParam classifies parameter-binding failures on prepared
+	// statements: wrong argument count, an out-of-range placeholder, or
+	// an argument of an unbindable Go type.
+	ErrBadParam = errors.New("mdm: parameter binding error")
+	// ErrBadStmt classifies references to prepared statements that do
+	// not exist (a closed or never-prepared statement id on the wire).
+	ErrBadStmt = errors.New("mdm: unknown prepared statement")
+	// ErrOverloaded is returned by the network server's admission
+	// control when every execution slot is busy and the wait queue is
+	// full or the queue deadline expired: the request was shed, not
+	// executed, and the client should back off and retry.
+	ErrOverloaded = errors.New("mdm: server overloaded")
+	// ErrShutdown is returned for requests that arrive while the server
+	// is draining: no new statements are admitted, in-flight ones run to
+	// completion.
+	ErrShutdown = errors.New("mdm: server shutting down")
+	// ErrAuth is returned when a connection's credentials are rejected.
+	ErrAuth = errors.New("mdm: authentication failed")
 )
 
 // classify wraps err with the matching session-level sentinel.  Already
@@ -47,8 +65,12 @@ func classify(err error) error {
 	switch {
 	case err == nil:
 		return nil
-	case errors.Is(err, ErrParse), errors.Is(err, ErrUnknownEntity), errors.Is(err, ErrCanceled):
+	case errors.Is(err, ErrParse), errors.Is(err, ErrUnknownEntity), errors.Is(err, ErrCanceled),
+		errors.Is(err, ErrBadParam), errors.Is(err, ErrBadStmt),
+		errors.Is(err, ErrOverloaded), errors.Is(err, ErrShutdown), errors.Is(err, ErrAuth):
 		return err
+	case errors.Is(err, quel.ErrParam):
+		return fmt.Errorf("%w: %w", ErrBadParam, err)
 	case errors.Is(err, txn.ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):

@@ -72,6 +72,7 @@ type MDM struct {
 	Biblio  *biblio.Index
 
 	snapshotReads SnapshotMode
+	stmts         *stmtCache
 }
 
 // Open builds (or reopens) a music data manager.
@@ -91,7 +92,7 @@ func Open(opts Options) (*MDM, error) {
 		store.Close()
 		return nil, err
 	}
-	mgr := &MDM{Store: store, Model: m, snapshotReads: opts.SnapshotReads}
+	mgr := &MDM{Store: store, Model: m, snapshotReads: opts.SnapshotReads, stmts: newStmtCache(stmtCacheMax)}
 	if !opts.SkipCMN {
 		if mgr.Music, err = cmn.Open(m); err != nil {
 			store.Close()
@@ -136,13 +137,19 @@ type Session struct {
 	canceled   uint64
 }
 
+// stmtCacheMax bounds the manager-wide statement cache (FIFO eviction;
+// a served workload's hot statement set is far smaller than this).
+const stmtCacheMax = 256
+
 // sessionObs mirrors the per-session counters into the manager-wide
 // registry (all handles nil-safe).
 type sessionObs struct {
-	statements *obs.Counter // mdm.statements
-	retries    *obs.Counter // mdm.retries
-	exhausted  *obs.Counter // mdm.exhausted
-	canceled   *obs.Counter // mdm.canceled
+	statements      *obs.Counter // mdm.statements
+	retries         *obs.Counter // mdm.retries
+	exhausted       *obs.Counter // mdm.exhausted
+	canceled        *obs.Counter // mdm.canceled
+	stmtCacheHits   *obs.Counter // mdm.stmt.cache.hits
+	stmtCacheMisses *obs.Counter // mdm.stmt.cache.misses
 }
 
 // NewSession opens a client session with the default retry policy.
@@ -151,10 +158,12 @@ func (m *MDM) NewSession() *Session {
 	s.quel.SetSnapshotReads(m.snapshotReads == SnapshotAuto)
 	if reg := m.Obs(); reg != nil {
 		s.obs = sessionObs{
-			statements: reg.Counter("mdm.statements"),
-			retries:    reg.Counter("mdm.retries"),
-			exhausted:  reg.Counter("mdm.exhausted"),
-			canceled:   reg.Counter("mdm.canceled"),
+			statements:      reg.Counter("mdm.statements"),
+			retries:         reg.Counter("mdm.retries"),
+			exhausted:       reg.Counter("mdm.exhausted"),
+			canceled:        reg.Counter("mdm.canceled"),
+			stmtCacheHits:   reg.Counter("mdm.stmt.cache.hits"),
+			stmtCacheMisses: reg.Counter("mdm.stmt.cache.misses"),
 		}
 	}
 	return s

@@ -1,0 +1,166 @@
+package mdm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/quel"
+	"repro/internal/value"
+)
+
+// Stmt is a prepared, parameterized statement: parsed once, executed
+// many times with bound arguments.  Placeholders are written $1, $2,
+// ... and are replaced at execution time by literal values, so a bound
+// argument drives index selection exactly as an inline literal would —
+// there is no string splicing anywhere on the path.  A Stmt is bound to
+// the session that prepared it; the parsed form behind it is shared
+// through the manager-wide statement cache.
+type Stmt struct {
+	sess *Session
+	prep *quel.Prepared
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// stmtCache is the manager-wide cache of parsed statements, keyed by
+// source text.  Parsed statements are session-independent (binding
+// copies the tree), so every session — and every server connection —
+// preparing the same source shares one parse.
+type stmtCache struct {
+	mu    sync.Mutex
+	max   int
+	bySrc map[string]*quel.Prepared
+	order []string // FIFO eviction order
+}
+
+func newStmtCache(max int) *stmtCache {
+	return &stmtCache{max: max, bySrc: make(map[string]*quel.Prepared)}
+}
+
+// get returns the cached parse of src, or parses and caches it.
+func (c *stmtCache) get(src string) (*quel.Prepared, bool, error) {
+	c.mu.Lock()
+	p, ok := c.bySrc[src]
+	c.mu.Unlock()
+	if ok {
+		return p, true, nil
+	}
+	p, err := quel.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if existing, ok := c.bySrc[src]; ok {
+		p = existing // another session raced us; share its parse
+	} else {
+		if len(c.order) >= c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.bySrc, oldest)
+		}
+		c.bySrc[src] = p
+		c.order = append(c.order, src)
+	}
+	c.mu.Unlock()
+	return p, false, nil
+}
+
+// PrepareContext parses src into a reusable parameterized statement.
+// Only QUEL can be prepared; DDL has no placeholders and goes through
+// ExecContext.  Parse errors classify as ErrParse.
+func (s *Session) PrepareContext(ctx context.Context, src string) (*Stmt, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, classify(err)
+		}
+	}
+	trimmed := strings.TrimSpace(src)
+	first := strings.ToLower(firstWord(trimmed))
+	for _, kw := range ddlKeywords {
+		if first == kw {
+			return nil, fmt.Errorf("%w: cannot prepare DDL (%q); execute it directly", ErrParse, first)
+		}
+	}
+	p, hit, err := s.mdm.stmts.get(trimmed)
+	if err != nil {
+		return nil, classify(err)
+	}
+	if hit {
+		s.obs.stmtCacheHits.Inc()
+	} else {
+		s.obs.stmtCacheMisses.Inc()
+	}
+	return &Stmt{sess: s, prep: p}, nil
+}
+
+// NumParams returns the number of arguments ExecContext requires.
+func (st *Stmt) NumParams() int { return st.prep.NumParams() }
+
+// Src returns the source text the statement was prepared from.
+func (st *Stmt) Src() string { return st.prep.Src() }
+
+// Close releases the statement handle.  The underlying parse stays in
+// the manager-wide cache for other sessions; using the handle after
+// Close fails with ErrBadStmt.  Close is idempotent.
+func (st *Stmt) Close() error {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	return nil
+}
+
+func (st *Stmt) checkOpen() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("%w: statement is closed", ErrBadStmt)
+	}
+	return nil
+}
+
+// bindArgs converts Go arguments to typed values, classifying
+// conversion failures as ErrBadParam.
+func bindArgs(args []any) ([]value.Value, error) {
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := value.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: argument %d: %w", ErrBadParam, i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ExecContext binds args and executes the statement, with the same
+// retry, cancellation, and error-classification behavior as
+// Session.ExecContext.
+func (st *Stmt) ExecContext(ctx context.Context, args ...any) (ExecResult, error) {
+	res, err := st.QueryContext(ctx, args...)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Output: res.String(), Result: res}, nil
+}
+
+// QueryContext binds args and executes the statement, returning the
+// structured result for clients that process rows programmatically.
+func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*quel.Result, error) {
+	if err := st.checkOpen(); err != nil {
+		return nil, err
+	}
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	var res *quel.Result
+	err = st.sess.withRetry(ctx, func() error {
+		var err error
+		res, err = st.sess.quel.ExecPreparedCtx(ctx, st.prep, vals...)
+		return err
+	})
+	return res, err
+}

@@ -59,6 +59,7 @@ func ValidateDoc(d SnapshotDoc) error {
 	group := map[string]Metric{}
 	snap := map[string]Metric{}
 	repl := map[string]Metric{}
+	server := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -78,8 +79,11 @@ func ValidateDoc(d SnapshotDoc) error {
 		if strings.HasPrefix(m.Name, "repl.") {
 			repl[m.Name] = m
 		}
+		if strings.HasPrefix(m.Name, "server.") {
+			server[m.Name] = m
+		}
 		switch m.Kind {
-		case "counter":
+		case "counter", "gauge":
 		case "histogram":
 			var n uint64
 			for _, b := range m.Buckets {
@@ -183,6 +187,35 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if repl["repl.txns.applied"].Value > 0 && repl["repl.batches.applied"].Value == 0 {
 			return &ValidationError{Reason: "repl.txns.applied > 0 with no applied batches"}
+		}
+	}
+	// Network-server metrics (server.*) are registered as a set when a
+	// server wraps the manager: connection counters and gauges, per-frame
+	// latency, and admission-control shed counts.  A frame cannot have
+	// been served without a connection, and a request cannot have been
+	// shed by a server that admitted nothing and queued nothing.
+	if len(server) > 0 {
+		for name, kind := range map[string]string{
+			"server.conns.total":       "counter",
+			"server.conns.active":      "gauge",
+			"server.exec.active":       "gauge",
+			"server.exec.queued":       "gauge",
+			"server.frame.ns":          "histogram",
+			"server.admission.shed":    "counter",
+			"server.admission.queued":  "counter",
+			"server.stmts.prepared":    "counter",
+			"server.cancels.delivered": "counter",
+		} {
+			m, ok := server[name]
+			if !ok {
+				return &ValidationError{Reason: "server metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "server metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		if server["server.frame.ns"].Count > 0 && server["server.conns.total"].Value == 0 {
+			return &ValidationError{Reason: "server.frame.ns observed with no connections"}
 		}
 	}
 	return nil

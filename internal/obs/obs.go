@@ -53,6 +53,41 @@ func (c *Counter) Value() uint64 {
 	return c.n.Load()
 }
 
+// Gauge is an instantaneous level: active connections, queued requests,
+// pool occupancy.  Unlike a Counter it moves both ways.  A nil *Gauge
+// is a valid no-op.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.n.Add(d)
+	}
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.n.Store(v)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
 // nBuckets covers values 0..2^62 in power-of-two buckets: bucket i holds
 // observations v with 2^(i-1) < v ≤ 2^i (bucket 0 holds v ≤ 1).  For
 // nanosecond durations that spans sub-nanosecond to ~146 years.
@@ -170,6 +205,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 type metric struct {
 	counter *Counter
 	histo   *Histogram
+	gauge   *Gauge
 }
 
 // Registry is a named collection of metrics plus the event tracer.
@@ -219,6 +255,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the named gauge, creating it if needed.  Returns nil
+// (a valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = metric{gauge: g}
+	return g
+}
+
 // Trace returns the registry's event tracer (nil on a nil registry).
 func (r *Registry) Trace() *Trace {
 	if r == nil {
@@ -237,10 +289,14 @@ type Bucket struct {
 // Metric is one metric's state in a snapshot.
 type Metric struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // "counter" or "histogram"
+	Kind string `json:"kind"` // "counter", "gauge", or "histogram"
 
 	// Counter state.
 	Value uint64 `json:"value,omitempty"`
+
+	// Gauge state (signed: levels can be drained below a sampling race's
+	// zero and still render meaningfully).
+	Level int64 `json:"level,omitempty"`
 
 	// Histogram state.
 	Count   uint64   `json:"count,omitempty"`
@@ -276,6 +332,8 @@ func (r *Registry) Snapshot() []Metric {
 		switch {
 		case m.counter != nil:
 			out = append(out, Metric{Name: n, Kind: "counter", Value: m.counter.Value()})
+		case m.gauge != nil:
+			out = append(out, Metric{Name: n, Kind: "gauge", Level: m.gauge.Value()})
 		case m.histo != nil:
 			h := m.histo
 			s := Metric{

@@ -394,3 +394,77 @@ func TestValidateSnapshotMetrics(t *testing.T) {
 		t.Fatal("ValidateDoc accepted csn lag with zero reads")
 	}
 }
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pool.active")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("after Set: %d, want 2", got)
+	}
+	if g2 := r.Gauge("pool.active"); g2 != g {
+		t.Fatalf("Gauge handle not stable")
+	}
+	// Gauges snapshot with kind "gauge" and the current level.
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "gauge" || snap[0].Level != 2 {
+		t.Fatalf("gauge snapshot wrong: %+v", snap)
+	}
+	if err := ValidateDoc(r.Doc()); err != nil {
+		t.Fatalf("ValidateDoc: %v", err)
+	}
+	// Nil registry and nil gauge are no-ops.
+	var nr *Registry
+	ng := nr.Gauge("x")
+	ng.Inc()
+	ng.Set(9)
+	if ng.Value() != 0 {
+		t.Fatalf("nil gauge counted")
+	}
+}
+
+func TestValidateServerMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("server.conns.total").Add(4)
+		r.Gauge("server.conns.active").Set(2)
+		r.Gauge("server.exec.active").Set(1)
+		r.Gauge("server.exec.queued").Set(0)
+		r.Histogram("server.frame.ns").Observe(1500)
+		r.Counter("server.admission.shed").Add(1)
+		r.Counter("server.admission.queued").Add(2)
+		r.Counter("server.stmts.prepared").Add(3)
+		r.Counter("server.cancels.delivered")
+		return r
+	}
+	if err := ValidateDoc(full().Doc()); err != nil {
+		t.Fatalf("complete server set rejected: %v", err)
+	}
+	// Missing one metric of the set fails.
+	r := full()
+	delete(r.metrics, "server.admission.shed")
+	if err := ValidateDoc(r.Doc()); err == nil {
+		t.Fatal("incomplete server set accepted")
+	}
+	// Frames observed with zero connections is incoherent.
+	r2 := NewRegistry()
+	r2.Counter("server.conns.total")
+	r2.Gauge("server.conns.active")
+	r2.Gauge("server.exec.active")
+	r2.Gauge("server.exec.queued")
+	r2.Histogram("server.frame.ns").Observe(10)
+	r2.Counter("server.admission.shed")
+	r2.Counter("server.admission.queued")
+	r2.Counter("server.stmts.prepared")
+	r2.Counter("server.cancels.delivered")
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("frames-without-connections accepted")
+	}
+}

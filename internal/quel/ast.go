@@ -102,6 +102,13 @@ type Expr interface{ quelExpr() }
 // Lit is a literal value.
 type Lit struct{ V value.Value }
 
+// Param is a statement placeholder ($1, $2, ...) bound at execution
+// time.  Indices are 1-based; binding substitutes each Param with the
+// literal value of the corresponding argument before planning, so a
+// bound parameter participates in sarg extraction and index selection
+// exactly as an inline literal would.
+type Param struct{ Idx int }
+
 // AttrRef is var.attr.
 type AttrRef struct{ Var, Attr string }
 
@@ -143,6 +150,7 @@ type Agg struct {
 }
 
 func (Lit) quelExpr()     {}
+func (Param) quelExpr()   {}
 func (AttrRef) quelExpr() {}
 func (VarRef) quelExpr()  {}
 func (Binary) quelExpr()  {}

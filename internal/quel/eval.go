@@ -13,6 +13,9 @@ func (s *Session) eval(e Expr, en env) (value.Value, error) {
 	case Lit:
 		return x.V, nil
 
+	case Param:
+		return value.Null, fmt.Errorf("%w: unbound placeholder $%d (prepare the statement and bind arguments)", ErrParam, x.Idx)
+
 	case AttrRef:
 		b, ok := en[x.Var]
 		if !ok {

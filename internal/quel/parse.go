@@ -15,8 +15,9 @@ import (
 var ErrParse = errors.New("quel: parse error")
 
 type parser struct {
-	lx  *lex.Lexer
-	tok lex.Token
+	lx      *lex.Lexer
+	tok     lex.Token
+	nParams int // highest $n placeholder index seen
 }
 
 func (p *parser) next() { p.tok = p.lx.Next() }
@@ -57,23 +58,32 @@ var aggFns = map[string]bool{
 
 // Parse parses a sequence of QUEL statements.
 func Parse(src string) ([]Stmt, error) {
+	stmts, _, err := ParseParams(src)
+	return stmts, err
+}
+
+// ParseParams parses a sequence of QUEL statements and additionally
+// returns the number of $n placeholders the statements reference (the
+// highest index; $2 without $1 still requires two arguments at bind
+// time).
+func ParseParams(src string) ([]Stmt, int, error) {
 	p := &parser{lx: lex.New(src)}
 	p.next()
 	var stmts []Stmt
 	for p.tok.Kind != lex.EOF {
 		s, err := p.statement()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		stmts = append(stmts, s)
 		if err := p.lx.Err(); err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrParse, err)
+			return nil, 0, fmt.Errorf("%w: %w", ErrParse, err)
 		}
 	}
 	if err := p.lx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrParse, err)
+		return nil, 0, fmt.Errorf("%w: %w", ErrParse, err)
 	}
-	return stmts, nil
+	return stmts, p.nParams, nil
 }
 
 func (p *parser) statement() (Stmt, error) {
@@ -505,6 +515,20 @@ func (p *parser) primary() (Expr, error) {
 		v := value.Str(p.tok.Text)
 		p.next()
 		return Lit{V: v}, nil
+	case p.tok.Is("$"):
+		p.next()
+		if p.tok.Kind != lex.Int {
+			return nil, p.errf("expected a placeholder index after $, found %s", p.tok)
+		}
+		idx := int(p.tok.IntV)
+		if idx < 1 {
+			return nil, p.errf("placeholder indices are 1-based, got $%d", idx)
+		}
+		p.next()
+		if idx > p.nParams {
+			p.nParams = idx
+		}
+		return Param{Idx: idx}, nil
 	case p.tok.Is("("):
 		p.next()
 		e, err := p.expr()

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mdm"
+	"repro/internal/obs"
+)
+
+// gate is the admission controller: a fixed pool of execution slots
+// plus a bounded wait queue with a deadline.  A statement that cannot
+// get a slot within the queue budget is shed with mdm.ErrOverloaded
+// instead of piling onto the engine — under overload the server's
+// response time for admitted work stays flat and the excess fails fast,
+// which a client can retry with backoff.
+//
+// Pool states, per request: admitted (slot acquired immediately),
+// queued (waiting on a slot, counted in server.exec.queued), shed
+// (queue full or deadline expired), canceled (the waiter's context
+// fired first).
+type gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	timeout  time.Duration
+
+	execActive  *obs.Gauge   // server.exec.active
+	execQueued  *obs.Gauge   // server.exec.queued
+	shed        *obs.Counter // server.admission.shed
+	queuedTotal *obs.Counter // server.admission.queued
+}
+
+func newGate(maxSessions, maxQueue int, timeout time.Duration, reg *obs.Registry) *gate {
+	return &gate{
+		slots:       make(chan struct{}, maxSessions),
+		maxQueue:    int64(maxQueue),
+		timeout:     timeout,
+		execActive:  reg.Gauge("server.exec.active"),
+		execQueued:  reg.Gauge("server.exec.queued"),
+		shed:        reg.Counter("server.admission.shed"),
+		queuedTotal: reg.Counter("server.admission.queued"),
+	}
+}
+
+// acquire obtains an execution slot, queueing up to the gate's deadline.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.execActive.Inc()
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shed.Inc()
+		return fmt.Errorf("%w: all %d execution slots busy and the wait queue is full", mdm.ErrOverloaded, cap(g.slots))
+	}
+	g.execQueued.Inc()
+	g.queuedTotal.Inc()
+	defer func() {
+		g.queued.Add(-1)
+		g.execQueued.Dec()
+	}()
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.execActive.Inc()
+		return nil
+	case <-timer.C:
+		g.shed.Inc()
+		return fmt.Errorf("%w: no execution slot within %v", mdm.ErrOverloaded, g.timeout)
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", mdm.ErrCanceled, ctx.Err())
+	}
+}
+
+// release returns a slot to the pool.
+func (g *gate) release() {
+	<-g.slots
+	g.execActive.Dec()
+}

@@ -1,0 +1,18 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// net_Dial opens a TCP connection to addr with a test-scoped lifetime.
+func net_Dial(t testing.TB, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}

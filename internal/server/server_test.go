@@ -1,0 +1,427 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/mdm"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startServer opens an in-memory manager and serves it on a loopback
+// port.
+func startServer(t testing.TB, opts server.Options) (*mdm.MDM, *server.Server, string) {
+	t.Helper()
+	m, err := mdm.Open(mdm.Options{SkipCMN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	srv := server.New(m, opts)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return m, srv, srv.Addr().String()
+}
+
+func dialClient(t testing.TB, addr string, opts client.Options) *client.Client {
+	t.Helper()
+	opts.Addr = addr
+	cl, err := client.Dial(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// defineWorks creates the test schema over the wire.
+func defineWorks(t testing.TB, cl *client.Client) {
+	t.Helper()
+	ctx := context.Background()
+	if _, err := cl.ExecContext(ctx, `define entity WORK (title = string, opus = integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ExecContext(ctx, `range of w is WORK`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowSrc is a three-way unindexable cross join whose qualification is
+// never true: it burns combos (checking ctx as it goes) without
+// producing rows.  Runtime scales with the cube of the WORK row count.
+const slowSrc = `range of a is WORK
+range of b is WORK
+range of c is WORK
+retrieve (a.opus) where a.opus + b.opus = c.opus + 1000000`
+
+// loadRows appends n rows through a prepared statement.
+func loadRows(t testing.TB, cl *client.Client, n int) {
+	t.Helper()
+	ctx := context.Background()
+	st := cl.Prepare(`append to WORK (title = $1, opus = $2)`)
+	for i := 0; i < n; i++ {
+		if _, err := st.ExecContext(ctx, fmt.Sprintf("w%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServeBasic(t *testing.T) {
+	_, _, addr := startServer(t, server.Options{})
+	cl := dialClient(t, addr, client.Options{})
+	ctx := context.Background()
+	defineWorks(t, cl)
+	res, err := cl.ExecContext(ctx, `append to WORK (title = "Sonata", opus = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	q, err := cl.QueryContext(ctx, `range of w is WORK retrieve (w.title, w.opus) where w.opus = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0].AsString() != "Sonata" || q.Rows[0][1].AsInt() != 1 {
+		t.Fatalf("rows: %v", q.Rows)
+	}
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A parse error crosses the wire as mdm.ErrParse.
+	if _, err := cl.ExecContext(ctx, `retrieve (w.`); !errors.Is(err, mdm.ErrParse) {
+		t.Fatalf("parse error over wire: %v", err)
+	}
+	// DDL output crosses as printable text.
+	ddl, err := cl.ExecContext(ctx, `define entity MOVEMENT (name = string)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ddl.DDL || ddl.Output == "" {
+		t.Fatalf("ddl result: %+v", ddl)
+	}
+}
+
+func TestServePreparedStatements(t *testing.T) {
+	_, _, addr := startServer(t, server.Options{})
+	cl := dialClient(t, addr, client.Options{})
+	ctx := context.Background()
+	defineWorks(t, cl)
+	loadRows(t, cl, 10)
+	st := cl.Prepare(`range of w is WORK retrieve (w.title) where w.opus = $1`)
+	for i := 0; i < 10; i++ {
+		q, err := st.QueryContext(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 || q.Rows[0][0].AsString() != fmt.Sprintf("w%d", i) {
+			t.Fatalf("opus %d: %v", i, q.Rows)
+		}
+	}
+	// Wrong arity is refused client-side with the same sentinel the
+	// server would use.
+	if _, err := st.ExecContext(ctx); !errors.Is(err, mdm.ErrBadParam) {
+		t.Fatalf("arity: %v", err)
+	}
+	// Preparing DDL fails as ErrParse.
+	bad := cl.Prepare(`define entity X (a = integer)`)
+	if _, err := bad.ExecContext(ctx); !errors.Is(err, mdm.ErrParse) {
+		t.Fatalf("prepare DDL: %v", err)
+	}
+}
+
+func TestServeConcurrentClients(t *testing.T) {
+	m, _, addr := startServer(t, server.Options{})
+	cl := dialClient(t, addr, client.Options{PoolSize: 8})
+	defineWorks(t, cl)
+	const (
+		workers = 8
+		perW    = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	st := cl.Prepare(`append to WORK (title = $1, opus = $2)`)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perW; i++ {
+				if _, err := st.ExecContext(ctx, fmt.Sprintf("w%d-%d", w, i), w*perW+i); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.QueryContext(ctx, `range of w is WORK retrieve (w.opus) where w.opus = 0`); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := cl.QueryContext(context.Background(), `range of w is WORK retrieve (w.title)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != workers*perW {
+		t.Fatalf("rows = %d, want %d", len(q.Rows), workers*perW)
+	}
+	if m.Obs().Counter("server.conns.total").Value() == 0 {
+		t.Fatal("server.conns.total not counted")
+	}
+}
+
+// TestServeCancelMidQuery cancels a context while its statement is
+// executing server-side: the client sends a Cancel frame, the server
+// aborts the join, and the connection survives for the next call.
+func TestServeCancelMidQuery(t *testing.T) {
+	m, _, addr := startServer(t, server.Options{})
+	cl := dialClient(t, addr, client.Options{PoolSize: 1})
+	defineWorks(t, cl)
+	loadRows(t, cl, 150)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := cl.QueryContext(ctx, slowSrc)
+	if !errors.Is(err, mdm.ErrCanceled) {
+		t.Fatalf("canceled query returned %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("cancel took %v, statement ran to completion", d)
+	}
+	if got := m.Obs().Counter("server.cancels.delivered").Value(); got == 0 {
+		t.Fatal("cancel not delivered to the in-flight statement")
+	}
+	// The same pooled connection keeps working.
+	q, err := cl.QueryContext(context.Background(), `range of w is WORK retrieve (w.opus) where w.opus = 3`)
+	if err != nil {
+		t.Fatalf("post-cancel query: %v", err)
+	}
+	if len(q.Rows) != 1 {
+		t.Fatalf("post-cancel rows: %v", q.Rows)
+	}
+}
+
+// TestServeOverloadSheds drives far more concurrent statements than the
+// gate admits and expects ErrOverloaded on the excess — then normal
+// service once the burst clears.
+func TestServeOverloadSheds(t *testing.T) {
+	m, _, addr := startServer(t, server.Options{
+		MaxSessions:  1,
+		MaxQueue:     1,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	cl := dialClient(t, addr, client.Options{PoolSize: 8})
+	defineWorks(t, cl)
+	loadRows(t, cl, 100)
+
+	const burst = 8
+	var wg sync.WaitGroup
+	var shed, completed, other int
+	var mu sync.Mutex
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.QueryContext(context.Background(), slowSrc)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, mdm.ErrOverloaded):
+				shed++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("unexpected errors under overload (completed=%d shed=%d other=%d)", completed, shed, other)
+	}
+	if shed == 0 {
+		t.Fatalf("no requests shed (completed=%d)", completed)
+	}
+	if completed == 0 {
+		t.Fatal("no requests completed: overload collapsed the server")
+	}
+	if m.Obs().Counter("server.admission.shed").Value() == 0 {
+		t.Fatal("server.admission.shed not counted")
+	}
+	// Once the burst clears, service resumes.
+	if _, err := cl.QueryContext(context.Background(), `range of w is WORK retrieve (w.opus) where w.opus = 1`); err != nil {
+		t.Fatalf("post-overload query: %v", err)
+	}
+}
+
+// TestServeGracefulDrain pipelines a slow write and a second statement
+// on one raw connection, then shuts down mid-write: the in-flight
+// append completes and is answered, the queued statement is refused
+// with ErrShutdown.
+func TestServeGracefulDrain(t *testing.T) {
+	_, srv, addr := startServer(t, server.Options{DrainGrace: 10 * time.Second})
+	cl := dialClient(t, addr, client.Options{})
+	defineWorks(t, cl)
+	loadRows(t, cl, 150)
+
+	// Raw wire connection so the two requests can be pipelined.
+	rc := dialWire(t, addr, "")
+	// In-flight: a slow cross-join replace (commits at the end).  The
+	// qualification matches exactly one (a,b,c) combo — a=b=149, c=0 —
+	// so the reply proves the write committed.
+	slowReplace := `range of a is WORK
+range of b is WORK
+range of c is WORK
+replace a (title = "drained") where a.opus + b.opus = c.opus + 298`
+	if err := rc.Write(2, wire.Exec{Src: slowReplace}); err != nil {
+		t.Fatal(err)
+	}
+	// Queued behind it on the same connection.
+	if err := rc.Write(3, wire.Exec{Src: `range of w is WORK retrieve (w.opus) where w.opus = 1`}); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let the slow append start executing
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight append must be answered with success.
+	id, msg, err := rc.Read()
+	if err != nil {
+		t.Fatalf("read in-flight reply: %v", err)
+	}
+	if id != 2 {
+		t.Fatalf("first reply for req %d, want 2", id)
+	}
+	if e, ok := msg.(wire.Error); ok {
+		t.Fatalf("in-flight statement aborted by drain: %v", e.Err())
+	}
+	if res, ok := msg.(wire.Result); !ok || res.Affected != 1 {
+		t.Fatalf("in-flight commit reply: %#v", msg)
+	}
+	// The queued statement is refused with the shutdown code.
+	id, msg, err = rc.Read()
+	if err != nil {
+		t.Fatalf("read queued reply: %v", err)
+	}
+	e, ok := msg.(wire.Error)
+	if id != 3 || !ok {
+		t.Fatalf("queued reply: id=%d %#v", id, msg)
+	}
+	if !errors.Is(e.Err(), mdm.ErrShutdown) {
+		t.Fatalf("queued statement error: %v", e.Err())
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("server not draining after Shutdown")
+	}
+}
+
+// dialWire opens a raw handshaken wire connection.
+func dialWire(t testing.TB, addr, token string) *wire.Conn {
+	t.Helper()
+	d := net_Dial(t, addr)
+	rc := wire.NewConn(d)
+	t.Cleanup(func() { rc.Close() })
+	if err := rc.Write(1, wire.Hello{Proto: wire.ProtoVersion, Token: token}); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err := rc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(wire.HelloOK); !ok {
+		t.Fatalf("handshake reply: %#v", msg)
+	}
+	return rc
+}
+
+func TestServeAuth(t *testing.T) {
+	_, _, addr := startServer(t, server.Options{AuthToken: "sesame"})
+	// Wrong token is refused with ErrAuth.
+	bad := dialClient(t, addr, client.Options{Token: "wrong"})
+	if _, err := bad.ExecContext(context.Background(), `range of w is WORK retrieve (w.opus)`); !errors.Is(err, mdm.ErrAuth) {
+		t.Fatalf("wrong token: %v", err)
+	}
+	// Right token serves.
+	good := dialClient(t, addr, client.Options{Token: "sesame"})
+	defineWorks(t, good)
+	if _, err := good.ExecContext(context.Background(), `append to WORK (title = "x", opus = 1)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeBadStmtID exercises the wire-level unknown-statement error.
+func TestServeBadStmtID(t *testing.T) {
+	_, _, addr := startServer(t, server.Options{})
+	rc := dialWire(t, addr, "")
+	if err := rc.Write(2, wire.ExecStmt{StmtID: 999}); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err := rc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := msg.(wire.Error)
+	if !ok || !errors.Is(e.Err(), mdm.ErrBadStmt) {
+		t.Fatalf("reply: %#v", msg)
+	}
+	// CloseStmt on an unknown id likewise.
+	if err := rc.Write(3, wire.CloseStmt{StmtID: 999}); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err = rc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(wire.Error); !ok || !errors.Is(e.Err(), mdm.ErrBadStmt) {
+		t.Fatalf("close reply: %#v", msg)
+	}
+}
+
+// TestServeProtocolVersion: a mismatched Hello is refused.
+func TestServeProtocolVersion(t *testing.T) {
+	_, _, addr := startServer(t, server.Options{})
+	d := net_Dial(t, addr)
+	rc := wire.NewConn(d)
+	defer rc.Close()
+	if err := rc.Write(1, wire.Hello{Proto: 9999}); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err := rc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(wire.Error); !ok {
+		t.Fatalf("version mismatch reply: %#v", msg)
+	}
+}

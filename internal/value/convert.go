@@ -1,0 +1,41 @@
+package value
+
+import "fmt"
+
+// FromGo converts a native Go value into a Value.  It is the binding
+// bridge for parameterized statements: client code passes ordinary Go
+// arguments and the statement layer converts them once, at bind time.
+// A Value passes through unchanged; nil becomes Null.
+func FromGo(a any) (Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return v, nil
+	case bool:
+		return Bool(v), nil
+	case int:
+		return Int(int64(v)), nil
+	case int32:
+		return Int(int64(v)), nil
+	case int64:
+		return Int(v), nil
+	case uint:
+		return Int(int64(v)), nil
+	case uint32:
+		return Int(int64(v)), nil
+	case uint64:
+		return Int(int64(v)), nil
+	case float32:
+		return Float(float64(v)), nil
+	case float64:
+		return Float(v), nil
+	case string:
+		return Str(v), nil
+	case []byte:
+		return Bytes(v), nil
+	case Ref:
+		return RefVal(v), nil
+	}
+	return Null, fmt.Errorf("value: cannot bind Go value of type %T", a)
+}

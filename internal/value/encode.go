@@ -100,6 +100,11 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 	if hn <= 0 {
 		return nil, 0, fmt.Errorf("value: decode tuple: bad field count")
 	}
+	// Every encoded field costs at least one byte, so a count beyond the
+	// remaining buffer is corruption — reject it before allocating.
+	if n > uint64(len(buf)-hn) {
+		return nil, 0, fmt.Errorf("value: decode tuple: implausible field count %d", n)
+	}
 	pos := hn
 	t := make(Tuple, 0, n)
 	for i := uint64(0); i < n; i++ {

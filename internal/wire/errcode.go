@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/mdm"
+)
+
+// Error codes.  The table is append-only: codes are part of the wire
+// contract and must never be renumbered.  Every code maps to one of the
+// mdm.Err* sentinels, so a client that decodes an Error frame can
+// dispatch with errors.Is exactly as an in-process caller would.
+const (
+	// CodeInternal is the catch-all for failures with no finer class.
+	CodeInternal uint16 = 0
+	// CodeParse maps to mdm.ErrParse.
+	CodeParse uint16 = 1
+	// CodeUnknownEntity maps to mdm.ErrUnknownEntity.
+	CodeUnknownEntity uint16 = 2
+	// CodeCanceled maps to mdm.ErrCanceled.
+	CodeCanceled uint16 = 3
+	// CodeReadOnly maps to mdm.ErrReadOnly.
+	CodeReadOnly uint16 = 4
+	// CodeBadParam maps to mdm.ErrBadParam.
+	CodeBadParam uint16 = 5
+	// CodeBadStmt maps to mdm.ErrBadStmt.
+	CodeBadStmt uint16 = 6
+	// CodeOverloaded maps to mdm.ErrOverloaded.
+	CodeOverloaded uint16 = 7
+	// CodeShutdown maps to mdm.ErrShutdown.
+	CodeShutdown uint16 = 8
+	// CodeAuth maps to mdm.ErrAuth.
+	CodeAuth uint16 = 9
+)
+
+// codeTable pairs each code with its sentinel, in errors.Is precedence
+// order: CodeOf walks it top to bottom, so more specific classes
+// (parameter binding, statement identity) precede broader ones.
+var codeTable = []struct {
+	code uint16
+	err  error
+}{
+	{CodeBadParam, mdm.ErrBadParam},
+	{CodeBadStmt, mdm.ErrBadStmt},
+	{CodeOverloaded, mdm.ErrOverloaded},
+	{CodeShutdown, mdm.ErrShutdown},
+	{CodeAuth, mdm.ErrAuth},
+	{CodeParse, mdm.ErrParse},
+	{CodeUnknownEntity, mdm.ErrUnknownEntity},
+	{CodeCanceled, mdm.ErrCanceled},
+	{CodeReadOnly, mdm.ErrReadOnly},
+}
+
+// CodeOf classifies err for the wire: the code of the first sentinel in
+// the table that err wraps, else CodeInternal.
+func CodeOf(err error) uint16 {
+	for _, e := range codeTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+// SentinelOf returns the mdm sentinel for a code, or nil for
+// CodeInternal and unknown codes.
+func SentinelOf(code uint16) error {
+	for _, e := range codeTable {
+		if e.code == code {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// Err reconstructs a Go error from a decoded Error frame: the matching
+// sentinel wrapped around the server's message text, so both errors.Is
+// dispatch and the human-readable cause survive the network hop.  The
+// server's message usually already begins with the sentinel's own text
+// (ErrorFrom ships err.Error()); re-wrapping would stutter, so the
+// prefix is deduplicated.
+func (e Error) Err() error {
+	if s := SentinelOf(e.Code); s != nil {
+		if rest, ok := strings.CutPrefix(e.Msg, s.Error()); ok {
+			return fmt.Errorf("%w%s", s, rest)
+		}
+		return fmt.Errorf("%w: %s", s, e.Msg)
+	}
+	return fmt.Errorf("mdm server error: %s", e.Msg)
+}
+
+// ErrorFrom builds the Error frame for err.
+func ErrorFrom(err error) Error {
+	return Error{Code: CodeOf(err), Msg: err.Error()}
+}

@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/mdm"
+	"repro/internal/value"
+)
+
+// TestMessageRoundTrip encodes every message type and decodes it back.
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		Hello{Proto: ProtoVersion, Token: "sesame"},
+		Hello{Proto: 99},
+		HelloOK{Proto: ProtoVersion},
+		Exec{Src: `retrieve (w.title) where w.composer = "Corelli"`},
+		Prepare{Src: `retrieve (w.title) where w.id = $1`},
+		StmtOK{StmtID: 7, NumParams: 2},
+		ExecStmt{StmtID: 7, Args: value.Tuple{value.Int(42), value.Str("x")}},
+		ExecStmt{StmtID: 1, Args: value.Tuple{}},
+		CloseStmt{StmtID: 7},
+		OK{},
+		Result{DDL: true, Output: "entity defined"},
+		Result{
+			Affected: 3,
+			Columns:  []string{"title", "opus"},
+			Rows: []value.Tuple{
+				{value.Str("Trio Sonata"), value.Int(3)},
+				{value.Str("Concerto Grosso"), value.Null},
+			},
+		},
+		Result{},
+		Error{Code: CodeOverloaded, Msg: "server overloaded"},
+		Error{Code: CodeInternal, Msg: ""},
+		Cancel{Req: 12},
+		Ping{},
+		Pong{},
+	}
+	for i, m := range msgs {
+		reqID := uint64(i * 31)
+		payload, err := AppendMessage(nil, reqID, m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		gotID, got, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if gotID != reqID {
+			t.Errorf("%T: reqID = %d, want %d", m, gotID, reqID)
+		}
+		if !equalMsg(m, got) {
+			t.Errorf("%T round trip:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+}
+
+// equalMsg compares messages, treating nil and empty slices alike
+// (tuples and row sets decode to empty, not nil).
+func equalMsg(a, b Msg) bool {
+	return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b) && reflect.TypeOf(a) == reflect.TypeOf(b)
+}
+
+// TestConnFraming pushes messages through a Conn pair over a buffer.
+func TestConnFraming(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	want := []Msg{
+		Hello{Proto: 1, Token: "t"},
+		Exec{Src: "range of w is work"},
+		Result{Affected: 1, Columns: []string{"a"}, Rows: []value.Tuple{{value.Int(1)}}},
+	}
+	for i, m := range want {
+		if err := c.Write(uint64(i+1), m); err != nil {
+			t.Fatalf("write %T: %v", m, err)
+		}
+	}
+	for i, m := range want {
+		id, got, err := c.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if id != uint64(i+1) || !equalMsg(m, got) {
+			t.Errorf("read %d: got id=%d %#v, want id=%d %#v", i, id, got, i+1, m)
+		}
+	}
+}
+
+// TestConnRejectsCorruptFrame flips a payload byte and expects a
+// checksum error.
+func TestConnRejectsCorruptFrame(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Write(1, Exec{Src: "retrieve (w.title)"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x40
+	c2 := NewConn(bytes.NewBuffer(raw))
+	if _, _, err := c2.Read(); err == nil {
+		t.Fatal("corrupt frame decoded without error")
+	}
+}
+
+// TestDecodeRejectsTruncated truncates a valid payload at every length
+// and expects an error (never a panic) from each prefix.
+func TestDecodeRejectsTruncated(t *testing.T) {
+	payload, err := AppendMessage(nil, 5, Result{
+		Columns: []string{"title"},
+		Rows:    []value.Tuple{{value.Str("Gloria"), value.Int(8)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(payload); n++ {
+		if _, _, err := DecodeMessage(payload[:n]); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, len(payload))
+		}
+	}
+}
+
+// TestErrorCodeRoundTrip: every sentinel classifies to its code, every
+// code reconstructs an error that errors.Is-matches the sentinel, and
+// the wrapped message text survives.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	sentinels := []struct {
+		err  error
+		code uint16
+	}{
+		{mdm.ErrParse, CodeParse},
+		{mdm.ErrUnknownEntity, CodeUnknownEntity},
+		{mdm.ErrCanceled, CodeCanceled},
+		{mdm.ErrReadOnly, CodeReadOnly},
+		{mdm.ErrBadParam, CodeBadParam},
+		{mdm.ErrBadStmt, CodeBadStmt},
+		{mdm.ErrOverloaded, CodeOverloaded},
+		{mdm.ErrShutdown, CodeShutdown},
+		{mdm.ErrAuth, CodeAuth},
+	}
+	for _, s := range sentinels {
+		wrapped := fmt.Errorf("context: %w", s.err)
+		if got := CodeOf(wrapped); got != s.code {
+			t.Errorf("CodeOf(%v) = %d, want %d", s.err, got, s.code)
+		}
+		frame := ErrorFrom(wrapped)
+		if frame.Code != s.code {
+			t.Errorf("ErrorFrom(%v).Code = %d, want %d", s.err, frame.Code, s.code)
+		}
+		back := frame.Err()
+		if !errors.Is(back, s.err) {
+			t.Errorf("reconstructed error %v does not match sentinel %v", back, s.err)
+		}
+	}
+	if got := CodeOf(errors.New("some internal thing")); got != CodeInternal {
+		t.Errorf("CodeOf(unclassified) = %d, want CodeInternal", got)
+	}
+	if err := (Error{Code: CodeInternal, Msg: "boom"}).Err(); err == nil || errors.Is(err, mdm.ErrParse) {
+		t.Errorf("CodeInternal reconstructed as %v", err)
+	}
+	// Unknown future code degrades to an opaque error, not a panic.
+	if err := (Error{Code: 4242, Msg: "from the future"}).Err(); err == nil {
+		t.Error("unknown code produced nil error")
+	}
+}
+
+// TestCodeTableAppendOnly pins the numeric values: renumbering is a
+// wire-protocol break and must fail loudly here.
+func TestCodeTableAppendOnly(t *testing.T) {
+	pinned := map[string]uint16{
+		"CodeInternal":      0,
+		"CodeParse":         1,
+		"CodeUnknownEntity": 2,
+		"CodeCanceled":      3,
+		"CodeReadOnly":      4,
+		"CodeBadParam":      5,
+		"CodeBadStmt":       6,
+		"CodeOverloaded":    7,
+		"CodeShutdown":      8,
+		"CodeAuth":          9,
+	}
+	got := map[string]uint16{
+		"CodeInternal":      CodeInternal,
+		"CodeParse":         CodeParse,
+		"CodeUnknownEntity": CodeUnknownEntity,
+		"CodeCanceled":      CodeCanceled,
+		"CodeReadOnly":      CodeReadOnly,
+		"CodeBadParam":      CodeBadParam,
+		"CodeBadStmt":       CodeBadStmt,
+		"CodeOverloaded":    CodeOverloaded,
+		"CodeShutdown":      CodeShutdown,
+		"CodeAuth":          CodeAuth,
+	}
+	for name, want := range pinned {
+		if got[name] != want {
+			t.Errorf("%s = %d, want %d (codes are append-only)", name, got[name], want)
+		}
+	}
+}
+
+// FuzzDecodeMessage asserts DecodeMessage never panics, and that every
+// payload it accepts re-encodes and re-decodes to the same message.
+func FuzzDecodeMessage(f *testing.F) {
+	seeds := []Msg{
+		Hello{Proto: 1, Token: "t"},
+		Exec{Src: "retrieve (w.title)"},
+		ExecStmt{StmtID: 3, Args: value.Tuple{value.Int(1), value.Str("x"), value.Null}},
+		Result{Affected: 2, Columns: []string{"a", "b"}, Rows: []value.Tuple{{value.Int(1), value.Float(2.5)}}},
+		Error{Code: CodeParse, Msg: "syntax error"},
+	}
+	for _, m := range seeds {
+		payload, err := AppendMessage(nil, 9, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		reqID, m, err := DecodeMessage(payload)
+		if err != nil {
+			return
+		}
+		re, err := AppendMessage(nil, reqID, m)
+		if err != nil {
+			t.Fatalf("decoded message %T failed to re-encode: %v", m, err)
+		}
+		reqID2, m2, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded %T failed to decode: %v", m, err)
+		}
+		if reqID2 != reqID || !equalMsg(m, m2) {
+			t.Fatalf("unstable round trip: %#v vs %#v", m, m2)
+		}
+	})
+}
