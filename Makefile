@@ -1,7 +1,7 @@
 GO ?= go
 BENCHDIR ?= .bench
 
-.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-commit bench-read bench-repl bench-net bench-check ci
+.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-check ci
 
 all: ci
 
@@ -48,6 +48,13 @@ bench-smoke:
 bench-quel:
 	$(GO) run ./cmd/mdmbench -quel -out BENCH_quel.json
 
+# Parallel-executor benchmark: the morsel-driven worker pool over the
+# 100k-note / 1k-score corpus across a 1/2/4/8 worker sweep; emits
+# BENCH_par.json (with the host CPU count) and fails if the 8-worker
+# speedup drops below 2x on a machine with at least 4 CPUs.
+bench-par:
+	$(GO) run ./cmd/mdmbench -par -out BENCH_par.json
+
 # Group-commit benchmark: concurrent-writer commit throughput, per-txn
 # fsync vs. the group-commit pipeline; emits BENCH_commit.json and fails
 # if the 16-writer speedup drops below 3x.
@@ -83,10 +90,11 @@ bench-check:
 	mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/mdmbench -obs -out $(BENCHDIR)/BENCH_obs.json
 	$(GO) run ./cmd/mdmbench -quel -out $(BENCHDIR)/BENCH_quel.json
+	$(GO) run ./cmd/mdmbench -par -out $(BENCHDIR)/BENCH_par.json
 	$(GO) run ./cmd/mdmbench -commit -out $(BENCHDIR)/BENCH_commit.json
 	$(GO) run ./cmd/mdmbench -read -out $(BENCHDIR)/BENCH_read.json
 	$(GO) run ./cmd/mdmbench -repl -out $(BENCHDIR)/BENCH_repl.json
 	$(GO) run ./cmd/mdmbench -net -out $(BENCHDIR)/BENCH_net.json
 	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
 
-ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-commit bench-read bench-repl bench-net
+ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net

@@ -35,6 +35,7 @@ import (
 var floorKeys = map[string][]string{
 	"BENCH_commit.json": {"sweep[writers=16].speedup"},
 	"BENCH_quel.json":   {"workloads[join-heavy].speedup"},
+	"BENCH_par.json":    {"sweep[workers=8].par_speedup"},
 	"BENCH_read.json":   {"sweep[readers=4,writers=4].speedup"},
 	"BENCH_repl.json":   {"sweep[replicas=4].scaling"},
 	"BENCH_net.json":    {"sweep[clients=16].write_speedup"},
@@ -198,7 +199,7 @@ func elemLabel(v any, i int) string {
 		return name
 	}
 	var parts []string
-	for _, k := range []string{"replicas", "readers", "writers", "clients"} {
+	for _, k := range []string{"replicas", "readers", "writers", "clients", "workers"} {
 		if n, ok := obj[k].(float64); ok {
 			parts = append(parts, fmt.Sprintf("%s=%.0f", k, n))
 		}

@@ -7,6 +7,7 @@
 //	mdmbench [-quick]
 //	mdmbench -obs [-out BENCH_obs.json]
 //	mdmbench -quel [-quick] [-out BENCH_quel.json]
+//	mdmbench -par [-quick] [-out BENCH_par.json]
 //	mdmbench -commit [-quick] [-out BENCH_commit.json]
 //	mdmbench -read [-quick] [-out BENCH_read.json]
 //	mdmbench -repl [-quick] [-out BENCH_repl.json]
@@ -18,10 +19,16 @@
 // then re-reads and validates it; the exit status is nonzero if the
 // document is malformed.  CI's bench-smoke target runs this mode.
 // -quel benchmarks the cost-based query planner against the retained
-// naive executor (scan-, join-, and ordering-heavy workloads) and
-// writes BENCH_quel.json; at full scale the exit status is nonzero if
-// the join-heavy speedup falls below 5x.  CI's bench-quel target runs
-// this mode.
+// naive executor (scan-, join-, and ordering-heavy workloads, 100k
+// notes across 1k scores at full scale) and writes BENCH_quel.json; at
+// full scale the exit status is nonzero if the join-heavy speedup falls
+// below 5x.  CI's bench-quel target runs this mode.
+// -par benchmarks the morsel-driven parallel executor over the same
+// corpus across a 1/2/4/8 worker sweep and writes BENCH_par.json,
+// recording the CPU count alongside the speedups; at full scale on a
+// machine with at least 4 CPUs the exit status is nonzero if the
+// 8-worker speedup falls below 2x.  CI's bench-par target runs this
+// mode.
 // -commit benchmarks commit throughput across a 1..64 concurrent-writer
 // sweep, per-transaction fsync against the group-commit pipeline, and
 // writes BENCH_commit.json; at full scale the exit status is nonzero
@@ -67,11 +74,12 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	obsMode := flag.Bool("obs", false, "emit and validate the observability baseline")
 	quelMode := flag.Bool("quel", false, "benchmark the query planner and emit BENCH_quel.json")
+	parMode := flag.Bool("par", false, "benchmark the parallel executor and emit BENCH_par.json")
 	commitMode := flag.Bool("commit", false, "benchmark group commit and emit BENCH_commit.json")
 	readMode := flag.Bool("read", false, "benchmark snapshot read scaling and emit BENCH_read.json")
 	replMode := flag.Bool("repl", false, "benchmark read-replica scaling and emit BENCH_repl.json")
 	netMode := flag.Bool("net", false, "benchmark the TCP server and emit BENCH_net.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -commit / -read / -repl / -net")
+	out := flag.String("out", "", "output path for -obs / -quel / -par / -commit / -read / -repl / -net")
 	flag.Parse()
 
 	if *obsMode {
@@ -91,6 +99,17 @@ func main() {
 			path = "BENCH_quel.json"
 		}
 		if err := runQuel(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_par.json"
+		}
+		if err := runPar(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/mdm"
+	"repro/internal/obs"
+)
+
+// parBenchDoc is the BENCH_par.json document: the parallel executor's
+// worker sweep over the shared 100k-note / 1k-score corpus.  The cpus
+// field records the machine the numbers came from — a 1-core container
+// produces an honest ~1x sweep, and the absolute speedup floor is only
+// enforced where parallelism is physically measurable (>= 4 CPUs).
+type parBenchDoc struct {
+	SchemaVersion int               `json:"schema_version"`
+	Scale         quelScale         `json:"scale"`
+	CPUs          int               `json:"cpus"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	Sweep         []parPoint        `json:"sweep"`
+	ParCounters   map[string]uint64 `json:"par_counters"`
+}
+
+// parPoint is one worker count's measurements.  ParSpeedup is the
+// serial round time divided by this point's round time — the number the
+// CI floor gates on at workers=8.
+type parPoint struct {
+	Workers    int           `json:"workers"`
+	TotalNs    int64         `json:"total_ns_per_round"`
+	ParSpeedup float64       `json:"par_speedup"`
+	Workloads  []parWorkload `json:"workloads"`
+}
+
+type parWorkload struct {
+	Name      string `json:"name"`
+	Query     string `json:"query"`
+	Rows      int    `json:"rows"`
+	NsPerStmt int64  `json:"ns_per_stmt"`
+}
+
+const parBenchSchemaVersion = 1
+
+// parFloorSpeedup is the acceptance floor: >= 2x at 8 workers on the
+// 1k-score workload, enforced only at full scale on machines with at
+// least parFloorMinCPUs cores.
+const (
+	parFloorSpeedup = 2.0
+	parFloorMinCPUs = 4
+	parFloorWorkers = 8
+)
+
+// runPar benchmarks the morsel-driven parallel executor: the shared
+// score/note corpus is queried with scan-, probe-, and join-heavy
+// retrieves across a 1/2/4/8 worker sweep, and BENCH_par.json records
+// per-point speedups over the serial executor.  Every sweep point must
+// return the same row counts as the serial baseline; at full scale on a
+// machine with >= 4 CPUs the exit status is nonzero if the 8-worker
+// speedup falls below 2x.
+func runPar(path string, quick bool) error {
+	scale := quelBenchScale(quick)
+
+	m, err := mdm.Open(mdm.Options{SkipCMN: true})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	ctx := context.Background()
+	setup := m.NewSession()
+	if err := buildScoreCorpus(ctx, m, setup, scale); err != nil {
+		return err
+	}
+
+	workloads := []struct{ name, query string }{
+		{"index-range", `retrieve (n.name) where n.pitch >= 96`},
+		{"order-probe", fmt.Sprintf(
+			`retrieve (n.name, s.name) where n under s in note_in_score and s.name >= %d and n.pitch >= 64`, scale.Scores/10)},
+		{"hash-join", `retrieve (n.name, s.name) where n.score = s.name and n.pitch >= 96`},
+	}
+	decls := `range of n is NOTE
+range of s is SCORE`
+
+	doc := parBenchDoc{
+		SchemaVersion: parBenchSchemaVersion,
+		Scale:         scale,
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	baseRows := map[string]int{}
+	var serialNs int64
+	for _, workers := range []int{1, 2, 4, 8} {
+		sess := m.NewSession()
+		sess.SetParallelWorkers(workers)
+		// The 1k-score driver lists sit below the OLTP-tuned default
+		// threshold; the analytic sweep fans out from 256 driver rows.
+		sess.SetParallelMinRows(256)
+		if _, err := sess.ExecContext(ctx, decls); err != nil {
+			return err
+		}
+		pt := parPoint{Workers: workers}
+		for _, w := range workloads {
+			rows, ns, err := timeQuery(ctx, sess, w.query)
+			if err != nil {
+				return fmt.Errorf("%s (workers=%d): %w", w.name, workers, err)
+			}
+			if base, ok := baseRows[w.name]; !ok {
+				baseRows[w.name] = rows
+			} else if rows != base {
+				return fmt.Errorf("%s: %d rows at workers=%d, serial returned %d", w.name, rows, workers, base)
+			}
+			pt.Workloads = append(pt.Workloads, parWorkload{Name: w.name, Query: w.query, Rows: rows, NsPerStmt: ns})
+			pt.TotalNs += ns
+		}
+		if workers == 1 {
+			serialNs = pt.TotalNs
+		}
+		if pt.TotalNs > 0 {
+			pt.ParSpeedup = float64(serialNs) / float64(pt.TotalNs)
+		}
+		doc.Sweep = append(doc.Sweep, pt)
+		fmt.Printf("workers=%-2d round=%-12s par_speedup=%.2fx\n",
+			workers, time.Duration(pt.TotalNs), pt.ParSpeedup)
+	}
+
+	// The sweep above must actually have taken the parallel path.
+	snap := m.Obs().Doc()
+	if err := obs.ValidateDoc(snap); err != nil {
+		return err
+	}
+	doc.ParCounters = map[string]uint64{}
+	for _, mt := range snap.Metrics {
+		if len(mt.Name) > 9 && mt.Name[:9] == "quel.par." {
+			doc.ParCounters[mt.Name] = mt.Value
+		}
+	}
+	for _, name := range []string{"quel.par.queries", "quel.par.morsels"} {
+		if doc.ParCounters[name] == 0 {
+			return fmt.Errorf("expected nonzero parallel counter %s", name)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (cpus=%d)\n", path, doc.CPUs)
+
+	if quick {
+		return nil
+	}
+	if doc.CPUs < parFloorMinCPUs {
+		fmt.Printf("note: %d CPU(s); the %.0fx parallel-speedup floor needs >= %d and was not enforced\n",
+			doc.CPUs, parFloorSpeedup, parFloorMinCPUs)
+		return nil
+	}
+	for _, pt := range doc.Sweep {
+		if pt.Workers == parFloorWorkers && pt.ParSpeedup < parFloorSpeedup {
+			return fmt.Errorf("par_speedup %.2fx at %d workers below the %.0fx floor",
+				pt.ParSpeedup, pt.Workers, parFloorSpeedup)
+		}
+	}
+	return nil
+}

@@ -25,7 +25,7 @@ type quelBenchDoc struct {
 
 type quelScale struct {
 	Notes  int `json:"notes"`
-	Chords int `json:"chords"`
+	Scores int `json:"scores"`
 }
 
 type quelWorkload struct {
@@ -38,19 +38,67 @@ type quelWorkload struct {
 	Speedup          float64 `json:"speedup"`
 }
 
-const quelBenchSchemaVersion = 1
+const quelBenchSchemaVersion = 2
 
-// runQuel benchmarks the query planner: it loads a chord/note corpus,
-// runs scan-heavy, join-heavy, and ordering-operator workloads through
-// both executors, writes BENCH_quel.json, and fails if the join-heavy
-// speedup regresses below 5x (skipped under -quick, whose scale is too
-// small for stable ratios) or if the snapshot's planner counters are
-// malformed.
-func runQuel(path string, quick bool) error {
-	scale := quelScale{Notes: 10000, Chords: 100}
+// quelBenchScale is the corpus size shared by -quel and -par: 100k
+// notes across 1k scores at full scale (the multi-score analytic
+// workload both benches gate on), reduced for -quick.
+func quelBenchScale(quick bool) quelScale {
 	if quick {
-		scale = quelScale{Notes: 1000, Chords: 20}
+		return quelScale{Notes: 4000, Scores: 50}
 	}
+	return quelScale{Notes: 100000, Scores: 1000}
+}
+
+// buildScoreCorpus defines the SCORE/NOTE schema with the
+// note_in_score ordering and a pitch index, then loads scale.Notes
+// notes spread round-robin across scale.Scores scores.  Pitches cycle
+// deterministically through the MIDI range.
+func buildScoreCorpus(ctx context.Context, m *mdm.MDM, sess *mdm.Session, scale quelScale) error {
+	for _, src := range []string{
+		`define entity SCORE (name = integer)`,
+		`define entity NOTE (name = integer, pitch = integer, score = integer)`,
+		`define ordering note_in_score (NOTE) under SCORE`,
+		`define index on NOTE (pitch)`,
+		`define index on NOTE (name)`,
+	} {
+		if _, err := sess.ExecContext(ctx, src); err != nil {
+			return fmt.Errorf("ddl %q: %w", src, err)
+		}
+	}
+	scores := make([]value.Ref, scale.Scores)
+	var err error
+	for i := range scores {
+		scores[i], err = m.Model.NewEntity("SCORE", model.Attrs{"name": value.Int(int64(i))})
+		if err != nil {
+			return err
+		}
+	}
+	for i := 0; i < scale.Notes; i++ {
+		si := i % scale.Scores
+		n, err := m.Model.NewEntity("NOTE", model.Attrs{
+			"name":  value.Int(int64(i)),
+			"pitch": value.Int(int64(i % 128)),
+			"score": value.Int(int64(si)),
+		})
+		if err != nil {
+			return err
+		}
+		if err := m.Model.InsertChild("note_in_score", scores[si], n, model.Last()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQuel benchmarks the query planner: it loads the shared score/note
+// corpus (100k notes across 1k scores at full scale), runs scan-heavy,
+// join-heavy, and ordering-operator workloads through both executors,
+// writes BENCH_quel.json, and fails if the join-heavy speedup regresses
+// below 5x (skipped under -quick, whose scale is too small for stable
+// ratios) or if the snapshot's planner counters are malformed.
+func runQuel(path string, quick bool) error {
+	scale := quelBenchScale(quick)
 
 	m, err := mdm.Open(mdm.Options{SkipCMN: true})
 	if err != nil {
@@ -62,47 +110,19 @@ func runQuel(path string, quick bool) error {
 	naive.SetNaivePlanner(true)
 	ctx := context.Background()
 
-	for _, src := range []string{
-		`define entity CHORD (name = integer)`,
-		`define entity NOTE (name = integer, pitch = integer, chord = integer)`,
-		`define ordering note_in_chord (NOTE) under CHORD`,
-		`define index on NOTE (pitch)`,
-	} {
-		if _, err := sess.ExecContext(ctx, src); err != nil {
-			return fmt.Errorf("ddl %q: %w", src, err)
-		}
-	}
-	chords := make([]value.Ref, scale.Chords)
-	for i := range chords {
-		chords[i], err = m.Model.NewEntity("CHORD", model.Attrs{"name": value.Int(int64(i))})
-		if err != nil {
-			return err
-		}
-	}
-	for i := 0; i < scale.Notes; i++ {
-		ci := i % scale.Chords
-		n, err := m.Model.NewEntity("NOTE", model.Attrs{
-			"name":  value.Int(int64(i)),
-			"pitch": value.Int(int64(i % 128)),
-			"chord": value.Int(int64(ci)),
-		})
-		if err != nil {
-			return err
-		}
-		if err := m.Model.InsertChild("note_in_chord", chords[ci], n, model.Last()); err != nil {
-			return err
-		}
+	if err := buildScoreCorpus(ctx, m, sess, scale); err != nil {
+		return err
 	}
 
 	workloads := []struct{ name, query string }{
 		{"scan-index-point", `retrieve (n.name) where n.pitch = 64`},
 		{"scan-index-range", `retrieve (n.name) where n.pitch >= 60 and n.pitch < 64`},
-		{"join-heavy", `retrieve (n.name, c.name) where n.chord = c.name`},
-		{"ordering-probe", fmt.Sprintf(`retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = %d`, scale.Notes-1)},
+		{"join-heavy", fmt.Sprintf(`retrieve (n.name, s.name) where n.score = s.name and s.name < %d`, scale.Scores/5)},
+		{"ordering-probe", fmt.Sprintf(`retrieve (n1.name) where n1 before n2 in note_in_score and n2.name = %d`, scale.Notes-1)},
 		{"sort-elide", `retrieve (p = n.pitch) where n.pitch >= 120 sort by p desc`},
 	}
 	decls := `range of n, n1, n2 is NOTE
-range of c is CHORD`
+range of s is SCORE`
 	if _, err := sess.ExecContext(ctx, decls); err != nil {
 		return err
 	}

@@ -497,6 +497,56 @@ func (t *Tree) CountRange(lo, hi []byte) int {
 	return upper - lower
 }
 
+// SplitRange returns up to parts-1 interior boundary keys that divide
+// the entries with lo <= key < hi into roughly equal runs, using the
+// order-statistics counts (O(parts log n)).  Nil bounds are unbounded.
+// The returned keys are copies, strictly increasing, and all inside
+// (lo, hi), so [lo, b0), [b0, b1), ... [bk, hi) partition the range.
+// Parallel executors use this to carve an index range into morsels.
+func (t *Tree) SplitRange(lo, hi []byte, parts int) [][]byte {
+	if parts <= 1 {
+		return nil
+	}
+	lower := 0
+	if lo != nil {
+		lower = t.Rank(lo)
+	}
+	upper := t.size
+	if hi != nil {
+		upper = t.Rank(hi)
+	}
+	n := upper - lower
+	if n <= 1 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	var bounds [][]byte
+	var prev []byte
+	for p := 1; p < parts; p++ {
+		key, _, ok := t.At(lower + p*n/parts)
+		if !ok {
+			break
+		}
+		// Skip duplicate boundaries (heavy key skew) and anything not
+		// strictly inside the range.
+		if prev != nil && bytes.Compare(key, prev) <= 0 {
+			continue
+		}
+		if lo != nil && bytes.Compare(key, lo) <= 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(key, hi) >= 0 {
+			break
+		}
+		cp := append([]byte(nil), key...)
+		bounds = append(bounds, cp)
+		prev = cp
+	}
+	return bounds
+}
+
 // AscendPrefix calls fn for each entry whose key begins with prefix.
 func (t *Tree) AscendPrefix(prefix []byte, fn func(key []byte, val uint64) bool) {
 	it := t.Seek(prefix)

@@ -506,3 +506,77 @@ func TestQuickRandomKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), uint64(i))
+	}
+
+	// verify checks that the boundaries partition [lo,hi) exhaustively:
+	// strictly increasing, inside the range, and the sub-range counts sum
+	// to the full count with no sub-range empty.
+	verify := func(lo, hi []byte, parts int) {
+		t.Helper()
+		bounds := tr.SplitRange(lo, hi, parts)
+		if len(bounds) > parts-1 {
+			t.Fatalf("SplitRange(%v): %d bounds for %d parts", lo, len(bounds), parts)
+		}
+		prev := lo
+		total := 0
+		edges := append(append([][]byte{}, bounds...), hi)
+		for _, b := range edges {
+			if prev != nil && b != nil && bytes.Compare(prev, b) >= 0 {
+				t.Fatalf("bounds not increasing: %x >= %x", prev, b)
+			}
+			n := tr.CountRange(prev, b)
+			if n == 0 && len(bounds) > 0 {
+				t.Fatalf("empty sub-range [%x, %x)", prev, b)
+			}
+			total += n
+			prev = b
+		}
+		if want := tr.CountRange(lo, hi); total != want {
+			t.Fatalf("sub-ranges cover %d entries, want %d", total, want)
+		}
+	}
+
+	verify(nil, nil, 8)
+	verify(key(100), key(900), 4)
+	verify(key(0), key(1000), 16)
+	verify(key(500), key(510), 4) // small range: fewer parts than asked
+	verify(key(500), key(501), 8) // single entry: no bounds
+	if b := tr.SplitRange(nil, nil, 1); b != nil {
+		t.Fatalf("parts=1 should yield no bounds, got %d", len(b))
+	}
+	if b := tr.SplitRange(key(10), key(10), 4); b != nil {
+		t.Fatalf("empty range should yield no bounds, got %d", len(b))
+	}
+
+	// Balance: with 1000 uniform keys and 8 parts every run should be
+	// within 2x of the ideal eighth.
+	bounds := tr.SplitRange(nil, nil, 8)
+	if len(bounds) != 7 {
+		t.Fatalf("want 7 bounds, got %d", len(bounds))
+	}
+	prev := []byte(nil)
+	for _, b := range append(bounds, nil) {
+		n := tr.CountRange(prev, b)
+		if n < 1000/8/2 || n > 1000/8*2 {
+			t.Fatalf("unbalanced run: %d entries", n)
+		}
+		prev = b
+	}
+
+	// Heavy duplicates collapse boundaries rather than emitting equal keys.
+	dup := New()
+	for i := 0; i < 100; i++ {
+		dup.Set(append(key(7), byte(i)), uint64(i)) // same 8-byte prefix
+	}
+	db := dup.SplitRange(nil, nil, 4)
+	for i := 1; i < len(db); i++ {
+		if bytes.Compare(db[i-1], db[i]) >= 0 {
+			t.Fatalf("duplicate/unordered bounds at %d", i)
+		}
+	}
+}

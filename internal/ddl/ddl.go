@@ -11,7 +11,10 @@
 // relationship, reference attributes are the relationship's roles.
 //
 // As an implementation extension, `define index on ENTITY ( attr {, attr} )`
-// creates a secondary index (the §5.2 relational ordering optimization).
+// creates a secondary index (the §5.2 relational ordering optimization),
+// and `drop index on ENTITY ( attr {, attr} )` removes the index the
+// matching define created.  Both route through the model layer so the
+// schema epoch advances and cached query plans invalidate.
 package ddl
 
 import (
@@ -63,10 +66,23 @@ type DefineIndex struct {
 	Attrs  []string
 }
 
+// DropIndex removes the index a matching DefineIndex created.
+type DropIndex struct {
+	Entity string
+	Attrs  []string
+}
+
 func (DefineEntity) ddlStmt()       {}
 func (DefineRelationship) ddlStmt() {}
 func (DefineOrdering) ddlStmt()     {}
 func (DefineIndex) ddlStmt()        {}
+func (DropIndex) ddlStmt()          {}
+
+// indexName synthesizes the index name both DefineIndex and DropIndex
+// address, so a drop always finds what the matching define created.
+func indexName(entity string, attrs []string) string {
+	return "ix_" + strings.ToLower(entity) + "_" + strings.ToLower(strings.Join(attrs, "_"))
+}
 
 // parser carries the token stream.
 type parser struct {
@@ -121,8 +137,16 @@ func Parse(src string) ([]Statement, error) {
 }
 
 func (p *parser) statement() (Statement, error) {
+	if p.tok.IsKeyword("drop") {
+		p.next()
+		if !p.tok.IsKeyword("index") {
+			return nil, p.errf("expected 'index' after 'drop', found %s", p.tok)
+		}
+		p.next()
+		return p.dropIndex()
+	}
 	if !p.tok.IsKeyword("define") {
-		return nil, p.errf("expected 'define', found %s", p.tok)
+		return nil, p.errf("expected 'define' or 'drop', found %s", p.tok)
 	}
 	p.next()
 	switch {
@@ -238,23 +262,24 @@ func (p *parser) defineOrdering() (Statement, error) {
 	return DefineOrdering{Name: name, Children: children, Parent: parent}, nil
 }
 
-func (p *parser) defineIndex() (Statement, error) {
+// indexTail parses the shared `on ENTITY ( attr {, attr} )` clause.
+func (p *parser) indexTail() (string, []string, error) {
 	if !p.tok.IsKeyword("on") {
-		return nil, p.errf("expected 'on', found %s", p.tok)
+		return "", nil, p.errf("expected 'on', found %s", p.tok)
 	}
 	p.next()
 	entity, err := p.expectIdent()
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	if err := p.expectPunct("("); err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	var attrs []string
 	for {
 		a, err := p.expectIdent()
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
 		attrs = append(attrs, a)
 		if p.tok.Is(",") {
@@ -264,9 +289,25 @@ func (p *parser) defineIndex() (Statement, error) {
 		break
 	}
 	if err := p.expectPunct(")"); err != nil {
+		return "", nil, err
+	}
+	return entity, attrs, nil
+}
+
+func (p *parser) defineIndex() (Statement, error) {
+	entity, attrs, err := p.indexTail()
+	if err != nil {
 		return nil, err
 	}
 	return DefineIndex{Entity: entity, Attrs: attrs}, nil
+}
+
+func (p *parser) dropIndex() (Statement, error) {
+	entity, attrs, err := p.indexTail()
+	if err != nil {
+		return nil, err
+	}
+	return DropIndex{Entity: entity, Attrs: attrs}, nil
 }
 
 // Exec parses and executes DDL statements against the model database,
@@ -329,17 +370,21 @@ func execOne(db *model.Database, s Statement) (string, error) {
 		return fmt.Sprintf("defined ordering %s (%s) under %s", o.Name, strings.Join(o.Children, ", "), o.Parent), nil
 
 	case DefineIndex:
-		if _, ok := db.EntityType(st.Entity); !ok {
-			return "", fmt.Errorf("ddl: define index: %w: %s", model.ErrNoEntityType, st.Entity)
-		}
 		spec := storage.IndexSpec{
-			Name:    "ix_" + strings.ToLower(st.Entity) + "_" + strings.ToLower(strings.Join(st.Attrs, "_")),
+			Name:    indexName(st.Entity, st.Attrs),
 			Columns: st.Attrs,
 		}
-		if err := db.Store().CreateIndex(db.InstanceRelation(st.Entity), spec); err != nil {
+		if err := db.DefineIndex(st.Entity, spec); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("defined index %s on %s", spec.Name, st.Entity), nil
+
+	case DropIndex:
+		name := indexName(st.Entity, st.Attrs)
+		if err := db.DropIndex(st.Entity, name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dropped index %s on %s", name, st.Entity), nil
 	}
 	return "", fmt.Errorf("ddl: unknown statement %T", s)
 }

@@ -168,6 +168,38 @@ func TestExecIndex(t *testing.T) {
 	}
 }
 
+func TestExecDropIndex(t *testing.T) {
+	db := memModel(t)
+	if _, err := Exec(db, "define entity NOTE (pitch = integer)\ndefine index on NOTE (pitch)"); err != nil {
+		t.Fatal(err)
+	}
+	e0 := db.SchemaEpoch()
+	msgs, err := Exec(db, "drop index on NOTE (pitch)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msgs[0], "dropped index ix_note_pitch") {
+		t.Fatalf("msg: %v", msgs)
+	}
+	if db.SchemaEpoch() == e0 {
+		t.Fatal("drop index did not advance the schema epoch")
+	}
+	if _, ok := db.AttrIndexName("NOTE", "pitch"); ok {
+		t.Fatal("index still resolvable after drop")
+	}
+	// Dropping again (or on a missing entity) fails cleanly.
+	if _, err := Exec(db, "drop index on NOTE (pitch)"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+	if _, err := Exec(db, "drop index on NOPE (pitch)"); err == nil {
+		t.Fatal("drop on missing entity accepted")
+	}
+	// The define can be replayed after the drop.
+	if _, err := Exec(db, "define index on NOTE (pitch)"); err != nil {
+		t.Fatalf("redefine after drop: %v", err)
+	}
+}
+
 func TestExecRelationshipWithAttrs(t *testing.T) {
 	db := memModel(t)
 	src := `

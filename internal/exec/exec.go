@@ -1,0 +1,73 @@
+// Package exec provides the morsel-driven parallel execution primitive
+// shared by the query layer: a bounded worker pool pulling morsel
+// indexes from an atomic counter, with first-error-wins semantics and
+// context cancellation propagated to every worker.
+//
+// Morsel-driven scheduling (Leis et al., SIGMOD 2014) self-balances
+// skewed partitions: workers that finish small morsels immediately pull
+// the next one, so one oversized score cannot stall the rest of the
+// pool behind a static assignment.
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn for each morsel index in [0, morsels) on up to
+// workers goroutines.  Each fn invocation receives the worker's id
+// (0..workers-1, stable for the worker's lifetime, for per-worker
+// state) and the morsel index.  The first error cancels the derived
+// context and stops the pool; remaining workers drain after their
+// current morsel.  Run blocks until all workers have exited.
+func Run(ctx context.Context, workers, morsels int, fn func(ctx context.Context, worker, morsel int) error) error {
+	if morsels <= 0 {
+		return nil
+	}
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for i := 0; i < morsels; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, worker, m); err != nil {
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return ctx.Err()
+}

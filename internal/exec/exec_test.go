@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryMorsel(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		var mu sync.Mutex
+		seen := map[int]int{}
+		err := Run(context.Background(), workers, 100, func(_ context.Context, _, m int) error {
+			mu.Lock()
+			seen[m]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 100 {
+			t.Fatalf("workers=%d: covered %d morsels", workers, len(seen))
+		}
+		for m, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: morsel %d ran %d times", workers, m, n)
+			}
+		}
+	}
+}
+
+func TestRunWorkerIDsDistinct(t *testing.T) {
+	var maxW atomic.Int64
+	err := Run(context.Background(), 4, 64, func(_ context.Context, w, _ int) error {
+		if int64(w) > maxW.Load() {
+			maxW.Store(int64(w))
+		}
+		if w < 0 || w >= 4 {
+			return errors.New("worker id out of range")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFirstErrorWinsAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := Run(context.Background(), 4, 1000, func(ctx context.Context, _, m int) error {
+		if m == 10 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, 4, 1<<20, func(ctx context.Context, _, m int) error {
+			if m == 0 {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+			}
+			return nil
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			// The pool may legitimately finish all morsels before the
+			// cancel lands; only a hang is a failure.
+			if err != nil {
+				t.Fatalf("err = %v", err)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not stop after cancel")
+	}
+}
+
+func TestRunZeroAndSerial(t *testing.T) {
+	if err := Run(context.Background(), 8, 0, func(context.Context, int, int) error {
+		t.Fatal("fn called for zero morsels")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	err := Run(context.Background(), 1, 5, func(_ context.Context, w, m int) error {
+		if w != 0 {
+			t.Fatalf("serial worker id %d", w)
+		}
+		order = append(order, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range order {
+		if m != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}

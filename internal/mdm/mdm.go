@@ -47,6 +47,11 @@ type Options struct {
 	// explain) run against a pinned MVCC snapshot with zero lock
 	// acquisition.  The zero value (SnapshotAuto) enables them.
 	SnapshotReads SnapshotMode
+	// ParallelWorkers sets the worker fan-out for snapshot retrieves:
+	// full scans, index range scans, hash-join builds, and ordering
+	// probes partition across this many workers on a shared morsel
+	// pool.  Zero or one keeps every statement on the serial executor.
+	ParallelWorkers int
 }
 
 // SnapshotMode selects how sessions execute read-only statements.
@@ -72,7 +77,9 @@ type MDM struct {
 	Biblio  *biblio.Index
 
 	snapshotReads SnapshotMode
+	parWorkers    int
 	stmts         *stmtCache
+	plans         *quel.PlanCache
 }
 
 // Open builds (or reopens) a music data manager.
@@ -92,7 +99,14 @@ func Open(opts Options) (*MDM, error) {
 		store.Close()
 		return nil, err
 	}
-	mgr := &MDM{Store: store, Model: m, snapshotReads: opts.SnapshotReads, stmts: newStmtCache(stmtCacheMax)}
+	mgr := &MDM{
+		Store:         store,
+		Model:         m,
+		snapshotReads: opts.SnapshotReads,
+		parWorkers:    opts.ParallelWorkers,
+		stmts:         newStmtCache(stmtCacheMax),
+		plans:         quel.NewPlanCache(store.Obs()),
+	}
 	if !opts.SkipCMN {
 		if mgr.Music, err = cmn.Open(m); err != nil {
 			store.Close()
@@ -156,6 +170,10 @@ type sessionObs struct {
 func (m *MDM) NewSession() *Session {
 	s := &Session{mdm: m, quel: quel.NewSession(m.Model), policy: DefaultRetryPolicy}
 	s.quel.SetSnapshotReads(m.snapshotReads == SnapshotAuto)
+	s.quel.SetPlanCache(m.plans)
+	if m.parWorkers > 1 {
+		s.quel.SetParallel(m.parWorkers)
+	}
 	if reg := m.Obs(); reg != nil {
 		s.obs = sessionObs{
 			statements:      reg.Counter("mdm.statements"),
@@ -170,7 +188,7 @@ func (m *MDM) NewSession() *Session {
 }
 
 // ddlKeywords begin DDL statements.
-var ddlKeywords = []string{"define"}
+var ddlKeywords = []string{"define", "drop"}
 
 // ExecResult is the outcome of one ExecContext call.
 type ExecResult struct {
@@ -193,6 +211,17 @@ func (s *Session) SetNaivePlanner(on bool) { s.quel.SetNaive(on) }
 // this session: on runs read-only statements lock-free against a pinned
 // snapshot, off takes shared locks (the comparison baseline).
 func (s *Session) SetSnapshotReads(on bool) { s.quel.SetSnapshotReads(on) }
+
+// SetParallelWorkers overrides the manager-wide Options.ParallelWorkers
+// for this session.  Benchmarks use it to sweep worker counts over one
+// corpus; n <= 1 restores the serial executor.
+func (s *Session) SetParallelWorkers(n int) { s.quel.SetParallel(n) }
+
+// SetParallelMinRows tunes the driver-row threshold below which a
+// retrieve stays serial.  The default favors OLTP point queries;
+// score-grained analytics whose driver list is one row per score — but
+// whose per-row probe work is heavy — lower it to fan out anyway.
+func (s *Session) SetParallelMinRows(n int) { s.quel.SetParallelMinRows(n) }
 
 // ExecContext executes DDL or QUEL source, dispatching on the first
 // keyword.  After DDL, the meta-catalog is refreshed so the new schema

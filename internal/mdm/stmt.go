@@ -28,10 +28,14 @@ type Stmt struct {
 // stmtCache is the manager-wide cache of parsed statements, keyed by
 // source text.  Parsed statements are session-independent (binding
 // copies the tree), so every session — and every server connection —
-// preparing the same source shares one parse.
+// preparing the same source shares one parse.  The cache remembers the
+// schema epoch it was filled under and flushes wholesale when DDL
+// advances it, so a statement prepared before a `drop index` never
+// replays a plan over the dropped index.
 type stmtCache struct {
 	mu    sync.Mutex
 	max   int
+	epoch uint64
 	bySrc map[string]*quel.Prepared
 	order []string // FIFO eviction order
 }
@@ -40,9 +44,16 @@ func newStmtCache(max int) *stmtCache {
 	return &stmtCache{max: max, bySrc: make(map[string]*quel.Prepared)}
 }
 
-// get returns the cached parse of src, or parses and caches it.
-func (c *stmtCache) get(src string) (*quel.Prepared, bool, error) {
+// get returns the cached parse of src, or parses and caches it.  epoch
+// is the model's current schema epoch; a mismatch with the cache's
+// recorded epoch empties it before lookup.
+func (c *stmtCache) get(src string, epoch uint64) (*quel.Prepared, bool, error) {
 	c.mu.Lock()
+	if c.epoch != epoch {
+		c.bySrc = make(map[string]*quel.Prepared)
+		c.order = nil
+		c.epoch = epoch
+	}
 	p, ok := c.bySrc[src]
 	c.mu.Unlock()
 	if ok {
@@ -53,16 +64,18 @@ func (c *stmtCache) get(src string) (*quel.Prepared, bool, error) {
 		return nil, false, err
 	}
 	c.mu.Lock()
-	if existing, ok := c.bySrc[src]; ok {
-		p = existing // another session raced us; share its parse
-	} else {
-		if len(c.order) >= c.max {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.bySrc, oldest)
+	if c.epoch == epoch {
+		if existing, ok := c.bySrc[src]; ok {
+			p = existing // another session raced us; share its parse
+		} else {
+			if len(c.order) >= c.max {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				delete(c.bySrc, oldest)
+			}
+			c.bySrc[src] = p
+			c.order = append(c.order, src)
 		}
-		c.bySrc[src] = p
-		c.order = append(c.order, src)
 	}
 	c.mu.Unlock()
 	return p, false, nil
@@ -84,7 +97,7 @@ func (s *Session) PrepareContext(ctx context.Context, src string) (*Stmt, error)
 			return nil, fmt.Errorf("%w: cannot prepare DDL (%q); execute it directly", ErrParse, first)
 		}
 	}
-	p, hit, err := s.mdm.stmts.get(trimmed)
+	p, hit, err := s.mdm.stmts.get(trimmed, s.mdm.Model.SchemaEpoch())
 	if err != nil {
 		return nil, classify(err)
 	}

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -164,6 +165,12 @@ type Database struct {
 	orders    map[string]*orderRuntime
 
 	autoOrder int // counter for auto-generated ordering names
+
+	// schemaEpoch counts schema changes (entity/relationship/ordering
+	// definitions, index creation and drops).  Plan and statement caches
+	// key on it: a cached plan from an older epoch is replanned, so it
+	// can never reference a dropped index.
+	schemaEpoch atomic.Uint64
 }
 
 // Open loads (or initializes) a model database on top of a storage DB.
@@ -406,6 +413,7 @@ func (db *Database) DefineEntity(name string, attrs ...value.Field) (*EntityType
 	}
 	et := &EntityType{Name: name, Attrs: attrs}
 	db.entities[name] = et
+	db.schemaEpoch.Add(1)
 	return et, nil
 }
 
@@ -470,6 +478,7 @@ func (db *Database) DefineRelationship(name string, roles []Role, attrs ...value
 	}
 	rt := &RelationshipType{Name: name, Roles: roles, Attrs: attrs}
 	db.relationships[name] = rt
+	db.schemaEpoch.Add(1)
 	return rt, nil
 }
 
@@ -540,7 +549,50 @@ func (db *Database) DefineOrdering(name string, children []string, parent string
 	o := &Ordering{Name: name, Parent: parent, Children: append([]string(nil), children...)}
 	db.orderings[name] = o
 	db.orders[name] = newOrderRuntime()
+	db.schemaEpoch.Add(1)
 	return o, nil
+}
+
+// SchemaEpoch returns the current schema epoch: a counter bumped by
+// every schema change (type definitions, index creation, index drops).
+// Plan and prepared-statement caches compare epochs to decide whether a
+// cached plan is still trustworthy.
+func (db *Database) SchemaEpoch() uint64 { return db.schemaEpoch.Load() }
+
+// DefineIndex adds a secondary index over attributes of an entity type's
+// instance relation and bumps the schema epoch.  DDL (define index on
+// ...) routes through here so caches observe the change.
+func (db *Database) DefineIndex(typeName string, spec storage.IndexSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.entities[typeName]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	if err := db.store.CreateIndex(entPrefix+typeName, spec); err != nil {
+		return err
+	}
+	db.schemaEpoch.Add(1)
+	return nil
+}
+
+// DropIndex removes a secondary index from an entity type's instance
+// relation and bumps the schema epoch, so cached plans referencing the
+// index are invalidated before they can run again.  The built-in by_ref
+// surrogate index cannot be dropped.
+func (db *Database) DropIndex(typeName, indexName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.entities[typeName]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoEntityType, typeName)
+	}
+	if indexName == "by_ref" {
+		return fmt.Errorf("model: index %q on %s is structural and cannot be dropped", indexName, typeName)
+	}
+	if err := db.store.DropIndex(entPrefix+typeName, indexName); err != nil {
+		return err
+	}
+	db.schemaEpoch.Add(1)
+	return nil
 }
 
 // EntityType returns the named entity type.

@@ -72,12 +72,39 @@ type Session struct {
 	ps     *planStats // live stats for the statement being executed
 	naive  bool       // bypass the cost-based planner (SetNaive)
 	noSnap bool       // route read-only statements through locks (SetSnapshotReads)
-	// sortHint, cache, and snap live for one statement; retrieveStats and
-	// execOne install and clear them.
+	// sortHint, cache, snap, and emit live for one statement;
+	// retrieveStats and execOne install and clear them.
 	sortHint *sortHint
 	cache    *stmtCache
 	snap     *model.Snap // pinned read snapshot; nil = locking reads
+	emit     *emitter    // live row collector; non-nil only inside a retrieve
+	// Parallel execution (parallel.go) and the shared plan cache
+	// (plancache.go) are opt-in per session.
+	parWorkers int // worker pool size; <= 1 = serial
+	parMin     int // minimum driver rows before the pool engages
+	plans      *PlanCache
 }
+
+// SetParallel sets the worker-pool size for read statements.  With n > 1
+// and a pinned snapshot, index-scan materialization, hash-table builds,
+// and the join pipeline itself fan out across n workers (parallel.go);
+// n <= 1 restores the serial executor.  Write statements never
+// parallelize: they run under two-phase locking, not a snapshot.
+func (s *Session) SetParallel(n int) { s.parWorkers = n }
+
+// SetParallelMinRows overrides the driver-row threshold below which
+// parallel execution is skipped (the fork/merge overhead would dominate).
+// Tests use small values to force the parallel path on tiny fixtures.
+func (s *Session) SetParallelMinRows(n int) {
+	if n > 0 {
+		s.parMin = n
+	}
+}
+
+// SetPlanCache attaches a shared plan cache: join orders and access-path
+// choices are reused across statements (and sessions) with the same
+// normalized shape, until a schema change invalidates them.
+func (s *Session) SetPlanCache(c *PlanCache) { s.plans = c }
 
 // SetNaive switches the session to the retained pre-planner executor:
 // alphabetical variable order, heap scans, pure nested-loop join.
@@ -124,7 +151,7 @@ type sessMetrics struct {
 
 // NewSession returns a session over the model database.
 func NewSession(db *model.Database) *Session {
-	s := &Session{db: db, ranges: make(map[string]string)}
+	s := &Session{db: db, ranges: make(map[string]string), parMin: defaultParMinRows}
 	if reg := db.Store().Obs(); reg != nil {
 		s.m = sessMetrics{
 			stmt:     reg.Histogram("quel.stmt.ns"),
@@ -143,6 +170,8 @@ func NewSession(db *model.Database) *Session {
 			joinProbe:  reg.Counter("quel.plan.join.probe"),
 			hashProbes: reg.Counter("quel.plan.hash.probes"),
 			hashHits:   reg.Counter("quel.plan.hash.hits"),
+			parQueries: reg.Counter("quel.par.queries"),
+			parMorsels: reg.Counter("quel.par.morsels"),
 		}
 	}
 	return s
@@ -530,6 +559,48 @@ func (s *Session) bindAllNaive(ctx context.Context, vars []string, infos map[str
 	return err
 }
 
+// emitter evaluates the qualification and target list for one join
+// combination and collects the resulting row.  It is the unit the
+// parallel executor clones per worker: each worker gets its own emitter
+// over its own session clone, so the only shared state on the emit path
+// is the snapshot (safe for concurrent reads) and the atomic counters.
+// Unique dedup deliberately does NOT happen here — retrieveStats applies
+// it after the (merge-ordered) rows are assembled.
+type emitter struct {
+	s    *Session
+	q    Retrieve
+	ps   *planStats
+	rows []value.Tuple
+}
+
+func (em *emitter) emit(e env) error {
+	if em.q.Where != nil {
+		em.ps.FilterIn++
+		ok, err := em.s.evalBool(em.q.Where, e)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		em.ps.FilterOut++
+	}
+	var row value.Tuple
+	for _, t := range em.q.Targets {
+		if t.All {
+			row = append(row, e[t.Var].attrs...)
+			continue
+		}
+		v, err := em.s.eval(t.Expr, e)
+		if err != nil {
+			return err
+		}
+		row = append(row, v)
+	}
+	em.rows = append(em.rows, row)
+	return nil
+}
+
 func (s *Session) retrieve(ctx context.Context, q Retrieve) (*Result, error) {
 	res, _, err := s.retrieveStats(ctx, q)
 	return res, err
@@ -578,45 +649,32 @@ func (s *Session) retrieveStats(ctx context.Context, q Retrieve) (*Result, *plan
 		res.Columns = append(res.Columns, t.Label)
 	}
 
-	seen := map[string]bool{}
-	err := s.bindAll(ctx, vars, q.Where, func(e env) error {
-		if q.Where != nil {
-			ps.FilterIn++
-			ok, err := s.evalBool(q.Where, e)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			ps.FilterOut++
-		}
-		var row value.Tuple
-		for _, t := range q.Targets {
-			if t.All {
-				row = append(row, e[t.Var].attrs...)
-				continue
-			}
-			v, err := s.eval(t.Expr, e)
-			if err != nil {
-				return err
-			}
-			row = append(row, v)
-		}
-		if q.Unique {
-			key := string(value.AppendKeyTuple(nil, row))
-			if seen[key] {
-				ps.UniqueDropped++
-				return nil
-			}
-			seen[key] = true
-		}
-		res.Rows = append(res.Rows, row)
-		return nil
-	})
+	em := &emitter{s: s, q: q, ps: ps}
+	s.emit = em
+	err := s.bindAll(ctx, vars, q.Where, em.emit)
+	s.emit = nil
 	if err != nil {
 		return nil, nil, err
 	}
+	rows := em.rows
+	if q.Unique {
+		// Dedup runs after the join (and after any parallel merge, which
+		// reproduces the serial emit order), so first-occurrence-wins is
+		// identical in every execution mode.
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, row := range rows {
+			key := string(value.AppendKeyTuple(nil, row))
+			if seen[key] {
+				ps.UniqueDropped++
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, row)
+		}
+		rows = kept
+	}
+	res.Rows = rows
 	if len(q.SortBy) > 0 && !ps.SortElided {
 		sortStart := time.Now()
 		if err := sortRows(res, q.SortBy); err != nil {

@@ -27,6 +27,18 @@ type planStats struct {
 	SortDur       time.Duration
 	Emitted       int
 	Total         time.Duration
+	CacheHit      bool      // plan strategy came from the shared plan cache
+	Par           *parStats // set when the join ran on the worker pool
+}
+
+// parStats records the parallel executor's shape for one statement:
+// worker fan-out, morsel count, and per-morsel driver rows (est) vs.
+// emitted rows (actual) — the skew picture.
+type parStats struct {
+	Workers  int
+	Morsels  int
+	PartEst  []int // driver rows handed to each morsel
+	PartRows []int // rows emitted by each morsel
 }
 
 // scanStats describes one range variable's scan.
@@ -39,6 +51,7 @@ type scanStats struct {
 	Index   string // secondary index used; empty = heap scan
 	Range   string // key-range description for index scans
 	Skipped bool   // not scanned: an earlier variable had no bindings
+	Parts   int    // sub-ranges scanned in parallel; 0 = serial scan
 	Sargs   []string
 	Dur     time.Duration
 }
@@ -48,6 +61,7 @@ type joinStat struct {
 	Var    string
 	Method string // "scan", "hash", "probe", "loop"
 	Cond   string // join conjunct(s) driving a hash join or order probe
+	Est    int    // planner's combination estimate after this step
 	Build  int    // bindings on the step's own side
 	Probes int
 	Hits   int
@@ -99,6 +113,9 @@ func renderPlan(q Retrieve, ps *planStats) []string {
 	}
 	add(0, "%s (rows=%d) (time=%s)", root, ps.Emitted, ps.Total)
 	depth := 1
+	if ps.CacheHit {
+		add(depth, "PlanCache: hit")
+	}
 	if len(q.SortBy) > 0 {
 		keys := make([]string, len(q.SortBy))
 		for i, k := range q.SortBy {
@@ -124,6 +141,13 @@ func renderPlan(q Retrieve, ps *planStats) []string {
 		if ps.OrderEvals > 0 {
 			add(depth, "OrderOps: %d evals (time=%s)", ps.OrderEvals, ps.OrderDur)
 		}
+	}
+	if ps.Par != nil {
+		add(depth, "Parallel (workers=%d, morsels=%d)", ps.Par.Workers, ps.Par.Morsels)
+		for m := range ps.Par.PartEst {
+			add(depth+1, "morsel %d: est=%d rows=%d", m, ps.Par.PartEst[m], ps.Par.PartRows[m])
+		}
+		depth++
 	}
 	if len(ps.Steps) > 1 {
 		renderSteps(add, depth, ps, len(ps.Steps)-1)
@@ -151,11 +175,11 @@ func renderSteps(add func(int, string, ...any), depth int, ps *planStats, k int)
 	}
 	switch st.Method {
 	case "hash":
-		add(depth, "HashJoin (%s) (build=%d, probes=%d, hits=%d)", st.Cond, st.Build, st.Probes, st.Hits)
+		add(depth, "HashJoin (%s) (est=%d, build=%d, probes=%d, hits=%d)", st.Cond, st.Est, st.Build, st.Probes, st.Hits)
 	case "probe":
-		add(depth, "OrderProbe (%s) (probes=%d, hits=%d)", st.Cond, st.Probes, st.Hits)
+		add(depth, "OrderProbe (%s) (est=%d, probes=%d, hits=%d)", st.Cond, st.Est, st.Probes, st.Hits)
 	default:
-		add(depth, "NestedLoopJoin (probes=%d, hits=%d)", st.Probes, st.Hits)
+		add(depth, "NestedLoopJoin (est=%d, probes=%d, hits=%d)", st.Est, st.Probes, st.Hits)
 	}
 	renderSteps(add, depth+1, ps, k-1)
 	renderScan(add, depth+1, scanFor(ps, st.Var))
@@ -184,6 +208,9 @@ func renderScan(add func(int, string, ...any), depth int, sc scanStats) {
 	default:
 		add(depth, "Scan %s on %s (est=%d, scanned=%d, kept=%d) (time=%s)",
 			sc.Var, sc.Rel, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
+	}
+	if sc.Parts > 0 {
+		add(depth+1, "Parallel: %d sub-ranges", sc.Parts)
 	}
 	if !sc.Skipped && len(sc.Sargs) > 0 {
 		add(depth+1, "Sarg: %s", strings.Join(sc.Sargs, " and "))

@@ -52,7 +52,7 @@ func TestExplainOrderOpJoin(t *testing.T) {
 		`Retrieve (rows=2) (time=X)`,
 		`  Filter: ((n1 before n2 in note_in_chord) and (n2.name = 3)) (in=2, out=2)`,
 		`    OrderOps: 2 evals (time=X)`,
-		`    OrderProbe (n1 before n2 in note_in_chord) (probes=1, hits=2)`,
+		`    OrderProbe (n1 before n2 in note_in_chord) (est=2, probes=1, hits=2)`,
 		`      Scan n2 on NOTE (est=5, scanned=5, kept=1) (time=X)`,
 		`        Sarg: n2.name = 3`,
 		`      Scan n1 on NOTE (est=5, scanned=5, kept=5) (time=X)`,

@@ -41,12 +41,15 @@ type planMetrics struct {
 	joinProbe  *obs.Counter // quel.plan.join.probe
 	hashProbes *obs.Counter // quel.plan.hash.probes
 	hashHits   *obs.Counter // quel.plan.hash.hits
+	parQueries *obs.Counter // quel.par.queries
+	parMorsels *obs.Counter // quel.par.morsels
 }
 
 // accessPath describes how one variable's bindings are produced: a heap
 // scan, or a range of a secondary index.
 type accessPath struct {
 	index         string // secondary index name; empty = heap scan
+	attr          string // attribute the index covers (plan-cache replay)
 	lo, hi        []byte // encoded key bounds, nil = open
 	rng           string // bound description for explain
 	est           int    // row estimate (order-statistics count for ranges)
@@ -250,7 +253,7 @@ func (s *Session) indexRange(rel *storage.Relation, info varInfo, attr string, s
 	if est < 0 {
 		return accessPath{}, false
 	}
-	return accessPath{index: spec.Name, lo: lo, hi: hi, rng: strings.Join(parts, " and "), est: est}, true
+	return accessPath{index: spec.Name, attr: f.Name, lo: lo, hi: hi, rng: strings.Join(parts, " and "), est: est}, true
 }
 
 // chooseAccess picks the access path for one variable: the most
@@ -312,7 +315,9 @@ func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
 		emit := func(ref value.Ref, attrs value.Tuple) bool {
 			return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
 		}
-		if snap := s.snap; snap != nil {
+		if did, perr := s.scanIndexParallel(ctx, vp, &st); did {
+			err = perr
+		} else if snap := s.snap; snap != nil {
 			err = snap.InstancesRange(vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse, emit)
 		} else {
 			err = s.db.InstancesRangeCtx(ctx, vp.info.typ, vp.access.index, vp.access.lo, vp.access.hi, vp.access.reverse, emit)
@@ -364,8 +369,13 @@ type joinStep struct {
 	newIsLeft bool
 	otherVar  string
 
-	probes, hits int
+	est int // estimated combinations after this step joins
 }
+
+// stepCount accumulates one driver's probe/hit counts for a step.  The
+// counts live outside joinStep so parallel workers driving disjoint
+// morsels over the same (read-only) steps never write shared memory.
+type stepCount struct{ probes, hits int }
 
 // appendHashKey encodes v for hash-join key equality.  Within one
 // declared kind the order-preserving encoding is bijective, except that
@@ -390,43 +400,162 @@ func buildHashTable(vp *varPlan, build []joinKey) map[string][]int {
 	return h
 }
 
-// orderJoins picks the join order: smallest binding list first, then
-// greedily the smallest remaining variable that an equi- or ordering
-// conjunct connects to the joined set (falling back to the smallest
-// unconnected one).  Ties break on variable name, keeping plans
-// deterministic for golden tests.
-func (s *Session) orderJoins(plans []*varPlan, equis []equiCond, orders []orderCond) []*joinStep {
-	chosen := make(map[string]bool, len(plans))
-	connected := func(name string) bool {
-		for _, ec := range equis {
-			if (ec.l.v == name && chosen[ec.r.v]) || (ec.r.v == name && chosen[ec.l.v]) {
-				return true
-			}
-		}
-		for _, oc := range orders {
-			if (oc.l == name && chosen[oc.r]) || (oc.r == name && chosen[oc.l]) {
-				return true
-			}
-		}
-		return false
+// distinctOf estimates how many distinct join-key values a variable's
+// binding list carries.  Entity refs are unique by construction; indexed
+// attributes use the per-index distinct count maintained by the storage
+// layer (rebuilt on checkpoint, refreshed lazily on churn); anything
+// else falls back to a tenth of the list — the classic guess for an
+// unindexed equi-key.
+func (s *Session) distinctOf(vp *varPlan, k joinKey) int {
+	n := len(vp.list)
+	if n == 0 {
+		return 1
 	}
-	steps := make([]*joinStep, 0, len(plans))
-	for len(steps) < len(plans) {
-		var best *varPlan
-		bestConn := false
-		for _, vp := range plans { // plans arrive in sorted-name order
-			if chosen[vp.name] {
+	if k.idx < 0 {
+		return n
+	}
+	if !vp.info.isRel {
+		if ixName, ok := s.db.AttrIndexName(vp.info.typ, k.attr); ok {
+			if st, ok := s.db.InstanceIndexStats(vp.info.typ, ixName); ok && st.Distinct > 0 {
+				if st.Distinct < n {
+					return st.Distinct
+				}
+				return n
+			}
+		}
+	}
+	if d := n / 10; d > 1 {
+		return d
+	}
+	return 1
+}
+
+// orderFanout estimates an ordering probe's partner count per bound row:
+// one parent when the new variable is the parent side of `under`; the
+// average family size (children over parents) when it is the child side;
+// half the average sibling count for before/after.
+func (s *Session) orderFanout(vp *varPlan, oc orderCond, newIsLeft bool) float64 {
+	if oc.op == "under" && !newIsLeft {
+		return 1
+	}
+	parents := 1
+	if o, ok := s.db.OrderingByName(oc.ordering); ok {
+		if n := s.db.Count(o.Parent); n > 0 {
+			parents = n
+		}
+	}
+	fan := float64(len(vp.list)) / float64(parents)
+	if oc.op != "under" {
+		fan /= 2
+	}
+	if fan < 1 {
+		fan = 1
+	}
+	return fan
+}
+
+// estFanout estimates how many combinations each already-joined row
+// yields when vp joins next.  Equi-conjuncts into the joined set divide
+// the list by the larger side's distinct count (containment assumption);
+// failing those, a connecting ordering conjunct bounds the fan-out by
+// its expected partner count; an unconnected variable contributes its
+// whole list (cross product).  Mirrors makeStep's method choice: hash
+// when equi-connected, probe when order-connected, loop otherwise.
+func (s *Session) estFanout(vp *varPlan, byName map[string]*varPlan, chosen map[string]bool, equis []equiCond, orders []orderCond) float64 {
+	fan := float64(len(vp.list))
+	conn := false
+	for _, ec := range equis {
+		var mine, theirs joinKey
+		switch {
+		case ec.l.v == vp.name && chosen[ec.r.v]:
+			mine, theirs = ec.l, ec.r
+		case ec.r.v == vp.name && chosen[ec.l.v]:
+			mine, theirs = ec.r, ec.l
+		default:
+			continue
+		}
+		conn = true
+		d := s.distinctOf(vp, mine)
+		if op := byName[theirs.v]; op != nil {
+			if od := s.distinctOf(op, theirs); od > d {
+				d = od
+			}
+		}
+		if d > 1 {
+			fan /= float64(d)
+		}
+	}
+	if conn {
+		return fan
+	}
+	for _, oc := range orders {
+		newIsLeft := oc.l == vp.name
+		other := oc.r
+		if !newIsLeft {
+			if oc.r != vp.name {
 				continue
 			}
-			conn := len(steps) > 0 && connected(vp.name)
-			switch {
-			case best == nil,
-				conn && !bestConn,
-				conn == bestConn && len(vp.list) < len(best.list):
-				best, bestConn = vp, conn
+			other = oc.l
+		}
+		if !chosen[other] {
+			continue
+		}
+		if f := s.orderFanout(vp, oc, newIsLeft); f < fan {
+			fan = f
+		}
+	}
+	return fan
+}
+
+// orderJoins picks the join order from planner statistics: each round
+// adds the unchosen variable with the smallest estimated fan-out
+// (estFanout; for the first variable that is simply its list size, so
+// the smallest binding list still drives the pipeline).  Ties break on
+// list size then variable name — plans stay deterministic for golden
+// tests.  A non-nil forced order (plan-cache replay) skips the ranking
+// but still computes each step's estimate for explain.
+func (s *Session) orderJoins(plans []*varPlan, equis []equiCond, orders []orderCond, forced []string) []*joinStep {
+	byName := make(map[string]*varPlan, len(plans))
+	for _, vp := range plans {
+		byName[vp.name] = vp
+	}
+	if len(forced) == len(plans) {
+		for _, name := range forced {
+			if byName[name] == nil {
+				forced = nil
+				break
 			}
 		}
-		steps = append(steps, s.makeStep(best, chosen, equis, orders, len(steps) == 0))
+	} else {
+		forced = nil
+	}
+	chosen := make(map[string]bool, len(plans))
+	steps := make([]*joinStep, 0, len(plans))
+	estRows := 1.0
+	for len(steps) < len(plans) {
+		var best *varPlan
+		var bestFan float64
+		if forced != nil {
+			best = byName[forced[len(steps)]]
+			bestFan = s.estFanout(best, byName, chosen, equis, orders)
+		} else {
+			for _, vp := range plans { // plans arrive in sorted-name order
+				if chosen[vp.name] {
+					continue
+				}
+				fan := s.estFanout(vp, byName, chosen, equis, orders)
+				if best == nil || fan < bestFan ||
+					(fan == bestFan && len(vp.list) < len(best.list)) {
+					best, bestFan = vp, fan
+				}
+			}
+		}
+		st := s.makeStep(best, chosen, equis, orders, len(steps) == 0)
+		if estRows *= bestFan; estRows > 1e15 {
+			estRows = 1e15 // saturate: float-to-int overflow is undefined
+		}
+		st.est = int(estRows)
+		steps = append(steps, st)
 		chosen[best.name] = true
 	}
 	return steps
@@ -458,7 +587,11 @@ func (s *Session) makeStep(vp *varPlan, chosen map[string]bool, equis []equiCond
 	if len(st.build) > 0 {
 		st.method = joinHash
 		st.cond = strings.Join(parts, " and ")
-		st.table = buildHashTable(vp, st.build)
+		if s.parWorkers > 1 && len(vp.list) >= s.parMin {
+			st.table = s.buildHashTableParallel(vp, st.build)
+		} else {
+			st.table = buildHashTable(vp, st.build)
+		}
 		s.pm.joinHash.Inc()
 		return st
 	}
@@ -548,6 +681,80 @@ func (s *Session) probeRefs(st *joinStep, other binding) ([]value.Ref, error) {
 	return nil, nil
 }
 
+// stepRun drives the materialized left-deep join: rec(k) binds steps[k]
+// against the current environment and recurses.  All mutable state —
+// environment, probe/hit counts, combination counter — lives on the run,
+// so parallel workers can drive disjoint driver morsels over the same
+// (read-only after planning) steps with a stepRun each, race-free.
+type stepRun struct {
+	s      *Session
+	ctx    context.Context
+	steps  []*joinStep
+	counts []stepCount
+	e      env
+	fn     func(env) error
+	combos int
+	work   int
+}
+
+func (r *stepRun) rec(k int) error {
+	if k == len(r.steps) {
+		r.combos++
+		return r.fn(r.e)
+	}
+	r.work++
+	if r.work&1023 == 0 && r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", txn.ErrCanceled, err)
+		}
+	}
+	s := r.s
+	st := r.steps[k]
+	vp := st.vp
+	r.counts[k].probes++
+	switch st.method {
+	case joinHash:
+		var buf []byte
+		for _, p := range st.probe {
+			buf = appendHashKey(buf, p.value(r.e[p.v]))
+		}
+		s.pm.hashProbes.Inc()
+		for _, li := range st.table[string(buf)] {
+			r.counts[k].hits++
+			s.pm.hashHits.Inc()
+			r.e[vp.name] = vp.list[li]
+			if err := r.rec(k + 1); err != nil {
+				return err
+			}
+		}
+	case joinProbe:
+		refs, err := s.probeRefs(st, r.e[st.otherVar])
+		if err != nil {
+			return err
+		}
+		for _, ref := range refs {
+			li, ok := vp.byRef[ref]
+			if !ok {
+				continue
+			}
+			r.counts[k].hits++
+			r.e[vp.name] = vp.list[li]
+			if err := r.rec(k + 1); err != nil {
+				return err
+			}
+		}
+	default:
+		for li := range vp.list {
+			r.counts[k].hits++
+			r.e[vp.name] = vp.list[li]
+			if err := r.rec(k + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // bindAllPlanned is the cost-based executor behind bindAll.
 func (s *Session) bindAllPlanned(ctx context.Context, vars []string, infos map[string]varInfo, sargs map[string][]sarg, where Expr, fn func(env) error) error {
 	var equis []equiCond
@@ -555,10 +762,15 @@ func (s *Session) bindAllPlanned(ctx context.Context, vars []string, infos map[s
 	if where != nil {
 		s.extractJoinConds(where, infos, &equis, &orders)
 	}
+	cached, key := s.lookupPlan(vars, infos, where)
 	plans := make([]*varPlan, len(vars))
 	for i, v := range vars {
 		vp := &varPlan{name: v, info: infos[v], sargs: sargs[v]}
-		vp.access = s.chooseAccess(v, vp.info, vp.sargs)
+		if cached != nil {
+			vp.access = s.cachedAccessPath(cached, vp)
+		} else {
+			vp.access = s.chooseAccess(v, vp.info, vp.sargs)
+		}
 		plans[i] = vp
 	}
 	// Materialize binding lists; any empty list means zero combinations
@@ -590,76 +802,36 @@ func (s *Session) bindAllPlanned(ctx context.Context, vars []string, infos map[s
 	if empty {
 		return nil
 	}
-	steps := s.orderJoins(plans, equis, orders)
-	e := make(env, len(plans))
-	combos, work := 0, 0
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(steps) {
-			combos++
-			return fn(e)
-		}
-		work++
-		if work&1023 == 0 && ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("%w: %w", txn.ErrCanceled, err)
-			}
-		}
-		st := steps[k]
-		vp := st.vp
-		st.probes++
-		switch st.method {
-		case joinHash:
-			var buf []byte
-			for _, p := range st.probe {
-				buf = appendHashKey(buf, p.value(e[p.v]))
-			}
-			s.pm.hashProbes.Inc()
-			for _, li := range st.table[string(buf)] {
-				st.hits++
-				s.pm.hashHits.Inc()
-				e[vp.name] = vp.list[li]
-				if err := rec(k + 1); err != nil {
-					return err
-				}
-			}
-		case joinProbe:
-			refs, err := s.probeRefs(st, e[st.otherVar])
-			if err != nil {
-				return err
-			}
-			for _, ref := range refs {
-				li, ok := vp.byRef[ref]
-				if !ok {
-					continue
-				}
-				st.hits++
-				e[vp.name] = vp.list[li]
-				if err := rec(k + 1); err != nil {
-					return err
-				}
-			}
-		default:
-			for li := range vp.list {
-				st.hits++
-				e[vp.name] = vp.list[li]
-				if err := rec(k + 1); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+	var forced []string
+	if cached != nil {
+		forced = cached.order
 	}
-	err := rec(0)
-	s.m.combos.Add(uint64(combos))
+	steps := s.orderJoins(plans, equis, orders, forced)
+	if cached == nil && key != "" {
+		s.storePlan(key, plans, steps)
+	}
+	if s.parallelOK(steps) {
+		return s.runParallelJoin(ctx, steps)
+	}
+	run := &stepRun{s: s, ctx: ctx, steps: steps,
+		counts: make([]stepCount, len(steps)), e: make(env, len(plans)), fn: fn}
+	err := run.rec(0)
+	s.m.combos.Add(uint64(run.combos))
 	if s.ps != nil {
-		s.ps.Combos = combos
-		for _, st := range steps {
-			s.ps.Steps = append(s.ps.Steps, joinStat{Var: st.vp.name, Method: st.method.String(),
-				Cond: st.cond, Build: len(st.vp.list), Probes: st.probes, Hits: st.hits})
-		}
+		s.ps.Combos = run.combos
+		s.recordSteps(steps, run.counts)
 	}
 	return err
+}
+
+// recordSteps copies the planned steps and their counts into the live
+// planStats for explain.
+func (s *Session) recordSteps(steps []*joinStep, counts []stepCount) {
+	for k, st := range steps {
+		s.ps.Steps = append(s.ps.Steps, joinStat{Var: st.vp.name, Method: st.method.String(),
+			Cond: st.cond, Est: st.est, Build: len(st.vp.list),
+			Probes: counts[k].probes, Hits: counts[k].hits})
+	}
 }
 
 // stmtCache memoizes ordering resolution and child positions for the

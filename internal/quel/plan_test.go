@@ -72,7 +72,7 @@ range of c is CHORD`)
 	want := []string{
 		`Retrieve (rows=3) (time=X)`,
 		`  Filter: ((n.chord = c.name) and (c.name = 1)) (in=3, out=3)`,
-		`    HashJoin (n.chord = c.name) (build=6, probes=1, hits=3)`,
+		`    HashJoin (n.chord = c.name) (est=6, build=6, probes=1, hits=3)`,
 		`      Scan c on CHORD (est=2, scanned=2, kept=1) (time=X)`,
 		`        Sarg: c.name = 1`,
 		`      Scan n on NOTE (est=6, scanned=6, kept=6) (time=X)`,

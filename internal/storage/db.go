@@ -116,6 +116,8 @@ type dbMetrics struct {
 	snapReads       *obs.Counter   // snap.reads: rows served from snapshots
 	snapCSNLag      *obs.Histogram // snap.csn.lag: commits a snapshot aged past before Close
 	snapGCReclaimed *obs.Counter   // snap.gc.reclaimed: versions + history entries vacuumed
+
+	statsRebuilds *obs.Counter // quel.stats.rebuilds: index-statistics recomputations
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -160,6 +162,8 @@ func Open(opts Options) (*DB, error) {
 		snapReads:       db.obs.Counter("snap.reads"),
 		snapCSNLag:      db.obs.Histogram("snap.csn.lag"),
 		snapGCReclaimed: db.obs.Counter("snap.gc.reclaimed"),
+
+		statsRebuilds: db.obs.Counter("quel.stats.rebuilds"),
 	}
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	db.locks.SetObserver(db.obs)
@@ -285,7 +289,9 @@ func (db *DB) applyRecord(r *wal.Record) (*verOp, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.relations[r.Relation] = newRelation(r.Relation, schema)
+		rel := newRelation(r.Relation, schema)
+		rel.statsRebuilds = db.m.statsRebuilds
+		db.relations[r.Relation] = rel
 		return nil, nil
 	case wal.RecDropRelation:
 		db.mu.Lock()
@@ -305,6 +311,16 @@ func (db *DB) applyRecord(r *wal.Record) (*verOp, error) {
 			return nil, nil // already present
 		}
 		return nil, rel.addIndex(spec)
+	case wal.RecDropIndex:
+		rel := db.Relation(r.Relation)
+		if rel == nil {
+			return nil, fmt.Errorf("storage: replay: drop index on unknown relation %q", r.Relation)
+		}
+		if len(r.New) < 1 {
+			return nil, fmt.Errorf("storage: malformed drop-index record")
+		}
+		rel.dropIndex(r.New[0].AsString()) // no-op if already absent
+		return nil, nil
 	}
 	rel := db.Relation(r.Relation)
 	if rel == nil {
@@ -359,6 +375,7 @@ func (db *DB) CreateRelation(name string, schema *value.Schema) (*Relation, erro
 		return nil, fmt.Errorf("storage: relation %q already exists", name)
 	}
 	rel := newRelation(name, schema)
+	rel.statsRebuilds = db.m.statsRebuilds
 	db.relations[name] = rel
 	db.mu.Unlock()
 	if err := db.appendLog(&wal.Record{Type: wal.RecCreateRelation, Relation: name, New: encodeSchema(schema)}); err != nil {
@@ -482,6 +499,32 @@ func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
 	return nil
 }
 
+// DropIndex removes a secondary index from a relation.  The drop is
+// logged (RecDropIndex) so indexes dropped after the last checkpoint
+// stay dropped across a crash.  Callers (the model layer) serialize DDL
+// and bump the schema epoch so cached plans stop referencing the index.
+func (db *DB) DropIndex(relName, indexName string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	rel := db.Relation(relName)
+	if rel == nil {
+		return fmt.Errorf("storage: no relation %q", relName)
+	}
+	ix := rel.removeIndex(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: no index %q on %s", indexName, relName)
+	}
+	if err := db.appendLog(&wal.Record{Type: wal.RecDropIndex, Relation: relName,
+		New: value.Tuple{value.Str(indexName)}}); err != nil {
+		// The failed append poisoned the log, so no mutation can have
+		// raced in between: reattaching restores the exact prior state.
+		rel.restoreIndex(ix)
+		return err
+	}
+	return nil
+}
+
 // NextSeq returns the next value of the named persistent sequence
 // (starting at 1).  Sequences are made durable via snapshots; after a
 // crash the sequence resumes past any value observed in replayed data
@@ -556,6 +599,13 @@ func (db *DB) checkpointWith(attach func(snapshotPath string) error) error {
 		return err
 	}
 	defer release()
+	// Writers are quiesced: rebuild planner statistics for every index
+	// so they start the next checkpoint interval fresh (stats.go).
+	for _, name := range db.Relations() {
+		if rel := db.Relation(name); rel != nil {
+			rel.RebuildStats()
+		}
+	}
 	if db.committer == nil {
 		if err := db.writeSnapshot(db.snapshotPath()); err != nil {
 			return err

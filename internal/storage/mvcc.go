@@ -238,7 +238,14 @@ func (r *Relation) snapRange(indexName string, at uint64, lo, hi []byte, reverse
 		return emitCands(cands, reverse, fn), nil
 	}
 	var cands []snapCand
+	// A row can surface from both the live tree and the key history, but
+	// only under its visible version's key — so one admitted candidate
+	// per id, and the dedup is a set lookup, not a slice scan.
+	seen := make(map[RowID]struct{})
 	consider := func(key []byte, id RowID) {
+		if _, dup := seen[id]; dup {
+			return
+		}
 		t := r.snapVisibleLocked(id, at)
 		if t == nil {
 			return
@@ -247,11 +254,7 @@ func (r *Relation) snapRange(indexName string, at uint64, lo, hi []byte, reverse
 		if !bytes.Equal(want, key) {
 			return
 		}
-		for _, c := range cands {
-			if c.id == id && bytes.Equal(c.key, key) {
-				return // already found via the other tree
-			}
-		}
+		seen[id] = struct{}{}
 		cands = append(cands, snapCand{key: key, id: id, t: t})
 	}
 	ix.tree.Ascend(lo, hi, func(key []byte, id uint64) bool {
@@ -269,7 +272,6 @@ func (r *Relation) snapRange(indexName string, at uint64, lo, hi []byte, reverse
 		})
 	}
 	r.mu.RUnlock()
-	sort.Slice(cands, func(i, j int) bool { return bytes.Compare(cands[i].key, cands[j].key) < 0 })
 	return emitCands(cands, reverse, fn), nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/btree"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -44,6 +45,11 @@ type index struct {
 	tree      *btree.Tree
 	hist      *btree.Tree // retired keys, always row-id-suffixed; nil until first retire
 	createdAt uint64      // first CSN the index can serve; 0 = since the base state
+
+	// Planner statistics (stats.go): last built summary and the
+	// relation modCount it was built at, both guarded by r.mu.
+	stats   *IndexStats
+	statsAt uint64
 }
 
 // Relation is a named collection of tuples sharing a schema, with zero or
@@ -62,6 +68,11 @@ type Relation struct {
 	// per row, and the rows whose chains the vacuum should revisit.
 	vers     map[RowID]*rowVersion
 	verDirty map[RowID]struct{}
+
+	// Planner-statistics bookkeeping (stats.go): mutations since open,
+	// guarded by mu, and the counter the owning DB reports rebuilds to.
+	modCount      uint64
+	statsRebuilds *obs.Counter
 }
 
 func newRelation(name string, schema *value.Schema) *Relation {
@@ -181,6 +192,7 @@ func (r *Relation) insertRow(id RowID, t value.Tuple) (RowID, error) {
 	if id >= r.nextRow {
 		r.nextRow = id + 1
 	}
+	r.modCount++
 	return id, nil
 }
 
@@ -197,6 +209,7 @@ func (r *Relation) deleteRow(id RowID) (value.Tuple, error) {
 		ix.remove(id, old)
 	}
 	delete(r.rows, id)
+	r.modCount++
 	return old, nil
 }
 
@@ -225,6 +238,7 @@ func (r *Relation) updateRow(id RowID, t value.Tuple) (value.Tuple, error) {
 		}
 	}
 	r.rows[id] = t
+	r.modCount++
 	return old, nil
 }
 

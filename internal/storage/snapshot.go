@@ -309,6 +309,7 @@ func (db *DB) loadSnapshot(path string) error {
 				return err
 			}
 		}
+		rel.statsRebuilds = db.m.statsRebuilds
 		db.relations[name] = rel
 	}
 	return nil

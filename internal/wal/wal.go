@@ -46,6 +46,7 @@ const (
 	RecCreateRelation
 	RecCreateIndex
 	RecDropRelation
+	RecDropIndex
 )
 
 // String returns the record type name.
@@ -71,6 +72,8 @@ func (rt RecordType) String() string {
 		return "CREATE_INDEX"
 	case RecDropRelation:
 		return "DROP_RELATION"
+	case RecDropIndex:
+		return "DROP_INDEX"
 	}
 	return fmt.Sprintf("RecordType(%d)", uint8(rt))
 }
@@ -508,7 +511,7 @@ func ReplayFS(fs fault.FS, path string, apply func(r *Record) error) error {
 			if committed[r.TxID] {
 				return apply(r)
 			}
-		case RecCreateRelation, RecCreateIndex, RecDropRelation:
+		case RecCreateRelation, RecCreateIndex, RecDropRelation, RecDropIndex:
 			return apply(r)
 		}
 		return nil

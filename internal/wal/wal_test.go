@@ -366,6 +366,7 @@ func TestSchemaRecordTypes(t *testing.T) {
 		RecCreateRelation: "CREATE_RELATION",
 		RecCreateIndex:    "CREATE_INDEX",
 		RecDropRelation:   "DROP_RELATION",
+		RecDropIndex:      "DROP_INDEX",
 	} {
 		if rt.String() != want {
 			t.Errorf("%d: %q", rt, rt.String())
@@ -376,11 +377,13 @@ func TestSchemaRecordTypes(t *testing.T) {
 	l, _ := Open(path)
 	l.Append(&Record{Type: RecCreateRelation, Relation: "R",
 		New: value.Tuple{value.Str("v"), value.Int(1), value.Str("")}})
+	l.Append(&Record{Type: RecDropIndex, Relation: "R",
+		New: value.Tuple{value.Str("ix_r_x")}})
 	l.Append(&Record{Type: RecDropRelation, Relation: "R"})
 	l.Close()
 	var seen []RecordType
 	Replay(path, func(r *Record) error { seen = append(seen, r.Type); return nil })
-	if len(seen) != 2 || seen[0] != RecCreateRelation || seen[1] != RecDropRelation {
+	if len(seen) != 3 || seen[0] != RecCreateRelation || seen[1] != RecDropIndex || seen[2] != RecDropRelation {
 		t.Fatalf("schema replay: %v", seen)
 	}
 }
