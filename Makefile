@@ -1,7 +1,7 @@
 GO ?= go
 BENCHDIR ?= .bench
 
-.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-check ci
+.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt bench-check ci
 
 all: ci
 
@@ -82,6 +82,15 @@ bench-repl:
 bench-net:
 	$(GO) run ./cmd/mdmbench -net -out BENCH_net.json
 
+# Checkpoint benchmark: a many-relation store under write load on a
+# small dirty subset, legacy quiesce-the-world full snapshots vs.
+# segmented fuzzy incremental checkpoints; emits BENCH_ckpt.json and
+# fails if the fuzzy path stalls commits less than 3x better (p99 of
+# commits overlapping a checkpoint) or writes fewer than 5x fewer bytes
+# per checkpoint.
+bench-ckpt:
+	$(GO) run ./cmd/mdmbench -ckpt -out BENCH_ckpt.json
+
 # Regression gate: rerun every bench into $(BENCHDIR) and diff the fresh
 # documents against the baselines committed in git; fails on a >30%
 # floor-point regression.  To refresh the baselines, run the bench-*
@@ -95,6 +104,7 @@ bench-check:
 	$(GO) run ./cmd/mdmbench -read -out $(BENCHDIR)/BENCH_read.json
 	$(GO) run ./cmd/mdmbench -repl -out $(BENCHDIR)/BENCH_repl.json
 	$(GO) run ./cmd/mdmbench -net -out $(BENCHDIR)/BENCH_net.json
+	$(GO) run ./cmd/mdmbench -ckpt -out $(BENCHDIR)/BENCH_ckpt.json
 	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
 
-ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net
+ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt

@@ -39,6 +39,7 @@ var floorKeys = map[string][]string{
 	"BENCH_read.json":   {"sweep[readers=4,writers=4].speedup"},
 	"BENCH_repl.json":   {"sweep[replicas=4].scaling"},
 	"BENCH_net.json":    {"sweep[clients=16].write_speedup"},
+	"BENCH_ckpt.json":   {"ckpt_stall_improvement"},
 	"BENCH_obs.json":    {}, // structural baseline; no perf floor
 }
 

@@ -216,6 +216,11 @@ func printStatus(m *mdm.MDM, s *mdm.Session) {
 var wellKnownCounters = []string{
 	"snap.reads",
 	"snap.gc.reclaimed",
+	"storage.ckpt.auto",
+	"storage.ckpt.bytes",
+	"storage.ckpt.relations",
+	"storage.ckpt.segments.skipped",
+	"storage.ckpt.segments.written",
 	"storage.txn.commit",
 	"storage.txn.abort",
 	"wal.group.batches",

@@ -12,6 +12,7 @@
 //	mdmbench -read [-quick] [-out BENCH_read.json]
 //	mdmbench -repl [-quick] [-out BENCH_repl.json]
 //	mdmbench -net [-quick] [-out BENCH_net.json]
+//	mdmbench -ckpt [-quick] [-out BENCH_ckpt.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -53,6 +54,13 @@
 // 1-client point, if no requests are shed under overload, or if the
 // overload burst collapses the server.  CI's bench-net target runs this
 // mode.
+// -ckpt benchmarks checkpointing under write load (many relations, a
+// small dirty subset, periodic checkpoints): legacy quiesce-the-world
+// full snapshots against segmented fuzzy incremental checkpoints, and
+// writes BENCH_ckpt.json; at full scale the exit status is nonzero if
+// the fuzzy path does not cut the during-checkpoint commit p99 by at
+// least 3x and the bytes written per checkpoint by at least 5x.  CI's
+// bench-ckpt target runs this mode.
 package main
 
 import (
@@ -79,7 +87,8 @@ func main() {
 	readMode := flag.Bool("read", false, "benchmark snapshot read scaling and emit BENCH_read.json")
 	replMode := flag.Bool("repl", false, "benchmark read-replica scaling and emit BENCH_repl.json")
 	netMode := flag.Bool("net", false, "benchmark the TCP server and emit BENCH_net.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -par / -commit / -read / -repl / -net")
+	ckptMode := flag.Bool("ckpt", false, "benchmark fuzzy incremental checkpoints and emit BENCH_ckpt.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -par / -commit / -read / -repl / -net / -ckpt")
 	flag.Parse()
 
 	if *obsMode {
@@ -154,6 +163,17 @@ func main() {
 			path = "BENCH_net.json"
 		}
 		if err := runNet(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckptMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_ckpt.json"
+		}
+		if err := runCkpt(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

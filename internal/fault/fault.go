@@ -63,6 +63,13 @@ type Outcome struct {
 	// (0..1) written to the underlying file before the fault takes
 	// effect — a torn write.  Ignored by non-write operations.
 	Partial float64
+	// Block, when non-nil, stalls the faulted operation until the
+	// channel is closed (or receives).  With no Err and no Crash the
+	// operation then proceeds normally — a slow disk, not a broken one.
+	// Combined with Err or Crash, the fault fires after the wait.
+	// Tests use it to hold a checkpoint mid-write and prove the commit
+	// path does not stall behind it.
+	Block <-chan struct{}
 }
 
 // armedPoint is one armed failpoint: it fires on the nth hit after arming.

@@ -81,6 +81,13 @@ func (in *Injector) hit(op, name string) (Outcome, bool, error) {
 		return Outcome{}, false, ErrCrashed
 	}
 	o, fired := in.reg.Hit(Point(op, name))
+	if fired && o.Block != nil {
+		<-o.Block
+		if !o.Crash && o.Err == nil {
+			// A pure delay: the operation resumes as if nothing fired.
+			return Outcome{}, false, nil
+		}
+	}
 	return o, fired, nil
 }
 

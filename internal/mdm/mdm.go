@@ -52,6 +52,15 @@ type Options struct {
 	// probes partition across this many workers on a shared morsel
 	// pool.  Zero or one keeps every statement on the serial executor.
 	ParallelWorkers int
+	// CheckpointBytes triggers a background checkpoint when the log
+	// outgrows this size.  Zero means 64 MiB; negative disables
+	// automatic checkpoints.
+	CheckpointBytes int64
+	// FullSnapshots restores the legacy quiesce-the-world monolithic
+	// snapshot checkpoint instead of segmented fuzzy checkpoints (see
+	// storage.Options.FullSnapshots).  Benchmarks use it as the
+	// comparison baseline.
+	FullSnapshots bool
 }
 
 // SnapshotMode selects how sessions execute read-only statements.
@@ -84,12 +93,20 @@ type MDM struct {
 
 // Open builds (or reopens) a music data manager.
 func Open(opts Options) (*MDM, error) {
+	ckptBytes := opts.CheckpointBytes
+	switch {
+	case ckptBytes == 0:
+		ckptBytes = 64 << 20
+	case ckptBytes < 0:
+		ckptBytes = 0
+	}
 	store, err := storage.Open(storage.Options{
 		Dir:               opts.Dir,
 		SyncCommits:       opts.SyncCommits,
 		GroupCommit:       opts.GroupCommit,
 		GroupCommitWindow: opts.GroupCommitWindow,
-		CheckpointBytes:   64 << 20,
+		CheckpointBytes:   ckptBytes,
+		FullSnapshots:     opts.FullSnapshots,
 	})
 	if err != nil {
 		return nil, err

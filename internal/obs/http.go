@@ -46,8 +46,9 @@ func (r *Registry) Handler() http.Handler {
 // correct schema version, non-empty metric names, known kinds, histogram
 // bucket counts consistent with the total count, and coherent query
 // planner (quel.plan.*), group-commit (wal.group.*), snapshot-read
-// (snap.*), and replication (repl.*) metric sets.  It is the check the
-// mdmbench workloads apply to their emitted snapshots.
+// (snap.*), replication (repl.*), and checkpoint (storage.ckpt.*) metric
+// sets.  It is the check the mdmbench workloads apply to their emitted
+// snapshots.
 func ValidateDoc(d SnapshotDoc) error {
 	if d.SchemaVersion != SnapshotSchemaVersion {
 		return &ValidationError{Reason: "unsupported schema_version"}
@@ -60,6 +61,7 @@ func ValidateDoc(d SnapshotDoc) error {
 	snap := map[string]Metric{}
 	repl := map[string]Metric{}
 	server := map[string]Metric{}
+	ckpt := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -81,6 +83,9 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if strings.HasPrefix(m.Name, "server.") {
 			server[m.Name] = m
+		}
+		if strings.HasPrefix(m.Name, "storage.ckpt.") {
+			ckpt[m.Name] = m
 		}
 		switch m.Kind {
 		case "counter", "gauge":
@@ -136,8 +141,9 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 	}
 	// Snapshot-read metrics (snap.*) are registered as a set by the MVCC
-	// store: a read counter, a CSN-lag histogram, and a GC counter.  Lag
-	// observations without any snapshot read indicate a bogus emission.
+	// store: a read counter, a CSN-lag histogram, and a GC counter.
+	// (Lag can be observed with zero reads: fuzzy checkpoints pin and
+	// close snapshots without reading through the Snap scan API.)
 	if len(snap) > 0 {
 		for name, kind := range map[string]string{
 			"snap.reads":        "counter",
@@ -151,9 +157,6 @@ func ValidateDoc(d SnapshotDoc) error {
 			if m.Kind != kind {
 				return &ValidationError{Reason: "snapshot metric " + name + ": must be a " + kind + ", not " + m.Kind}
 			}
-		}
-		if snap["snap.csn.lag"].Count > 0 && snap["snap.reads"].Value == 0 {
-			return &ValidationError{Reason: "snap.csn.lag observed with no snapshot reads"}
 		}
 	}
 	// Replication metrics (repl.*) are registered as a set by the WAL
@@ -216,6 +219,34 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if server["server.frame.ns"].Count > 0 && server["server.conns.total"].Value == 0 {
 			return &ValidationError{Reason: "server.frame.ns observed with no connections"}
+		}
+	}
+	// Checkpoint metrics (storage.ckpt.*) are registered as a set by the
+	// storage engine.  Every relation a checkpoint considers is either
+	// rewritten or skipped, so written + skipped can never exceed
+	// relations (equality holds at quiescence; a snapshot taken while a
+	// checkpoint is mid-install may be one relation short).
+	if len(ckpt) > 0 {
+		for name, kind := range map[string]string{
+			"storage.ckpt.relations":        "counter",
+			"storage.ckpt.segments.written": "counter",
+			"storage.ckpt.segments.skipped": "counter",
+			"storage.ckpt.bytes":            "counter",
+			"storage.ckpt.auto":             "counter",
+			"storage.ckpt.stall.ns":         "histogram",
+			"storage.ckpt.fuzzy.ns":         "histogram",
+		} {
+			m, ok := ckpt[name]
+			if !ok {
+				return &ValidationError{Reason: "checkpoint metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "checkpoint metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		written, skipped := ckpt["storage.ckpt.segments.written"].Value, ckpt["storage.ckpt.segments.skipped"].Value
+		if rels := ckpt["storage.ckpt.relations"].Value; written+skipped > rels {
+			return &ValidationError{Reason: "storage.ckpt segments written+skipped exceed relations considered"}
 		}
 	}
 	return nil

@@ -387,11 +387,12 @@ func TestValidateSnapshotMetrics(t *testing.T) {
 		t.Fatal("ValidateDoc accepted counter-kinded snap.csn.lag")
 	}
 
-	// Lag observations imply at least one snapshot read.
+	// Lag observations with zero reads are legal: fuzzy checkpoints pin
+	// and close snapshots without reading through the Snap scan API.
 	r4 := full()
 	r4.Histogram("snap.csn.lag").Observe(1)
-	if err := ValidateDoc(r4.Doc()); err == nil {
-		t.Fatal("ValidateDoc accepted csn lag with zero reads")
+	if err := ValidateDoc(r4.Doc()); err != nil {
+		t.Fatalf("ValidateDoc rejected csn lag from a read-free checkpoint snapshot: %v", err)
 	}
 }
 
@@ -466,5 +467,55 @@ func TestValidateServerMetrics(t *testing.T) {
 	r2.Counter("server.cancels.delivered")
 	if err := ValidateDoc(r2.Doc()); err == nil {
 		t.Fatal("frames-without-connections accepted")
+	}
+}
+
+func TestValidateCheckpointMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("storage.ckpt.relations").Add(10)
+		r.Counter("storage.ckpt.segments.written").Add(3)
+		r.Counter("storage.ckpt.segments.skipped").Add(7)
+		r.Counter("storage.ckpt.bytes").Add(4096)
+		r.Counter("storage.ckpt.auto").Add(1)
+		r.Histogram("storage.ckpt.stall.ns").Observe(1000)
+		r.Histogram("storage.ckpt.fuzzy.ns").Observe(5000)
+		return r
+	}
+	if err := ValidateDoc(full().Doc()); err != nil {
+		t.Fatalf("complete checkpoint set rejected: %v", err)
+	}
+	// A freshly opened store registers the set with everything at zero.
+	r0 := NewRegistry()
+	for _, c := range []string{
+		"storage.ckpt.relations", "storage.ckpt.segments.written",
+		"storage.ckpt.segments.skipped", "storage.ckpt.bytes", "storage.ckpt.auto",
+	} {
+		r0.Counter(c)
+	}
+	r0.Histogram("storage.ckpt.stall.ns")
+	r0.Histogram("storage.ckpt.fuzzy.ns")
+	if err := ValidateDoc(r0.Doc()); err != nil {
+		t.Fatalf("idle checkpoint set rejected: %v", err)
+	}
+	// Missing one metric of the set fails.
+	r := full()
+	delete(r.metrics, "storage.ckpt.fuzzy.ns")
+	if err := ValidateDoc(r.Doc()); err == nil {
+		t.Fatal("incomplete checkpoint set accepted")
+	}
+	// Every relation a checkpoint considers is either written or
+	// skipped; more segments than relations is incoherent.
+	r2 := full()
+	r2.Counter("storage.ckpt.segments.skipped").Add(10)
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("written+skipped > relations accepted")
+	}
+	// Wrong kind for a member of the set.
+	r3 := full()
+	delete(r3.metrics, "storage.ckpt.stall.ns")
+	r3.Counter("storage.ckpt.stall.ns")
+	if err := ValidateDoc(r3.Doc()); err == nil {
+		t.Fatal("counter-kinded storage.ckpt.stall.ns accepted")
 	}
 }

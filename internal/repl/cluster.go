@@ -10,48 +10,81 @@ import (
 	"repro/internal/storage"
 )
 
-// BootstrapDir prepares a replica directory from a leader snapshot: the
-// snapshot is copied byte-for-byte under the engine's snapshot name and
-// any stale log from a previous incarnation is removed, so the replica
-// opens at exactly the leader's checkpointed state.  Bootstrap is not
+// BootstrapDir prepares a replica directory from a leader checkpoint
+// image: the segment files a manifest references are copied first, then
+// the manifest itself (or, for a legacy monolithic snapshot, just the
+// snapshot file), and any stale log or stale image of the other kind
+// from a previous incarnation is removed, so the replica opens at
+// exactly the leader's checkpointed state.  Bootstrap is not
 // crash-atomic — a half-bootstrapped replica is simply bootstrapped
 // again.
-func BootstrapDir(leaderFS fault.FS, snapshotPath string, replicaFS fault.FS, replicaDir string) error {
+func BootstrapDir(leaderFS fault.FS, checkpointPath string, replicaFS fault.FS, replicaDir string) error {
 	if err := replicaFS.MkdirAll(replicaDir, 0o755); err != nil {
 		return fmt.Errorf("repl: bootstrap mkdir: %w", err)
 	}
 	if err := replicaFS.Remove(filepath.Join(replicaDir, storage.WALFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("repl: bootstrap remove stale log: %w", err)
 	}
-	data, err := leaderFS.ReadFile(snapshotPath)
+	data, err := leaderFS.ReadFile(checkpointPath)
 	if errors.Is(err, os.ErrNotExist) {
 		// An empty leader has nothing to copy; make sure the replica is
-		// empty too.
-		if err := replicaFS.Remove(filepath.Join(replicaDir, storage.SnapshotFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("repl: bootstrap remove stale snapshot: %w", err)
+		// empty too.  (Stale segment files without a manifest naming them
+		// are inert — recovery never reads them.)
+		for _, stale := range []string{storage.SnapshotFileName, storage.ManifestFileName} {
+			if err := replicaFS.Remove(filepath.Join(replicaDir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("repl: bootstrap remove stale %s: %w", stale, err)
+			}
 		}
 		return replicaFS.SyncDir(replicaDir)
 	}
 	if err != nil {
-		return fmt.Errorf("repl: bootstrap read snapshot: %w", err)
+		return fmt.Errorf("repl: bootstrap read checkpoint: %w", err)
 	}
-	dst := filepath.Join(replicaDir, storage.SnapshotFileName)
-	f, err := replicaFS.Create(dst)
+	segs, isManifest, err := storage.ManifestSegments(data)
 	if err != nil {
-		return fmt.Errorf("repl: bootstrap create snapshot: %w", err)
+		return fmt.Errorf("repl: bootstrap: %w", err)
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("repl: bootstrap copy snapshot: %w", err)
+	// Remove the stale image of the other kind first: recovery prefers a
+	// manifest, so one must never outlive a legacy-snapshot bootstrap.
+	stale, dstName := storage.ManifestFileName, storage.SnapshotFileName
+	if isManifest {
+		stale, dstName = storage.SnapshotFileName, storage.ManifestFileName
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("repl: bootstrap sync snapshot: %w", err)
+	if err := replicaFS.Remove(filepath.Join(replicaDir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repl: bootstrap remove stale %s: %w", stale, err)
 	}
-	if err := f.Close(); err != nil {
+	leaderDir := filepath.Dir(checkpointPath)
+	for _, seg := range segs {
+		segData, err := leaderFS.ReadFile(filepath.Join(leaderDir, seg))
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap read segment %s: %w", seg, err)
+		}
+		if err := bootstrapCopy(replicaFS, filepath.Join(replicaDir, seg), segData); err != nil {
+			return err
+		}
+	}
+	// The manifest lands after every segment it names is in place.
+	if err := bootstrapCopy(replicaFS, filepath.Join(replicaDir, dstName), data); err != nil {
 		return err
 	}
 	return replicaFS.SyncDir(replicaDir)
+}
+
+// bootstrapCopy writes one bootstrapped file: create, write, fsync.
+func bootstrapCopy(fs fault.FS, dst string, data []byte) error {
+	f, err := fs.Create(dst)
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap create %s: %w", filepath.Base(dst), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: bootstrap copy %s: %w", filepath.Base(dst), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: bootstrap sync %s: %w", filepath.Base(dst), err)
+	}
+	return f.Close()
 }
 
 // AttachReplica performs the whole join dance over an in-process pipe:

@@ -40,8 +40,18 @@ type Options struct {
 	// pipelining alone; ~1-2ms suits spinning disks.
 	GroupCommitWindow time.Duration
 	// CheckpointBytes triggers an automatic checkpoint when the log
-	// exceeds this size.  Zero disables automatic checkpoints.
+	// exceeds this size.  Zero disables automatic checkpoints.  The
+	// checkpoint runs on a background goroutine (singleflight), never
+	// inline on the committing transaction that crossed the threshold.
 	CheckpointBytes int64
+	// FullSnapshots restores the legacy checkpoint behavior: quiesce all
+	// writers and rewrite the complete database image as one monolithic
+	// snapshot file.  The default (false) uses segmented snapshots with
+	// fuzzy incremental checkpoints (ckpt.go), which only rewrite
+	// relations dirtied since the last checkpoint and copy them through
+	// MVCC snapshots concurrently with writers.  Kept for comparison
+	// benchmarks and migration tests.
+	FullSnapshots bool
 	// NoWAL disables logging entirely (used by the ablation benchmarks
 	// that measure WAL overhead).  Implies no durability.
 	NoWAL bool
@@ -89,6 +99,17 @@ type DB struct {
 	applyMu sync.Mutex              // replica mode: serializes ApplyShipped / checkpoint
 	logic   func(name string) error // logic failpoints (fault.Injector); nil in production
 
+	// Fuzzy-checkpoint state (ckpt.go, segment.go): the CSN-stamped dirty
+	// set, the installed manifest's entries, and the background
+	// auto-checkpoint singleflight.
+	dirtyMu       sync.Mutex
+	dirty         map[string]uint64        // relation -> max commit CSN since its last segment
+	manifest      map[string]manifestEntry // installed segment set; nil before first manifest
+	manifestEpoch uint64
+	legacySnap    bool        // recovery loaded the monolithic mdm.snapshot
+	ckptBusy      atomic.Bool // an automatic checkpoint is in flight
+	ckptWG        sync.WaitGroup
+
 	// Snapshot-read machinery (mvcc.go): the CSN clock and live-snapshot
 	// registry, plus the vacuum's cadence bookkeeping.
 	snaps     *txn.SnapshotRegistry
@@ -118,6 +139,16 @@ type dbMetrics struct {
 	snapGCReclaimed *obs.Counter   // snap.gc.reclaimed: versions + history entries vacuumed
 
 	statsRebuilds *obs.Counter // quel.stats.rebuilds: index-statistics recomputations
+
+	// Fuzzy-checkpoint accounting (ckpt.go).  Per checkpoint,
+	// relations == written + skipped.
+	ckptRelations   *obs.Counter   // storage.ckpt.relations: relations considered
+	ckptSegsWritten *obs.Counter   // storage.ckpt.segments.written
+	ckptSegsSkipped *obs.Counter   // storage.ckpt.segments.skipped: clean, segment reused
+	ckptBytes       *obs.Counter   // storage.ckpt.bytes: segment + manifest bytes written
+	ckptAuto        *obs.Counter   // storage.ckpt.auto: background auto-checkpoints
+	ckptStall       *obs.Histogram // storage.ckpt.stall.ns: writer-visible exclusive window
+	ckptFuzzy       *obs.Histogram // storage.ckpt.fuzzy.ns: concurrent copy phase
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -149,6 +180,7 @@ func Open(opts Options) (*DB, error) {
 		ids:       txn.NewIDSource(0),
 		snaps:     txn.NewSnapshotRegistry(),
 		seqs:      make(map[string]uint64),
+		dirty:     make(map[string]uint64),
 	}
 	db.m = dbMetrics{
 		begins:      db.obs.Counter("storage.txn.begin"),
@@ -164,6 +196,14 @@ func Open(opts Options) (*DB, error) {
 		snapGCReclaimed: db.obs.Counter("snap.gc.reclaimed"),
 
 		statsRebuilds: db.obs.Counter("quel.stats.rebuilds"),
+
+		ckptRelations:   db.obs.Counter("storage.ckpt.relations"),
+		ckptSegsWritten: db.obs.Counter("storage.ckpt.segments.written"),
+		ckptSegsSkipped: db.obs.Counter("storage.ckpt.segments.skipped"),
+		ckptBytes:       db.obs.Counter("storage.ckpt.bytes"),
+		ckptAuto:        db.obs.Counter("storage.ckpt.auto"),
+		ckptStall:       db.obs.Histogram("storage.ckpt.stall.ns"),
+		ckptFuzzy:       db.obs.Histogram("storage.ckpt.fuzzy.ns"),
 	}
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	db.locks.SetObserver(db.obs)
@@ -250,19 +290,33 @@ func (db *DB) writable() error {
 func (db *DB) logPath() string      { return filepath.Join(db.opts.Dir, WALFileName) }
 func (db *DB) snapshotPath() string { return filepath.Join(db.opts.Dir, SnapshotFileName) }
 
-// recover loads the snapshot (if any) and replays the committed suffix of
-// the log on top of it.
+// recover loads the checkpoint image (if any) and replays the committed
+// suffix of the log on top of it.  The segmented manifest is preferred;
+// a database that has never taken a segmented checkpoint falls back to
+// the legacy monolithic snapshot (one-way migration: the next checkpoint
+// writes segments and removes it).
 //
-// Replay is idempotent: a crash between the checkpoint's snapshot rename
+// Replay is idempotent: a crash between the checkpoint's manifest rename
 // and its log truncation leaves a log whose records are already in the
-// snapshot, so re-applying an insert over an existing row (or a delete
-// of an absent one) must converge on the logged state, not fail.
+// segments, so re-applying an insert over an existing row (or a delete
+// of an absent one) must converge on the logged state, not fail.  The
+// same holds for a segment newer than the manifest that names it (a
+// crash mid-checkpoint): the full log replays over it and converges.
 func (db *DB) recover() error {
 	if db.opts.Dir == "" {
 		return nil
 	}
-	if err := db.loadSnapshot(db.snapshotPath()); err != nil {
+	haveManifest, err := db.loadManifest(db.manifestPath())
+	if err != nil {
 		return err
+	}
+	if !haveManifest {
+		if err := db.loadSnapshot(db.snapshotPath()); err != nil {
+			return err
+		}
+		if len(db.relations) > 0 || len(db.seqs) > 0 {
+			db.legacySnap = true
+		}
 	}
 	return wal.ReplayFS(db.fs, db.logPath(), func(r *wal.Record) error {
 		_, err := db.applyRecord(r)
@@ -278,6 +332,12 @@ func (db *DB) recover() error {
 // the next CSN.  Schema operations take db.mu; row operations rely on
 // the relation's own lock.
 func (db *DB) applyRecord(r *wal.Record) (*verOp, error) {
+	// Replayed mutations carry no usable commit CSN here (recovery reseeds
+	// the version store at 0; replica apply stamps its own), so force-mark
+	// the relation: the next checkpoint rewrites its segment regardless of
+	// the pinned CSN.  Clean manifest segments stay reusable across a
+	// reopen precisely because only replayed relations get stamped.
+	db.markDirty(r.Relation, dirtyDDL)
 	switch r.Type {
 	case wal.RecCreateRelation:
 		db.mu.Lock()
@@ -384,6 +444,9 @@ func (db *DB) CreateRelation(name string, schema *value.Schema) (*Relation, erro
 		db.mu.Unlock()
 		return nil, err
 	}
+	// Schema changes happen outside the CSN clock: force-mark so the next
+	// checkpoint writes the relation's first segment unconditionally.
+	db.markDirty(name, dirtyDDL)
 	return rel, nil
 }
 
@@ -453,6 +516,10 @@ func (db *DB) DropRelation(name string) error {
 		db.mu.Unlock()
 		return err
 	}
+	// The next checkpoint drops the relation's manifest entry (and then
+	// its segment file); if the name is reused, the stamp already marks
+	// the newcomer dirty.
+	db.markDirty(name, dirtyDDL)
 	return nil
 }
 
@@ -496,6 +563,7 @@ func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
 		rel.dropIndex(spec.Name)
 		return err
 	}
+	db.markDirty(relName, dirtyDDL)
 	return nil
 }
 
@@ -522,6 +590,7 @@ func (db *DB) DropIndex(relName, indexName string) error {
 		rel.restoreIndex(ix)
 		return err
 	}
+	db.markDirty(relName, dirtyDDL)
 	return nil
 }
 
@@ -568,12 +637,14 @@ func (db *DB) Checkpoint() error {
 func (db *DB) checkpoint() error { return db.checkpointWith(nil) }
 
 // checkpointWith is checkpoint with an optional attach hook: when
-// non-nil, attach runs inside the committer's exclusive section, after
-// the snapshot is durable and the log reset, with no append in flight.
-// Replication bootstrap lives on this hook — the snapshot it copies
-// plus the record stream shipped from that instant is exactly the
-// database, nothing lost and nothing duplicated.
-func (db *DB) checkpointWith(attach func(snapshotPath string) error) error {
+// non-nil, attach runs inside the exclusive install section, after the
+// checkpoint image is durable and the log reset, with no append in
+// flight.  Replication bootstrap lives on this hook — the image it
+// copies plus the record stream shipped from that instant is exactly
+// the database, nothing lost and nothing duplicated.  attach receives
+// the manifest path (or the monolithic snapshot path under
+// Options.FullSnapshots).
+func (db *DB) checkpointWith(attach func(checkpointPath string) error) error {
 	if db.opts.Dir == "" {
 		return nil
 	}
@@ -582,7 +653,7 @@ func (db *DB) checkpointWith(attach func(snapshotPath string) error) error {
 		// quiescing writers (there are none).
 		db.applyMu.Lock()
 		defer db.applyMu.Unlock()
-		return db.replicaCheckpointLocked()
+		return db.replicaCheckpointLocked(attach)
 	}
 	if err := db.writable(); err != nil {
 		return err
@@ -594,54 +665,10 @@ func (db *DB) checkpointWith(attach func(snapshotPath string) error) error {
 			db.m.trace.Emit("storage.checkpoint", db.opts.Dir, start, time.Since(start))
 		}
 	}()
-	release, err := db.quiesce()
-	if err != nil {
-		return err
+	if db.opts.FullSnapshots {
+		return db.fullCheckpointWith(attach)
 	}
-	defer release()
-	// Writers are quiesced: rebuild planner statistics for every index
-	// so they start the next checkpoint interval fresh (stats.go).
-	for _, name := range db.Relations() {
-		if rel := db.Relation(name); rel != nil {
-			rel.RebuildStats()
-		}
-	}
-	if db.committer == nil {
-		if err := db.writeSnapshot(db.snapshotPath()); err != nil {
-			return err
-		}
-		if attach != nil {
-			return attach(db.snapshotPath())
-		}
-		return nil
-	}
-	// Drain the commit queue (and fsync) before snapshotting, so every
-	// acknowledged commit is on disk in the log the snapshot supersedes.
-	if err := db.Sync(); err != nil {
-		return err
-	}
-	return db.committer.Exclusive(func() error {
-		if err := db.writable(); err != nil {
-			return err
-		}
-		if err := db.writeSnapshot(db.snapshotPath()); err != nil {
-			return err
-		}
-		if err := db.log.Reset(); err != nil {
-			db.degrade(err)
-			return err
-		}
-		// Make the truncation durable at the directory level too, so
-		// the snapshot+empty-log pair is what any post-crash open sees.
-		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
-			db.degrade(err)
-			return err
-		}
-		if attach != nil {
-			return attach(db.snapshotPath())
-		}
-		return nil
-	})
+	return db.fuzzyCheckpointWith(attach)
 }
 
 // quiesce takes a shared lock on every relation under a fresh
@@ -693,6 +720,9 @@ func (db *DB) Sync() error {
 // degraded database skips the checkpoint — its WAL is poisoned and the
 // in-memory state must not be trusted onto disk — and reports the cause.
 func (db *DB) Close() error {
+	// Let any in-flight background checkpoint finish before tearing the
+	// log down under it.
+	db.ckptWG.Wait()
 	if db.log == nil {
 		return nil
 	}
@@ -711,20 +741,37 @@ func (db *DB) Close() error {
 	return err
 }
 
-// maybeCheckpoint runs an automatic checkpoint if the log has outgrown
-// the configured threshold.  With concurrent committers several
-// transactions can cross the threshold together; TryLock elects one
-// and lets the rest skip rather than queue up redundant snapshots.
-func (db *DB) maybeCheckpoint() error {
+// maybeCheckpoint fires a background checkpoint if the log has outgrown
+// the configured threshold.  The committing transaction that crossed
+// the threshold does not wait: a CAS elects one background goroutine
+// (singleflight) and every other committer proceeds immediately.
+// Failures degrade the database — the trigger has no caller to return
+// an error to — and are counted under storage.ckpt.auto alongside
+// successes.
+func (db *DB) maybeCheckpoint() {
 	if db.log == nil || db.opts.CheckpointBytes <= 0 || db.ReadOnly() {
-		return nil
+		return
 	}
 	if db.log.Size() < db.opts.CheckpointBytes {
-		return nil
+		return
 	}
-	if !db.ckptMu.TryLock() {
-		return nil
+	if !db.ckptBusy.CompareAndSwap(false, true) {
+		return
 	}
-	defer db.ckptMu.Unlock()
-	return db.checkpoint()
+	db.ckptWG.Add(1)
+	go func() {
+		defer db.ckptWG.Done()
+		defer db.ckptBusy.Store(false)
+		db.ckptMu.Lock()
+		defer db.ckptMu.Unlock()
+		// Re-check under the checkpoint lock: a manual checkpoint may
+		// have reset the log while this goroutine was scheduled.
+		if db.log == nil || db.ReadOnly() || db.log.Size() < db.opts.CheckpointBytes {
+			return
+		}
+		db.m.ckptAuto.Inc()
+		if err := db.checkpoint(); err != nil {
+			db.degrade(fmt.Errorf("storage: automatic checkpoint: %w", err))
+		}
+	}()
 }

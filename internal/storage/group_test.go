@@ -231,13 +231,58 @@ func TestCheckpointDrainsCommitQueue(t *testing.T) {
 	}
 }
 
-// TestCheckpointQuiesceExcludesUncommitted: a checkpoint racing an open
-// write transaction must not snapshot its uncommitted rows.  The writer
-// holds its exclusive lock across the checkpoint attempt and then
-// aborts; the snapshot must hold only committed data.
-func TestCheckpointQuiesceExcludesUncommitted(t *testing.T) {
+// TestCheckpointExcludesUncommitted: a checkpoint racing an open write
+// transaction must not capture its uncommitted rows.  The fuzzy
+// checkpoint does not quiesce writers — it completes concurrently with
+// the open transaction, scanning through the MVCC snapshot, which must
+// exclude the uncommitted insert.
+func TestCheckpointExcludesUncommitted(t *testing.T) {
 	dir := t.TempDir()
 	db, err := Open(groupOpts(0).withDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, db, "R")
+	if err := insertSeq(db, "R", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := tx.Insert("R", value.Tuple{value.Int(99), value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint must complete while the writer still holds its
+	// exclusive lock — writers never stall it, and it never stalls them.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint under an open write transaction: %v", err)
+	}
+	tx.Abort()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := seqSet(t, db2, "R")
+	if got[99] != 0 {
+		t.Fatal("uncommitted row leaked into the checkpoint image")
+	}
+	if got[1] != 1 {
+		t.Fatal("committed row missing from the checkpoint image")
+	}
+}
+
+// TestFullSnapshotCheckpointBlocksOnWriter pins the legacy
+// Options.FullSnapshots behavior: the quiesce barrier waits out an open
+// write transaction, and the monolithic snapshot holds only committed
+// data.
+func TestFullSnapshotCheckpointBlocksOnWriter(t *testing.T) {
+	dir := t.TempDir()
+	opts := groupOpts(0).withDir(dir)
+	opts.FullSnapshots = true
+	db, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +300,7 @@ func TestCheckpointQuiesceExcludesUncommitted(t *testing.T) {
 	time.Sleep(20 * time.Millisecond) // checkpoint blocks on the quiesce barrier
 	select {
 	case err := <-ckpt:
-		t.Fatalf("checkpoint finished under an open write transaction: %v", err)
+		t.Fatalf("full-snapshot checkpoint finished under an open write transaction: %v", err)
 	default:
 	}
 	tx.Abort()
@@ -265,7 +310,7 @@ func TestCheckpointQuiesceExcludesUncommitted(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db2, err := Open(Options{Dir: dir})
+	db2, err := Open(Options{Dir: dir, FullSnapshots: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,6 +82,14 @@ func (db *DB) publish(vops []verOp) {
 			if r := db.Relation(vops[i].rel); r != nil {
 				r.applyVersion(c, &vops[i])
 			}
+			// Stamp the checkpoint dirty set inside the publish callback:
+			// it runs before the registry advances to CSN c, so a fuzzy
+			// checkpoint that pins CSN C afterwards can trust that every
+			// commit at or below C has already stamped (ckpt.go).  vops
+			// are grouped by relation, so dedup against the neighbor.
+			if i == 0 || vops[i].rel != vops[i-1].rel {
+				db.markDirty(vops[i].rel, c)
+			}
 		}
 	})
 	if db.pubCount.Add(1)%vacuumEvery == 0 {

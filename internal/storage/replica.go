@@ -30,11 +30,14 @@ import (
 var ErrReplica = errors.New("storage: replica is apply-only (writes arrive via WAL shipping)")
 
 // The fixed file names of a database directory.  Replication bootstrap
-// builds a replica directory by copying the leader's snapshot under
-// SnapshotFileName and removing any stale WALFileName.
+// builds a replica directory by copying the leader's checkpoint image —
+// the manifest plus the segment files it names (segment.go), or a
+// legacy monolithic snapshot under SnapshotFileName — and removing any
+// stale WALFileName.
 const (
 	WALFileName      = "mdm.wal"
 	SnapshotFileName = "mdm.snapshot"
+	ManifestFileName = "mdm.manifest"
 )
 
 // IsReplica reports whether the database is in apply-only replica mode.
@@ -63,12 +66,14 @@ func (db *DB) SetOnSync(fn func(recs []*wal.Record)) error {
 }
 
 // CheckpointWith checkpoints and runs attach inside the exclusive
-// section, after the snapshot is durable and the log is reset, with no
-// append in flight.  Replication uses it to bootstrap a replica without
-// loss or duplication: attach copies the snapshot and registers the
-// replica's stream in the same quiesced instant, so the snapshot plus
-// every record shipped afterwards is exactly the database.
-func (db *DB) CheckpointWith(attach func(snapshotPath string) error) error {
+// section, after the checkpoint image is durable and the log is reset,
+// with no append in flight.  Replication uses it to bootstrap a replica
+// without loss or duplication: attach copies the image (it receives the
+// manifest path — or the monolithic snapshot path under FullSnapshots)
+// and registers the replica's stream in the same quiesced instant, so
+// the image plus every record shipped afterwards is exactly the
+// database.
+func (db *DB) CheckpointWith(attach func(checkpointPath string) error) error {
 	if db.committer == nil {
 		return errors.New("storage: only a durable, logged leader can ship its WAL")
 	}
@@ -151,34 +156,34 @@ func (db *DB) ApplyShipped(recs []*wal.Record) error {
 		}
 	}
 	if db.opts.CheckpointBytes > 0 && db.log.Size() >= db.opts.CheckpointBytes {
-		return db.replicaCheckpointLocked()
+		return db.replicaCheckpointLocked(nil)
 	}
 	return nil
 }
 
-// replicaCheckpointLocked snapshots and truncates a replica's log.
+// replicaCheckpointLocked checkpoints a replica and truncates its log.
 // Caller holds db.applyMu, so no apply is in flight; there is no commit
-// pipeline to drain.  Failure semantics mirror the leader checkpoint: a
-// failed snapshot write leaves snapshot+log intact, a failed reset or
+// pipeline to drain, so the segmented install needs no fuzzy phase —
+// every relation the shipped stream dirtied (ApplyShipped force-stamps
+// via applyRecord) is rewritten, every other segment is reused.
+// Failure semantics mirror the leader checkpoint: a failed segment or
+// manifest write leaves the old image + log intact, a failed reset or
 // directory sync degrades.
-func (db *DB) replicaCheckpointLocked() error {
+func (db *DB) replicaCheckpointLocked(attach func(string) error) error {
 	if cause := db.ReadOnlyCause(); cause != nil {
 		return fmt.Errorf("%w: %v", ErrReadOnly, cause)
 	}
 	start := time.Now()
 	defer func() { db.m.checkpoint.ObserveSince(start) }()
-	if err := db.writeSnapshot(db.snapshotPath()); err != nil {
-		return err
+	if db.opts.FullSnapshots {
+		stallStart := time.Now()
+		defer func() { db.m.ckptStall.Observe(int64(time.Since(stallStart))) }()
+		return db.installFullSnapshot(attach)
 	}
-	if err := db.log.Reset(); err != nil {
-		db.degrade(err)
-		return err
-	}
-	if err := db.fs.SyncDir(db.opts.Dir); err != nil {
-		db.degrade(err)
-		return err
-	}
-	return nil
+	p := db.newCkptPlan(attach)
+	stallStart := time.Now()
+	defer func() { db.m.ckptStall.Observe(int64(time.Since(stallStart))) }()
+	return db.installCheckpoint(p)
 }
 
 // ContentHash returns a deterministic digest of the database's logical

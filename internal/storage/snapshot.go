@@ -38,22 +38,25 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // fsync, rename over the old snapshot, fsync of the directory.  The
 // final directory fsync is what makes the rename itself durable — a
 // crash before it may legally yield the previous snapshot, which is why
-// the log is only truncated after this function returns.
-func (db *DB) writeSnapshot(path string) error {
+// the log is only truncated after this function returns.  It returns
+// the snapshot's byte size for checkpoint accounting.
+func (db *DB) writeSnapshot(path string) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := db.fs.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("storage: snapshot: %w", err)
+		return 0, fmt.Errorf("storage: snapshot: %w", err)
 	}
 	defer db.fs.Remove(tmp)
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.WriteString(snapshotMagic); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	crc := uint32(0)
+	size := int64(len(snapshotMagic))
 	emit := func(buf []byte) error {
 		crc = crc32.Update(crc, castagnoli, buf)
+		size += int64(len(buf))
 		_, err := w.Write(buf)
 		return err
 	}
@@ -75,7 +78,7 @@ func (db *DB) writeSnapshot(path string) error {
 	db.seqMu.Unlock()
 	if err := emit(buf); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 
 	// Relations.
@@ -94,7 +97,7 @@ func (db *DB) writeSnapshot(path string) error {
 	buf = binary.AppendUvarint(buf[:0], uint64(len(rels)))
 	if err := emit(buf); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	for _, rel := range rels {
 		rel.mu.RLock()
@@ -124,7 +127,7 @@ func (db *DB) writeSnapshot(path string) error {
 		if err := emit(buf); err != nil {
 			rel.mu.RUnlock()
 			f.Close()
-			return err
+			return 0, err
 		}
 		ids := make([]RowID, 0, len(rel.rows))
 		for id := range rel.rows {
@@ -137,7 +140,7 @@ func (db *DB) writeSnapshot(path string) error {
 			if err := emit(buf); err != nil {
 				rel.mu.RUnlock()
 				f.Close()
-				return err
+				return 0, err
 			}
 		}
 		rel.mu.RUnlock()
@@ -146,23 +149,27 @@ func (db *DB) writeSnapshot(path string) error {
 	binary.LittleEndian.PutUint32(tail[:], crc)
 	if _, err := w.Write(tail[:]); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
+	size += 4
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := db.fs.Rename(tmp, path); err != nil {
-		return err
+		return 0, err
 	}
-	return db.fs.SyncDir(filepath.Dir(path))
+	if err := db.fs.SyncDir(filepath.Dir(path)); err != nil {
+		return 0, err
+	}
+	return size, nil
 }
 
 // loadSnapshot restores the database image from path.  A missing file is

@@ -33,15 +33,19 @@ func TestSnapshotTortureCrashRecovery(t *testing.T) {
 	r := torture.New(t)
 
 	wal := filepath.Join(dir, "mdm.wal")
-	snapTmp := filepath.Join(dir, "mdm.snapshot.tmp")
+	segTmp := filepath.Join(dir, "mdm.seg.S.tmp")
+	manTmp := filepath.Join(dir, "mdm.manifest.tmp")
 	points := []string{
 		fault.Point(fault.OpWrite, wal),
 		fault.Point(fault.OpSync, wal),
 		fault.Point(fault.OpTruncate, wal),
-		fault.Point(fault.OpWrite, snapTmp),
-		fault.Point(fault.OpRename, snapTmp),
+		fault.Point(fault.OpWrite, segTmp),
+		fault.Point(fault.OpRename, segTmp),
+		fault.Point(fault.OpWrite, manTmp),
+		fault.Point(fault.OpRename, manTmp),
 		fault.Point(fault.OpSyncDir, dir),
 		fault.Point(fault.OpRead, wal),
+		"logic:ckpt.post-manifest",
 	}
 
 	maxNth := 10

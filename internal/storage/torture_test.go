@@ -64,19 +64,28 @@ func TestTortureCrashRecovery(t *testing.T) {
 	}
 
 	wal := filepath.Join(dir, "mdm.wal")
-	snapTmp := filepath.Join(dir, "mdm.snapshot.tmp")
-	snap := filepath.Join(dir, "mdm.snapshot")
+	segTmp := filepath.Join(dir, "mdm.seg.T.tmp")
+	seg := filepath.Join(dir, "mdm.seg.T")
+	manTmp := filepath.Join(dir, "mdm.manifest.tmp")
+	man := filepath.Join(dir, "mdm.manifest")
 	points := []string{
 		fault.Point(fault.OpWrite, wal),    // log flush (append / commit / sync)
 		fault.Point(fault.OpSync, wal),     // commit & checkpoint fsync
 		fault.Point(fault.OpTruncate, wal), // checkpoint log reset
-		fault.Point(fault.OpCreate, snapTmp),
-		fault.Point(fault.OpWrite, snapTmp),
-		fault.Point(fault.OpSync, snapTmp),
-		fault.Point(fault.OpRename, snapTmp), // snapshot install
-		fault.Point(fault.OpSyncDir, dir),    // rename / truncate durability
-		fault.Point(fault.OpRead, wal),       // recovery replay
-		fault.Point(fault.OpReadFile, snap),  // snapshot load
+		fault.Point(fault.OpCreate, segTmp),
+		fault.Point(fault.OpWrite, segTmp),
+		fault.Point(fault.OpSync, segTmp),
+		fault.Point(fault.OpRename, segTmp), // segment install
+		fault.Point(fault.OpCreate, manTmp),
+		fault.Point(fault.OpWrite, manTmp),
+		fault.Point(fault.OpRename, manTmp), // manifest install
+		fault.Point(fault.OpSyncDir, dir),   // rename / truncate durability
+		fault.Point(fault.OpRead, wal),      // recovery replay
+		fault.Point(fault.OpReadFile, man),  // manifest load
+		fault.Point(fault.OpReadFile, seg),  // segment load
+		"logic:ckpt.segment",                // between segment writes
+		"logic:ckpt.pre-manifest",           // segments durable, manifest not yet written
+		"logic:ckpt.post-manifest",          // manifest durable, log not yet reset
 	}
 
 	maxNth := 14

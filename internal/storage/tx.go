@@ -455,7 +455,8 @@ func (tx *Tx) Commit() error {
 		}
 		return fmt.Errorf("storage: commit %d durability unknown: %w", id, err)
 	}
-	return db.maybeCheckpoint()
+	db.maybeCheckpoint()
+	return nil
 }
 
 // rollbackMemory undoes the transaction's in-memory effects in reverse
