@@ -1,7 +1,10 @@
 GO ?= go
 BENCHDIR ?= .bench
+# Pinned staticcheck release (supports the module's go 1.22 directive).
+STATICCHECK_VERSION ?= 2024.1.1
+FUZZTIME ?= 30s
 
-.PHONY: all build fmt-check vet test race torture torture-repl bench bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt bench-check ci
+.PHONY: all build fmt-check vet staticcheck test race torture torture-repl fuzz-smoke bench bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt bench-ingest bench-check ci
 
 all: ci
 
@@ -15,6 +18,12 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet, at a pinned tool version so CI runs are
+# reproducible.  Needs network access the first time (go run fetches the
+# pinned module); CI's race job runs this on the pinned toolchain.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -33,6 +42,16 @@ torture:
 # depth -- the sweep converges in seconds.
 torture-repl:
 	$(GO) test -count=1 -run 'ReplicationTorture' ./internal/repl/
+
+# Short coverage-guided fuzz runs over every decoder that takes bytes
+# off the wire or out of a file: the network frame codec, the DARMS
+# parser, the SMF reader, and the ingest stream scanner.  New crashers
+# land in the package's testdata/fuzz/ corpus; CI uploads them.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzDecodeMessage$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire/
+	$(GO) test -fuzz='^FuzzDARMS$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/darms/
+	$(GO) test -fuzz='^FuzzSMF$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/midi/
+	$(GO) test -fuzz='^FuzzStream$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/ingest/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -91,6 +110,14 @@ bench-net:
 bench-ckpt:
 	$(GO) run ./cmd/mdmbench -ckpt -out BENCH_ckpt.json
 
+# Bulk-ingest benchmark: naive per-statement loading vs. the streaming
+# loader (batched transactions, deferred index build, WAL-bypass
+# checkpoint), plus catalogue-scale incipit search through the gram
+# index vs. full scan; emits BENCH_ingest.json and fails if batched
+# ingest drops below 3x naive or the indexed query below 10x the scan.
+bench-ingest:
+	$(GO) run ./cmd/mdmbench -ingest -out BENCH_ingest.json
+
 # Regression gate: rerun every bench into $(BENCHDIR) and diff the fresh
 # documents against the baselines committed in git; fails on a >30%
 # floor-point regression.  To refresh the baselines, run the bench-*
@@ -105,6 +132,7 @@ bench-check:
 	$(GO) run ./cmd/mdmbench -repl -out $(BENCHDIR)/BENCH_repl.json
 	$(GO) run ./cmd/mdmbench -net -out $(BENCHDIR)/BENCH_net.json
 	$(GO) run ./cmd/mdmbench -ckpt -out $(BENCHDIR)/BENCH_ckpt.json
+	$(GO) run ./cmd/mdmbench -ingest -out $(BENCHDIR)/BENCH_ingest.json
 	$(GO) run ./cmd/benchdiff -fresh $(BENCHDIR)
 
-ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt
+ci: fmt-check vet build race torture torture-repl bench-smoke bench-quel bench-par bench-commit bench-read bench-repl bench-net bench-ckpt bench-ingest

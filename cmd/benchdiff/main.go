@@ -40,6 +40,7 @@ var floorKeys = map[string][]string{
 	"BENCH_repl.json":   {"sweep[replicas=4].scaling"},
 	"BENCH_net.json":    {"sweep[clients=16].write_speedup"},
 	"BENCH_ckpt.json":   {"ckpt_stall_improvement"},
+	"BENCH_ingest.json": {"ingest_speedup", "query_speedup"},
 	"BENCH_obs.json":    {}, // structural baseline; no perf floor
 }
 

@@ -13,6 +13,7 @@
 //	mdmbench -repl [-quick] [-out BENCH_repl.json]
 //	mdmbench -net [-quick] [-out BENCH_net.json]
 //	mdmbench -ckpt [-quick] [-out BENCH_ckpt.json]
+//	mdmbench -ingest [-quick] [-out BENCH_ingest.json]
 //
 // -quick runs reduced workload sizes (seconds instead of minutes).
 // -obs runs a small demo workload against a durable store and writes
@@ -61,6 +62,13 @@
 // the fuzzy path does not cut the during-checkpoint commit p99 by at
 // least 3x and the bytes written per checkpoint by at least 5x.  CI's
 // bench-ckpt target runs this mode.
+// -ingest benchmarks the bulk-ingest path (naive per-statement against
+// the streaming loader with batched transactions, deferred index build,
+// and a WAL-bypass checkpoint) and catalogue-scale incipit search
+// (gram-index probe against full scan), and writes BENCH_ingest.json;
+// the exit status is nonzero — at full and at smoke scale — if batched
+// ingest falls below 3x naive or the indexed query below 10x the scan.
+// CI's bench-ingest target runs this mode.
 package main
 
 import (
@@ -88,7 +96,8 @@ func main() {
 	replMode := flag.Bool("repl", false, "benchmark read-replica scaling and emit BENCH_repl.json")
 	netMode := flag.Bool("net", false, "benchmark the TCP server and emit BENCH_net.json")
 	ckptMode := flag.Bool("ckpt", false, "benchmark fuzzy incremental checkpoints and emit BENCH_ckpt.json")
-	out := flag.String("out", "", "output path for -obs / -quel / -par / -commit / -read / -repl / -net / -ckpt")
+	ingestMode := flag.Bool("ingest", false, "benchmark bulk ingest and incipit search and emit BENCH_ingest.json")
+	out := flag.String("out", "", "output path for -obs / -quel / -par / -commit / -read / -repl / -net / -ckpt / -ingest")
 	flag.Parse()
 
 	if *obsMode {
@@ -174,6 +183,17 @@ func main() {
 			path = "BENCH_ckpt.json"
 		}
 		if err := runCkpt(path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingestMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_ingest.json"
+		}
+		if err := runIngest(path, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdmbench: %v\n", err)
 			os.Exit(1)
 		}

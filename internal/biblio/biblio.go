@@ -39,13 +39,47 @@ type Index struct {
 }
 
 // Open ensures the bibliographic schema exists and returns an Index.
+// Databases created before the incipit gram index upgrade in place:
+// the INCIPIT_GRAM entity is defined and postings are rebuilt from the
+// incipits on record.
 func Open(db *model.Database) (*Index, error) {
 	if _, ok := db.EntityType("CATALOG"); !ok {
 		if _, err := ddl.Exec(db, SchemaDDL); err != nil {
 			return nil, fmt.Errorf("biblio: defining schema: %w", err)
 		}
 	}
-	return &Index{db: db}, nil
+	ix := &Index{db: db}
+	if _, ok := db.EntityType("INCIPIT_GRAM"); !ok {
+		if _, err := ddl.Exec(db, GramDDL); err != nil {
+			return nil, fmt.Errorf("biblio: defining gram schema: %w", err)
+		}
+		if db.Count("CATALOG_ENTRY") > 0 {
+			if err := ix.ReindexIncipits(); err != nil {
+				return nil, fmt.Errorf("biblio: rebuilding gram index: %w", err)
+			}
+		}
+	}
+	if err := ix.registerIncipitIndex(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// DB exposes the underlying model database (query sessions, bulk
+// loaders).
+func (ix *Index) DB() *model.Database { return ix.db }
+
+// BulkRelations lists the storage relations a catalogue bulk load
+// writes, in a stable order: loaders defer index maintenance on exactly
+// these and rebuild afterwards.
+func (ix *Index) BulkRelations() []string {
+	return []string{
+		ix.db.InstanceRelation("CATALOG_ENTRY"),
+		ix.db.InstanceRelation("INCIPIT_NOTE"),
+		ix.db.InstanceRelation("INCIPIT_GRAM"),
+		ix.db.OrderingRelation("entry_in_catalog"),
+		ix.db.OrderingRelation("incipit_of_entry"),
+	}
 }
 
 // Entry is one thematic-index entry (figure 2).
@@ -112,7 +146,67 @@ func (ix *Index) AddEntry(catalog value.Ref, e Entry) (value.Ref, error) {
 			return 0, err
 		}
 	}
+	if err := ix.addGrams(ref, intervals(e.Incipit)); err != nil {
+		return 0, err
+	}
 	return ref, nil
+}
+
+// entryAttrs builds the CATALOG_ENTRY attribute map for an Entry.
+func entryAttrs(e *Entry) model.Attrs {
+	return model.Attrs{
+		"number":         value.Int(int64(e.Number)),
+		"title":          value.Str(e.Title),
+		"setting":        value.Str(e.Setting),
+		"composed_when":  value.Str(e.ComposedWhen),
+		"composed_where": value.Str(e.ComposedWhere),
+		"measures":       value.Int(int64(e.Measures)),
+		"copies":         value.Str(e.Copies),
+		"editions":       value.Str(e.Editions),
+		"literature":     value.Str(e.Literature),
+	}
+}
+
+// AddEntries appends a batch of entries to a catalogue in a single
+// storage transaction: entry rows, incipit notes, ordering edges and
+// gram postings all commit together.  One group-commit round (one
+// fsync) covers the whole batch, which is what makes streaming bulk
+// ingest fast; AddEntry by contrast pays a commit per entity and per
+// edge.
+func (ix *Index) AddEntries(catalog value.Ref, entries []Entry) ([]value.Ref, error) {
+	var ents []model.BulkEntity
+	var edges []model.BulkEdge
+	entryIxs := make([]int, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		ei := len(ents)
+		entryIxs[i] = ei
+		ents = append(ents, model.BulkEntity{Type: "CATALOG_ENTRY", Attrs: entryAttrs(e)})
+		edges = append(edges, model.BulkEdge{
+			Ordering: "entry_in_catalog", Parent: -1, ExternalParent: catalog, Child: ei,
+		})
+		for _, n := range e.Incipit {
+			ni := len(ents)
+			ents = append(ents, model.BulkEntity{Type: "INCIPIT_NOTE", Attrs: model.Attrs{
+				"midi_pitch":   value.Int(int64(n.MIDIPitch)),
+				"duration_num": value.Int(n.DurNum),
+				"duration_den": value.Int(n.DurDen),
+			}})
+			edges = append(edges, model.BulkEdge{
+				Ordering: "incipit_of_entry", Parent: ei, Child: ni,
+			})
+		}
+		ents = append(ents, gramEntities(ei, intervals(e.Incipit))...)
+	}
+	refs, err := ix.db.BulkInsert(ents, edges)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Ref, len(entries))
+	for i, ei := range entryIxs {
+		out[i] = refs[ei]
+	}
+	return out, nil
 }
 
 // Identifier returns the accepted name of an entry: catalogue
@@ -200,9 +294,40 @@ func intervals(notes []IncipitNote) []int {
 }
 
 // SearchIncipit finds entries whose incipit contains the query's
-// interval sequence (transposition-invariant melodic search).  It
-// returns matching entry refs across all catalogues, in catalogue order.
+// interval sequence (transposition-invariant melodic search).  Queries
+// of at least GramN intervals probe the gram index for candidates and
+// verify each against the full pattern; shorter queries fall back to
+// SearchIncipitScan.  Results are in entry creation order.
 func (ix *Index) SearchIncipit(query []int) ([]value.Ref, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("biblio: empty incipit query")
+	}
+	gram, ok := ix.probeGram(query)
+	if !ok {
+		return ix.SearchIncipitScan(query)
+	}
+	cands, err := ix.candidates(gram)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Ref
+	for _, eref := range cands {
+		match, err := ix.MatchIncipit(eref, query)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			out = append(out, eref)
+		}
+	}
+	return out, nil
+}
+
+// SearchIncipitScan is the unindexed search path: it materializes every
+// entry's incipit across all catalogues and tests the pattern against
+// each.  It remains as the fallback for sub-gram queries and as the
+// baseline the ingest benchmark measures the gram index against.
+func (ix *Index) SearchIncipitScan(query []int) ([]value.Ref, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("biblio: empty incipit query")
 	}

@@ -132,6 +132,85 @@ func (t *Tree) Set(key []byte, val uint64) bool {
 	return inserted
 }
 
+// NewFromSorted builds a tree from pre-sorted, strictly increasing
+// (key, value) pairs by packing full leaves left to right and
+// constructing the internal levels bottom-up — O(n) instead of the
+// O(n log n) of repeated Set, with no node splits.  Bulk index builds
+// use it: collect keys into a sorted run, then build the tree in one
+// pass.  The key slices are taken over, not copied; callers must not
+// modify them afterwards.
+func NewFromSorted(keys [][]byte, vals []uint64) (*Tree, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("btree: %d keys but %d values", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			return nil, fmt.Errorf("btree: keys not strictly increasing at position %d", i)
+		}
+	}
+	t := New()
+	if len(keys) == 0 {
+		return t, nil
+	}
+	t.size = len(keys)
+	// Pack leaves full; the trailing leaf keeps whatever remains.  Full
+	// slice expressions cap each leaf at its own region, so a later Set
+	// reallocates instead of scribbling on a neighbor's entries.
+	var level []*node
+	for i := 0; i < len(keys); i += maxEntries {
+		j := i + maxEntries
+		if j > len(keys) {
+			j = len(keys)
+		}
+		leaf := &node{keys: keys[i:j:j], vals: vals[i:j:j]}
+		if len(level) > 0 {
+			prev := level[len(level)-1]
+			prev.next = leaf
+			leaf.prev = prev
+		}
+		level = append(level, leaf)
+	}
+	// Build internal levels until one node remains.  Chunks never leave a
+	// single orphan node for the last parent.
+	for len(level) > 1 {
+		var up []*node
+		for i := 0; i < len(level); {
+			j := i + degree
+			if j > len(level) {
+				j = len(level)
+			}
+			if rem := len(level) - j; rem == 1 {
+				j--
+			}
+			kids := level[i:j]
+			n := &node{
+				children: append([]*node(nil), kids...),
+				counts:   make([]int, 0, len(kids)),
+				keys:     make([][]byte, 0, len(kids)-1),
+			}
+			for _, c := range kids {
+				n.counts = append(n.counts, c.count())
+			}
+			for k := 1; k < len(kids); k++ {
+				n.keys = append(n.keys, leftmostKey(kids[k]))
+			}
+			up = append(up, n)
+			i = j
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// leftmostKey returns the smallest key in n's subtree.
+func leftmostKey(n *node) []byte {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
 // count returns the number of entries in n's subtree.
 func (n *node) count() int {
 	if n.leaf() {

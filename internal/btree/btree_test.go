@@ -580,3 +580,94 @@ func TestSplitRange(t *testing.T) {
 		}
 	}
 }
+
+func TestNewFromSorted(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 992, 993, 10_000, 100_000} {
+		keys := make([][]byte, n)
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = key(i * 3)
+			vals[i] = uint64(i * 7)
+		}
+		tr, err := NewFromSorted(keys, vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Point lookups, order statistics, and the leaf chain all agree.
+		for _, i := range []int{0, 1, n / 3, n / 2, n - 1} {
+			if i < 0 || i >= n {
+				continue
+			}
+			if v, ok := tr.Get(key(i * 3)); !ok || v != uint64(i*7) {
+				t.Fatalf("n=%d: get(%d) = %d, %v", n, i, v, ok)
+			}
+			if k, v, ok := tr.At(i); !ok || !bytes.Equal(k, key(i*3)) || v != uint64(i*7) {
+				t.Fatalf("n=%d: at(%d) wrong", n, i)
+			}
+			if r := tr.Rank(key(i * 3)); r != i {
+				t.Fatalf("n=%d: rank(%d) = %d", n, i, r)
+			}
+		}
+		got := 0
+		tr.Ascend(nil, nil, func(k []byte, v uint64) bool {
+			if !bytes.Equal(k, key(got*3)) || v != uint64(got*7) {
+				t.Fatalf("n=%d: ascend wrong at %d", n, got)
+			}
+			got++
+			return true
+		})
+		if got != n {
+			t.Fatalf("n=%d: ascend visited %d", n, got)
+		}
+	}
+}
+
+func TestNewFromSortedMutable(t *testing.T) {
+	// A bulk-built tree must accept subsequent Set/Delete without
+	// corrupting neighbors (leaves share a backing array at build time).
+	keys := make([][]byte, 500)
+	vals := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = key(i * 2)
+		vals[i] = uint64(i)
+	}
+	tr, err := NewFromSorted(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Set(key(i*2+1), uint64(1000+i))
+	}
+	for i := 0; i < 250; i++ {
+		tr.Delete(key(i * 4))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 750 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if v, ok := tr.Get(key(i*2 + 1)); !ok || v != uint64(1000+i) {
+			t.Fatalf("get(%d) = %d, %v", i*2+1, v, ok)
+		}
+	}
+}
+
+func TestNewFromSortedRejectsBadInput(t *testing.T) {
+	if _, err := NewFromSorted([][]byte{key(1)}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewFromSorted([][]byte{key(2), key(1)}, []uint64{0, 0}); err == nil {
+		t.Fatal("out-of-order keys accepted")
+	}
+	if _, err := NewFromSorted([][]byte{key(1), key(1)}, []uint64{0, 0}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}

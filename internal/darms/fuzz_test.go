@@ -1,0 +1,43 @@
+package darms
+
+import "testing"
+
+// FuzzDARMS asserts the parser never panics on arbitrary input, and
+// that everything it accepts honors the canonical-form contract:
+// Encode∘Parse∘Canonize is a fixpoint, so canonizing, encoding, and
+// re-parsing must reproduce the same encoding.
+func FuzzDARMS(f *testing.F) {
+	for _, seed := range []string{
+		"I4 'G 'K2# 00@¢TENOR$ R2W /",
+		"47 31 9E 21Q.",
+		"4D 5U 7,@¢GLO-$ E,@O$",
+		"(8 (9 8 7 8)) //",
+		"'F 'K3- 21#Q 22=E. 23-S R2Q //",
+		"",
+		"21",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		items, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon, err := Canonize(items)
+		if err != nil {
+			return
+		}
+		enc := Encode(canon)
+		reparsed, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to parse: %v\nsrc: %q\nenc: %q", err, src, enc)
+		}
+		recanon, err := Canonize(reparsed)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to canonize: %v\nsrc: %q\nenc: %q", err, src, enc)
+		}
+		if re := Encode(recanon); re != enc {
+			t.Fatalf("encoding not a fixpoint:\nsrc: %q\nfirst:  %q\nsecond: %q", src, enc, re)
+		}
+	})
+}

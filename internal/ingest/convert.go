@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/biblio"
+	"repro/internal/cmn"
+	"repro/internal/darms"
+	"repro/internal/midi"
+)
+
+// MaxIncipitNotes bounds how much thematic material one catalogue entry
+// keeps: the index stores incipits (figure 2's opening themes), not
+// whole works, so a loader truncates long payloads here.
+const MaxIncipitNotes = 32
+
+// DARMSEntry decodes a DARMS source payload into a catalogue entry.
+// Pitches are resolved procedurally from the graphical criteria (clef,
+// key signature, measure-scoped accidentals — §4.3's derivation)
+// without building a full CMN score.
+func DARMSEntry(number int, title string, payload []byte) (biblio.Entry, error) {
+	e := biblio.Entry{Number: number, Title: title}
+	items, err := darms.Parse(string(payload))
+	if err != nil {
+		return e, fmt.Errorf("%v: %w", err, ErrFormat)
+	}
+	canon, err := darms.Canonize(items)
+	if err != nil {
+		return e, fmt.Errorf("%v: %w", err, ErrFormat)
+	}
+	clef := cmn.TrebleClef
+	key := cmn.KeySignature(0)
+	ms := cmn.NewMeasureState()
+	for _, it := range darms.Flatten(canon) {
+		switch x := it.(type) {
+		case darms.ClefItem:
+			switch x.Letter {
+			case 'G':
+				clef = cmn.TrebleClef
+			case 'F':
+				clef = cmn.BassClef
+			case 'C':
+				clef = cmn.AltoClef
+			}
+		case darms.KeySigItem:
+			if x.Sharp {
+				key = cmn.KeySignature(x.Count)
+			} else {
+				key = cmn.KeySignature(-x.Count)
+			}
+		case darms.Barline:
+			ms.Reset()
+		case darms.NoteItem:
+			if len(e.Incipit) >= MaxIncipitNotes {
+				continue
+			}
+			num, den, err := darms.DurationBeats(x.Dur, x.Dots)
+			if err != nil {
+				return e, fmt.Errorf("%v: %w", err, ErrFormat)
+			}
+			acc := cmn.AccNone
+			switch x.Acc {
+			case darms.AccSharpCode:
+				acc = cmn.AccSharp
+			case darms.AccFlatCode:
+				acc = cmn.AccFlat
+			case darms.AccNaturalCode:
+				acc = cmn.AccNatural
+			}
+			pitch := cmn.ResolvePitch(clef, key, x.Pos-21, acc, ms).MIDI()
+			if pitch < 0 || pitch > 127 {
+				return e, fmt.Errorf("note %d: pitch %d outside MIDI range: %w", len(e.Incipit)+1, pitch, ErrFormat)
+			}
+			e.Incipit = append(e.Incipit, biblio.IncipitNote{MIDIPitch: pitch, DurNum: num, DurDen: den})
+		}
+	}
+	if len(e.Incipit) == 0 {
+		return e, fmt.Errorf("DARMS payload has no notes: %w", ErrFormat)
+	}
+	return e, nil
+}
+
+// smfUsPerQuarter is the fixed 120 BPM reference the SMF layer writes
+// and reads timestamps against.
+const smfUsPerQuarter = 500_000
+
+// SMFEntry decodes a Standard MIDI File payload into a catalogue entry.
+// Note durations are converted from microseconds back to beats at the
+// file's 120 BPM reference and reduced to lowest terms.
+func SMFEntry(number int, title string, payload []byte) (biblio.Entry, error) {
+	e := biblio.Entry{Number: number, Title: title}
+	seq, err := midi.ReadSMF(payload)
+	if err != nil {
+		return e, fmt.Errorf("%v: %w", err, ErrFormat)
+	}
+	for _, n := range seq.Notes {
+		if len(e.Incipit) >= MaxIncipitNotes {
+			break
+		}
+		if n.Key < 0 || n.Key > 127 {
+			return e, fmt.Errorf("note %d: pitch %d outside MIDI range: %w", len(e.Incipit)+1, n.Key, ErrFormat)
+		}
+		num, den := int64(n.DurUs), int64(smfUsPerQuarter)
+		if num <= 0 {
+			num, den = 1, 1
+		}
+		if g := gcd(num, den); g > 1 {
+			num, den = num/g, den/g
+		}
+		e.Incipit = append(e.Incipit, biblio.IncipitNote{MIDIPitch: n.Key, DurNum: num, DurDen: den})
+	}
+	if len(e.Incipit) == 0 {
+		return e, fmt.Errorf("SMF payload has no notes: %w", ErrFormat)
+	}
+	return e, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ConvertRecord dispatches on the record kind.
+func ConvertRecord(rec *Record) (biblio.Entry, error) {
+	switch rec.Kind {
+	case KindDARMS:
+		return DARMSEntry(rec.Number, rec.Title, rec.Payload)
+	case KindSMF:
+		return SMFEntry(rec.Number, rec.Title, rec.Payload)
+	}
+	return biblio.Entry{}, fmt.Errorf("unknown record kind %q: %w", rec.Kind, ErrFormat)
+}

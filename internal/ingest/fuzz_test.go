@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzStream asserts the stream scanner never panics and fails cleanly:
+// every record it returns re-serializes through AppendRecord, and any
+// error other than a clean EOF wraps ErrFormat (framing) or is an I/O
+// error — never a silent desync.
+func FuzzStream(f *testing.F) {
+	var seed []byte
+	seed = AppendRecord(seed, Record{Number: 1, Kind: KindDARMS, Title: "a title", Payload: []byte("'G 21Q /")})
+	seed = AppendRecord(seed, Record{Number: 2, Kind: KindSMF, Payload: []byte{0, 1, 2}})
+	f.Add(seed)
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("work 1 darms 4 t\nabc"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		sc := NewScanner(bytes.NewReader(stream))
+		for {
+			rec, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrFormat) {
+					t.Fatalf("non-framing error from in-memory stream: %v", err)
+				}
+				return
+			}
+			re := AppendRecord(nil, *rec)
+			sc2 := NewScanner(bytes.NewReader(re))
+			rec2, err := sc2.Next()
+			if err != nil {
+				t.Fatalf("record failed to re-scan: %v\nrecord: %+v", err, rec)
+			}
+			if rec2.Number != rec.Number || rec2.Kind != rec.Kind || rec2.Title != rec.Title || !bytes.Equal(rec2.Payload, rec.Payload) {
+				t.Fatalf("unstable record round trip: %+v vs %+v", rec, rec2)
+			}
+		}
+	})
+}

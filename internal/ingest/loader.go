@@ -1,0 +1,198 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/biblio"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// Options configures a bulk load.
+type Options struct {
+	// BatchSize is the number of entries per transaction (one
+	// model.BulkInsert each).  Zero means 256.
+	BatchSize int
+	// DeferIndexes switches the catalogue relations to index-less
+	// ingestion for the duration of the load: mutators skip B-tree
+	// maintenance and the trees are bulk-built bottom-up from sorted
+	// runs at the end (storage.DB.BuildIndexes).  The trees are rebuilt
+	// even when the load aborts, so the store is always left coherent.
+	DeferIndexes bool
+	// Checkpoint writes a checkpoint after a successful load.  Paired
+	// with a WAL-less store (storage.Options.NoWAL + Dir) this is the
+	// explicit WAL-bypass bulk mode: nothing is logged during the load
+	// and durability comes from the final checkpoint image.
+	Checkpoint bool
+}
+
+// Stats summarizes one load.
+type Stats struct {
+	Works   int   // entries committed
+	Notes   int   // incipit notes committed
+	Batches int   // transactions committed
+	Bytes   int64 // payload bytes consumed
+}
+
+// Loader appends decoded works to a catalogue in batched transactions.
+type Loader struct {
+	ix  *biblio.Index
+	opt Options
+	m   loaderMetrics
+}
+
+// loaderMetrics are the ingest.* observability handles (all nil-safe).
+type loaderMetrics struct {
+	works   *obs.Counter   // ingest.works
+	notes   *obs.Counter   // ingest.notes
+	batches *obs.Counter   // ingest.batches
+	errors  *obs.Counter   // ingest.errors
+	bytes   *obs.Counter   // ingest.bytes
+	batchNs *obs.Histogram // ingest.batch.ns
+}
+
+// NewLoader returns a loader over the catalogue index.
+func NewLoader(ix *biblio.Index, opt Options) *Loader {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 256
+	}
+	l := &Loader{ix: ix, opt: opt}
+	if reg := ix.DB().Store().Obs(); reg != nil {
+		l.m = loaderMetrics{
+			works:   reg.Counter("ingest.works"),
+			notes:   reg.Counter("ingest.notes"),
+			batches: reg.Counter("ingest.batches"),
+			errors:  reg.Counter("ingest.errors"),
+			bytes:   reg.Counter("ingest.bytes"),
+			batchNs: reg.Histogram("ingest.batch.ns"),
+		}
+	}
+	return l
+}
+
+// Load streams records from r into the catalogue.  On error the
+// already-flushed batches stay committed (each was one transaction),
+// the partial batch in memory is discarded, and deferred indexes are
+// rebuilt before returning — a mid-stream abort leaves the store
+// consistent, just short.  The returned stats cover what was committed.
+func (l *Loader) Load(catalog value.Ref, r io.Reader) (Stats, error) {
+	var st Stats
+	done, err := l.begin()
+	if err != nil {
+		return st, err
+	}
+	defer done()
+	sc := NewScanner(r)
+	batch := make([]biblio.Entry, 0, l.opt.BatchSize)
+	notes := 0
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			l.m.errors.Inc()
+			return st, err
+		}
+		entry, err := ConvertRecord(rec)
+		if err != nil {
+			l.m.errors.Inc()
+			return st, fmt.Errorf("work %d: %w", rec.Number, err)
+		}
+		l.m.bytes.Add(uint64(len(rec.Payload)))
+		st.Bytes += int64(len(rec.Payload))
+		batch = append(batch, entry)
+		notes += len(entry.Incipit)
+		if len(batch) >= l.opt.BatchSize {
+			if err := l.flush(catalog, &st, batch, notes); err != nil {
+				return st, err
+			}
+			batch, notes = batch[:0], 0
+		}
+	}
+	if len(batch) > 0 {
+		if err := l.flush(catalog, &st, batch, notes); err != nil {
+			return st, err
+		}
+	}
+	return st, l.finish()
+}
+
+// LoadSynthetic generates and loads n deterministic synthetic works
+// numbered [start, start+n) — the million-work catalogue workload —
+// through the same batching, deferral, and accounting as a stream load.
+func (l *Loader) LoadSynthetic(catalog value.Ref, seed int64, start, n int) (Stats, error) {
+	var st Stats
+	done, err := l.begin()
+	if err != nil {
+		return st, err
+	}
+	defer done()
+	for loaded := 0; loaded < n; {
+		b := l.opt.BatchSize
+		if rem := n - loaded; rem < b {
+			b = rem
+		}
+		batch := make([]biblio.Entry, b)
+		notes := 0
+		for i := range batch {
+			batch[i] = biblio.SyntheticEntry(seed, start+loaded+i)
+			notes += len(batch[i].Incipit)
+		}
+		if err := l.flush(catalog, &st, batch, notes); err != nil {
+			return st, err
+		}
+		loaded += b
+	}
+	return st, l.finish()
+}
+
+// begin applies the deferred-index mode and returns the cleanup that
+// restores it; the closures capture whether deferral actually engaged.
+func (l *Loader) begin() (func(), error) {
+	if !l.opt.DeferIndexes {
+		return func() {}, nil
+	}
+	store := l.ix.DB().Store()
+	deferred := make([]string, 0, 5)
+	for _, rel := range l.ix.BulkRelations() {
+		if err := store.DeferIndexes(rel); err != nil {
+			for _, d := range deferred {
+				_ = store.BuildIndexes(d)
+			}
+			return nil, err
+		}
+		deferred = append(deferred, rel)
+	}
+	return func() {
+		for _, rel := range deferred {
+			_ = store.BuildIndexes(rel)
+		}
+	}, nil
+}
+
+// finish makes a successful load durable when asked to.
+func (l *Loader) finish() error {
+	if !l.opt.Checkpoint {
+		return nil
+	}
+	return l.ix.DB().Store().Checkpoint()
+}
+
+func (l *Loader) flush(catalog value.Ref, st *Stats, batch []biblio.Entry, notes int) error {
+	start := time.Now()
+	if _, err := l.ix.AddEntries(catalog, batch); err != nil {
+		l.m.errors.Inc()
+		return err
+	}
+	l.m.batchNs.ObserveSince(start)
+	l.m.batches.Inc()
+	l.m.works.Add(uint64(len(batch)))
+	l.m.notes.Add(uint64(notes))
+	st.Batches++
+	st.Works += len(batch)
+	st.Notes += notes
+	return nil
+}

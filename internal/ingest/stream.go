@@ -1,0 +1,125 @@
+// Package ingest implements the streaming bulk-load path: a record
+// stream of encoded works (DARMS text or Standard MIDI Files) is
+// decoded into thematic-index entries and appended to a catalogue in
+// batched transactions, optionally with index maintenance deferred
+// until the end of the load.
+//
+// The stream format is record-oriented so a loader never needs the
+// whole input in memory:
+//
+//	work <number> <kind> <size> <title...>\n
+//	<size bytes of payload>\n
+//
+// where kind is "darms" (payload is DARMS source text) or "smf"
+// (payload is a Standard MIDI File).  Blank lines and lines starting
+// with '#' between records are ignored.
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrFormat is wrapped by every malformed-stream error, so callers can
+// distinguish bad input from storage failures.
+var ErrFormat = errors.New("ingest: malformed stream")
+
+// Record kinds.
+const (
+	KindDARMS = "darms"
+	KindSMF   = "smf"
+)
+
+// Record is one work in a bulk-load stream.
+type Record struct {
+	Number  int    // catalogue number
+	Kind    string // KindDARMS or KindSMF
+	Title   string
+	Payload []byte
+}
+
+// AppendRecord serializes rec in stream format onto dst (generators and
+// tests; the format is documented on the package).
+func AppendRecord(dst []byte, rec Record) []byte {
+	dst = append(dst, fmt.Sprintf("work %d %s %d %s\n", rec.Number, rec.Kind, len(rec.Payload), rec.Title)...)
+	dst = append(dst, rec.Payload...)
+	return append(dst, '\n')
+}
+
+// Scanner reads records from a bulk-load stream.
+type Scanner struct {
+	r   *bufio.Reader
+	n   int // records returned so far (1-based in errors)
+	err error
+}
+
+// NewScanner returns a scanner over r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReader(r)}
+}
+
+func (s *Scanner) failf(format string, args ...any) (*Record, error) {
+	s.err = fmt.Errorf("record %d: %s: %w", s.n+1, fmt.Sprintf(format, args...), ErrFormat)
+	return nil, s.err
+}
+
+// Next returns the next record, io.EOF at a clean end of stream, or an
+// error wrapping ErrFormat.  After any error the scanner is poisoned
+// and keeps returning the same error: a framing failure loses sync, so
+// resuming could silently misparse payload bytes as headers.
+func (s *Scanner) Next() (*Record, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	var line string
+	for {
+		l, err := s.r.ReadString('\n')
+		if err == io.EOF && strings.TrimSpace(l) == "" {
+			s.err = io.EOF
+			return nil, io.EOF
+		}
+		if err != nil && err != io.EOF {
+			s.err = err
+			return nil, err
+		}
+		trimmed := strings.TrimSpace(l)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		line = strings.TrimSuffix(l, "\n")
+		break
+	}
+	fields := strings.SplitN(line, " ", 5)
+	if len(fields) < 4 || fields[0] != "work" {
+		return s.failf("bad header %q", line)
+	}
+	number, err := strconv.Atoi(fields[1])
+	if err != nil || number < 0 {
+		return s.failf("bad work number %q", fields[1])
+	}
+	kind := fields[2]
+	if kind != KindDARMS && kind != KindSMF {
+		return s.failf("unknown kind %q", kind)
+	}
+	size, err := strconv.Atoi(fields[3])
+	if err != nil || size < 0 {
+		return s.failf("bad payload size %q", fields[3])
+	}
+	title := ""
+	if len(fields) == 5 {
+		title = fields[4]
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		return s.failf("payload truncated (want %d bytes): %v", size, err)
+	}
+	if b, err := s.r.ReadByte(); err != nil || b != '\n' {
+		return s.failf("missing newline after payload")
+	}
+	s.n++
+	return &Record{Number: number, Kind: kind, Title: title, Payload: payload}, nil
+}

@@ -1,0 +1,43 @@
+package midi
+
+import "testing"
+
+// FuzzSMF asserts ReadSMF never panics on arbitrary bytes, and that any
+// file it accepts whose events are in range survives a write/read round
+// trip with the note count preserved (timestamps round-trip only to
+// tick precision, so values are not compared).
+func FuzzSMF(f *testing.F) {
+	valid := &Sequence{TicksPerQuarter: 480, Notes: []NoteEvent{
+		{Key: 60, Velocity: 80, StartUs: 0, DurUs: 500_000},
+		{Key: 67, Velocity: 90, StartUs: 500_000, DurUs: 250_000},
+	}, Controls: []ControlEvent{{Controller: 64, Value: 127, AtUs: 0}}}
+	data, err := WriteSMF(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte("MThd"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		seq, err := ReadSMF(payload)
+		if err != nil {
+			return
+		}
+		if seq.Validate() != nil {
+			return // out-of-range bytes a permissive read let through
+		}
+		re, err := WriteSMF(seq)
+		if err != nil {
+			t.Fatalf("accepted sequence failed to re-encode: %v", err)
+		}
+		seq2, err := ReadSMF(re)
+		if err != nil {
+			t.Fatalf("re-encoded file failed to read: %v", err)
+		}
+		if len(seq2.Notes) != len(seq.Notes) || len(seq2.Controls) != len(seq.Controls) {
+			t.Fatalf("round trip changed event counts: %d/%d notes, %d/%d controls",
+				len(seq.Notes), len(seq2.Notes), len(seq.Controls), len(seq2.Controls))
+		}
+	})
+}

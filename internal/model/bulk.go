@@ -1,0 +1,204 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// BulkEntity describes one entity to create in a BulkInsert batch.
+// RefAttrs assigns reference attributes whose target is another entity
+// of the same batch, identified by its index; the target must precede
+// this entity in the batch (its surrogate is assigned first).
+type BulkEntity struct {
+	Type     string
+	Attrs    Attrs
+	RefAttrs map[string]int
+}
+
+// BulkEdge describes one ordering append in a BulkInsert batch: the
+// child (an index into the batch's entities) is appended after the
+// current last sibling under the parent.  The parent is either another
+// in-batch entity (Parent >= 0) or a pre-existing one (Parent < 0 and
+// ExternalParent set).
+type BulkEdge struct {
+	Ordering       string
+	Parent         int // index into the batch; < 0 means ExternalParent
+	ExternalParent value.Ref
+	Child          int // index into the batch
+}
+
+// BulkInsert creates a batch of entities and ordering edges in a single
+// storage transaction — one commit (one group-commit round, one fsync)
+// for the whole batch, against the one-transaction-per-entity-and-edge
+// cost of NewEntity + InsertChild.  It is the streaming bulk loader's
+// write path.
+//
+// Every edge's child must be an in-batch entity, so the §5.5
+// well-formedness checks reduce to type checks: a freshly created child
+// has no prior parent, and no P-cycle can pass through it.  Edges
+// always append (model.Last()); ranks are computed from the runtime's
+// last sibling plus the standard gap, without per-edge transactions.
+//
+// Like InsertChild, the model mutex is held for the duration: ordering
+// rank assignment must not interleave with concurrent mutations of the
+// same parents.  On error nothing is committed and no runtime state
+// changes.
+func (db *Database) BulkInsert(entities []BulkEntity, edges []BulkEdge) ([]value.Ref, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	// Validate and build tuples before touching storage.  In-batch
+	// reference attributes are recorded as patches and resolved once the
+	// target's surrogate has been assigned inside the transaction.
+	type refPatch struct {
+		tupleIx int
+		target  int
+	}
+	tuples := make([]value.Tuple, len(entities))
+	patches := make([][]refPatch, len(entities))
+	for i, be := range entities {
+		et, ok := db.entities[be.Type]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoEntityType, be.Type)
+		}
+		for name := range be.Attrs {
+			if _, ok := et.AttrIndex(name); !ok {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoAttribute, be.Type, name)
+			}
+		}
+		t := make(value.Tuple, len(et.Attrs)+1)
+		for j, a := range et.Attrs {
+			if v, ok := be.Attrs[a.Name]; ok {
+				t[j+1] = v
+			} else {
+				t[j+1] = value.Null
+			}
+		}
+		for name, target := range be.RefAttrs {
+			j, ok := et.AttrIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoAttribute, be.Type, name)
+			}
+			if target < 0 || target >= i {
+				return nil, fmt.Errorf("model: bulk ref attr %s.%s must target an earlier batch entity, got %d", be.Type, name, target)
+			}
+			patches[i] = append(patches[i], refPatch{tupleIx: j + 1, target: target})
+		}
+		tuples[i] = t
+	}
+	type plannedEdge struct {
+		ordering string
+		parent   value.Ref // 0 when in-batch; resolved at insert time
+		parentIx int
+		child    int
+		rank     int64
+	}
+	// lastRank tracks the running append rank per (ordering, parent) so
+	// several appends under one parent inside the batch stay ordered.
+	type opKey struct {
+		ordering string
+		parentIx int // -1 for external parents
+		external value.Ref
+	}
+	lastRank := make(map[opKey]int64)
+	planned := make([]plannedEdge, 0, len(edges))
+	for _, e := range edges {
+		o, ok := db.orderings[e.Ordering]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoOrdering, e.Ordering)
+		}
+		if e.Child < 0 || e.Child >= len(entities) {
+			return nil, fmt.Errorf("model: bulk edge child %d out of range", e.Child)
+		}
+		if !o.hasChild(entities[e.Child].Type) {
+			return nil, fmt.Errorf("%w: %s under ordering %s", ErrWrongChildType, entities[e.Child].Type, e.Ordering)
+		}
+		pe := plannedEdge{ordering: e.Ordering, child: e.Child, parentIx: e.Parent}
+		var parentType string
+		key := opKey{ordering: e.Ordering, parentIx: e.Parent}
+		if e.Parent >= 0 {
+			if e.Parent >= len(entities) {
+				return nil, fmt.Errorf("model: bulk edge parent %d out of range", e.Parent)
+			}
+			parentType = entities[e.Parent].Type
+		} else {
+			loc, ok := db.directory[e.ExternalParent]
+			if !ok {
+				return nil, fmt.Errorf("%w: parent @%d", ErrNoEntity, e.ExternalParent)
+			}
+			parentType = loc.typeName
+			pe.parent = e.ExternalParent
+			key.parentIx = -1
+			key.external = e.ExternalParent
+		}
+		if parentType != o.Parent {
+			return nil, fmt.Errorf("%w: %s is not parent type %s of ordering %s", ErrWrongParent, parentType, o.Parent, e.Ordering)
+		}
+		rank, seeded := lastRank[key]
+		if !seeded {
+			rank = 0
+			if e.Parent < 0 {
+				if tr := db.orders[e.Ordering].siblings[e.ExternalParent]; tr != nil && tr.Len() > 0 {
+					k, _, _ := tr.At(tr.Len() - 1)
+					rank = decodeRank(k) + rankGap
+				}
+			}
+		} else {
+			rank += rankGap
+		}
+		lastRank[key] = rank
+		pe.rank = rank
+		planned = append(planned, pe)
+	}
+
+	// One transaction for the whole batch: entity rows first (assigning
+	// refs), then edge rows.
+	refs := make([]value.Ref, len(entities))
+	rowIDs := make([]storage.RowID, len(entities))
+	edgeRows := make([]storage.RowID, len(planned))
+	err := db.store.Run(func(tx *storage.Tx) error {
+		for i, be := range entities {
+			ref := value.Ref(db.store.NextSeq("ref"))
+			refs[i] = ref
+			tuples[i][0] = value.RefVal(ref)
+			for _, p := range patches[i] {
+				tuples[i][p.tupleIx] = value.RefVal(refs[p.target])
+			}
+			id, err := tx.Insert(entPrefix+be.Type, tuples[i])
+			if err != nil {
+				return err
+			}
+			rowIDs[i] = id
+		}
+		for i, pe := range planned {
+			parent := pe.parent
+			if pe.parentIx >= 0 {
+				parent = refs[pe.parentIx]
+			}
+			id, err := tx.Insert(ordPrefix+pe.ordering, value.Tuple{
+				value.RefVal(parent), value.RefVal(refs[pe.child]), value.Int(pe.rank),
+			})
+			if err != nil {
+				return err
+			}
+			edgeRows[i] = id
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, be := range entities {
+		db.directory[refs[i]] = entityLoc{typeName: be.Type, rowID: rowIDs[i]}
+	}
+	for i, pe := range planned {
+		parent := pe.parent
+		if pe.parentIx >= 0 {
+			parent = refs[pe.parentIx]
+		}
+		db.orders[pe.ordering].attach(parent, refs[pe.child], pe.rank, edgeRows[i])
+	}
+	return refs, nil
+}

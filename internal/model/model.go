@@ -163,6 +163,7 @@ type Database struct {
 
 	directory map[value.Ref]entityLoc
 	orders    map[string]*orderRuntime
+	incipits  map[string]IncipitIndex
 
 	autoOrder int // counter for auto-generated ordering names
 
@@ -200,6 +201,11 @@ func (db *Database) Store() *storage.DB { return db.store }
 // instances of an entity type.  The relation's first column is the
 // surrogate (_ref); the remaining columns are the type's attributes.
 func (db *Database) InstanceRelation(typeName string) string { return entPrefix + typeName }
+
+// OrderingRelation returns the name of the storage relation holding an
+// ordering's (parent, child, rank) edges.  Bulk loaders use it to defer
+// and rebuild ordering indexes around a batch load.
+func (db *Database) OrderingRelation(name string) string { return ordPrefix + name }
 
 // ensureCatalog creates the catalog relations if they do not exist.
 func (db *Database) ensureCatalog() error {

@@ -62,6 +62,7 @@ func ValidateDoc(d SnapshotDoc) error {
 	repl := map[string]Metric{}
 	server := map[string]Metric{}
 	ckpt := map[string]Metric{}
+	ing := map[string]Metric{}
 	for _, m := range d.Metrics {
 		if m.Name == "" {
 			return &ValidationError{Reason: "metric with empty name"}
@@ -86,6 +87,9 @@ func ValidateDoc(d SnapshotDoc) error {
 		}
 		if strings.HasPrefix(m.Name, "storage.ckpt.") {
 			ckpt[m.Name] = m
+		}
+		if strings.HasPrefix(m.Name, "ingest.") {
+			ing[m.Name] = m
 		}
 		switch m.Kind {
 		case "counter", "gauge":
@@ -247,6 +251,37 @@ func ValidateDoc(d SnapshotDoc) error {
 		written, skipped := ckpt["storage.ckpt.segments.written"].Value, ckpt["storage.ckpt.segments.skipped"].Value
 		if rels := ckpt["storage.ckpt.relations"].Value; written+skipped > rels {
 			return &ValidationError{Reason: "storage.ckpt segments written+skipped exceed relations considered"}
+		}
+	}
+	// Bulk-ingest metrics (ingest.*) are registered as a set by the
+	// loader.  Every committed work rides in some batch, every work
+	// carries at least one incipit note (the converters reject empty
+	// payloads), and a batch is only flushed with at least one work.
+	if len(ing) > 0 {
+		for name, kind := range map[string]string{
+			"ingest.works":    "counter",
+			"ingest.notes":    "counter",
+			"ingest.batches":  "counter",
+			"ingest.errors":   "counter",
+			"ingest.bytes":    "counter",
+			"ingest.batch.ns": "histogram",
+		} {
+			m, ok := ing[name]
+			if !ok {
+				return &ValidationError{Reason: "ingest metrics present but " + name + " missing"}
+			}
+			if m.Kind != kind {
+				return &ValidationError{Reason: "ingest metric " + name + ": must be a " + kind + ", not " + m.Kind}
+			}
+		}
+		if ing["ingest.works"].Value > 0 && ing["ingest.batches"].Value == 0 {
+			return &ValidationError{Reason: "ingest.works > 0 with no batches"}
+		}
+		if ing["ingest.batches"].Value > ing["ingest.works"].Value {
+			return &ValidationError{Reason: "ingest.batches exceeds ingest.works"}
+		}
+		if ing["ingest.notes"].Value < ing["ingest.works"].Value {
+			return &ValidationError{Reason: "ingest.notes below ingest.works"}
 		}
 	}
 	return nil

@@ -519,3 +519,66 @@ func TestValidateCheckpointMetrics(t *testing.T) {
 		t.Fatal("counter-kinded storage.ckpt.stall.ns accepted")
 	}
 }
+
+func TestValidateIngestMetrics(t *testing.T) {
+	full := func() *Registry {
+		r := NewRegistry()
+		r.Counter("ingest.works").Add(100)
+		r.Counter("ingest.notes").Add(900)
+		r.Counter("ingest.batches").Add(4)
+		r.Counter("ingest.errors")
+		r.Counter("ingest.bytes").Add(65536)
+		r.Histogram("ingest.batch.ns").Observe(1000)
+		return r
+	}
+	if err := ValidateDoc(full().Doc()); err != nil {
+		t.Fatalf("complete ingest set rejected: %v", err)
+	}
+	// A loader that never ran registers the set with everything at zero.
+	r0 := NewRegistry()
+	for _, c := range []string{
+		"ingest.works", "ingest.notes", "ingest.batches", "ingest.errors", "ingest.bytes",
+	} {
+		r0.Counter(c)
+	}
+	r0.Histogram("ingest.batch.ns")
+	if err := ValidateDoc(r0.Doc()); err != nil {
+		t.Fatalf("idle ingest set rejected: %v", err)
+	}
+	// Missing one metric of the set fails.
+	r := full()
+	delete(r.metrics, "ingest.batch.ns")
+	if err := ValidateDoc(r.Doc()); err == nil {
+		t.Fatal("incomplete ingest set accepted")
+	}
+	// Works committed outside any batch are incoherent.
+	r2 := NewRegistry()
+	r2.Counter("ingest.works").Add(5)
+	r2.Counter("ingest.notes").Add(50)
+	r2.Counter("ingest.batches")
+	r2.Counter("ingest.errors")
+	r2.Counter("ingest.bytes")
+	r2.Histogram("ingest.batch.ns")
+	if err := ValidateDoc(r2.Doc()); err == nil {
+		t.Fatal("works without batches accepted")
+	}
+	// More batches than works (empty batches) are incoherent.
+	r3 := full()
+	r3.Counter("ingest.batches").Add(1000)
+	if err := ValidateDoc(r3.Doc()); err == nil {
+		t.Fatal("batches > works accepted")
+	}
+	// Every work carries at least one note.
+	r4 := full()
+	r4.Counter("ingest.works").Add(10000)
+	if err := ValidateDoc(r4.Doc()); err == nil {
+		t.Fatal("notes < works accepted")
+	}
+	// Wrong kind for a member of the set.
+	r5 := full()
+	delete(r5.metrics, "ingest.bytes")
+	r5.Histogram("ingest.bytes")
+	if err := ValidateDoc(r5.Doc()); err == nil {
+		t.Fatal("histogram-kinded ingest.bytes accepted")
+	}
+}

@@ -138,6 +138,15 @@ type OrderOp struct {
 	Order string // optional `in order_name`
 }
 
+// IncipitOp is the thematic-index predicate: L incipit R.  L must be a
+// range variable over an entity type with a registered incipit index
+// (model.IncipitIndex); R evaluates to a pitch-pattern string in the
+// syntax that index accepts.  The predicate holds when the entity's
+// incipit contains the pattern's interval sequence
+// (transposition-invariant); the planner turns a conjunct of this form
+// into a gram-index candidate scan (IncipitScan in explain).
+type IncipitOp struct{ L, R Expr }
+
 // Agg is an aggregate function over a range variable's attribute, with an
 // optional inner qualification: count(n.all), sum(n.pitch where ...).
 // Aggregates without by-lists are evaluated over their own independent
@@ -149,12 +158,13 @@ type Agg struct {
 	Where Expr
 }
 
-func (Lit) quelExpr()     {}
-func (Param) quelExpr()   {}
-func (AttrRef) quelExpr() {}
-func (VarRef) quelExpr()  {}
-func (Binary) quelExpr()  {}
-func (Unary) quelExpr()   {}
-func (IsOp) quelExpr()    {}
-func (OrderOp) quelExpr() {}
-func (Agg) quelExpr()     {}
+func (Lit) quelExpr()       {}
+func (Param) quelExpr()     {}
+func (AttrRef) quelExpr()   {}
+func (VarRef) quelExpr()    {}
+func (Binary) quelExpr()    {}
+func (Unary) quelExpr()     {}
+func (IsOp) quelExpr()      {}
+func (OrderOp) quelExpr()   {}
+func (IncipitOp) quelExpr() {}
+func (Agg) quelExpr()       {}

@@ -76,6 +76,9 @@ func (s *Session) eval(e Expr, en env) (value.Value, error) {
 	case OrderOp:
 		return s.evalOrderOp(x, en)
 
+	case IncipitOp:
+		return s.evalIncipitOp(x, en)
+
 	case Agg:
 		return s.evalAgg(x)
 	}
@@ -273,6 +276,48 @@ func (s *Session) evalOrderOp(x OrderOp, en env) (value.Value, error) {
 		res = lp.ok && lp.parent == rb.ref
 	}
 	return value.Bool(res), nil
+}
+
+// evalIncipitOp evaluates the thematic-index predicate (`incipit`)
+// through the index registered for the operand's entity type.  The
+// registered Match callback is the authoritative check: even when the
+// planner produced the bindings from a gram probe, every combination is
+// re-verified here, so gram false positives never reach the result.
+func (s *Session) evalIncipitOp(x IncipitOp, en env) (value.Value, error) {
+	s.m.opIncipit.Inc()
+	if s.ps != nil {
+		defer func(start time.Time) {
+			s.ps.IncipitEvals++
+			s.ps.IncipitDur += time.Since(start)
+		}(time.Now())
+	}
+	lv, ok := x.L.(VarRef)
+	if !ok {
+		return value.Null, fmt.Errorf("quel: incipit requires a range variable as its left operand")
+	}
+	lb, ok := en[lv.Var]
+	if !ok {
+		return value.Null, fmt.Errorf("quel: unbound variable %q", lv.Var)
+	}
+	if lb.ref == 0 {
+		return value.Null, fmt.Errorf("quel: incipit requires an entity operand, not a relationship")
+	}
+	pv, err := s.eval(x.R, en)
+	if err != nil {
+		return value.Null, err
+	}
+	if pv.Kind() != value.KindString {
+		return value.Null, fmt.Errorf("quel: incipit pattern must be a string, got %s", pv.Kind())
+	}
+	spec, ok := s.db.IncipitIndexFor(lb.typ)
+	if !ok {
+		return value.Null, fmt.Errorf("quel: no incipit index registered for %s", lb.typ)
+	}
+	m, err := spec.Match(lb.ref, pv.AsString())
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Bool(m), nil
 }
 
 // evalAgg evaluates an aggregate over its own independent range.

@@ -140,13 +140,14 @@ func (s *Session) beginStmtSnap(ctx context.Context) func() {
 // sessMetrics holds the query layer's observability handles, resolved
 // once per session from the storage registry (all nil-safe).
 type sessMetrics struct {
-	stmt     *obs.Histogram // quel.stmt.ns
-	scanRows *obs.Counter   // quel.scan.rows
-	combos   *obs.Counter   // quel.join.combos
-	opBefore *obs.Counter   // quel.op.before
-	opAfter  *obs.Counter   // quel.op.after
-	opUnder  *obs.Counter   // quel.op.under
-	trace    *obs.Trace
+	stmt      *obs.Histogram // quel.stmt.ns
+	scanRows  *obs.Counter   // quel.scan.rows
+	combos    *obs.Counter   // quel.join.combos
+	opBefore  *obs.Counter   // quel.op.before
+	opAfter   *obs.Counter   // quel.op.after
+	opUnder   *obs.Counter   // quel.op.under
+	opIncipit *obs.Counter   // quel.op.incipit
+	trace     *obs.Trace
 }
 
 // NewSession returns a session over the model database.
@@ -154,24 +155,26 @@ func NewSession(db *model.Database) *Session {
 	s := &Session{db: db, ranges: make(map[string]string), parMin: defaultParMinRows}
 	if reg := db.Store().Obs(); reg != nil {
 		s.m = sessMetrics{
-			stmt:     reg.Histogram("quel.stmt.ns"),
-			scanRows: reg.Counter("quel.scan.rows"),
-			combos:   reg.Counter("quel.join.combos"),
-			opBefore: reg.Counter("quel.op.before"),
-			opAfter:  reg.Counter("quel.op.after"),
-			opUnder:  reg.Counter("quel.op.under"),
-			trace:    reg.Trace(),
+			stmt:      reg.Histogram("quel.stmt.ns"),
+			scanRows:  reg.Counter("quel.scan.rows"),
+			combos:    reg.Counter("quel.join.combos"),
+			opBefore:  reg.Counter("quel.op.before"),
+			opAfter:   reg.Counter("quel.op.after"),
+			opUnder:   reg.Counter("quel.op.under"),
+			opIncipit: reg.Counter("quel.op.incipit"),
+			trace:     reg.Trace(),
 		}
 		s.pm = planMetrics{
-			scanFull:   reg.Counter("quel.plan.scan.full"),
-			scanIndex:  reg.Counter("quel.plan.scan.index"),
-			joinHash:   reg.Counter("quel.plan.join.hash"),
-			joinLoop:   reg.Counter("quel.plan.join.loop"),
-			joinProbe:  reg.Counter("quel.plan.join.probe"),
-			hashProbes: reg.Counter("quel.plan.hash.probes"),
-			hashHits:   reg.Counter("quel.plan.hash.hits"),
-			parQueries: reg.Counter("quel.par.queries"),
-			parMorsels: reg.Counter("quel.par.morsels"),
+			scanFull:    reg.Counter("quel.plan.scan.full"),
+			scanIndex:   reg.Counter("quel.plan.scan.index"),
+			scanIncipit: reg.Counter("quel.plan.scan.incipit"),
+			joinHash:    reg.Counter("quel.plan.join.hash"),
+			joinLoop:    reg.Counter("quel.plan.join.loop"),
+			joinProbe:   reg.Counter("quel.plan.join.probe"),
+			hashProbes:  reg.Counter("quel.plan.hash.probes"),
+			hashHits:    reg.Counter("quel.plan.hash.hits"),
+			parQueries:  reg.Counter("quel.par.queries"),
+			parMorsels:  reg.Counter("quel.par.morsels"),
 		}
 	}
 	return s
@@ -361,6 +364,9 @@ func collectVars(e Expr, out map[string]bool) {
 	case OrderOp:
 		collectVars(x.L, out)
 		collectVars(x.R, out)
+	case IncipitOp:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
 	case Agg:
 		// Aggregates range independently; their variable is not a join
 		// variable of the outer query.
@@ -398,6 +404,34 @@ func extractSargs(e Expr, out map[string][]sarg) {
 					out[ar.Var] = append(out[ar.Var], sarg{attr: ar.Attr, op: flip(x.Op), v: lit.V})
 				}
 			}
+		}
+	}
+}
+
+// extractIncipits pulls `var incipit "pattern"` conjuncts out of the
+// qualification, keyed by variable.  Like extractSargs, only top-level
+// `and` arms qualify; prepared statements substitute $n placeholders
+// with literals before planning, so bound patterns are covered too.
+// The predicate always stays in the residual qualification — the gram
+// probe yields a candidate superset that the Match callback re-checks.
+func extractIncipits(e Expr, out map[string]string) {
+	switch x := e.(type) {
+	case Binary:
+		if x.Op == "and" {
+			extractIncipits(x.L, out)
+			extractIncipits(x.R, out)
+		}
+	case IncipitOp:
+		vr, ok := x.L.(VarRef)
+		if !ok {
+			return
+		}
+		lit, ok := x.R.(Lit)
+		if !ok || lit.V.Kind() != value.KindString {
+			return
+		}
+		if _, dup := out[vr.Var]; !dup {
+			out[vr.Var] = lit.V.AsString()
 		}
 	}
 }

@@ -21,6 +21,8 @@ type planStats struct {
 	FilterOut     int        // bindings passing it
 	OrderEvals    int        // before/after/under evaluations
 	OrderDur      time.Duration
+	IncipitEvals  int // incipit predicate evaluations
+	IncipitDur    time.Duration
 	UniqueDropped int
 	SortElided    bool   // sort satisfied by index scan order
 	SortIndex     string // index that satisfied it
@@ -50,6 +52,7 @@ type scanStats struct {
 	Kept    int    // rows surviving pushed-down sargs
 	Index   string // secondary index used; empty = heap scan
 	Range   string // key-range description for index scans
+	Incipit bool   // gram-probe scan driven by an incipit predicate
 	Skipped bool   // not scanned: an earlier variable had no bindings
 	Parts   int    // sub-ranges scanned in parallel; 0 = serial scan
 	Sargs   []string
@@ -141,6 +144,9 @@ func renderPlan(q Retrieve, ps *planStats) []string {
 		if ps.OrderEvals > 0 {
 			add(depth, "OrderOps: %d evals (time=%s)", ps.OrderEvals, ps.OrderDur)
 		}
+		if ps.IncipitEvals > 0 {
+			add(depth, "IncipitOps: %d evals (time=%s)", ps.IncipitEvals, ps.IncipitDur)
+		}
 	}
 	if ps.Par != nil {
 		add(depth, "Parallel (workers=%d, morsels=%d)", ps.Par.Workers, ps.Par.Morsels)
@@ -199,6 +205,9 @@ func renderScan(add func(int, string, ...any), depth int, sc scanStats) {
 	switch {
 	case sc.Skipped:
 		add(depth, "Scan %s on %s (est=%d, skipped: earlier variable empty)", sc.Var, sc.Rel, sc.Est)
+	case sc.Incipit:
+		add(depth, "IncipitScan %s on %s using %s [%s] (est=%d, scanned=%d, kept=%d) (time=%s)",
+			sc.Var, sc.Rel, sc.Index, sc.Range, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
 	case sc.Index != "" && sc.Range != "":
 		add(depth, "IndexScan %s on %s using %s [%s] (est=%d, scanned=%d, kept=%d) (time=%s)",
 			sc.Var, sc.Rel, sc.Index, sc.Range, sc.Est, sc.Scanned, sc.Kept, sc.Dur)
@@ -244,6 +253,8 @@ func exprString(e Expr) string {
 			s += " in " + x.Order
 		}
 		return s + ")"
+	case IncipitOp:
+		return fmt.Sprintf("(%s incipit %s)", exprString(x.L), exprString(x.R))
 	case Agg:
 		arg := x.Var + ".all"
 		if x.Attr != "" {

@@ -357,6 +357,7 @@ func (p *parser) assignList() ([]Assign, error) {
 //	notExpr  := "not" notExpr | relExpr
 //	relExpr  := addExpr [ relOp addExpr
 //	          | "is" addExpr
+//	          | "incipit" addExpr
 //	          | ("before"|"after"|"under") addExpr [ "in" ident ] ]
 //	addExpr  := mulExpr { ("+"|"-") mulExpr }
 //	mulExpr  := unary { ("*"|"/") unary }
@@ -434,6 +435,13 @@ func (p *parser) relExpr() (Expr, error) {
 			return nil, err
 		}
 		return IsOp{L: l, R: r}, nil
+	case p.tok.IsKeyword("incipit"):
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return IncipitOp{L: l, R: r}, nil
 	case p.tok.IsKeyword("before") || p.tok.IsKeyword("after") || p.tok.IsKeyword("under"):
 		op := strings.ToLower(p.tok.Text)
 		p.next()

@@ -34,15 +34,16 @@ import (
 
 // planMetrics are the planner's observability handles (all nil-safe).
 type planMetrics struct {
-	scanFull   *obs.Counter // quel.plan.scan.full
-	scanIndex  *obs.Counter // quel.plan.scan.index
-	joinHash   *obs.Counter // quel.plan.join.hash
-	joinLoop   *obs.Counter // quel.plan.join.loop
-	joinProbe  *obs.Counter // quel.plan.join.probe
-	hashProbes *obs.Counter // quel.plan.hash.probes
-	hashHits   *obs.Counter // quel.plan.hash.hits
-	parQueries *obs.Counter // quel.par.queries
-	parMorsels *obs.Counter // quel.par.morsels
+	scanFull    *obs.Counter // quel.plan.scan.full
+	scanIndex   *obs.Counter // quel.plan.scan.index
+	scanIncipit *obs.Counter // quel.plan.scan.incipit
+	joinHash    *obs.Counter // quel.plan.join.hash
+	joinLoop    *obs.Counter // quel.plan.join.loop
+	joinProbe   *obs.Counter // quel.plan.join.probe
+	hashProbes  *obs.Counter // quel.plan.hash.probes
+	hashHits    *obs.Counter // quel.plan.hash.hits
+	parQueries  *obs.Counter // quel.par.queries
+	parMorsels  *obs.Counter // quel.par.morsels
 }
 
 // accessPath describes how one variable's bindings are produced: a heap
@@ -55,6 +56,12 @@ type accessPath struct {
 	est           int    // row estimate (order-statistics count for ranges)
 	reverse       bool   // descending index order (sort by ... desc)
 	satisfiesSort bool   // index order doubles as the output sort order
+	// incipit marks a gram-index candidate scan (IncipitScan): the
+	// bounds range the companion gram type's index on `gram`, and the
+	// bindings are the distinct entries posted there.  The incipit
+	// predicate itself stays in the residual qualification.
+	incipit bool
+	gram    string // probe gram chosen from the pattern
 }
 
 // sortHint asks the planner to produce one variable's bindings in the
@@ -256,11 +263,41 @@ func (s *Session) indexRange(rel *storage.Relation, info varInfo, attr string, s
 	return accessPath{index: spec.Name, attr: f.Name, lo: lo, hi: hi, rng: strings.Join(parts, " and "), est: est}, true
 }
 
+// incipitRange plans a gram-index candidate scan for an incipit
+// conjunct on a variable: the registered index maps the pattern to its
+// most selective gram, and order statistics on the gram index price the
+// resulting posting range.  ok is false whenever the index cannot serve
+// the pattern (none registered, pattern too short or malformed, gram
+// index missing or deferred); the caller then falls back to other
+// access paths and the residual predicate still decides truth.
+func (s *Session) incipitRange(info varInfo, pattern string) (accessPath, bool) {
+	spec, ok := s.db.IncipitIndexFor(info.typ)
+	if !ok {
+		return accessPath{}, false
+	}
+	gram, ok := spec.Gram(pattern)
+	if !ok {
+		return accessPath{}, false
+	}
+	ixName, ok := s.db.AttrIndexName(spec.GramType, spec.GramAttr)
+	if !ok {
+		return accessPath{}, false
+	}
+	lo := value.AppendKey(nil, value.Str(gram))
+	hi := withMaxSuffix(lo)
+	est := s.db.InstancesRangeCount(spec.GramType, ixName, lo, hi)
+	if est < 0 {
+		return accessPath{}, false
+	}
+	return accessPath{incipit: true, index: ixName, gram: gram, lo: lo, hi: hi,
+		rng: fmt.Sprintf("gram = %q", gram), est: est}, true
+}
+
 // chooseAccess picks the access path for one variable: the most
-// selective sarg-bounded index range (by order-statistics count), the
-// sort attribute's index when that lets the sort be skipped, or a heap
-// scan.
-func (s *Session) chooseAccess(varName string, info varInfo, sargs []sarg) accessPath {
+// selective sarg-bounded index range (by order-statistics count), a
+// gram-index incipit probe, the sort attribute's index when that lets
+// the sort be skipped, or a heap scan.
+func (s *Session) chooseAccess(varName string, info varInfo, sargs []sarg, incipits map[string]string) accessPath {
 	full := accessPath{est: s.estimate(info)}
 	if info.isRel {
 		return full
@@ -277,6 +314,11 @@ func (s *Session) chooseAccess(varName string, info varInfo, sargs []sarg) acces
 		}
 	}
 	best, found := full, false
+	if pat, ok := incipits[varName]; ok {
+		if ap, ok := s.incipitRange(info, pat); ok {
+			best, found = ap, true
+		}
+	}
 	for _, f := range info.fields {
 		ap, ok := s.indexRange(rel, info, f.Name, sargs)
 		if !ok || (ap.lo == nil && ap.hi == nil) {
@@ -295,7 +337,7 @@ func (s *Session) chooseAccess(varName string, info varInfo, sargs []sarg) acces
 // alias them for the statement's lifetime.
 func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
 	st := scanStats{Var: vp.name, Rel: vp.info.typ, Est: vp.access.est,
-		Index: vp.access.index, Range: vp.access.rng}
+		Index: vp.access.index, Range: vp.access.rng, Incipit: vp.access.incipit}
 	for _, sg := range vp.sargs {
 		st.Sargs = append(st.Sargs, fmt.Sprintf("%s.%s %s %s", vp.name, sg.attr, sg.op, sg.v))
 	}
@@ -310,7 +352,10 @@ func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
 		return true
 	}
 	var err error
-	if vp.access.index != "" {
+	if vp.access.incipit {
+		s.pm.scanIncipit.Inc()
+		err = s.incipitScan(ctx, vp, collect)
+	} else if vp.access.index != "" {
 		s.pm.scanIndex.Inc()
 		emit := func(ref value.Ref, attrs value.Tuple) bool {
 			return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
@@ -332,6 +377,67 @@ func (s *Session) scanPlan(ctx context.Context, vp *varPlan) error {
 		s.ps.Scans = append(s.ps.Scans, st)
 	}
 	return err
+}
+
+// incipitScan materializes a variable's bindings from its gram-index
+// access path: range the companion gram type's index for the probe
+// gram, dedup the posted entry refs (an incipit can contain one gram
+// several times), then fetch each candidate entity through its type's
+// unique surrogate index.  The emitted set is a superset of the true
+// answer; the incipit predicate remains in the qualification and the
+// Match callback rejects gram collisions per combination.
+func (s *Session) incipitScan(ctx context.Context, vp *varPlan, collect func(binding) bool) error {
+	spec, ok := s.db.IncipitIndexFor(vp.info.typ)
+	if !ok {
+		return fmt.Errorf("quel: no incipit index registered for %s", vp.info.typ)
+	}
+	gt, ok := s.db.EntityType(spec.GramType)
+	if !ok {
+		return fmt.Errorf("quel: incipit gram type %s not defined", spec.GramType)
+	}
+	ei, ok := gt.AttrIndex(spec.EntryAttr)
+	if !ok {
+		return fmt.Errorf("quel: incipit gram type %s has no attribute %q", spec.GramType, spec.EntryAttr)
+	}
+	seen := make(map[value.Ref]bool)
+	var cands []value.Ref
+	emitGram := func(_ value.Ref, attrs value.Tuple) bool {
+		r := attrs[ei].AsRef()
+		if !seen[r] {
+			seen[r] = true
+			cands = append(cands, r)
+		}
+		return true
+	}
+	var err error
+	if snap := s.snap; snap != nil {
+		err = snap.InstancesRange(spec.GramType, vp.access.index, vp.access.lo, vp.access.hi, false, emitGram)
+	} else {
+		err = s.db.InstancesRangeCtx(ctx, spec.GramType, vp.access.index, vp.access.lo, vp.access.hi, false, emitGram)
+	}
+	if err != nil {
+		return err
+	}
+	refIx, ok := s.db.AttrIndexName(vp.info.typ, "_ref")
+	if !ok {
+		return fmt.Errorf("quel: %s has no surrogate index", vp.info.typ)
+	}
+	emit := func(ref value.Ref, attrs value.Tuple) bool {
+		return collect(binding{ref: ref, attrs: attrs, fields: vp.info.fields, typ: vp.info.typ})
+	}
+	for _, ref := range cands {
+		klo := value.AppendKey(nil, value.RefVal(ref))
+		khi := withMaxSuffix(klo)
+		if snap := s.snap; snap != nil {
+			err = snap.InstancesRange(vp.info.typ, refIx, klo, khi, false, emit)
+		} else {
+			err = s.db.InstancesRangeCtx(ctx, vp.info.typ, refIx, klo, khi, false, emit)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type joinMethod uint8
@@ -759,17 +865,19 @@ func (r *stepRun) rec(k int) error {
 func (s *Session) bindAllPlanned(ctx context.Context, vars []string, infos map[string]varInfo, sargs map[string][]sarg, where Expr, fn func(env) error) error {
 	var equis []equiCond
 	var orders []orderCond
+	incipits := map[string]string{}
 	if where != nil {
 		s.extractJoinConds(where, infos, &equis, &orders)
+		extractIncipits(where, incipits)
 	}
 	cached, key := s.lookupPlan(vars, infos, where)
 	plans := make([]*varPlan, len(vars))
 	for i, v := range vars {
 		vp := &varPlan{name: v, info: infos[v], sargs: sargs[v]}
 		if cached != nil {
-			vp.access = s.cachedAccessPath(cached, vp)
+			vp.access = s.cachedAccessPath(cached, vp, incipits)
 		} else {
-			vp.access = s.chooseAccess(v, vp.info, vp.sargs)
+			vp.access = s.chooseAccess(v, vp.info, vp.sargs, incipits)
 		}
 		plans[i] = vp
 	}

@@ -52,6 +52,7 @@ type cachedAccess struct {
 	attr          string
 	satisfiesSort bool
 	reverse       bool
+	incipit       bool
 }
 
 // NewPlanCache returns an empty cache; reg may be nil (no metrics).
@@ -133,6 +134,7 @@ func (s *Session) storePlan(key string, plans []*varPlan, steps []*joinStep) {
 			attr:          vp.access.attr,
 			satisfiesSort: vp.access.satisfiesSort,
 			reverse:       vp.access.reverse,
+			incipit:       vp.access.incipit,
 		}
 	}
 	s.plans.put(key, cp)
@@ -140,10 +142,21 @@ func (s *Session) storePlan(key string, plans []*varPlan, steps []*joinStep) {
 
 // cachedAccessPath replays a cached access decision against the live
 // schema and the statement's own literals.
-func (s *Session) cachedAccessPath(cp *cachedPlan, vp *varPlan) accessPath {
+func (s *Session) cachedAccessPath(cp *cachedPlan, vp *varPlan, incipits map[string]string) accessPath {
 	full := accessPath{est: s.estimate(vp.info)}
 	ca, ok := cp.access[vp.name]
-	if !ok || ca.attr == "" || vp.info.isRel {
+	if !ok || vp.info.isRel {
+		return full
+	}
+	if ca.incipit {
+		if pat, ok := incipits[vp.name]; ok {
+			if ap, ok := s.incipitRange(vp.info, pat); ok {
+				return ap
+			}
+		}
+		return full
+	}
+	if ca.attr == "" {
 		return full
 	}
 	rel := s.db.Store().Relation(s.db.InstanceRelation(vp.info.typ))
@@ -229,6 +242,12 @@ func shapeExpr(b *strings.Builder, e Expr) {
 			b.WriteString(" in ")
 			b.WriteString(x.Order)
 		}
+		b.WriteByte(')')
+	case IncipitOp:
+		b.WriteByte('(')
+		shapeExpr(b, x.L)
+		b.WriteString(" incipit ")
+		shapeExpr(b, x.R)
 		b.WriteByte(')')
 	case Agg:
 		b.WriteString(x.Fn)

@@ -216,6 +216,16 @@ func bindExpr(e Expr, args []value.Value) (Expr, error) {
 			return nil, err
 		}
 		return OrderOp{Op: x.Op, L: l, R: r, Order: x.Order}, nil
+	case IncipitOp:
+		l, err := bindExpr(x.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(x.R, args)
+		if err != nil {
+			return nil, err
+		}
+		return IncipitOp{L: l, R: r}, nil
 	case Agg:
 		w, err := bindOptExpr(x.Where, args)
 		if err != nil {

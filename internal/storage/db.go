@@ -213,6 +213,11 @@ func Open(opts Options) (*DB, error) {
 	if opts.Replica && (opts.Dir == "" || opts.NoWAL) {
 		return nil, errors.New("storage: replica mode requires a durable, logged database")
 	}
+	if opts.Dir != "" {
+		if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: mkdir: %w", err)
+		}
+	}
 	if opts.Dir == "" || opts.NoWAL {
 		if opts.Dir != "" {
 			if err := db.recover(); err != nil {
@@ -221,9 +226,6 @@ func Open(opts Options) (*DB, error) {
 			db.seedVersions()
 		}
 		return db, nil
-	}
-	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
 	if err := db.recover(); err != nil {
 		return nil, err
@@ -564,6 +566,50 @@ func (db *DB) CreateIndex(relName string, spec IndexSpec) error {
 		return err
 	}
 	db.markDirty(relName, dirtyDDL)
+	return nil
+}
+
+// DeferIndexes suspends secondary-index maintenance on the named
+// relation for the duration of a bulk load: inserts touch only the
+// heap, and index reads behave as if the relation had no indexes.  The
+// deferral is in-memory state, not logged — if the process crashes
+// mid-load, recovery replays the inserts through the ordinary mutators
+// with live index maintenance, so the reopened store is consistent.
+func (db *DB) DeferIndexes(relName string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	rel := db.Relation(relName)
+	if rel == nil {
+		return fmt.Errorf("storage: no relation %q", relName)
+	}
+	rel.deferIndexes()
+	return nil
+}
+
+// BuildIndexes bulk-builds every secondary index of the named relation
+// bottom-up from sorted runs over the heap and resumes inline
+// maintenance.  Unique violations accumulated during the deferred load
+// surface here, before any tree is replaced.  Snapshots pinned before
+// the build fall back to version-store scans (the rebuilt trees carry
+// no key history).
+func (db *DB) BuildIndexes(relName string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	rel := db.Relation(relName)
+	if rel == nil {
+		return fmt.Errorf("storage: no relation %q", relName)
+	}
+	if err := rel.buildIndexes(); err != nil {
+		return err
+	}
+	floor := db.snaps.Last() + 1
+	rel.mu.Lock()
+	for _, ix := range rel.indexes {
+		ix.createdAt = floor
+	}
+	rel.mu.Unlock()
 	return nil
 }
 

@@ -237,10 +237,10 @@ func (r *Relation) snapRange(indexName string, at uint64, lo, hi []byte, reverse
 		r.mu.RUnlock()
 		return 0, fmt.Errorf("storage: no index %q on %s", indexName, r.name)
 	}
-	if at < ix.createdAt {
-		// The index postdates the snapshot: its trees cannot cover keys
-		// retired before it existed.  Derive the range from the version
-		// store instead.
+	if at < ix.createdAt || r.deferred {
+		// The index postdates the snapshot (or maintenance is deferred for
+		// a bulk load): its trees cannot cover keys retired before it
+		// existed.  Derive the range from the version store instead.
 		cands := r.snapRangeFallbackLocked(ix, at, lo, hi)
 		r.mu.RUnlock()
 		return emitCands(cands, reverse, fn), nil

@@ -73,6 +73,12 @@ type Relation struct {
 	// guarded by mu, and the counter the owning DB reports rebuilds to.
 	modCount      uint64
 	statsRebuilds *obs.Counter
+
+	// deferred suspends secondary-index maintenance (bulk loading):
+	// mutations touch only the heap, index reads act as if no indexes
+	// exist, and buildIndexes reconstructs every tree bottom-up from a
+	// sorted run.  Guarded by mu.
+	deferred bool
 }
 
 func newRelation(name string, schema *value.Schema) *Relation {
@@ -117,12 +123,94 @@ func (r *Relation) addIndex(spec IndexSpec) error {
 		cols[i] = pos
 	}
 	ix := &index{spec: spec, cols: cols, tree: btree.New()}
-	for id, t := range r.rows {
-		if err := ix.insert(id, t); err != nil {
+	if !r.deferred {
+		tree, err := r.buildTreeLocked(ix)
+		if err != nil {
 			return fmt.Errorf("storage: backfill index %q: %w", spec.Name, err)
 		}
+		ix.tree = tree
 	}
 	r.indexes = append(r.indexes, ix)
+	return nil
+}
+
+// buildTreeLocked bulk-builds ix's tree bottom-up from a sorted run over
+// the heap: collect every row's key, sort once, pack the B-tree in O(n).
+// Caller holds r.mu.  Unique violations surface as adjacent equal keys
+// in the run.
+func (r *Relation) buildTreeLocked(ix *index) (*btree.Tree, error) {
+	type run struct {
+		key []byte
+		id  RowID
+	}
+	runs := make([]run, 0, len(r.rows))
+	for id, t := range r.rows {
+		runs = append(runs, run{key: ix.key(id, t), id: id})
+	}
+	sort.Slice(runs, func(a, b int) bool {
+		if c := bytes.Compare(runs[a].key, runs[b].key); c != 0 {
+			return c < 0
+		}
+		return runs[a].id < runs[b].id
+	})
+	keys := make([][]byte, len(runs))
+	vals := make([]uint64, len(runs))
+	for j, rn := range runs {
+		if j > 0 && bytes.Equal(runs[j-1].key, rn.key) {
+			// Only unique indexes can collide: non-unique keys carry a
+			// row-id suffix.
+			return nil, fmt.Errorf("unique index %q violation on key %s",
+				ix.spec.Name, tupleKeyString(ix, r.rows[rn.id]))
+		}
+		keys[j] = rn.key
+		vals[j] = rn.id
+	}
+	return btree.NewFromSorted(keys, vals)
+}
+
+// deferIndexes suspends secondary-index maintenance for bulk loading:
+// subsequent mutations touch only the heap, and index reads behave as if
+// the relation had no indexes (planners fall back to heap scans,
+// snapshot ranges to version-store scans).  buildIndexes resumes.
+func (r *Relation) deferIndexes() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deferred = true
+}
+
+// Deferred reports whether index maintenance is suspended.
+func (r *Relation) Deferred() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.deferred
+}
+
+// buildIndexes reconstructs every secondary index from a sorted run over
+// the heap and resumes inline maintenance.  On error (a unique violation
+// surfaced by the sorted pass) the relation stays deferred and no tree
+// is replaced.
+func (r *Relation) buildIndexes() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.deferred {
+		return nil
+	}
+	rebuilt := make([]*btree.Tree, len(r.indexes))
+	for i, ix := range r.indexes {
+		tree, err := r.buildTreeLocked(ix)
+		if err != nil {
+			return fmt.Errorf("storage: %s: bulk build: %w", r.name, err)
+		}
+		rebuilt[i] = tree
+	}
+	for i, ix := range r.indexes {
+		ix.tree = rebuilt[i]
+		ix.hist = nil // retired keys predate the rebuild; the floor covers them
+		ix.stats = nil
+		ix.statsAt = 0
+	}
+	r.deferred = false
+	r.modCount++
 	return nil
 }
 
@@ -180,12 +268,14 @@ func (r *Relation) insertRow(id RowID, t value.Tuple) (RowID, error) {
 	if _, exists := r.rows[id]; exists {
 		return 0, fmt.Errorf("storage: %s: row %d already exists", r.name, id)
 	}
-	for i, ix := range r.indexes {
-		if err := ix.insert(id, t); err != nil {
-			for _, undo := range r.indexes[:i] {
-				undo.remove(id, t)
+	if !r.deferred {
+		for i, ix := range r.indexes {
+			if err := ix.insert(id, t); err != nil {
+				for _, undo := range r.indexes[:i] {
+					undo.remove(id, t)
+				}
+				return 0, fmt.Errorf("storage: %s: %w", r.name, err)
 			}
-			return 0, fmt.Errorf("storage: %s: %w", r.name, err)
 		}
 	}
 	r.rows[id] = t
@@ -204,9 +294,11 @@ func (r *Relation) deleteRow(id RowID) (value.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
 	}
-	for _, ix := range r.indexes {
-		ix.retire(id, old)
-		ix.remove(id, old)
+	if !r.deferred {
+		for _, ix := range r.indexes {
+			ix.retire(id, old)
+			ix.remove(id, old)
+		}
 	}
 	delete(r.rows, id)
 	r.modCount++
@@ -221,20 +313,22 @@ func (r *Relation) updateRow(id RowID, t value.Tuple) (value.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: %s: no row %d", r.name, id)
 	}
-	for _, ix := range r.indexes {
-		ix.retire(id, old)
-		ix.remove(id, old)
-	}
-	for i, ix := range r.indexes {
-		if err := ix.insert(id, t); err != nil {
-			// Roll the index changes back.
-			for _, redo := range r.indexes[:i] {
-				redo.remove(id, t)
+	if !r.deferred {
+		for _, ix := range r.indexes {
+			ix.retire(id, old)
+			ix.remove(id, old)
+		}
+		for i, ix := range r.indexes {
+			if err := ix.insert(id, t); err != nil {
+				// Roll the index changes back.
+				for _, redo := range r.indexes[:i] {
+					redo.remove(id, t)
+				}
+				for _, redo := range r.indexes {
+					redo.insert(id, old) //nolint:errcheck // restoring prior state
+				}
+				return nil, fmt.Errorf("storage: %s: %w", r.name, err)
 			}
-			for _, redo := range r.indexes {
-				redo.insert(id, old) //nolint:errcheck // restoring prior state
-			}
-			return nil, fmt.Errorf("storage: %s: %w", r.name, err)
 		}
 	}
 	r.rows[id] = t
@@ -288,6 +382,9 @@ func (r *Relation) Indexes() []IndexSpec {
 func (r *Relation) IndexByColumn(col string) (IndexSpec, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.deferred {
+		return IndexSpec{}, false
+	}
 	for _, ix := range r.indexes {
 		if len(ix.spec.Columns) > 0 && strings.EqualFold(ix.spec.Columns[0], col) {
 			return ix.spec, true
@@ -305,7 +402,7 @@ func (r *Relation) IndexRangeCount(indexName string, lo, hi []byte) (int, bool) 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	ix := r.findIndex(indexName)
-	if ix == nil {
+	if ix == nil || r.deferred {
 		return 0, false
 	}
 	return ix.tree.CountRange(lo, hi), true
@@ -322,6 +419,9 @@ func (r *Relation) ScanRange(indexName string, lo, hi []byte, reverse bool, fn f
 	ix := r.findIndex(indexName)
 	if ix == nil {
 		return fmt.Errorf("storage: no index %q on %s", indexName, r.name)
+	}
+	if r.deferred {
+		return fmt.Errorf("storage: index %q on %s is deferred for bulk load", indexName, r.name)
 	}
 	visit := func(_ []byte, id uint64) bool {
 		t, ok := r.rows[id]
@@ -358,6 +458,9 @@ func (r *Relation) dropIndex(name string) {
 func (r *Relation) CheckIndexes() error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.deferred {
+		return nil // trees are detached until buildIndexes reconstructs them
+	}
 	for _, ix := range r.indexes {
 		if err := ix.tree.CheckInvariants(); err != nil {
 			return fmt.Errorf("storage: %s index %q: %w", r.name, ix.spec.Name, err)
@@ -389,26 +492,6 @@ func (r *Relation) CheckIndexes() error {
 func (r *Relation) findIndex(name string) *index {
 	for _, ix := range r.indexes {
 		if ix.spec.Name == name {
-			return ix
-		}
-	}
-	return nil
-}
-
-// indexFor returns an index whose leading columns match cols, if any.
-func (r *Relation) indexFor(cols []int) *index {
-	for _, ix := range r.indexes {
-		if len(ix.cols) < len(cols) {
-			continue
-		}
-		match := true
-		for i, c := range cols {
-			if ix.cols[i] != c {
-				match = false
-				break
-			}
-		}
-		if match {
 			return ix
 		}
 	}
